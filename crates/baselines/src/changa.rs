@@ -1,0 +1,138 @@
+//! The ChaNGa-like gravity comparator (Figs. 10 and 13).
+//!
+//! ChaNGa computes the same forces as ParaTreeT ("ParaTreeT and ChaNGa
+//! return identical solutions and share the same computational work",
+//! §III-A), so the baseline differs only in the *mechanisms* the paper
+//! credits for ParaTreeT's advantage:
+//!
+//! 1. **Per-bucket DFS walks** — no loop transposition
+//!    ([`paratreet_core::TraversalKind::BasicDfs`]): many more node
+//!    visits and `open()` tests for the same interactions.
+//! 2. **Per-thread software caches** — "ChaNGa often makes the same
+//!    remote fetch for multiple worker threads within the same process"
+//!    ([`paratreet_core::CacheModel::PerThread`]).
+//! 3. **Lower sequential throughput** — the larger working set per node
+//!    and bucket-at-a-time walks cost cache efficiency. Table II
+//!    measures the single-CPU ratio at 16 s / 9.2 s ≈ 1.7×; the cache
+//!    simulator (`paratreet-cachesim`) reproduces the mechanism, and the
+//!    machine model imports it as a per-interaction multiplier.
+//! 4. **Tree-bound decomposition** — without Partitions–Subtrees, an SFC
+//!    decomposition of an octree duplicates every split leaf's path to
+//!    the root across ranks and merges those branch nodes during the
+//!    build ([`ChangaModel::build_merge_factor`] charges that
+//!    synchronisation).
+
+use paratreet_apps::gravity::GravityVisitor;
+use paratreet_core::des_engine::{CostModel, IterationReport};
+use paratreet_core::{CacheModel, Configuration, DistributedEngine, TraversalKind};
+use paratreet_particles::Particle;
+use paratreet_runtime::MachineSpec;
+
+/// Tunable knobs of the ChaNGa model.
+#[derive(Clone, Copy, Debug)]
+pub struct ChangaModel {
+    /// Sequential-throughput penalty on interaction kernels (Table II's
+    /// measured 1-CPU runtime ratio).
+    pub interaction_slowdown: f64,
+    /// Multiplier on tree-build cost modelling the branch-node merge an
+    /// SFC-decomposed octree build performs without Partitions–Subtrees.
+    pub build_merge_factor: f64,
+    /// Extra bytes per shipped node (ChaNGa's larger per-node state).
+    pub node_state_inflation: f64,
+}
+
+impl Default for ChangaModel {
+    fn default() -> ChangaModel {
+        ChangaModel {
+            interaction_slowdown: 1.7,
+            build_merge_factor: 2.0,
+            node_state_inflation: 1.6,
+        }
+    }
+}
+
+impl ChangaModel {
+    /// The cost model this baseline runs the machine simulation with.
+    pub fn costs(&self) -> CostModel {
+        let base = CostModel::default();
+        CostModel {
+            pp: base.pp * self.interaction_slowdown,
+            pn: base.pn * self.interaction_slowdown,
+            open: base.open * self.interaction_slowdown,
+            visit: base.visit * self.interaction_slowdown,
+            build_per_particle_log: base.build_per_particle_log * self.build_merge_factor,
+            serialize_per_byte: base.serialize_per_byte * self.node_state_inflation,
+            insert_per_byte: base.insert_per_byte * self.node_state_inflation,
+            ..base
+        }
+    }
+
+    /// Runs one ChaNGa-style gravity iteration on the machine model:
+    /// per-bucket DFS, per-thread caches, merged tree build.
+    pub fn run_gravity_iteration(
+        &self,
+        machine: MachineSpec,
+        config: Configuration,
+        theta: f64,
+        particles: Vec<Particle>,
+    ) -> IterationReport {
+        let visitor = GravityVisitor { theta, g: 1.0 };
+        let mut engine = DistributedEngine::new(
+            machine,
+            config,
+            CacheModel::PerThread,
+            TraversalKind::BasicDfs,
+            &visitor,
+        );
+        engine.costs = self.costs();
+        engine.run_iteration(particles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paratreet_core::Framework;
+    use paratreet_particles::gen;
+
+    #[test]
+    fn changa_computes_identical_interactions_to_paratreet() {
+        // "ParaTreeT and ChaNGa return identical solutions": the baseline
+        // shares kernels and opening criterion, so particle-particle and
+        // particle-node interaction totals must match exactly between
+        // BasicDfs (ChaNGa-style) and TopDown (ParaTreeT-style).
+        let ps = gen::uniform_cube(500, 3, 1.0, 1.0);
+        let config = Configuration { bucket_size: 8, ..Default::default() };
+        let v = GravityVisitor::default();
+        let mut fw1: Framework<paratreet_apps::gravity::CentroidData> =
+            Framework::new(config.clone(), ps.clone());
+        let (_, rep_topdown) = fw1.step(|s| {
+            s.traverse(&v, TraversalKind::TopDown);
+        });
+        let mut fw2: Framework<paratreet_apps::gravity::CentroidData> =
+            Framework::new(config, ps);
+        let (_, rep_dfs) = fw2.step(|s| {
+            s.traverse(&v, TraversalKind::BasicDfs);
+        });
+        assert_eq!(
+            rep_topdown.counts.leaf_interactions,
+            rep_dfs.counts.leaf_interactions
+        );
+        assert_eq!(
+            rep_topdown.counts.node_interactions,
+            rep_dfs.counts.node_interactions
+        );
+        // ...but the DFS walk visits far more nodes for the same work —
+        // the cache-efficiency mechanism of §III-A.
+        assert!(rep_dfs.counts.nodes_visited > 4 * rep_topdown.counts.nodes_visited);
+    }
+
+    #[test]
+    fn changa_cost_model_is_slower_sequentially() {
+        let m = ChangaModel::default();
+        let c = m.costs();
+        let base = CostModel::default();
+        assert!(c.pp > base.pp);
+        assert!(c.build_per_particle_log > base.build_per_particle_log);
+    }
+}

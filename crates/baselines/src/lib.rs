@@ -1,0 +1,17 @@
+//! Comparator implementations for the paper's evaluation.
+//!
+//! * [`direct`] — O(N²) pairwise gravity: the accuracy ground truth every
+//!   tree code is validated against.
+//! * [`changa`] — the ChaNGa-like gravity baseline of Fig. 10/13: same
+//!   physics, per-bucket DFS walks (no loop transposition), per-thread
+//!   software caches (duplicate remote fetches), larger per-node state,
+//!   and tree-build merging of non-local ancestors (no
+//!   Partitions–Subtrees separation).
+//! * [`gadget`] — the Gadget-2-like SPH baseline of Fig. 11: smoothing
+//!   lengths converged by repeated fixed-ball searches instead of a
+//!   single kNN pass, and a pure-MPI execution model (one rank per core,
+//!   no shared-memory cache).
+
+pub mod changa;
+pub mod direct;
+pub mod gadget;

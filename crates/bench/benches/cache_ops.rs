@@ -1,0 +1,116 @@
+//! Criterion microbenchmarks: software-cache operations — fragment
+//! serialisation, wait-free vs exclusive-write insertion (the Fig. 3
+//! mechanism at micro scale), and concurrent insertion throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paratreet_apps::gravity::CentroidData;
+use paratreet_cache::{CacheTree, SubtreeSummary, XWriteCache};
+use paratreet_geometry::NodeKey;
+use paratreet_particles::{gen, ParticleVec};
+use paratreet_tree::{TreeBuilder, TreeType};
+use std::hint::black_box;
+
+/// Builds a home cache over 8 octant subtrees, returning the fills and
+/// the summaries so fresh "away" caches can be constructed per
+/// iteration.
+fn make_world(n: usize) -> (Vec<SubtreeSummary<CentroidData>>, Vec<Vec<u8>>) {
+    let mut ps = gen::clustered(n, 4, 3, 1.0, 1.0);
+    let universe = ps.bounding_box().padded(1e-9).bounding_cube();
+    ps.assign_keys(&universe);
+    ps.sort_by_sfc_key();
+    let home: CacheTree<CentroidData> = CacheTree::new(1, 3);
+    let mut summaries = Vec::new();
+    let mut trees = Vec::new();
+    for oct in 0..8 {
+        let part: Vec<_> = ps.iter().copied().filter(|p| universe.octant_of(p.pos) == oct).collect();
+        if part.is_empty() {
+            continue;
+        }
+        let builder = TreeBuilder {
+            root_key: NodeKey::root().child(oct, 3),
+            root_depth: 1,
+            parallel: false,
+            ..TreeBuilder::new(TreeType::Octree)
+        };
+        let tree = builder.bucket_size(16).build::<CentroidData>(part, universe.octant(oct));
+        summaries.push(SubtreeSummary {
+            key: tree.root().key,
+            bbox: tree.root().bbox,
+            n_particles: tree.root().n_particles,
+            data: tree.root().data.clone(),
+            home_rank: 1,
+        });
+        trees.push(tree);
+    }
+    home.init(&summaries, trees);
+    let fills = summaries
+        .iter()
+        .map(|s| home.serialize_fragment(s.key, 64).unwrap())
+        .collect();
+    (summaries, fills)
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_wire");
+    group.sample_size(20);
+    let (summaries, fills) = make_world(20_000);
+    let away: CacheTree<CentroidData> = CacheTree::new(0, 3);
+    away.init(&summaries, vec![]);
+    let total: usize = fills.iter().map(|f| f.len()).sum();
+    group.throughput(criterion::Throughput::Bytes(total as u64));
+    group.bench_function("decode_insert_20k", |b| {
+        b.iter(|| {
+            let fresh: CacheTree<CentroidData> = CacheTree::new(0, 3);
+            fresh.init(&summaries, vec![]);
+            for f in &fills {
+                black_box(fresh.insert_fragment(f).unwrap().1.len());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_insert_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_cache");
+    group.sample_size(10);
+    let (summaries, fills) = make_world(20_000);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("waitfree", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let fresh: CacheTree<CentroidData> = CacheTree::new(0, 3);
+                fresh.init(&summaries, vec![]);
+                std::thread::scope(|s| {
+                    for chunk in fills.chunks(fills.len().div_ceil(threads)) {
+                        let fresh = &fresh;
+                        s.spawn(move || {
+                            for f in chunk {
+                                black_box(fresh.insert_fragment(f).unwrap().1.len());
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("xwrite", threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let fresh: CacheTree<CentroidData> = CacheTree::new(0, 3);
+                fresh.init(&summaries, vec![]);
+                let locked = XWriteCache::new(fresh);
+                std::thread::scope(|s| {
+                    for chunk in fills.chunks(fills.len().div_ceil(threads)) {
+                        let locked = &locked;
+                        s.spawn(move || {
+                            for f in chunk {
+                                black_box(locked.insert_fragment(f).unwrap().1.len());
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialize, bench_insert_models);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion microbenchmarks: the numeric kernels at the bottom of every
+//! traversal (gravity exact/approx, SPH kernel evaluations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paratreet_apps::gravity::{grav_approx, grav_exact, CentroidData};
+use paratreet_apps::sph::{kernel_dw_dr, kernel_w};
+use paratreet_geometry::{BoundingBox, Vec3};
+use paratreet_particles::gen;
+use paratreet_tree::Data;
+use std::hint::black_box;
+
+fn bench_gravity_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    let ps = gen::uniform_cube(1024, 3, 1.0, 1.0);
+    let data = CentroidData::from_leaf(&ps, &BoundingBox::empty());
+    let centroid = data.centroid();
+    let quad = data.quad_about_centroid();
+    let targets: Vec<Vec3> = gen::uniform_cube(1024, 5, 4.0, 1.0).iter().map(|p| p.pos).collect();
+
+    group.throughput(criterion::Throughput::Elements(targets.len() as u64));
+    group.bench_function("grav_exact_1k", |b| {
+        b.iter(|| {
+            let mut acc = Vec3::ZERO;
+            for &t in &targets {
+                acc += grav_exact(t, centroid, 1.0, 0.01).0;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("grav_approx_quad_1k", |b| {
+        b.iter(|| {
+            let mut acc = Vec3::ZERO;
+            for &t in &targets {
+                acc += grav_approx(t, centroid, data.sum_mass, &quad).0;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("sph_kernel_1k", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for (i, &t) in targets.iter().enumerate() {
+                let r = t.norm() * 0.1;
+                let h = 0.2 + (i % 7) as f64 * 0.01;
+                sum += kernel_w(r, h) + kernel_dw_dr(r, h);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_data_accumulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_accumulate");
+    let ps = gen::uniform_cube(16, 7, 1.0, 1.0);
+    let b_empty = BoundingBox::empty();
+    group.bench_function("centroid_from_leaf_16", |b| {
+        b.iter(|| black_box(CentroidData::from_leaf(black_box(&ps), &b_empty)))
+    });
+    let child = CentroidData::from_leaf(&ps, &b_empty);
+    group.bench_function("centroid_merge", |b| {
+        b.iter(|| {
+            let mut parent = CentroidData::default();
+            for _ in 0..8 {
+                parent.merge(black_box(&child));
+            }
+            black_box(parent.sum_mass)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gravity_kernels, bench_data_accumulation);
+criterion_main!(benches);

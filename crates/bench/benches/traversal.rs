@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks: traversal styles — the loop-transposition
+//! ablation (`TopDown` vs `BasicDfs`, §III-A) and up-and-down kNN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paratreet_apps::gravity::{CentroidData, GravityVisitor};
+use paratreet_apps::knn::{KnnData, KnnVisitor};
+use paratreet_core::{Configuration, Framework, TraversalKind};
+use paratreet_particles::gen;
+use std::hint::black_box;
+
+fn bench_gravity_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_transpose");
+    group.sample_size(10);
+    let ps = gen::uniform_cube(20_000, 5, 1.0, 1.0);
+    let config = Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 8, ..Default::default() };
+    let visitor = GravityVisitor::default();
+    for kind in [TraversalKind::TopDown, TraversalKind::BasicDfs] {
+        group.bench_with_input(BenchmarkId::new("gravity_20k", format!("{kind:?}")), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut fw: Framework<CentroidData> = Framework::new(config.clone(), ps.clone());
+                let (_, report) = fw.step(|s| {
+                    s.traverse(&visitor, kind);
+                });
+                black_box(report.counts.leaf_interactions)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_traversal");
+    group.sample_size(10);
+    let ps = gen::clustered(10_000, 4, 5, 1.0, 1.0);
+    let config = Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 8, ..Default::default() };
+    let visitor = KnnVisitor { k: 16 };
+    for kind in [TraversalKind::UpAndDown, TraversalKind::TopDown] {
+        group.bench_with_input(BenchmarkId::new("knn_10k_k16", format!("{kind:?}")), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut fw: Framework<KnnData> = Framework::new(config.clone(), ps.clone());
+                let (_, report) = fw.step(|s| {
+                    s.traverse(&visitor, kind);
+                });
+                black_box(report.counts.leaf_interactions)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_theta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gravity_theta");
+    group.sample_size(10);
+    let ps = gen::plummer(20_000, 11, 1.0, 1.0);
+    let config = Configuration { bucket_size: 16, ..Default::default() };
+    for theta in [0.3, 0.7, 1.0] {
+        let visitor = GravityVisitor { theta, g: 1.0 };
+        group.bench_with_input(
+            BenchmarkId::new("plummer_20k", format!("theta{theta}")),
+            &theta,
+            |b, _| {
+                b.iter(|| {
+                    let mut fw: Framework<CentroidData> = Framework::new(config.clone(), ps.clone());
+                    let (_, report) = fw.step(|s| {
+                        s.traverse(&visitor, TraversalKind::TopDown);
+                    });
+                    black_box(report.counts.leaf_interactions)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gravity_styles, bench_knn_styles, bench_theta);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation: leaf bucket size.
+//!
+//! The bucket size is the classic tree-code knob the paper exposes via
+//! `Configuration`: small buckets mean a deeper tree (more opens, more
+//! node approximations, less exact work); large buckets mean shallower
+//! trees with O(b²) exact kernels. This harness sweeps it for the
+//! Barnes-Hut traversal and reports the real shared-memory runtime plus
+//! the interaction mix, and the accuracy against direct summation.
+//!
+//! ```text
+//! cargo run --release -p paratreet-bench --bin ablate_bucket_size -- \
+//!     --particles 20000
+//! ```
+
+use paratreet_apps::gravity::{CentroidData, GravityVisitor};
+use paratreet_baselines::direct::{direct_gravity, rms_acc_error};
+use paratreet_bench::Args;
+use paratreet_core::{Configuration, Framework, TraversalKind};
+use paratreet_particles::gen;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("particles", 20_000);
+    let seed = args.get_u64("seed", 41);
+    let theta = args.get_f64("theta", 0.7);
+
+    let mut reference = gen::plummer(n, seed, 1.0, 1.0);
+    for p in &mut reference {
+        p.softening = 0.01;
+    }
+    direct_gravity(&mut reference, 1.0);
+
+    println!("Ablation: bucket size, Barnes-Hut on a {n}-particle Plummer sphere (theta = {theta})\n");
+    println!(
+        "{:>7} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "bucket", "leaves", "pp pairs", "pn approx", "traverse", "rms err"
+    );
+    println!("{}", "-".repeat(70));
+
+    for bucket in [2usize, 4, 8, 16, 32, 64, 128] {
+        let config = Configuration { bucket_size: bucket, ..Default::default() };
+        let mut fw: Framework<CentroidData> = Framework::new(config, reference.clone());
+        for p in fw.particles_mut().iter_mut() {
+            p.reset_accumulators();
+        }
+        let visitor = GravityVisitor { theta, g: 1.0 };
+        let (n_leaves, report) = fw.step(|step| {
+            step.traverse(&visitor, TraversalKind::TopDown);
+            step.n_leaves()
+        });
+        let err = rms_acc_error(fw.particles(), &reference);
+        println!(
+            "{:>7} {:>10} {:>12} {:>12} {:>11.1}ms {:>10.2e}",
+            bucket,
+            n_leaves,
+            report.counts.leaf_interactions,
+            report.counts.node_interactions,
+            report.seconds_traverse * 1e3,
+            err
+        );
+    }
+    println!();
+    println!("expected: exact (pp) work grows with bucket size while approximations");
+    println!("(pn) shrink; the runtime minimum sits at a moderate bucket (the default");
+    println!("16), and accuracy improves slightly with bigger buckets (more exact pairs).");
+}

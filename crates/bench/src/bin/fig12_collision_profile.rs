@@ -1,0 +1,120 @@
+//! Figure 12: the planetesimal collision profile (§IV-A case study).
+//!
+//! "For a planetesimal disk consisting of 10 million particles evolved
+//! with ParaTreeT, the number of planetesimal collisions detected as a
+//! function of distance from the star... Vertical dashed lines indicate
+//! the location of resonances with the planet [3:1, 2:1, 5:3]. In total,
+//! 258 collisions were recorded, most of which are associated with high
+//! eccentricity particles near the 2:1 resonance at 3.27 AU."
+//!
+//! Scaled-down disk, same construction: star + Jupiter-mass planet at
+//! 5.2 AU, disk spanning the resonances, evolved with gravity +
+//! swept-sphere collision detection each step. Body radii are inflated
+//! relative to the paper's 50 km so a laptop-scale N still collides.
+//!
+//! ```text
+//! cargo run --release -p paratreet-bench --bin fig12_collision_profile -- \
+//!     --particles 4000 --steps 300
+//! ```
+
+use paratreet_apps::collision::{orbital_period, resonance_radius, DiskSimulation};
+use paratreet_bench::{bar, Args};
+use paratreet_core::{Configuration, DecompType};
+use paratreet_particles::gen::{self, DiskParams};
+use paratreet_tree::TreeType;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("particles", 3000);
+    let seed = args.get_u64("seed", 12);
+    let steps = args.get_usize("steps", 200);
+    let burn_in = args.get_usize("burn-in", 20);
+    let radius_scale = args.get_f64("radius-scale", 4e4);
+
+    let mut params = DiskParams::default();
+    // Inflate collision cross-sections so a small-N disk still collides
+    // (the paper's 10M bodies at 50km have comparable total cross-section).
+    params.body_radius *= radius_scale;
+    params.rms_ecc = 0.06;
+    let particles = gen::keplerian_disk(n, seed, params);
+
+    let config = Configuration {
+        tree_type: TreeType::LongestDim,
+        decomp_type: DecompType::LongestDim,
+        bucket_size: 16,
+        ..Default::default()
+    };
+    let dt = orbital_period(params.r_in, params.star_mass) / 40.0;
+    let mut sim = DiskSimulation::new(config, particles, dt);
+
+    println!("Figure 12: planetesimal collisions vs distance from the star");
+    println!(
+        "({n} planetesimals + star + Jupiter at {} AU, {steps} steps of {:.4} yr-ish)\n",
+        params.planet_radius,
+        dt / std::f64::consts::TAU
+    );
+
+    // Burn-in: random initial conditions overlap; the paper's disk also
+    // needs time before dynamics dominate ("no collisions were recorded
+    // for the first 1,200 years"). Discard the burn-in's events.
+    for _ in 0..burn_in {
+        sim.step();
+    }
+    sim.events.clear();
+    for step in 0..steps {
+        let events = sim.step();
+        if !events.is_empty() && step % 10 == 0 {
+            println!("  step {step}: {} collisions (total {})", events.len(), sim.events.len());
+        }
+    }
+
+    let prof = sim.profile(params.r_in * 0.9, params.r_out * 1.1, 24);
+    let max_bin = prof.bins.iter().copied().max().unwrap_or(1).max(1);
+    let r31 = resonance_radius(3, 1, params.planet_radius);
+    let r21 = resonance_radius(2, 1, params.planet_radius);
+    let r53 = resonance_radius(5, 3, params.planet_radius);
+
+    println!("\n{:>8} {:>6}  profile", "r (AU)", "count");
+    for (c, &count) in prof.bin_centers().iter().zip(&prof.bins) {
+        let mark = if (c - r31).abs() < 0.06 {
+            "  <- 3:1 resonance"
+        } else if (c - r21).abs() < 0.06 {
+            "  <- 2:1 resonance (paper: collision peak at 3.27 AU)"
+        } else if (c - r53).abs() < 0.06 {
+            "  <- 5:3 resonance"
+        } else {
+            ""
+        };
+        println!(
+            "{:>8.2} {:>6}  {}{}",
+            c,
+            count,
+            bar(count as f64 / max_bin as f64, 30),
+            mark
+        );
+    }
+
+    // Collisions vs orbital period (the paper's dotted curve).
+    println!("\ncollisions vs orbital period (years at impact radius):");
+    let mut period_bins = vec![0u64; 12];
+    let p_lo = orbital_period(params.r_in * 0.9, params.star_mass);
+    let p_hi = orbital_period(params.r_out * 1.1, params.star_mass);
+    for ev in &sim.events {
+        let p = orbital_period(ev.radius, params.star_mass);
+        if p >= p_lo && p < p_hi {
+            let t = (p - p_lo) / (p_hi - p_lo);
+            let idx = ((t * period_bins.len() as f64) as usize).min(period_bins.len() - 1);
+            period_bins[idx] += 1;
+        }
+    }
+    let pmax = period_bins.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &count) in period_bins.iter().enumerate() {
+        let p = (p_lo + (i as f64 + 0.5) * (p_hi - p_lo) / period_bins.len() as f64)
+            / std::f64::consts::TAU;
+        println!("{:>8.2} {:>6}  {}", p, count, bar(count as f64 / pmax as f64, 30));
+    }
+
+    println!("\ntotal collisions recorded: {} (paper: 258 over 2,000 years at N=10M)", prof.total);
+    println!("paper shape: collisions concentrate near the 2:1 resonance once the");
+    println!("planet's perturbations pump eccentricities mid-disk.");
+}

@@ -1,0 +1,91 @@
+//! Figure 9: time profile of CPU utilisation during the parallel
+//! Barnes-Hut traversal.
+//!
+//! The paper shows a *Projections* timeline on 1536 Stampede2 CPUs:
+//! low-utilisation share-top-levels at the start, a large block of
+//! node-local traversals, then cache requests/insertions and traversal
+//! resumptions as the iteration drains. This harness prints the same
+//! profile from the machine model's per-phase ledger: one row per time
+//! bin, one bar per phase group.
+//!
+//! ```text
+//! cargo run --release -p paratreet-bench --bin fig9_time_profile -- \
+//!     --particles 60000 --procs 64
+//! ```
+
+use paratreet_apps::gravity::GravityVisitor;
+use paratreet_bench::{bar, fmt_seconds, Args};
+use paratreet_core::{CacheModel, Configuration, DistributedEngine, TraversalKind};
+use paratreet_particles::gen;
+use paratreet_runtime::{MachineSpec, Phase};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("particles", 40_000);
+    let seed = args.get_u64("seed", 9);
+    let procs = args.get_usize("procs", 64); // 64 × 24 = 1536 CPUs
+    let bins = args.get_usize("bins", 24);
+
+    let particles = gen::uniform_cube(n, seed, 1.0, 1.0);
+    let visitor = GravityVisitor::default();
+    let engine = DistributedEngine::new(
+        MachineSpec::stampede2_24(procs),
+        Configuration { bucket_size: 16, ..Default::default() },
+        CacheModel::WaitFree,
+        TraversalKind::TopDown,
+        &visitor,
+    );
+    let rep = engine.run_iteration(particles);
+    let workers = procs * 24;
+    let profile = rep.ledger.profile(bins, workers);
+    let horizon = rep.ledger.horizon();
+
+    println!(
+        "Figure 9: utilisation profile, Barnes-Hut on {} CPUs, {n} particles",
+        workers
+    );
+    println!("(each row is one time bin of {}; bars are fraction of capacity)\n", fmt_seconds(horizon / bins as f64));
+
+    // Group phases like the paper's legend.
+    let groups: [(&str, &[Phase]); 5] = [
+        ("setup (decomp+build+share)", &[
+            Phase::Decomposition,
+            Phase::TreeBuild,
+            Phase::LeafSharing,
+            Phase::ShareTopLevels,
+        ]),
+        ("local traversal", &[Phase::LocalTraversal]),
+        ("cache req+fill", &[Phase::CacheRequest, Phase::FillServe]),
+        ("cache insertion", &[Phase::CacheInsertion]),
+        ("resume+remote trav", &[Phase::TraversalResumption, Phase::RemoteTraversal]),
+    ];
+
+    println!(
+        "{:>5} {:>6} | {}",
+        "bin",
+        "util",
+        groups.iter().map(|(name, _)| format!("{name:<28}")).collect::<Vec<_>>().join("")
+    );
+    for (i, slice) in profile.iter().enumerate() {
+        let total: f64 = slice.iter().sum();
+        let mut cells = Vec::new();
+        for (_, phases) in &groups {
+            let frac: f64 = phases.iter().map(|p| slice[p.index()]).sum();
+            cells.push(format!("{} {:>5.1}%  ", bar(frac, 14), frac * 100.0));
+        }
+        println!("{i:>5} {:>5.1}% | {}", total * 100.0, cells.join(""));
+    }
+
+    println!();
+    let busy = rep.ledger.busy_per_phase();
+    println!("total busy seconds by phase:");
+    for p in Phase::ALL {
+        if busy[p.index()] > 0.0 {
+            println!("  {:<22} {}", p.label(), fmt_seconds(busy[p.index()]));
+        }
+    }
+    println!("\nmakespan {}  traversal from {}  utilization {:.1}%",
+        fmt_seconds(rep.makespan), fmt_seconds(rep.traversal_start), rep.utilization * 100.0);
+    println!("paper shape: high utilisation dominated by local traversal, low-util");
+    println!("share step at the start, cache requests/insertions/resumptions at the tail.");
+}

@@ -1,0 +1,25 @@
+//! Table I: relevant characteristics of the supercomputers used.
+//!
+//! These are the machine-model presets every scaling harness simulates.
+//!
+//! ```text
+//! cargo run -p paratreet-bench --bin table1_machines
+//! ```
+
+use paratreet_runtime::MachineSpec;
+
+fn main() {
+    println!("TABLE I: Relevant characteristics of (simulated) supercomputers.\n");
+    println!(
+        "{:>10} {:>8} {:>10} {:>11} {:>12}",
+        "Name", "Cores/N", "CPU Type", "Clock Freq", "Comm. Layer"
+    );
+    println!("{}", "-".repeat(56));
+    for (name, cores, cpu, clock, comm) in MachineSpec::table1() {
+        println!("{name:>10} {cores:>8} {cpu:>10} {:>10.2}G {comm:>12}", clock);
+    }
+    println!();
+    println!("paper Table I:   Summit    42  POWER9     3.1 GHz   UCX");
+    println!("                 Stampede2 48  Skylake    2.1 GHz   MPI");
+    println!("                 Bridges2 128  EPYC 7742  2.25 GHz  Infiniband");
+}

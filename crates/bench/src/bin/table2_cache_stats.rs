@@ -1,0 +1,81 @@
+//! Table II: cache utilisation statistics for a gravity traversal of
+//! 100k particles, ParaTreeT vs ChaNGa, on 1–16 CPUs of one SKX node.
+//!
+//! The hardware counters of the paper are replaced by the cache
+//! simulator (see `paratreet-cachesim`): private L1D/L2 per CPU, shared
+//! L3, replaying the real traversal's access stream in both styles.
+//!
+//! ```text
+//! cargo run --release -p paratreet-bench --bin table2_cache_stats -- \
+//!     --particles 100000
+//! ```
+
+use paratreet_bench::Args;
+use paratreet_cachesim::{simulate_gravity, TraceConfig};
+use paratreet_particles::gen;
+
+fn fmt_count(v: u64) -> String {
+    if v >= 1_000_000_000 {
+        format!("{:.1}G", v as f64 / 1e9)
+    } else if v >= 1_000_000 {
+        format!("{:.1}M", v as f64 / 1e6)
+    } else if v >= 1_000 {
+        format!("{:.1}K", v as f64 / 1e3)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("particles", 100_000);
+    let seed = args.get_u64("seed", 2);
+
+    let particles = gen::uniform_cube(n, seed, 1.0, 1.0);
+
+    println!("TABLE II: simulated cache utilisation, gravity traversal of {n} particles");
+    println!("(ParaTreeT / ChaNGa per cell; SKX-like hierarchy: L1D 32KB, L2 1MB, L3 33MB)\n");
+    println!(
+        "{:>4} {:>15} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13}",
+        "CPU",
+        "Runtime (s)",
+        "L1D Load",
+        "L1D Store",
+        "L1D ld-miss%",
+        "L2 ld-miss%",
+        "L3 ld-miss%",
+        "St-miss(L1&2)%",
+        "L3 st-miss%"
+    );
+    println!("{}", "-".repeat(120));
+
+    for cpus in [1usize, 2, 4, 8, 16] {
+        let a = simulate_gravity(particles.clone(), TraceConfig::paratreet(cpus));
+        let b = simulate_gravity(particles.clone(), TraceConfig::changa(cpus));
+        // "Store miss rate (L1D & L2)": stores missing both L1 and L2,
+        // over all store accesses.
+        let st_l12 = |r: &paratreet_cachesim::TraceResult| {
+            if r.l1.store_accesses == 0 {
+                0.0
+            } else {
+                r.l2.store_misses as f64 / r.l1.store_accesses as f64
+            }
+        };
+        println!(
+            "{:>4} {:>15} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13}",
+            cpus,
+            format!("{:.2}/{:.2}", a.runtime, b.runtime),
+            format!("{}/{}", fmt_count(a.l1.load_accesses), fmt_count(b.l1.load_accesses)),
+            format!("{}/{}", fmt_count(a.l1.store_accesses), fmt_count(b.l1.store_accesses)),
+            format!("{:.1}/{:.1}", a.l1.load_miss_rate() * 100.0, b.l1.load_miss_rate() * 100.0),
+            format!("{:.1}/{:.1}", a.l2.load_miss_rate() * 100.0, b.l2.load_miss_rate() * 100.0),
+            format!("{:.1}/{:.1}", a.l3.load_miss_rate() * 100.0, b.l3.load_miss_rate() * 100.0),
+            format!("{:.2}/{:.2}", st_l12(&a) * 100.0, st_l12(&b) * 100.0),
+            format!("{:.1}/{:.1}", a.l3.store_miss_rate() * 100.0, b.l3.store_miss_rate() * 100.0),
+        );
+    }
+    println!();
+    println!("paper shape: ParaTreeT runs faster at every CPU count with fewer");
+    println!("L1D loads/stores (no per-bucket tree walk), at the price of higher");
+    println!("miss rates; both scale with CPUs. Paper 1-CPU runtimes: 9.2s / 16s.");
+}

@@ -1,0 +1,121 @@
+//! Shared plumbing for the evaluation harnesses.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index). They share a tiny argument
+//! parser — `--particles N`, `--seed S`, and harness-specific flags —
+//! and column-aligned text output so results read like the paper's
+//! tables.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` command-line options.
+pub struct Args {
+    opts: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`. Flags must come as `--key value`.
+    pub fn parse() -> Args {
+        let mut opts = HashMap::new();
+        let mut iter = std::env::args().skip(1);
+        while let Some(k) = iter.next() {
+            if let Some(name) = k.strip_prefix("--") {
+                if let Some(v) = iter.next() {
+                    opts.insert(name.to_string(), v);
+                }
+            }
+        }
+        Args { opts }
+    }
+
+    /// A `usize` option with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.opts.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// A `u64` option with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.opts.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// An `f64` option with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.opts.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// A string option with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.opts.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+/// Prints a header row followed by a separator, with every column padded
+/// to `width`.
+pub fn print_header(columns: &[&str], width: usize) {
+    let row: Vec<String> = columns.iter().map(|c| format!("{c:>width$}")).collect();
+    println!("{}", row.join(" "));
+    println!("{}", "-".repeat((width + 1) * columns.len()));
+}
+
+/// Formats one row of already-stringified cells at `width`.
+pub fn print_row(cells: &[String], width: usize) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:>width$}")).collect();
+    println!("{}", row.join(" "));
+}
+
+/// Human-readable seconds (µs/ms/s autoscale).
+pub fn fmt_seconds(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+/// Human-readable byte counts.
+pub fn fmt_bytes(b: u64) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}KB", b as f64 / 1024.0)
+    } else if b < 1024 * 1024 * 1024 {
+        format!("{:.1}MB", b as f64 / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2}GB", b as f64 / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+/// A crude ASCII bar for profile plots: `frac` in 0..=1 over `width`.
+pub fn bar(frac: f64, width: usize) -> String {
+    let n = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(n), ".".repeat(width - n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_format_autoscales() {
+        assert_eq!(fmt_seconds(5e-5), "50.0us");
+        assert_eq!(fmt_seconds(0.0123), "12.30ms");
+        assert_eq!(fmt_seconds(2.5), "2.500s");
+    }
+
+    #[test]
+    fn bytes_format_autoscales() {
+        assert_eq!(fmt_bytes(100), "100B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+
+    #[test]
+    fn bar_is_bounded() {
+        assert_eq!(bar(0.0, 10), "..........");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(7.0, 4), "####");
+    }
+}

@@ -1,0 +1,43 @@
+//! The shared-memory software cache for distributed tree traversal
+//! (paper §II-B).
+//!
+//! Distributed spatial traversals fetch large numbers of remote tree
+//! nodes every iteration; caching them cuts communication volume, but the
+//! cache is written *during* the traversal by whichever worker handles a
+//! fill message, so its structure must tolerate parallel readers and
+//! writers. Prior codes used hash tables of node data; this crate
+//! implements the paper's alternative: **the cache is a single tree per
+//! process**, where
+//!
+//! * placeholder nodes stand in for remote data and carry an atomic
+//!   "requested" flag,
+//! * a received fragment is materialised by any worker, wired up
+//!   privately, and then published by a single atomic swap of the parent's
+//!   child pointer (Steps 2–4 of Fig. 2),
+//! * a process-level hash table maps node keys to materialised nodes; it
+//!   takes a short lock only on insertion, never during traversal reads,
+//! * paused traversals are parked per-key and handed back to the caller
+//!   when the fill that unblocks them is spliced in (Step 5).
+//!
+//! The paper publishes with relaxed atomics; in Rust that would be a data
+//! race on the freshly built subtree, so [`CacheTree`] publishes with
+//! `Release` and reads with `Acquire` — on x86 both compile to plain MOVs,
+//! so the substitution costs nothing on the evaluated architectures.
+//!
+//! The two baseline models of Fig. 3 are built from the same type: the
+//! *per-thread* model ("Sequential") instantiates one `CacheTree` per
+//! worker so fetches duplicate, and the *exclusive-write* model
+//! ("XWrite") routes every insertion through one [`parking_lot::Mutex`]
+//! (see [`xwrite::XWriteCache`]).
+
+pub mod node;
+pub mod stats;
+pub mod tree;
+pub mod wire;
+pub mod xwrite;
+
+pub use node::{CacheNode, NodeHandle, NodeKind};
+pub use stats::CacheStats;
+pub use tree::{CacheTree, RequestOutcome, SubtreeSummary};
+pub use wire::Fragment;
+pub use xwrite::XWriteCache;

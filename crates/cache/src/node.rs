@@ -1,0 +1,165 @@
+//! Nodes of the per-process cached global tree.
+//!
+//! A [`CacheNode`] is immutable after publication except for two atomic
+//! fields: the `requested` flag on placeholders and the child pointer
+//! slots on internal nodes (which transition placeholder → expanded node
+//! exactly once). Everything else is written before the node becomes
+//! reachable, which is what makes lock-free reading sound.
+
+use paratreet_geometry::{BoundingBox, NodeKey};
+use paratreet_particles::Particle;
+use paratreet_tree::Data;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+/// What a cached node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Interior node whose children (local or placeholder) are linked.
+    Internal,
+    /// Leaf with its bucket of particles present in `particles`.
+    Leaf,
+    /// A region with no particles.
+    Empty,
+    /// Summary-only stand-in for remote data: `data`, `bbox`, and
+    /// `n_particles` are valid, but children/particles require a fetch.
+    Placeholder,
+}
+
+/// One node of the cached global tree.
+pub struct CacheNode<D> {
+    /// Path key in the global tree.
+    pub key: NodeKey,
+    /// Spatial footprint.
+    pub bbox: BoundingBox,
+    /// Particles beneath this node.
+    pub n_particles: u32,
+    /// Accumulated application state (valid for placeholders too — the
+    /// summary travels with the share/fill that announced the node).
+    pub data: D,
+    /// Rank that owns the authoritative copy of this subtree.
+    pub home_rank: u32,
+    /// Node kind (fixed at construction; placeholders are *replaced*,
+    /// never mutated, when their data arrives).
+    pub kind: NodeKind,
+    /// Bucket particles (leaves only; empty otherwise).
+    pub particles: Vec<Particle>,
+    /// Whether a fetch for this placeholder is already in flight.
+    pub requested: AtomicBool,
+    /// Child links. Only the first `branch_factor` slots are used. A null
+    /// pointer means the child does not exist (empty octant). Slots are
+    /// written before publication and overwritten at most once afterwards
+    /// (placeholder → expanded), always with `Release`.
+    pub children: [AtomicPtr<CacheNode<D>>; 8],
+}
+
+impl<D: Data> CacheNode<D> {
+    /// A node with no children linked yet.
+    pub fn new(
+        key: NodeKey,
+        bbox: BoundingBox,
+        n_particles: u32,
+        data: D,
+        home_rank: u32,
+        kind: NodeKind,
+        particles: Vec<Particle>,
+    ) -> CacheNode<D> {
+        CacheNode {
+            key,
+            bbox,
+            n_particles,
+            data,
+            home_rank,
+            kind,
+            particles,
+            requested: AtomicBool::new(false),
+            children: Default::default(),
+        }
+    }
+
+    /// Reads child slot `i` with `Acquire`, returning a reference bound
+    /// to `self`'s lifetime (all nodes of one tree live equally long).
+    #[inline]
+    pub fn child(&self, i: usize) -> Option<&CacheNode<D>> {
+        let p = self.children[i].load(Ordering::Acquire);
+        // SAFETY: child pointers are only ever set to nodes owned by the
+        // same `CacheTree`, which outlives every reference derived from
+        // `&self`, and the pointed-to node was fully constructed before
+        // the `Release` store that published the pointer.
+        unsafe { p.as_ref() }
+    }
+
+    /// Iterates over present children (slots 0..`branch_factor`).
+    pub fn children_iter(&self, branch_factor: usize) -> impl Iterator<Item = &CacheNode<D>> + '_ {
+        (0..branch_factor).filter_map(move |i| self.child(i))
+    }
+
+    /// True when this node is a summary-only placeholder.
+    #[inline]
+    pub fn is_placeholder(&self) -> bool {
+        self.kind == NodeKind::Placeholder
+    }
+
+    /// True when this node is a materialised leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.kind == NodeKind::Leaf
+    }
+}
+
+/// A raw, lifetime-erased reference to a node of some [`crate::CacheTree`].
+///
+/// Traversal engines park work items across pause/resume boundaries, so
+/// they cannot hold borrows; a handle defers the borrow to the moment of
+/// use, tying the returned reference to the cache that owns the node.
+pub struct NodeHandle<D>(*const CacheNode<D>);
+
+impl<D> Clone for NodeHandle<D> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<D> Copy for NodeHandle<D> {}
+
+impl<D> std::fmt::Debug for NodeHandle<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NodeHandle({:p})", self.0)
+    }
+}
+
+// SAFETY: the pointer targets a node owned by a `CacheTree`, which the
+// caller must still hold to dereference (see [`NodeHandle::get`]); the
+// node itself is Sync for Sync `D`.
+unsafe impl<D: Send + Sync> Send for NodeHandle<D> {}
+unsafe impl<D: Send + Sync> Sync for NodeHandle<D> {}
+
+impl<D> NodeHandle<D> {
+    /// Wraps a node reference. The caller promises the node belongs to a
+    /// cache that will outlive every later [`NodeHandle::get`].
+    pub fn new(node: &CacheNode<D>) -> NodeHandle<D> {
+        NodeHandle(node)
+    }
+
+    /// Re-borrows the node against the cache that owns it.
+    ///
+    /// The `owner` parameter is the lifetime witness: passing the owning
+    /// [`crate::CacheTree`] (or anything borrowed from it) guarantees the
+    /// node is still alive, since cache nodes are never freed before the
+    /// tree drops.
+    #[inline]
+    pub fn get<'a, T: ?Sized>(&self, _owner: &'a T) -> &'a CacheNode<D> {
+        // SAFETY: per the constructor contract the node outlives `owner`'s
+        // borrow; nodes are never moved or freed while their tree lives.
+        unsafe { &*self.0 }
+    }
+}
+
+impl<D> std::fmt::Debug for CacheNode<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheNode")
+            .field("key", &self.key)
+            .field("kind", &self.kind)
+            .field("n_particles", &self.n_particles)
+            .field("home_rank", &self.home_rank)
+            .finish()
+    }
+}

@@ -1,0 +1,421 @@
+//! The per-process cached global tree (Fig. 2).
+//!
+//! One [`CacheTree`] lives on every simulated process (rank). After the
+//! local tree build it holds
+//!
+//! * the *top skeleton*: the global root and every ancestor of a subtree
+//!   root, with `Data` summaries merged from the subtree root summaries
+//!   that all ranks exchange ("the global root and a user-specified
+//!   number of its descendants are shared with each process"),
+//! * grafted local subtrees (full structure, reachable "as if local"),
+//! * placeholders for remote subtrees, each with an atomic `requested`
+//!   flag,
+//! * received fill fragments spliced in by atomic pointer swap.
+//!
+//! # Safety model
+//!
+//! Every node is individually boxed; ownership of all boxes lives in an
+//! append-only allocation list inside the tree, and nothing is freed
+//! until the `CacheTree` drops (the cache is no-delete, like the paper's).
+//! Child pointers only ever point at nodes in that list, and every store
+//! that publishes a pointer is `Release` while traversal loads are
+//! `Acquire`. Hence any `&CacheNode` obtained through the tree is valid
+//! for the tree's lifetime and its non-atomic fields are fully visible.
+
+use crate::node::{CacheNode, NodeKind};
+use crate::stats::CacheStats;
+use crate::wire;
+use parking_lot::Mutex;
+use paratreet_geometry::{BoundingBox, NodeKey};
+use paratreet_tree::node::NO_NODE;
+use paratreet_tree::{BuiltTree, Data, NodeShape};
+use std::collections::HashMap;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// The summary of one subtree root that every rank learns during the
+/// share step: enough to build the top skeleton and to prune traversals
+/// without fetching.
+#[derive(Clone, Debug)]
+pub struct SubtreeSummary<D> {
+    /// Key of the subtree root in the global tree.
+    pub key: NodeKey,
+    /// Spatial footprint of the subtree.
+    pub bbox: BoundingBox,
+    /// Particles in the subtree.
+    pub n_particles: u32,
+    /// Accumulated `Data` of the subtree root.
+    pub data: D,
+    /// Rank that owns the subtree.
+    pub home_rank: u32,
+}
+
+/// Result of asking the cache for a remote node's contents.
+#[derive(Debug)]
+pub enum RequestOutcome<'a, D> {
+    /// The data is already materialised (a fill won the race); traverse on.
+    Ready(&'a CacheNode<D>),
+    /// First request for this key: the caller must send a fetch to
+    /// `home_rank`. The waiter has been parked.
+    SendFetch {
+        /// Where the authoritative subtree lives.
+        home_rank: u32,
+    },
+    /// A fetch is already in flight; the waiter has been parked.
+    InFlight,
+}
+
+/// Book-keeping guarded by one short-held mutex: the process-level hash
+/// table of materialised nodes plus parked waiters. Traversal *reads*
+/// never touch this — they walk atomic child pointers.
+struct Bookkeeping<D> {
+    resolved: HashMap<NodeKey, NonNull<CacheNode<D>>>,
+    pending: HashMap<NodeKey, Vec<u64>>,
+}
+
+/// The per-rank software cache; see module docs.
+pub struct CacheTree<D: Data> {
+    /// This cache's rank (process id).
+    pub rank: u32,
+    /// Bits per key digit of the tree type in use.
+    pub bits: u32,
+    /// Traffic counters.
+    pub stats: CacheStats,
+    root: AtomicPtr<CacheNode<D>>,
+    book: Mutex<Bookkeeping<D>>,
+    allocs: Mutex<Vec<NonNull<CacheNode<D>>>>,
+}
+
+// SAFETY: the raw pointers all target boxed nodes owned by `allocs`,
+// which live exactly as long as the tree; cross-thread publication of
+// node contents happens-before any read via the Release/Acquire pairs on
+// child pointers and the root pointer, or via the book-keeping mutex.
+unsafe impl<D: Data> Send for CacheTree<D> {}
+unsafe impl<D: Data> Sync for CacheTree<D> {}
+
+impl<D: Data> CacheTree<D> {
+    /// An empty cache for `rank`, for a tree with `bits` per key digit.
+    pub fn new(rank: u32, bits: u32) -> CacheTree<D> {
+        CacheTree {
+            rank,
+            bits,
+            stats: CacheStats::new(),
+            root: AtomicPtr::new(std::ptr::null_mut()),
+            book: Mutex::new(Bookkeeping { resolved: HashMap::new(), pending: HashMap::new() }),
+            allocs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes ownership of a boxed node, returning its stable pointer.
+    fn adopt(&self, node: Box<CacheNode<D>>) -> NonNull<CacheNode<D>> {
+        let ptr = NonNull::from(Box::leak(node));
+        self.allocs.lock().push(ptr);
+        ptr
+    }
+
+    /// Builds the top skeleton from all ranks' subtree summaries and
+    /// grafts this rank's built subtrees. `local` maps subtree-root keys
+    /// to built trees; every key in `local` must appear in `summaries`
+    /// with `home_rank == self.rank`.
+    ///
+    /// Called once per iteration, before traversal, from one thread.
+    pub fn init(&self, summaries: &[SubtreeSummary<D>], local: Vec<BuiltTree<D>>) {
+        assert!(!summaries.is_empty(), "cannot init cache with no subtrees");
+        let mut local_by_key: HashMap<NodeKey, BuiltTree<D>> = HashMap::new();
+        for t in local {
+            local_by_key.insert(t.root().key, t);
+        }
+
+        // Collect every ancestor of a subtree root, with its children.
+        let mut child_keys: HashMap<NodeKey, Vec<NodeKey>> = HashMap::new();
+        for s in summaries {
+            let mut k = s.key;
+            while k != NodeKey::root() {
+                let p = k.parent(self.bits);
+                let kids = child_keys.entry(p).or_default();
+                if !kids.contains(&k) {
+                    kids.push(k);
+                }
+                k = p;
+            }
+        }
+
+        let mut book = self.book.lock();
+        // Materialise subtree roots first.
+        for s in summaries {
+            let ptr = if let Some(tree) = local_by_key.remove(&s.key) {
+                self.graft(tree, s.home_rank)
+            } else {
+                self.adopt(Box::new(CacheNode::new(
+                    s.key,
+                    s.bbox,
+                    s.n_particles,
+                    s.data.clone(),
+                    s.home_rank,
+                    NodeKind::Placeholder,
+                    vec![],
+                )))
+            };
+            book.resolved.insert(s.key, ptr);
+        }
+        assert!(local_by_key.is_empty(), "local subtree without matching summary");
+
+        // Materialise ancestors bottom-up (deepest keys first, i.e. by
+        // descending raw key value since children have longer keys; sort
+        // by level explicitly for clarity).
+        let mut ancestors: Vec<NodeKey> = child_keys.keys().copied().collect();
+        ancestors.sort_by_key(|k| std::cmp::Reverse(k.level(self.bits)));
+        for key in ancestors {
+            if book.resolved.contains_key(&key) {
+                // A subtree root can itself be an ancestor of nothing
+                // else; and with one subtree the root is the summary.
+                continue;
+            }
+            let mut bbox = BoundingBox::empty();
+            let mut n = 0u32;
+            let mut data = D::default();
+            let node = Box::new(CacheNode::new(
+                key,
+                bbox, // placeholder; fixed below after children are read
+                0,
+                D::default(),
+                u32::MAX, // the skeleton is replicated, not owned
+                NodeKind::Internal,
+                vec![],
+            ));
+            let ptr = self.adopt(node);
+            let mut kids = child_keys[&key].clone();
+            kids.sort_by_key(|k| k.child_index(self.bits));
+            for ck in kids {
+                let child = book.resolved[&ck];
+                // SAFETY: both nodes are owned by this tree and we are
+                // pre-publication (under the book lock, root not yet set).
+                let child_ref = unsafe { child.as_ref() };
+                bbox.merge(&child_ref.bbox);
+                n += child_ref.n_particles;
+                data.merge(&child_ref.data);
+                unsafe { ptr.as_ref() }.children[ck.child_index(self.bits)]
+                    .store(child.as_ptr(), Ordering::Relaxed);
+            }
+            // SAFETY: sole owner pre-publication; no other thread can
+            // reach this node yet.
+            unsafe {
+                let m = &mut *ptr.as_ptr();
+                m.bbox = bbox;
+                m.n_particles = n;
+                m.data = data;
+            }
+            book.resolved.insert(key, ptr);
+        }
+
+        let root_ptr = book.resolved[&NodeKey::root()];
+        drop(book);
+        self.root.store(root_ptr.as_ptr(), Ordering::Release);
+    }
+
+    /// Converts a built subtree into cache nodes, wiring children, and
+    /// returns the pointer to its root. Pre-publication, so plain stores.
+    fn graft(&self, tree: BuiltTree<D>, home_rank: u32) -> NonNull<CacheNode<D>> {
+        let mut ptrs: Vec<NonNull<CacheNode<D>>> = Vec::with_capacity(tree.nodes.len());
+        for bn in &tree.nodes {
+            let (kind, particles) = match bn.shape {
+                NodeShape::Internal => (NodeKind::Internal, vec![]),
+                NodeShape::Empty => (NodeKind::Empty, vec![]),
+                NodeShape::Leaf { start, end } => {
+                    (NodeKind::Leaf, tree.particles[start as usize..end as usize].to_vec())
+                }
+            };
+            let node = Box::new(CacheNode::new(
+                bn.key,
+                bn.bbox,
+                bn.n_particles,
+                bn.data.clone(),
+                home_rank,
+                kind,
+                particles,
+            ));
+            ptrs.push(self.adopt(node));
+        }
+        for (i, bn) in tree.nodes.iter().enumerate() {
+            for (slot, &c) in bn.children.iter().enumerate() {
+                if c != NO_NODE {
+                    unsafe { ptrs[i].as_ref() }.children[slot]
+                        .store(ptrs[c as usize].as_ptr(), Ordering::Relaxed);
+                }
+            }
+        }
+        ptrs[0]
+    }
+
+    /// The global root; `None` before [`CacheTree::init`].
+    pub fn root(&self) -> Option<&CacheNode<D>> {
+        let p = self.root.load(Ordering::Acquire);
+        // SAFETY: see module-level safety model.
+        unsafe { p.as_ref() }
+    }
+
+    /// Looks a node up in the process-level hash table. Takes the
+    /// book-keeping lock — setup/debug paths only, not traversal.
+    pub fn lookup(&self, key: NodeKey) -> Option<&CacheNode<D>> {
+        let book = self.book.lock();
+        let p = book.resolved.get(&key).copied();
+        // SAFETY: nodes live as long as self.
+        p.map(|nn| unsafe { &*nn.as_ptr() })
+    }
+
+    /// Asks for the contents of placeholder `node`, parking `waiter`
+    /// until the fill arrives. See [`RequestOutcome`] for what the caller
+    /// must do; if the fill already arrived the parked waiter is *not*
+    /// registered and the materialised node is returned instead.
+    pub fn request(&self, node: &CacheNode<D>, waiter: u64) -> RequestOutcome<'_, D> {
+        debug_assert!(node.is_placeholder());
+        let mut book = self.book.lock();
+        // Re-check under the lock: a fill may have swapped the
+        // placeholder out after the caller loaded its pointer.
+        if let Some(&cur) = book.resolved.get(&node.key) {
+            // SAFETY: nodes live as long as self.
+            let cur_ref = unsafe { &*cur.as_ptr() };
+            if !cur_ref.is_placeholder() {
+                return RequestOutcome::Ready(cur_ref);
+            }
+        }
+        book.pending.entry(node.key).or_default().push(waiter);
+        CacheStats::add(&self.stats.waiters_parked, 1);
+        drop(book);
+        if !node.requested.swap(true, Ordering::AcqRel) {
+            CacheStats::add(&self.stats.requests_sent, 1);
+            RequestOutcome::SendFetch { home_rank: node.home_rank }
+        } else {
+            CacheStats::add(&self.stats.requests_deduped, 1);
+            RequestOutcome::InFlight
+        }
+    }
+
+    /// Finds the node for `key`: first via the process-level hash table
+    /// (which holds subtree roots and fill fragments), then by walking
+    /// down from the nearest hashed ancestor following the key's digits.
+    /// This is how a home rank locates an interior node of its local
+    /// subtree when a fetch arrives — the paper hashes only subtree
+    /// roots, not every node.
+    pub fn find(&self, key: NodeKey) -> Option<&CacheNode<D>> {
+        if let Some(n) = self.lookup(key) {
+            return Some(n);
+        }
+        let mut node = self.root()?;
+        let target_level = key.level(self.bits);
+        let mut level = node.key.level(self.bits);
+        while level < target_level {
+            level += 1;
+            let digit = key.ancestor_at(level, self.bits).child_index(self.bits);
+            node = node.child(digit)?;
+        }
+        (node.key == key).then_some(node)
+    }
+
+    /// Serialises the subtree under `key` to relative `depth` levels —
+    /// the home-side half of a fetch (Step 1 of Fig. 2).
+    pub fn serialize_fragment(&self, key: NodeKey, depth: u32) -> Option<Vec<u8>> {
+        let node = self.find(key)?;
+        Some(wire::encode_fragment(node, depth))
+    }
+
+    /// Splices a received fill into the tree (Steps 2–4 of Fig. 2) and
+    /// returns the materialised fragment root plus every parked waiter
+    /// this fill unblocks (Step 5). Any worker thread may call this —
+    /// that is the point of the wait-free design: the tree structure is
+    /// updated by one atomic swap, and only the hash-table/pending
+    /// book-keeping takes a (short) lock.
+    pub fn insert_fragment(&self, bytes: &[u8]) -> Result<(&CacheNode<D>, Vec<u64>), String> {
+        let frag = wire::decode_fragment::<D>(bytes).ok_or("malformed fill fragment")?;
+        if frag.nodes.is_empty() {
+            return Err("empty fill fragment".into());
+        }
+        CacheStats::add(&self.stats.fills_inserted, 1);
+        CacheStats::add(&self.stats.bytes_received, bytes.len() as u64);
+        CacheStats::add(&self.stats.nodes_inserted, frag.nodes.len() as u64);
+        CacheStats::add(&self.stats.particles_inserted, frag.n_particles);
+
+        let root_key = frag.nodes[0].key;
+        // Adopt allocations (pointers stay valid; Boxes move, heap doesn't).
+        let mut ptrs = Vec::with_capacity(frag.nodes.len());
+        {
+            let mut allocs = self.allocs.lock();
+            for node in frag.nodes {
+                let ptr = NonNull::from(Box::leak(node));
+                allocs.push(ptr);
+                ptrs.push(ptr);
+            }
+        }
+        let root_ptr = ptrs[0];
+
+        let mut book = self.book.lock();
+        // Wire frontier placeholders through the hash table (Step 3):
+        // if a key is already materialised (e.g. an ancestor fill raced
+        // with a sibling path), point at the existing node instead.
+        for &p in &ptrs {
+            // SAFETY: just adopted, owned by self.
+            let node = unsafe { p.as_ref() };
+            if node.kind == NodeKind::Internal {
+                for slot in 0..wire::MAX_BRANCH {
+                    let child = node.children[slot].load(Ordering::Relaxed);
+                    if child.is_null() {
+                        continue;
+                    }
+                    // SAFETY: fragment-internal pointer, adopted above.
+                    let child_key = unsafe { (*child).key };
+                    if let Some(&existing) = book.resolved.get(&child_key) {
+                        // Keep the already-materialised node; the
+                        // fragment's duplicate stays allocated but
+                        // unreachable (no-delete cache).
+                        node.children[slot].store(existing.as_ptr(), Ordering::Release);
+                    }
+                }
+            }
+        }
+        for &p in &ptrs {
+            let node = unsafe { p.as_ref() };
+            book.resolved.entry(node.key).or_insert(p);
+        }
+        // The fragment root replaces the placeholder: update the hash
+        // table and swap the parent's child slot atomically (Step 4).
+        book.resolved.insert(root_key, root_ptr);
+        let resumed = book.pending.remove(&root_key).unwrap_or_default();
+        CacheStats::add(&self.stats.waiters_resumed, resumed.len() as u64);
+
+        if root_key != NodeKey::root() {
+            let parent_key = root_key.parent(self.bits);
+            let parent = book
+                .resolved
+                .get(&parent_key)
+                .copied()
+                .ok_or_else(|| format!("fill for {root_key} has no materialised parent"))?;
+            let slot = root_key.child_index(self.bits);
+            // SAFETY: parent owned by self; Release publishes the fully
+            // wired fragment to traversal threads that Acquire-load it.
+            unsafe { parent.as_ref() }.children[slot]
+                .store(root_ptr.as_ptr(), Ordering::Release);
+        } else {
+            self.root.store(root_ptr.as_ptr(), Ordering::Release);
+        }
+        drop(book);
+
+        // SAFETY: nodes live as long as self.
+        Ok((unsafe { &*root_ptr.as_ptr() }, resumed))
+    }
+
+    /// Number of nodes currently allocated (including superseded
+    /// placeholders — the cache is no-delete).
+    pub fn n_allocated(&self) -> usize {
+        self.allocs.lock().len()
+    }
+}
+
+impl<D: Data> Drop for CacheTree<D> {
+    fn drop(&mut self) {
+        for ptr in self.allocs.get_mut().drain(..) {
+            // SAFETY: every pointer in `allocs` came from Box::leak and
+            // is dropped exactly once, here.
+            drop(unsafe { Box::from_raw(ptr.as_ptr()) });
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The exclusive-write cache baseline ("XWrite" in Fig. 3).
+//!
+//! Identical reads to [`CacheTree`], but *every* fill insertion is
+//! protected by one process-wide lock, so concurrent inserting workers
+//! serialise — "threads have to wait for permission to insert to the
+//! shared-memory cache". The paper shows this model degrading at around
+//! 1,536 cores; the discrete-event machine model reproduces that shape by
+//! charging queueing delay per lock acquisition, using the contention
+//! counter this wrapper maintains.
+
+use crate::node::CacheNode;
+use crate::tree::CacheTree;
+use parking_lot::Mutex;
+use paratreet_tree::Data;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`CacheTree`] whose insertions are serialised by a single lock.
+pub struct XWriteCache<D: Data> {
+    /// The underlying cache (reads go straight through).
+    pub inner: CacheTree<D>,
+    /// Times an inserter found the lock already held.
+    pub lock_contended: AtomicU64,
+    write_lock: Mutex<()>,
+}
+
+impl<D: Data> XWriteCache<D> {
+    /// Wraps a cache in the exclusive-write discipline.
+    pub fn new(inner: CacheTree<D>) -> XWriteCache<D> {
+        XWriteCache { inner, lock_contended: AtomicU64::new(0), write_lock: Mutex::new(()) }
+    }
+
+    /// Inserts a fill while holding the process-wide write lock.
+    /// Deserialisation happens *inside* the lock too — that is what the
+    /// exclusive-write model costs.
+    pub fn insert_fragment(&self, bytes: &[u8]) -> Result<(&CacheNode<D>, Vec<u64>), String> {
+        let guard = match self.write_lock.try_lock() {
+            Some(g) => g,
+            None => {
+                self.lock_contended.fetch_add(1, Ordering::Relaxed);
+                self.write_lock.lock()
+            }
+        };
+        let result = self.inner.insert_fragment(bytes);
+        drop(guard);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paratreet_tree::CountData;
+
+    #[test]
+    fn xwrite_rejects_garbage_like_inner() {
+        let c: XWriteCache<CountData> = XWriteCache::new(CacheTree::new(0, 3));
+        assert!(c.insert_fragment(&[1, 2, 3]).is_err());
+        assert_eq!(c.lock_contended.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the fill wire protocol: round-trips preserve
+//! structure, and arbitrary bytes never panic the decoder (fills arrive
+//! from the network; a malformed fill must be an error, not a crash).
+
+use paratreet_cache::wire::{decode_fragment, encode_fragment};
+use paratreet_cache::{CacheNode, NodeKind};
+use paratreet_geometry::{BoundingBox, NodeKey, Vec3, ROOT_KEY};
+use paratreet_particles::Particle;
+use paratreet_tree::CountData;
+use proptest::prelude::*;
+use std::sync::atomic::Ordering;
+
+/// Builds a random small tree of boxed cache nodes from a recursive
+/// shape description; returns all nodes (root first).
+fn build_tree(shape: &Shape, key: NodeKey, nodes: &mut Vec<Box<CacheNode<CountData>>>) -> usize {
+    let b = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
+    match shape {
+        Shape::Leaf(n) => {
+            let ps: Vec<Particle> =
+                (0..*n).map(|i| Particle::point_mass(i as u64, 1.0, Vec3::splat(0.5))).collect();
+            nodes.push(Box::new(CacheNode::new(
+                key,
+                b,
+                *n as u32,
+                CountData { count: *n as u64 },
+                2,
+                NodeKind::Leaf,
+                ps,
+            )));
+            nodes.len() - 1
+        }
+        Shape::Empty => {
+            nodes.push(Box::new(CacheNode::new(
+                key,
+                b,
+                0,
+                CountData::default(),
+                2,
+                NodeKind::Empty,
+                vec![],
+            )));
+            nodes.len() - 1
+        }
+        Shape::Internal(children) => {
+            nodes.push(Box::new(CacheNode::new(
+                key,
+                b,
+                0,
+                CountData::default(),
+                2,
+                NodeKind::Internal,
+                vec![],
+            )));
+            let my = nodes.len() - 1;
+            let mut total = 0u32;
+            for (slot, child) in children.iter().enumerate().take(8) {
+                if let Some(c) = child {
+                    let ci = build_tree(c, key.child(slot, 3), nodes);
+                    total += nodes[ci].n_particles;
+                    let ptr = &*nodes[ci] as *const _ as *mut CacheNode<CountData>;
+                    nodes[my].children[slot].store(ptr, Ordering::Relaxed);
+                }
+            }
+            nodes[my].n_particles = total;
+            nodes[my].data = CountData { count: total as u64 };
+            my
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Shape {
+    Leaf(usize),
+    Empty,
+    Internal(Vec<Option<Shape>>),
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    let leaf = prop_oneof![
+        (0usize..10).prop_map(Shape::Leaf),
+        Just(Shape::Empty),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop::collection::vec(prop::option::of(inner), 1..4).prop_map(Shape::Internal)
+    })
+}
+
+/// Collects (key, kind, n_particles) of the reachable tree for
+/// structural comparison.
+fn fingerprint(node: &CacheNode<CountData>, out: &mut Vec<(u64, u8, u32, usize)>) {
+    let kind = match node.kind {
+        NodeKind::Internal => 0,
+        NodeKind::Leaf => 1,
+        NodeKind::Empty => 2,
+        NodeKind::Placeholder => 3,
+    };
+    out.push((node.key.raw(), kind, node.n_particles, node.particles.len()));
+    for c in node.children_iter(8) {
+        fingerprint(c, out);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_preserves_structure(shape in arb_shape()) {
+        let mut nodes = Vec::new();
+        build_tree(&shape, ROOT_KEY, &mut nodes);
+        let root = &nodes[0];
+        let bytes = encode_fragment(root, 16);
+        let frag = decode_fragment::<CountData>(&bytes).expect("well-formed fragment");
+        let mut a = Vec::new();
+        fingerprint(root, &mut a);
+        let mut b = Vec::new();
+        fingerprint(&frag.nodes[0], &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn depth_limited_roundtrip_never_exceeds_depth(shape in arb_shape(), depth in 0u32..3) {
+        let mut nodes = Vec::new();
+        build_tree(&shape, ROOT_KEY, &mut nodes);
+        let bytes = encode_fragment(&nodes[0], depth);
+        let frag = decode_fragment::<CountData>(&bytes).expect("well-formed fragment");
+        // No decoded node sits deeper than `depth` below the root.
+        for n in &frag.nodes {
+            prop_assert!(n.key.level(3) <= depth);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Must return None or Some, never crash.
+        let _ = decode_fragment::<CountData>(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_fragments_are_rejected(shape in arb_shape(), cut_frac in 0.0f64..1.0) {
+        let mut nodes = Vec::new();
+        build_tree(&shape, ROOT_KEY, &mut nodes);
+        let bytes = encode_fragment(&nodes[0], 16);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_fragment::<CountData>(&bytes[..cut]).is_none());
+        }
+    }
+
+    #[test]
+    fn bitflips_never_panic(shape in arb_shape(), flip_byte in 0usize..256, flip_bit in 0u8..8) {
+        let mut nodes = Vec::new();
+        build_tree(&shape, ROOT_KEY, &mut nodes);
+        let mut bytes = encode_fragment(&nodes[0], 16);
+        if !bytes.is_empty() {
+            let i = flip_byte % bytes.len();
+            bytes[i] ^= 1 << flip_bit;
+            let _ = decode_fragment::<CountData>(&bytes); // no panic
+        }
+    }
+}

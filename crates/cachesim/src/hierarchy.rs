@@ -1,0 +1,333 @@
+//! Set-associative LRU cache arrays and the three-level hierarchy.
+
+/// One set-associative cache array with true-LRU replacement.
+#[derive(Clone, Debug)]
+pub struct SetAssoc {
+    /// Log2 of the line size in bytes.
+    line_bits: u32,
+    /// Number of sets (power of two).
+    n_sets: usize,
+    /// Ways per set.
+    ways: usize,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags` (higher = more recent).
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl SetAssoc {
+    /// A cache of `capacity_bytes` with `ways` associativity and
+    /// `line_bytes` lines (all powers of two).
+    pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> SetAssoc {
+        assert!(line_bytes.is_power_of_two());
+        let n_sets = capacity_bytes / (ways * line_bytes);
+        assert!(n_sets.is_power_of_two(), "sets must be a power of two");
+        SetAssoc {
+            line_bits: line_bytes.trailing_zeros(),
+            n_sets,
+            ways,
+            tags: vec![u64::MAX; n_sets * ways],
+            stamps: vec![0; n_sets * ways],
+            clock: 0,
+        }
+    }
+
+    /// Looks a line up by byte address; inserts on miss (LRU eviction).
+    /// Returns `true` on hit.
+    pub fn access_line(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_bits;
+        let set = (line as usize) & (self.n_sets - 1);
+        let tag = line;
+        self.clock += 1;
+        let base = set * self.ways;
+        let mut victim = base;
+        for i in base..base + self.ways {
+            if self.tags[i] == tag {
+                self.stamps[i] = self.clock;
+                return true;
+            }
+            if self.stamps[i] < self.stamps[victim] {
+                victim = i;
+            }
+        }
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.clock;
+        false
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        1 << self.line_bits
+    }
+}
+
+/// Hit/miss counters for one level, split by loads and stores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Load line-accesses reaching this level.
+    pub load_accesses: u64,
+    /// Load misses at this level.
+    pub load_misses: u64,
+    /// Store line-accesses reaching this level.
+    pub store_accesses: u64,
+    /// Store misses at this level.
+    pub store_misses: u64,
+}
+
+impl LevelStats {
+    /// Load miss rate (0..=1).
+    pub fn load_miss_rate(&self) -> f64 {
+        if self.load_accesses == 0 {
+            0.0
+        } else {
+            self.load_misses as f64 / self.load_accesses as f64
+        }
+    }
+
+    /// Store miss rate (0..=1).
+    pub fn store_miss_rate(&self) -> f64 {
+        if self.store_accesses == 0 {
+            0.0
+        } else {
+            self.store_misses as f64 / self.store_accesses as f64
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, o: &LevelStats) {
+        self.load_accesses += o.load_accesses;
+        self.load_misses += o.load_misses;
+        self.store_accesses += o.store_accesses;
+        self.store_misses += o.store_misses;
+    }
+}
+
+/// Hierarchy geometry and timing. Defaults mirror a Stampede2 SKX node
+/// (Table II's platform).
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchyConfig {
+    /// L1D capacity per CPU in bytes.
+    pub l1_bytes: usize,
+    /// L1D associativity.
+    pub l1_ways: usize,
+    /// L2 capacity per CPU in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Shared L3 capacity in bytes.
+    pub l3_bytes: usize,
+    /// L3 associativity.
+    pub l3_ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Cycles for an L1 hit.
+    pub l1_cycles: f64,
+    /// Cycles for an L2 hit.
+    pub l2_cycles: f64,
+    /// Cycles for an L3 hit.
+    pub l3_cycles: f64,
+    /// Cycles for a memory access.
+    pub mem_cycles: f64,
+    /// Core clock in GHz (converts cycles to seconds).
+    pub clock_ghz: f64,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig {
+            l1_bytes: 32 * 1024,
+            l1_ways: 8,
+            l2_bytes: 1024 * 1024,
+            l2_ways: 16,
+            l3_bytes: 33 * 1024 * 1024 / 32 * 32, // keep power-of-two sets below
+            l3_ways: 11,
+            line_bytes: 64,
+            l1_cycles: 4.0,
+            l2_cycles: 14.0,
+            l3_cycles: 50.0,
+            mem_cycles: 200.0,
+            clock_ghz: 2.1,
+        }
+    }
+}
+
+/// Private L1D/L2 per CPU, shared L3, with per-CPU cycle accounting.
+pub struct CacheHierarchy {
+    l1: Vec<SetAssoc>,
+    l2: Vec<SetAssoc>,
+    l3: SetAssoc,
+    /// Per-CPU per-level stats, indexed `[cpu]`.
+    pub l1_stats: Vec<LevelStats>,
+    /// L2 stats per CPU.
+    pub l2_stats: Vec<LevelStats>,
+    /// Shared L3 stats.
+    pub l3_stats: LevelStats,
+    /// Data cycles accumulated per CPU.
+    pub cycles: Vec<f64>,
+    cfg: HierarchyConfig,
+}
+
+impl CacheHierarchy {
+    /// A hierarchy for `cpus` cores.
+    pub fn new(cpus: usize, cfg: HierarchyConfig) -> CacheHierarchy {
+        // Round the L3 to a power-of-two set count by trimming capacity.
+        let l3_sets = (cfg.l3_bytes / (cfg.l3_ways * cfg.line_bytes)).next_power_of_two() / 2;
+        let l3_capacity = l3_sets.max(1) * cfg.l3_ways * cfg.line_bytes;
+        CacheHierarchy {
+            l1: (0..cpus).map(|_| SetAssoc::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes)).collect(),
+            l2: (0..cpus).map(|_| SetAssoc::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes)).collect(),
+            l3: SetAssoc::new(l3_capacity, cfg.l3_ways, cfg.line_bytes),
+            l1_stats: vec![LevelStats::default(); cpus],
+            l2_stats: vec![LevelStats::default(); cpus],
+            l3_stats: LevelStats::default(),
+            cycles: vec![0.0; cpus],
+            cfg,
+        }
+    }
+
+    /// Performs one access of `bytes` bytes at `addr` from `cpu`,
+    /// touching every overlapped line.
+    pub fn access(&mut self, cpu: usize, addr: u64, bytes: u64, write: bool) {
+        let line = self.cfg.line_bytes as u64;
+        let first = addr / line;
+        let last = (addr + bytes.max(1) - 1) / line;
+        for l in first..=last {
+            self.access_one(cpu, l * line, write);
+        }
+    }
+
+    fn access_one(&mut self, cpu: usize, line_addr: u64, write: bool) {
+        let (acc, miss) = if write { (2, 2) } else { (0, 0) };
+        let _ = (acc, miss);
+        let bump = |s: &mut LevelStats, write: bool, miss: bool| {
+            if write {
+                s.store_accesses += 1;
+                if miss {
+                    s.store_misses += 1;
+                }
+            } else {
+                s.load_accesses += 1;
+                if miss {
+                    s.load_misses += 1;
+                }
+            }
+        };
+        let l1_hit = self.l1[cpu].access_line(line_addr);
+        bump(&mut self.l1_stats[cpu], write, !l1_hit);
+        if l1_hit {
+            self.cycles[cpu] += self.cfg.l1_cycles;
+            return;
+        }
+        let l2_hit = self.l2[cpu].access_line(line_addr);
+        bump(&mut self.l2_stats[cpu], write, !l2_hit);
+        if l2_hit {
+            self.cycles[cpu] += self.cfg.l2_cycles;
+            return;
+        }
+        let l3_hit = self.l3.access_line(line_addr);
+        bump(&mut self.l3_stats, write, !l3_hit);
+        self.cycles[cpu] +=
+            if l3_hit { self.cfg.l3_cycles } else { self.cfg.mem_cycles };
+    }
+
+    /// Estimated data-access runtime: the busiest CPU's cycles over the
+    /// clock (CPUs run concurrently).
+    pub fn runtime_seconds(&self) -> f64 {
+        let max = self.cycles.iter().copied().fold(0.0, f64::max);
+        max / (self.cfg.clock_ghz * 1e9)
+    }
+
+    /// Aggregated L1 stats over all CPUs.
+    pub fn l1_total(&self) -> LevelStats {
+        let mut t = LevelStats::default();
+        for s in &self.l1_stats {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Aggregated L2 stats over all CPUs.
+    pub fn l2_total(&self) -> LevelStats {
+        let mut t = LevelStats::default();
+        for s in &self.l2_stats {
+            t.merge(s);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = SetAssoc::new(1024, 2, 64);
+        assert!(!c.access_line(0)); // cold miss
+        assert!(c.access_line(0));
+        assert!(c.access_line(63)); // same line
+        assert!(!c.access_line(64)); // next line
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-way, 64B lines, 8 sets → addresses 0, 512, 1024 map to set 0.
+        let mut c = SetAssoc::new(1024, 2, 64);
+        assert!(!c.access_line(0));
+        assert!(!c.access_line(512));
+        assert!(!c.access_line(1024)); // evicts line 0
+        assert!(!c.access_line(0)); // 0 is gone
+        assert!(c.access_line(1024)); // still resident
+    }
+
+    #[test]
+    fn hierarchy_miss_flows_down() {
+        let mut h = CacheHierarchy::new(1, HierarchyConfig::default());
+        h.access(0, 0, 8, false);
+        assert_eq!(h.l1_stats[0].load_misses, 1);
+        assert_eq!(h.l2_stats[0].load_misses, 1);
+        assert_eq!(h.l3_stats.load_misses, 1);
+        h.access(0, 0, 8, false);
+        assert_eq!(h.l1_stats[0].load_accesses, 2);
+        assert_eq!(h.l1_stats[0].load_misses, 1); // second is an L1 hit
+        assert_eq!(h.l2_stats[0].load_accesses, 1); // never reached again
+    }
+
+    #[test]
+    fn wide_access_touches_multiple_lines() {
+        let mut h = CacheHierarchy::new(1, HierarchyConfig::default());
+        h.access(0, 60, 8, true); // straddles two lines
+        assert_eq!(h.l1_stats[0].store_accesses, 2);
+    }
+
+    #[test]
+    fn private_l1_shared_l3() {
+        let mut h = CacheHierarchy::new(2, HierarchyConfig::default());
+        h.access(0, 0, 8, false); // cpu0 warms L3
+        h.access(1, 0, 8, false); // cpu1 misses L1/L2 but hits L3
+        assert_eq!(h.l1_stats[1].load_misses, 1);
+        assert_eq!(h.l3_stats.load_accesses, 2);
+        assert_eq!(h.l3_stats.load_misses, 1);
+    }
+
+    #[test]
+    fn runtime_tracks_busiest_cpu() {
+        let mut h = CacheHierarchy::new(2, HierarchyConfig::default());
+        for i in 0..100 {
+            h.access(0, i * 64, 8, false);
+        }
+        let r1 = h.runtime_seconds();
+        h.access(1, 0, 8, false);
+        assert_eq!(h.runtime_seconds(), r1, "idle CPU does not extend runtime");
+        assert!(r1 > 0.0);
+    }
+
+    #[test]
+    fn miss_rates_compute() {
+        let s = LevelStats { load_accesses: 10, load_misses: 3, store_accesses: 4, store_misses: 1 };
+        assert!((s.load_miss_rate() - 0.3).abs() < 1e-12);
+        assert!((s.store_miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(LevelStats::default().load_miss_rate(), 0.0);
+    }
+}

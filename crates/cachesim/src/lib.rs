@@ -1,0 +1,28 @@
+//! A three-level data-cache simulator and traversal access-trace
+//! generators — the substrate behind the Table II reproduction.
+//!
+//! The paper profiles ParaTreeT and ChaNGa with hardware counters on a
+//! Stampede2 SKX node (L1D 32 KB, L2 1 MB, L3 33 MB). Hardware counters
+//! are not portable, so this crate *simulates* the data-cache hierarchy:
+//! [`hierarchy::CacheHierarchy`] models private L1D/L2 per CPU and a
+//! shared L3 with LRU set-associative arrays, and [`trace`] replays the
+//! memory-access stream of a Barnes-Hut gravity traversal in the two
+//! styles Table II compares:
+//!
+//! * **transposed** (ParaTreeT): each tree node is brought in once and
+//!   evaluated against every interested bucket — node state amortises,
+//!   total accesses drop, and miss *rates* rise because the survivors
+//!   are the hard misses;
+//! * **per-bucket** (ChaNGa): the tree is walked once per bucket — node
+//!   state is re-read per (node, bucket) pair, inflating access counts
+//!   with easy hits.
+//!
+//! The replay uses the *real* tree and the *real* opening decisions, so
+//! access counts are exact algorithmic quantities; only the address
+//! layout and the cost weights are modelled.
+
+pub mod hierarchy;
+pub mod trace;
+
+pub use hierarchy::{CacheHierarchy, HierarchyConfig, LevelStats};
+pub use trace::{simulate_gravity, TraceConfig, TraceStyle, TraceResult};

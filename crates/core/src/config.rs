@@ -1,0 +1,170 @@
+//! Run configuration — the paper's `Configuration` object (§II-D-2).
+//!
+//! "The user specifies various run and performance parameters. These
+//! include input file name, number of iterations, load balancing period,
+//! minimum number of Subtrees and Partitions, decomposition type, tree
+//! type, among others. Users can also tune other performance-specific
+//! hyperparameters: number of nodes fetched per request, number of
+//! branch nodes shared across all processors."
+
+use paratreet_tree::TreeType;
+
+/// The built-in decomposition types for Partitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DecompType {
+    /// Space-filling-curve slices uniform in particle count — the classic
+    /// load-balanced decomposition.
+    Sfc,
+    /// Octree-node-aligned decomposition (partitions are octree regions;
+    /// load can imbalance for non-uniform inputs — the Fig. 13 effect).
+    Oct,
+    /// Binary median splits cycling axes (k-d style), uniform in count.
+    Kd,
+    /// Binary median splits along the longest axis — the disk case
+    /// study's custom decomposition.
+    LongestDim,
+}
+
+impl DecompType {
+    /// Harness-output name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecompType::Sfc => "sfc",
+            DecompType::Oct => "oct",
+            DecompType::Kd => "kd",
+            DecompType::LongestDim => "longest-dim",
+        }
+    }
+}
+
+/// Which space-filling curve keys particles for SFC decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SfcCurve {
+    /// Morton / Z-order: cheap, and its keys double as octree digits.
+    Morton,
+    /// Hilbert: consecutive keys are always adjacent cells, so
+    /// equal-count slices have smaller surface area — less
+    /// cross-partition communication (what ChaNGa's Peano–Hilbert
+    /// decomposition buys). Only affects `DecompType::Sfc`; octree
+    /// decomposition needs Morton's digit structure.
+    Hilbert,
+}
+
+impl SfcCurve {
+    /// Harness-output name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SfcCurve::Morton => "morton",
+            SfcCurve::Hilbert => "hilbert",
+        }
+    }
+}
+
+/// The built-in traversal schedules (§II-A-2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraversalKind {
+    /// ParaTreeT's default: node-frontier order, evaluating every
+    /// interested bucket against each tree node ("processes each bucket
+    /// for each tree node" — the locality-enhancing loop transposition).
+    TopDown,
+    /// The standard per-bucket depth-first walk — "BasicTrav" in
+    /// Fig. 10. Same interactions, one full tree walk per bucket.
+    BasicDfs,
+    /// Up-and-down: each bucket starts at its own leaf and expands
+    /// outward toward the root, visiting nearer data first. Preferred
+    /// when pruning criteria tighten during the traversal (k-nearest
+    /// neighbours).
+    UpAndDown,
+    /// Dual-tree (Gray & Moore): source and target are both tree nodes;
+    /// the visitor's `cell()` decides whether to open both (B²
+    /// interactions) or only the source (B interactions), and a pruned
+    /// source applies to every bucket beneath the target node at once.
+    /// Shared-memory engine only.
+    DualTree,
+}
+
+/// Framework configuration.
+#[derive(Clone, Debug)]
+pub struct Configuration {
+    /// Spatial tree type for Subtrees.
+    pub tree_type: TreeType,
+    /// Decomposition type for Partitions.
+    pub decomp_type: DecompType,
+    /// Maximum particles per leaf bucket.
+    pub bucket_size: usize,
+    /// Minimum number of Subtrees (tree pieces).
+    pub n_subtrees: usize,
+    /// Minimum number of Partitions (work pieces).
+    pub n_partitions: usize,
+    /// Levels of descendants shipped per fill ("number of nodes fetched
+    /// per request").
+    pub fetch_depth: u32,
+    /// Number of simulation iterations to run.
+    pub iterations: usize,
+    /// RNG seed threaded through anything stochastic.
+    pub seed: u64,
+    /// Space-filling curve used by SFC decomposition.
+    pub sfc: SfcCurve,
+}
+
+impl Default for Configuration {
+    fn default() -> Configuration {
+        Configuration {
+            tree_type: TreeType::Octree,
+            decomp_type: DecompType::Sfc,
+            bucket_size: 16,
+            n_subtrees: 8,
+            n_partitions: 8,
+            fetch_depth: 3,
+            iterations: 1,
+            seed: 1,
+            sfc: SfcCurve::Morton,
+        }
+    }
+}
+
+impl Configuration {
+    /// True when Partitions and Subtrees use the same splitters, letting
+    /// the framework bind them by location so buckets never split
+    /// (the optimisation noted at the end of §II-C-1).
+    pub fn partitions_match_subtrees(&self) -> bool {
+        self.n_partitions == self.n_subtrees
+            && matches!(
+                (self.decomp_type, self.tree_type),
+                (DecompType::Oct, TreeType::Octree)
+                    | (DecompType::Kd, TreeType::KdTree)
+                    | (DecompType::LongestDim, TreeType::LongestDim)
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sfc_octree() {
+        let c = Configuration::default();
+        assert_eq!(c.tree_type, TreeType::Octree);
+        assert_eq!(c.decomp_type, DecompType::Sfc);
+        assert!(!c.partitions_match_subtrees()); // sfc != oct splitters
+    }
+
+    #[test]
+    fn matching_splitters_detected() {
+        let c = Configuration {
+            decomp_type: DecompType::Oct,
+            tree_type: TreeType::Octree,
+            ..Default::default()
+        };
+        assert!(c.partitions_match_subtrees());
+        let c2 = Configuration { n_partitions: 9, ..c };
+        assert!(!c2.partitions_match_subtrees());
+        let c3 = Configuration {
+            decomp_type: DecompType::LongestDim,
+            tree_type: TreeType::LongestDim,
+            ..Configuration::default()
+        };
+        assert!(c3.partitions_match_subtrees());
+    }
+}

@@ -1,0 +1,719 @@
+//! The distributed execution engine on the discrete-event machine model.
+//!
+//! This engine runs the *same* pipeline as [`crate::Framework`] — real
+//! decomposition, real trees, real cache fills, identical interaction
+//! counts — but places Subtrees and Partitions on the ranks of a
+//! [`MachineSpec`] and charges virtual time for every task and message.
+//! It is the stand-in for ParaTreeT's Charm++ execution, and the engine
+//! behind the paper's scaling figures (3, 9, 10, 11, 13).
+//!
+//! Charm++ semantics are preserved where they matter:
+//!
+//! * a Partition is a chare — its traversal work items are processed by
+//!   run-to-completion tasks serialised per partition (an exclusive
+//!   resource), overlapping freely with other partitions on the rank;
+//! * fill messages go to "the currently least busy worker thread on the
+//!   process" (the simulator's scheduling rule);
+//! * the three cache models of Fig. 3 differ only in how fills are
+//!   handled: any-worker insertion (WaitFree), one-lock-per-rank
+//!   insertion (XWrite), or per-thread caches with duplicated fetches
+//!   (PerThread/"Sequential").
+
+use crate::config::{Configuration, TraversalKind};
+use crate::decomp::decompose;
+use crate::traversal::{process_item, seed_items, CacheModel, PendingFetch, WorkCounts, WorkItem};
+use crate::visitor::{TargetBucket, Visitor};
+use paratreet_cache::stats::CacheStatsSnapshot;
+use paratreet_cache::{CacheTree, NodeHandle, RequestOutcome, SubtreeSummary};
+use paratreet_geometry::{BoundingBox, NodeKey};
+use paratreet_particles::io::PARTICLE_WIRE_BYTES;
+use paratreet_particles::Particle;
+use paratreet_runtime::sim::CommStats;
+use paratreet_runtime::{Ledger, MachineSpec, Phase, Sim};
+use paratreet_tree::TreeBuilder;
+use std::collections::HashMap;
+
+pub use paratreet_cache::stats::CacheStatsSnapshot as CacheSnapshot;
+
+/// Calibrated per-unit costs (seconds on the Stampede2 Skylake baseline).
+/// The absolute values set the scale; the *shapes* of the scaling curves
+/// come from the algorithmic counts they multiply.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// One particle–particle exact interaction.
+    pub pp: f64,
+    /// One particle–node approximation.
+    pub pn: f64,
+    /// One `open()` test.
+    pub open: f64,
+    /// Fixed overhead per work item processed.
+    pub visit: f64,
+    /// Decomposition cost per particle per log2(n) (key + sort).
+    pub sort_per_particle_log: f64,
+    /// Tree build cost per particle per log2 level.
+    pub build_per_particle_log: f64,
+    /// Fill serialisation per byte (home side).
+    pub serialize_per_byte: f64,
+    /// Fill insertion per byte (requesting side).
+    pub insert_per_byte: f64,
+    /// Fixed cost per fill insertion.
+    pub insert_fixed: f64,
+    /// Fixed cost to resume one paused traversal (metadata fetch).
+    pub resume: f64,
+    /// Wire size of one fetch request.
+    pub request_bytes: u64,
+    /// Wire size of one subtree summary in the share step.
+    pub summary_bytes: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            pp: 1.1e-8,
+            pn: 1.6e-8,
+            open: 6.0e-9,
+            visit: 2.5e-8,
+            sort_per_particle_log: 8.0e-9,
+            build_per_particle_log: 4.0e-8,
+            serialize_per_byte: 2.5e-10,
+            insert_per_byte: 6.0e-10,
+            insert_fixed: 1.5e-6,
+            resume: 1.2e-6,
+            request_bytes: 64,
+            summary_bytes: 96,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of a batch of traversal work.
+    fn work(&self, c: &WorkCounts) -> f64 {
+        c.leaf_interactions as f64 * self.pp
+            + c.node_interactions as f64 * self.pn
+            + c.opens as f64 * self.open
+            + c.nodes_visited as f64 * self.visit
+    }
+}
+
+/// What one simulated iteration measured.
+#[derive(Clone, Debug)]
+pub struct IterationReport {
+    /// Virtual end-to-end time of the iteration (seconds).
+    pub makespan: f64,
+    /// Virtual time when setup (decompose+build+share) finished and
+    /// traversal began.
+    pub traversal_start: f64,
+    /// Busy seconds per phase.
+    pub phase_busy: [f64; paratreet_runtime::phase::N_PHASES],
+    /// Network traffic.
+    pub comm: CommStats,
+    /// Exact interaction counts (engine-independent).
+    pub counts: WorkCounts,
+    /// Cache traffic aggregated over all cache instances.
+    pub cache: CacheStatsSnapshot,
+    /// Worker utilisation over the iteration (0..=1).
+    pub utilization: f64,
+    /// The per-phase ledger (for Fig. 9 profiles).
+    pub ledger: Ledger,
+    /// Buckets that crossed rank boundaries during leaf sharing.
+    pub n_shared_buckets: usize,
+    /// Measured traversal cost per partition (calibrated seconds) — the
+    /// load measurement the SFC re-balancer consumes.
+    pub partition_costs: Vec<f64>,
+    /// Final particle state (for physics validation against the
+    /// shared-memory engine).
+    pub particles: Vec<Particle>,
+}
+
+/// Event payloads of the engine's simulation.
+enum Ev {
+    DecompDone,
+    BuildDone,
+    ShareArrive,
+    LeafShareArrive,
+    /// (Re)process a partition's work list.
+    PartRun { part: u32 },
+    /// A partition's processing batch finished; release its effects.
+    PartWorkDone { part: u32, fetches: Vec<(NodeKey, Vec<u32>)> },
+    /// A fetch request arrived at the home rank.
+    RequestArrive { key: NodeKey, home_rank: u32, to_cache: u32, requester_rank: u32 },
+    /// The home rank finished serialising a fill.
+    FillServeDone { home_rank: u32, to_cache: u32, requester_rank: u32, bytes: Vec<u8> },
+    /// A fill arrived at the requesting rank.
+    FillArrive { to_cache: u32, bytes: Vec<u8> },
+    /// An insertion task completed: splice and resume.
+    InsertDone { to_cache: u32, bytes: Vec<u8> },
+    /// A paused partition's resumption task completed.
+    Resumed { part: u32, key: NodeKey },
+}
+
+/// Per-partition chare state.
+struct PartState<V: Visitor> {
+    rank: u32,
+    cache_idx: u32,
+    buckets: Vec<TargetBucket<V::State>>,
+    /// Master indices per bucket (for write-back).
+    bucket_indices: Vec<Vec<u32>>,
+    stack: Vec<WorkItem<V::Data>>,
+    paused: HashMap<NodeKey, Vec<WorkItem<V::Data>>>,
+    outstanding: usize,
+    /// Work batches spawned whose `PartWorkDone` has not fired yet.
+    in_flight: usize,
+    /// Accumulated traversal cost (the chare's measured load).
+    cost: f64,
+    seeded: bool,
+    resumed_once: bool,
+    finished: bool,
+}
+
+/// The distributed engine. See module docs.
+pub struct DistributedEngine<'v, V: Visitor> {
+    /// Machine to simulate.
+    pub machine: MachineSpec,
+    /// Framework configuration.
+    pub config: Configuration,
+    /// Cache model under test.
+    pub cache_model: CacheModel,
+    /// Cost calibration.
+    pub costs: CostModel,
+    /// Traversal schedule.
+    pub kind: TraversalKind,
+    visitor: &'v V,
+}
+
+impl<'v, V: Visitor> DistributedEngine<'v, V> {
+    /// A new engine; `config.n_subtrees`/`n_partitions` are raised to at
+    /// least the machine's rank count so every rank has work.
+    pub fn new(
+        machine: MachineSpec,
+        config: Configuration,
+        cache_model: CacheModel,
+        kind: TraversalKind,
+        visitor: &'v V,
+    ) -> DistributedEngine<'v, V> {
+        DistributedEngine { machine, config, cache_model, costs: CostModel::default(), kind, visitor }
+    }
+
+    /// Runs one full iteration over `particles` and reports.
+    pub fn run_iteration(&self, particles: Vec<Particle>) -> IterationReport {
+        self.run_iteration_with_assignment(particles, None)
+    }
+
+    /// Like [`DistributedEngine::run_iteration`], but with an explicit
+    /// partition → rank assignment (same length as the effective
+    /// partition count of an identical previous run). This is the hook
+    /// the measured-load SFC re-balancer uses: run once, feed the
+    /// measured [`IterationReport::partition_costs`] through
+    /// [`sfc_balanced_assignment`], run again.
+    pub fn run_iteration_with_assignment(
+        &self,
+        particles: Vec<Particle>,
+        assignment: Option<&[u32]>,
+    ) -> IterationReport {
+        let n_total = particles.len().max(2);
+        let log_n = (n_total as f64).log2();
+        let ranks = self.machine.nodes as u32;
+        let workers = self.machine.workers_per_rank as u32;
+
+        // Overdecomposition: the configured counts are minimums. Every
+        // rank needs several Subtrees, and enough Partitions to keep its
+        // workers busy across fetch stalls (Charm++'s "more partitions
+        // than processors") — bounded by bucket granularity so
+        // partitions keep enough buckets for the loop transposition.
+        let mut config = self.config.clone();
+        config.n_subtrees = config.n_subtrees.max(self.machine.nodes * 4);
+        let by_granularity = (n_total / (config.bucket_size * 4)).max(1);
+        let by_machine = self.machine.nodes * self.machine.workers_per_rank * 2;
+        config.n_partitions = config
+            .n_partitions
+            .max(by_machine.min(by_granularity).max(self.machine.nodes * 2));
+
+        // ---- Decomposition (centrally executed, per-rank charged) ----
+        let decomp = decompose(particles, &config);
+        let n_subtrees = decomp.subtrees.len();
+
+        // Subtrees to ranks: contiguous blocks in piece (SFC) order.
+        let subtree_rank =
+            |si: usize| -> u32 { (si as u64 * ranks as u64 / n_subtrees as u64) as u32 };
+        // Partitions to ranks: contiguous id blocks by default (the SFC
+        // placement), or the caller's measured-load assignment.
+        let n_partitions = decomp.n_partitions.max(1);
+        if let Some(a) = assignment {
+            assert_eq!(a.len(), n_partitions, "assignment must cover every partition");
+        }
+        let partition_rank = |pi: usize| -> u32 {
+            match assignment {
+                Some(a) => a[pi],
+                None => (pi as u64 * ranks as u64 / n_partitions as u64) as u32,
+            }
+        };
+
+        // ---- Build local trees (real) ----
+        let trees: Vec<(u32, paratreet_tree::BuiltTree<V::Data>)> = decomp
+            .subtrees
+            .into_iter()
+            .enumerate()
+            .map(|(si, piece)| {
+                let builder = TreeBuilder {
+                    root_key: piece.key,
+                    root_depth: piece.depth,
+                    parallel: false,
+                    ..TreeBuilder::new(config.tree_type)
+                }
+                .bucket_size(config.bucket_size);
+                (subtree_rank(si), builder.build::<V::Data>(piece.particles, piece.bbox))
+            })
+            .collect();
+
+        let summaries: Vec<SubtreeSummary<V::Data>> = trees
+            .iter()
+            .map(|(rank, t)| SubtreeSummary {
+                key: t.root().key,
+                bbox: t.root().bbox,
+                n_particles: t.root().n_particles,
+                data: t.root().data.clone(),
+                home_rank: *rank,
+            })
+            .collect();
+
+        // ---- Master array + leaf sharing (bucket construction) ----
+        let mut master: Vec<Particle> = Vec::new();
+        struct BucketSeed {
+            leaf_key: NodeKey,
+            partition: u32,
+            subtree_rank: u32,
+            indices: Vec<u32>,
+        }
+        let mut bucket_seeds: Vec<BucketSeed> = Vec::new();
+        for (rank, tree) in &trees {
+            let offset = master.len() as u32;
+            for li in tree.leaf_indices() {
+                let node = tree.node(li);
+                let range = node.bucket_range().expect("leaf");
+                let mut per_part: Vec<(u32, Vec<u32>)> = Vec::new();
+                for i in range {
+                    let part = decomp.partitioner.assign(&tree.particles[i]);
+                    match per_part.iter_mut().find(|(p, _)| *p == part) {
+                        Some((_, v)) => v.push(offset + i as u32),
+                        None => per_part.push((part, vec![offset + i as u32])),
+                    }
+                }
+                for (partition, indices) in per_part {
+                    bucket_seeds.push(BucketSeed {
+                        leaf_key: node.key,
+                        partition,
+                        subtree_rank: *rank,
+                        indices,
+                    });
+                }
+            }
+            master.extend_from_slice(&tree.particles);
+        }
+
+        // ---- Cache instances ----
+        // WaitFree/XWrite: one per rank. PerThread: one per worker; a
+        // partition binds to cache (rank, local_part % workers).
+        let bits = config.tree_type.bits_per_level();
+        let caches_per_rank: u32 =
+            if self.cache_model == CacheModel::PerThread { workers } else { 1 };
+        let n_caches = ranks * caches_per_rank;
+        let caches: Vec<CacheTree<V::Data>> =
+            (0..n_caches).map(|ci| CacheTree::new(ci / caches_per_rank, bits)).collect();
+        // Graft local trees into every cache instance of their home rank.
+        let mut per_rank_trees: Vec<Vec<paratreet_tree::BuiltTree<V::Data>>> =
+            (0..ranks).map(|_| Vec::new()).collect();
+        for (rank, tree) in trees {
+            per_rank_trees[rank as usize].push(tree);
+        }
+        for ci in 0..n_caches {
+            let rank = (ci / caches_per_rank) as usize;
+            // Each cache instance needs its own grafted copy.
+            let local: Vec<_> = if ci % caches_per_rank == caches_per_rank - 1 {
+                std::mem::take(&mut per_rank_trees[rank])
+            } else {
+                per_rank_trees[rank].clone()
+            };
+            caches[ci as usize].init(&summaries, local);
+        }
+
+        // XWrite lock resource ids (one per rank), partition resources.
+        const LOCK_BASE: u64 = 1 << 48;
+        let part_resource = |p: u32| -> u64 { p as u64 + 1 };
+
+        // ---- Partition states ----
+        let mut parts: Vec<PartState<V>> = (0..n_partitions as u32)
+            .map(|p| {
+                let rank = partition_rank(p as usize);
+                let local_idx = p as u64 % caches_per_rank as u64;
+                let cache_idx = rank * caches_per_rank + local_idx as u32;
+                PartState {
+                    rank,
+                    cache_idx,
+                    buckets: Vec::new(),
+                    bucket_indices: Vec::new(),
+                    stack: Vec::new(),
+                    paused: HashMap::new(),
+                    outstanding: 0,
+                    in_flight: 0,
+                    cost: 0.0,
+                    seeded: false,
+                    resumed_once: false,
+                    finished: false,
+                }
+            })
+            .collect();
+        let mut n_shared_buckets = 0usize;
+        let mut leaf_share_msgs: Vec<(u32, u32, u64)> = Vec::new(); // (from, to, bytes)
+        for seed in &bucket_seeds {
+            let part = &mut parts[seed.partition as usize];
+            let particles: Vec<Particle> =
+                seed.indices.iter().map(|&i| master[i as usize]).collect();
+            let bbox = BoundingBox::around(particles.iter().map(|p| p.pos));
+            if seed.subtree_rank != part.rank {
+                n_shared_buckets += 1;
+                leaf_share_msgs.push((
+                    seed.subtree_rank,
+                    part.rank,
+                    (particles.len() * PARTICLE_WIRE_BYTES) as u64,
+                ));
+            }
+            part.buckets.push(TargetBucket {
+                leaf_key: seed.leaf_key,
+                particles,
+                bbox,
+                state: V::State::default(),
+            });
+            part.bucket_indices.push(seed.indices.clone());
+        }
+
+        // ---- Simulate ----
+        let mut sim: Sim<Ev> = Sim::new(self.machine.clone());
+        let mut counts_total = WorkCounts::default();
+        let costs = self.costs;
+        let fetch_depth = config.fetch_depth;
+        let cache_model = self.cache_model;
+        let visitor = self.visitor;
+        let kind = self.kind;
+
+        // Phase 1: decomposition tasks — the per-rank sort parallelises
+        // over the rank's workers (rayon in the real engine).
+        let per_rank_particles = (n_total as f64 / ranks as f64).max(1.0);
+        let decomp_tasks_per_rank = workers.min(8);
+        for r in 0..ranks {
+            for _ in 0..decomp_tasks_per_rank {
+                sim.spawn(
+                    r,
+                    Phase::Decomposition,
+                    costs.sort_per_particle_log * per_rank_particles * log_n
+                        / decomp_tasks_per_rank as f64,
+                    Ev::DecompDone,
+                );
+            }
+        }
+
+        // Counters used by the barrier logic inside the handler.
+        let mut decomp_left = (ranks * decomp_tasks_per_rank) as usize;
+        let mut build_left = 0usize;
+        let mut share_left = 0usize;
+        let mut leaf_share_left = 0usize;
+        let mut traversal_start = 0.0f64;
+        let mut parts_done = 0usize;
+
+        // Per-subtree build costs: Subtrees build independently, in
+        // parallel across each rank's workers (the model's
+        // synchronisation-free build).
+        let subtree_builds: Vec<(u32, f64)> = summaries
+            .iter()
+            .map(|s| {
+                let n_i = s.n_particles.max(1) as f64;
+                (s.home_rank, costs.build_per_particle_log * n_i * (n_i.log2().max(1.0)))
+            })
+            .collect();
+
+        sim.run(|sim, ev| match ev {
+            Ev::DecompDone => {
+                decomp_left -= 1;
+                if decomp_left == 0 {
+                    // Phase 2: tree builds, one task per Subtree.
+                    for &(rank, cost) in &subtree_builds {
+                        build_left += 1;
+                        sim.spawn(rank, Phase::TreeBuild, cost, Ev::BuildDone);
+                    }
+                }
+            }
+            Ev::BuildDone => {
+                build_left -= 1;
+                if build_left == 0 {
+                    // Phase 3: share summaries all-to-all.
+                    let payload = summaries.len() as u64 * costs.summary_bytes;
+                    for from in 0..ranks {
+                        for to in 0..ranks {
+                            if from != to {
+                                share_left += 1;
+                                sim.send(from, to, payload / ranks as u64, Ev::ShareArrive);
+                            }
+                        }
+                    }
+                    if ranks == 1 {
+                        share_left += 1;
+                        sim.post(Ev::ShareArrive);
+                    }
+                }
+            }
+            Ev::ShareArrive => {
+                share_left -= 1;
+                if share_left == 0 {
+                    // Small skeleton-build task per rank, then leaf share.
+                    for r in 0..ranks {
+                        sim.spawn(
+                            r,
+                            Phase::ShareTopLevels,
+                            costs.insert_fixed + summaries.len() as f64 * 1e-7,
+                            Ev::LeafShareArrive,
+                        );
+                    }
+                    leaf_share_left += ranks as usize;
+                    for (from, to, bytes) in leaf_share_msgs.drain(..) {
+                        leaf_share_left += 1;
+                        sim.send(from, to, bytes, Ev::LeafShareArrive);
+                    }
+                }
+            }
+            Ev::LeafShareArrive => {
+                leaf_share_left -= 1;
+                if leaf_share_left == 0 {
+                    traversal_start = sim.now();
+                    // Seed every partition's traversal.
+                    for p in 0..parts.len() as u32 {
+                        sim.post(Ev::PartRun { part: p });
+                    }
+                }
+            }
+            Ev::PartRun { part } => {
+                let ps = &mut parts[part as usize];
+                let cache = &caches[ps.cache_idx as usize];
+                if !ps.seeded {
+                    ps.seeded = true;
+                    ps.stack = seed_items::<V>(cache, kind, &ps.buckets);
+                }
+                // Run-to-completion: drain the stack, surrendering
+                // placeholder hits. Up-and-down traversals stop at the
+                // *first* pending fetch instead: their pruning bounds
+                // tighten as items complete in order, so racing ahead
+                // with untightened bounds would fetch (and evaluate) far
+                // more remote data than the sequential schedule — the
+                // partition waits, while other partitions on the rank
+                // keep the workers busy.
+                let ordered = kind == TraversalKind::UpAndDown;
+                let mut batch = WorkCounts::default();
+                let mut fetches: Vec<PendingFetch<V::Data>> = Vec::new();
+                while let Some(item) = ps.stack.pop() {
+                    process_item(
+                        cache,
+                        visitor,
+                        &mut ps.buckets,
+                        item,
+                        &mut ps.stack,
+                        &mut fetches,
+                        &mut batch,
+                    );
+                    if ordered && !fetches.is_empty() {
+                        break;
+                    }
+                }
+                counts_total += batch;
+                let phase =
+                    if ps.resumed_once { Phase::RemoteTraversal } else { Phase::LocalTraversal };
+                let fetch_list: Vec<(NodeKey, Vec<u32>)> =
+                    fetches.into_iter().map(|f| (f.key, f.buckets)).collect();
+                ps.in_flight += 1;
+                let batch_cost = costs.work(&batch).max(1e-9);
+                ps.cost += batch_cost;
+                sim.spawn_exclusive(
+                    ps.rank,
+                    part_resource(part),
+                    phase,
+                    batch_cost,
+                    Ev::PartWorkDone { part, fetches: fetch_list },
+                );
+            }
+            Ev::PartWorkDone { part, fetches } => {
+                let ps = &mut parts[part as usize];
+                let cache = &caches[ps.cache_idx as usize];
+                ps.in_flight -= 1;
+                let mut rerun = false;
+                for (key, buckets) in fetches {
+                    // Re-find the placeholder (it may have been swapped).
+                    let node = cache.find(key).expect("fetch target known to skeleton");
+                    if !node.is_placeholder() {
+                        // Fill landed while we were busy: traverse on.
+                        ps.stack.push(WorkItem { node: NodeHandle::new(node), buckets });
+                        rerun = true;
+                        continue;
+                    }
+                    match cache.request(node, part as u64) {
+                        RequestOutcome::Ready(n) => {
+                            ps.stack.push(WorkItem { node: NodeHandle::new(n), buckets });
+                            rerun = true;
+                        }
+                        RequestOutcome::SendFetch { home_rank } => {
+                            ps.paused
+                                .entry(key)
+                                .or_default()
+                                .push(WorkItem { node: NodeHandle::new(node), buckets });
+                            ps.outstanding += 1;
+                            // Small CPU cost to issue the request.
+                            sim.ledger.record(sim.now(), sim.now(), Phase::CacheRequest);
+                            sim.send(
+                                ps.rank,
+                                home_rank,
+                                costs.request_bytes,
+                                Ev::RequestArrive {
+                                    key,
+                                    home_rank,
+                                    to_cache: ps.cache_idx,
+                                    requester_rank: ps.rank,
+                                },
+                            );
+                        }
+                        RequestOutcome::InFlight => {
+                            ps.paused
+                                .entry(key)
+                                .or_default()
+                                .push(WorkItem { node: NodeHandle::new(node), buckets });
+                            ps.outstanding += 1;
+                        }
+                    }
+                }
+                if rerun {
+                    sim.post(Ev::PartRun { part });
+                } else if ps.stack.is_empty()
+                    && ps.outstanding == 0
+                    && ps.in_flight == 0
+                    && !ps.finished
+                {
+                    ps.finished = true;
+                    parts_done += 1;
+                }
+            }
+            Ev::RequestArrive { key, home_rank: home, to_cache, requester_rank } => {
+                // Serve at the home rank: the authoritative copy lives in
+                // every cache instance of that rank (with PerThread they
+                // all graft the local trees), so its first cache serves.
+                let home_cache = (home * caches_per_rank) as usize;
+                let bytes = caches[home_cache]
+                    .serialize_fragment(key, fetch_depth)
+                    .expect("home rank owns the subtree");
+                let cost = costs.serialize_per_byte * bytes.len() as f64 + costs.insert_fixed / 2.0;
+                sim.spawn(
+                    home,
+                    Phase::FillServe,
+                    cost,
+                    Ev::FillServeDone { home_rank: home, to_cache, requester_rank, bytes },
+                );
+            }
+            Ev::FillServeDone { home_rank, to_cache, requester_rank, bytes } => {
+                let nbytes = bytes.len() as u64;
+                sim.send(home_rank, requester_rank, nbytes, Ev::FillArrive { to_cache, bytes });
+            }
+            Ev::FillArrive { to_cache, bytes } => {
+                let rank = caches[to_cache as usize].rank;
+                let cost = costs.insert_fixed + costs.insert_per_byte * bytes.len() as f64;
+                match cache_model {
+                    CacheModel::XWrite => sim.spawn_exclusive(
+                        rank,
+                        LOCK_BASE + rank as u64,
+                        Phase::CacheInsertion,
+                        cost,
+                        Ev::InsertDone { to_cache, bytes },
+                    ),
+                    _ => sim.spawn(rank, Phase::CacheInsertion, cost, Ev::InsertDone { to_cache, bytes }),
+                }
+            }
+            Ev::InsertDone { to_cache, bytes } => {
+                let cache = &caches[to_cache as usize];
+                let (node, resumed) = cache.insert_fragment(&bytes).expect("valid fill");
+                let key = node.key;
+                for waiter in resumed {
+                    let part = waiter as u32;
+                    let rank = parts[part as usize].rank;
+                    sim.spawn(rank, Phase::TraversalResumption, costs.resume, Ev::Resumed {
+                        part,
+                        key,
+                    });
+                }
+            }
+            Ev::Resumed { part, key } => {
+                let ps = &mut parts[part as usize];
+                let cache = &caches[ps.cache_idx as usize];
+                if let Some(items) = ps.paused.remove(&key) {
+                    let node = cache.find(key).expect("fill materialised");
+                    for item in items {
+                        ps.outstanding -= 1;
+                        ps.stack.push(WorkItem { node: NodeHandle::new(node), buckets: item.buckets });
+                    }
+                    ps.resumed_once = true;
+                    sim.post(Ev::PartRun { part });
+                }
+            }
+        });
+
+        assert_eq!(parts_done, parts.len(), "all partitions must finish");
+
+        // ---- Write-back and reporting ----
+        for ps in &parts {
+            for (indices, bucket) in ps.bucket_indices.iter().zip(&ps.buckets) {
+                for (&mi, p) in indices.iter().zip(&bucket.particles) {
+                    master[mi as usize] = *p;
+                }
+            }
+        }
+        let mut cache_stats = CacheStatsSnapshot::default();
+        for c in &caches {
+            cache_stats.merge(&c.stats.snapshot());
+        }
+        let partition_costs: Vec<f64> = parts.iter().map(|p| p.cost).collect();
+        IterationReport {
+            makespan: sim.makespan(),
+            traversal_start,
+            phase_busy: sim.ledger.busy_per_phase(),
+            comm: sim.comm,
+            counts: counts_total,
+            cache: cache_stats,
+            utilization: sim.utilization(),
+            ledger: sim.ledger.clone(),
+            n_shared_buckets,
+            partition_costs,
+            particles: master,
+        }
+    }
+}
+
+/// The measured-load SFC re-balancing the paper adopts from ChaNGa:
+/// partitions keep their space-filling-curve order but rank boundaries
+/// move so each rank receives (approximately) equal measured load.
+/// "Weighted sections of this curve can be used to remap processor
+/// assignments to achieve better load balance" (§V).
+pub fn sfc_balanced_assignment(costs: &[f64], ranks: usize) -> Vec<u32> {
+    let ranks = ranks.max(1);
+    let total: f64 = costs.iter().sum();
+    if total <= 0.0 {
+        return (0..costs.len())
+            .map(|i| (i * ranks / costs.len().max(1)) as u32)
+            .collect();
+    }
+    let per_rank = total / ranks as f64;
+    let mut out = Vec::with_capacity(costs.len());
+    let mut acc = 0.0;
+    let mut rank = 0u32;
+    for &c in costs {
+        // Close the chunk when adding this partition would overshoot the
+        // target more than leaving it out undershoots.
+        if rank as usize + 1 < ranks && acc + c / 2.0 > per_rank * (rank as f64 + 1.0) {
+            rank += 1;
+        }
+        acc += c;
+        out.push(rank);
+    }
+    out
+}

@@ -1,0 +1,286 @@
+//! The shared-memory execution engine.
+//!
+//! [`Framework`] runs the full ParaTreeT pipeline on one process:
+//! decomposition → parallel Subtree build → cache init → leaf sharing →
+//! parallel traversal per Partition → write-back. It is the engine the
+//! examples and applications use directly, and the reference semantics
+//! the distributed engine must agree with (see the cross-engine tests).
+//!
+//! Within a [`Framework::step`], every traversal sees the same
+//! start-of-step particle snapshot as *sources* (the built tree), while
+//! target accumulators (acceleration, density, …) and visitor states are
+//! written into partition-owned bucket copies and merged back after each
+//! traversal — the paper's race-freedom-by-construction.
+
+use crate::config::{Configuration, TraversalKind};
+use crate::decomp::decompose;
+use crate::traversal::{traverse_local, TraversalStats, WorkCounts};
+use crate::visitor::{TargetBucket, Visitor};
+use paratreet_cache::{CacheTree, NodeKind, SubtreeSummary};
+use paratreet_geometry::{BoundingBox, NodeKey};
+use paratreet_particles::Particle;
+use paratreet_tree::{Data, TreeBuilder};
+use rayon::prelude::*;
+
+/// Where one target bucket's particles live in the master array.
+#[derive(Clone, Debug)]
+struct BucketMeta {
+    leaf_key: NodeKey,
+    partition: u32,
+    /// Master-array indices of this bucket's particles.
+    indices: Vec<u32>,
+}
+
+/// Measurements for one step.
+#[derive(Clone, Debug, Default)]
+pub struct StepReport {
+    /// Subtree pieces built.
+    pub n_subtrees: usize,
+    /// Partitions used.
+    pub n_partitions: usize,
+    /// Target buckets after leaf sharing.
+    pub n_buckets: usize,
+    /// Tree leaves whose particles spanned >1 Partition (split buckets,
+    /// Fig. 5).
+    pub n_split_leaves: usize,
+    /// Aggregated interaction counts over all traversals this step.
+    pub counts: WorkCounts,
+    /// Wall-clock seconds per pipeline stage: decompose, build, share,
+    /// traverse (summed over traversals).
+    pub seconds_decompose: f64,
+    /// Tree build seconds.
+    pub seconds_build: f64,
+    /// Leaf-sharing seconds.
+    pub seconds_share: f64,
+    /// Traversal seconds.
+    pub seconds_traverse: f64,
+}
+
+/// One in-flight step: the built cache plus bucket bookkeeping.
+pub struct Step<D: Data> {
+    /// The per-process cached global tree (all subtrees local here).
+    pub cache: CacheTree<D>,
+    /// The universe box this step was built in.
+    pub universe: BoundingBox,
+    /// Step measurements, updated by each traversal.
+    pub report: StepReport,
+    master: Vec<Particle>,
+    buckets: Vec<BucketMeta>,
+}
+
+impl<D: Data> Step<D> {
+    fn build(config: &Configuration, particles: Vec<Particle>) -> Step<D> {
+        let t0 = std::time::Instant::now();
+        let decomp = decompose(particles, config);
+        let seconds_decompose = t0.elapsed().as_secs_f64();
+
+        // Parallel Subtree build: pieces are independent (the paper's
+        // synchronization-free tree build).
+        let t0 = std::time::Instant::now();
+        let trees: Vec<_> = decomp
+            .subtrees
+            .into_par_iter()
+            .map(|piece| {
+                let builder = TreeBuilder {
+                    root_key: piece.key,
+                    root_depth: piece.depth,
+                    ..TreeBuilder::new(config.tree_type)
+                }
+                .bucket_size(config.bucket_size);
+                builder.build::<D>(piece.particles, piece.bbox)
+            })
+            .collect();
+        let seconds_build = t0.elapsed().as_secs_f64();
+
+        // Master array: subtree particle arrays concatenated in piece
+        // order; leaf buckets are contiguous master ranges.
+        let t0 = std::time::Instant::now();
+        let mut master = Vec::new();
+        let mut buckets: Vec<BucketMeta> = Vec::new();
+        let mut n_split_leaves = 0usize;
+        for tree in &trees {
+            let offset = master.len() as u32;
+            for li in tree.leaf_indices() {
+                let node = tree.node(li);
+                let range = node.bucket_range().expect("leaf");
+                // Group the leaf's particles by Partition assignment —
+                // the leaf-sharing step, with bucket splitting (Fig. 5).
+                let mut per_part: Vec<(u32, Vec<u32>)> = Vec::new();
+                for i in range {
+                    let part = decomp.partitioner.assign(&tree.particles[i]);
+                    let master_idx = offset + i as u32;
+                    match per_part.iter_mut().find(|(p, _)| *p == part) {
+                        Some((_, v)) => v.push(master_idx),
+                        None => per_part.push((part, vec![master_idx])),
+                    }
+                }
+                if per_part.len() > 1 {
+                    n_split_leaves += 1;
+                }
+                for (partition, indices) in per_part {
+                    buckets.push(BucketMeta { leaf_key: node.key, partition, indices });
+                }
+            }
+            master.extend_from_slice(&tree.particles);
+        }
+        let seconds_share = t0.elapsed().as_secs_f64();
+
+        // Cache init: summaries of every piece, then graft (single rank:
+        // everything is local).
+        let summaries: Vec<SubtreeSummary<D>> = trees
+            .iter()
+            .map(|t| SubtreeSummary {
+                key: t.root().key,
+                bbox: t.root().bbox,
+                n_particles: t.root().n_particles,
+                data: t.root().data.clone(),
+                home_rank: 0,
+            })
+            .collect();
+        let n_subtrees = trees.len();
+        let cache: CacheTree<D> = CacheTree::new(0, config.tree_type.bits_per_level());
+        cache.init(&summaries, trees);
+
+        let report = StepReport {
+            n_subtrees,
+            n_partitions: decomp.n_partitions,
+            n_buckets: buckets.len(),
+            n_split_leaves,
+            seconds_decompose,
+            seconds_build,
+            seconds_share,
+            ..Default::default()
+        };
+        Step { cache, universe: decomp.universe, report, master, buckets }
+    }
+
+    /// Runs one traversal of `kind` with `visitor` over every Partition
+    /// in parallel, merges particle accumulators back, and returns the
+    /// per-bucket visitor states (in deterministic bucket order) plus
+    /// this traversal's statistics.
+    pub fn traverse<V: Visitor<Data = D>>(
+        &mut self,
+        visitor: &V,
+        kind: TraversalKind,
+    ) -> (Vec<V::State>, TraversalStats) {
+        let t0 = std::time::Instant::now();
+        let n_partitions =
+            self.buckets.iter().map(|b| b.partition).max().map_or(0, |m| m as usize + 1);
+
+        // Assemble per-partition target buckets (owned particle copies).
+        let mut per_partition: Vec<(Vec<usize>, Vec<TargetBucket<V::State>>)> =
+            (0..n_partitions).map(|_| (Vec::new(), Vec::new())).collect();
+        for (bi, meta) in self.buckets.iter().enumerate() {
+            let particles: Vec<Particle> =
+                meta.indices.iter().map(|&i| self.master[i as usize]).collect();
+            let bbox = BoundingBox::around(particles.iter().map(|p| p.pos));
+            let slot = &mut per_partition[meta.partition as usize];
+            slot.0.push(bi);
+            slot.1.push(TargetBucket {
+                leaf_key: meta.leaf_key,
+                particles,
+                bbox,
+                state: V::State::default(),
+            });
+        }
+
+        // Parallel traversal: partitions are independent, the cache is
+        // read-only (all local).
+        let cache = &self.cache;
+        let counts_total: WorkCounts = per_partition
+            .par_iter_mut()
+            .map(|(_, buckets)| traverse_local(cache, visitor, kind, buckets))
+            .reduce(WorkCounts::default, |mut a, b| {
+                a += b;
+                a
+            });
+
+        // Write-back: bucket particle copies return to the master array;
+        // states are collected in bucket order.
+        let mut states: Vec<Option<V::State>> = (0..self.buckets.len()).map(|_| None).collect();
+        for (bucket_ids, buckets) in per_partition {
+            for (bi, bucket) in bucket_ids.into_iter().zip(buckets) {
+                for (&mi, p) in self.buckets[bi].indices.iter().zip(&bucket.particles) {
+                    self.master[mi as usize] = *p;
+                }
+                states[bi] = Some(bucket.state);
+            }
+        }
+
+        self.report.counts += counts_total;
+        self.report.seconds_traverse += t0.elapsed().as_secs_f64();
+        (
+            states.into_iter().map(|s| s.expect("every bucket traversed")).collect(),
+            TraversalStats { counts: counts_total, fetches: 0 },
+        )
+    }
+
+    /// Read access to the step's current particle state (sources remain
+    /// the start-of-step snapshot; this reflects traversal write-backs).
+    pub fn particles(&self) -> &[Particle] {
+        &self.master
+    }
+
+    /// The particle ids of each bucket, aligned with the state vector
+    /// [`Step::traverse`] returns — for applications whose states refer
+    /// to bucket-local particle positions.
+    pub fn bucket_particle_ids(&self) -> Vec<Vec<u64>> {
+        self.buckets
+            .iter()
+            .map(|m| m.indices.iter().map(|&i| self.master[i as usize].id).collect())
+            .collect()
+    }
+
+    /// Number of leaves in the cached tree (sanity/debug).
+    pub fn n_leaves(&self) -> usize {
+        let mut n = 0;
+        let mut stack = vec![self.cache.root().expect("init")];
+        while let Some(node) = stack.pop() {
+            if node.kind == NodeKind::Leaf {
+                n += 1;
+            }
+            for c in node.children_iter(8) {
+                stack.push(c);
+            }
+        }
+        n
+    }
+}
+
+/// The shared-memory ParaTreeT engine: owns the particle set and the
+/// configuration, and runs steps.
+pub struct Framework<D: Data> {
+    /// Run configuration.
+    pub config: Configuration,
+    master: Vec<Particle>,
+    _marker: std::marker::PhantomData<D>,
+}
+
+impl<D: Data> Framework<D> {
+    /// A framework over `particles` with `config`.
+    pub fn new(config: Configuration, particles: Vec<Particle>) -> Framework<D> {
+        Framework { config, master: particles, _marker: std::marker::PhantomData }
+    }
+
+    /// Current particle state.
+    pub fn particles(&self) -> &[Particle] {
+        &self.master
+    }
+
+    /// Mutable particle state — for integration (drift/kick) between steps.
+    pub fn particles_mut(&mut self) -> &mut Vec<Particle> {
+        &mut self.master
+    }
+
+    /// Runs one step: builds the trees, hands the [`Step`] to `f` so the
+    /// application can launch traversals (the paper's `traversal()`
+    /// callback), then absorbs the updated particles. Returns `f`'s
+    /// result and the step report.
+    pub fn step<R>(&mut self, f: impl FnOnce(&mut Step<D>) -> R) -> (R, StepReport) {
+        let particles = std::mem::take(&mut self.master);
+        let mut step = Step::build(&self.config, particles);
+        let r = f(&mut step);
+        self.master = step.master;
+        (r, step.report)
+    }
+}

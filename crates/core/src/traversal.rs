@@ -1,0 +1,416 @@
+//! Traversal engines: the work-item machinery shared by the
+//! shared-memory and distributed executors.
+//!
+//! ParaTreeT's traversal is *transposed* relative to a textbook
+//! Barnes-Hut walk: "instead of traversing the tree for each bucket, it
+//! processes each bucket for each tree node" (§III-A). A work item is
+//! therefore a tree node plus the list of target buckets still
+//! interested in it; processing an item evaluates `open` per bucket and
+//! forwards the still-interested subset to the node's children. The
+//! classic walk ("BasicTrav" in Fig. 10) is the same machine seeded with
+//! one single-bucket item per target bucket.
+//!
+//! When an item reaches a [`NodeKind::Placeholder`], the interested
+//! buckets cannot proceed; the item is surrendered as a
+//! [`PendingFetch`] and the executor decides what to do — the
+//! shared-memory engine treats it as a bug (everything is local), the
+//! distributed engine turns it into a cache request.
+
+use crate::config::TraversalKind;
+use crate::visitor::{SpatialNodeView, TargetBucket, Visitor};
+use paratreet_cache::{CacheTree, NodeHandle, NodeKind};
+use paratreet_geometry::NodeKey;
+use std::ops::AddAssign;
+
+/// Which software-cache model a distributed run uses (Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheModel {
+    /// ParaTreeT's wait-free shared cache: parallel reads and writes,
+    /// placeholder swap by atomic store.
+    WaitFree,
+    /// Exclusive-write shared cache: one lock per rank serialises every
+    /// insertion (deserialisation included).
+    XWrite,
+    /// Per-thread caches ("Sequential" in Fig. 3): no sharing, so each
+    /// worker fetches its own copy of remote data — more communication
+    /// volume and memory, no insertion contention.
+    PerThread,
+}
+
+impl CacheModel {
+    /// Harness-output name matching the figure legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheModel::WaitFree => "WaitFree",
+            CacheModel::XWrite => "XWrite",
+            CacheModel::PerThread => "Sequential",
+        }
+    }
+}
+
+/// Interaction counters for one traversal. These are exact algorithmic
+/// quantities (identical across executors), and double as the cost basis
+/// for the virtual-time machine model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkCounts {
+    /// Tree nodes visited (work items processed).
+    pub nodes_visited: u64,
+    /// `open()` evaluations.
+    pub opens: u64,
+    /// Particle–node approximations applied (`node()` per target particle).
+    pub node_interactions: u64,
+    /// Particle–particle exact interactions (`leaf()` pairs).
+    pub leaf_interactions: u64,
+}
+
+impl AddAssign for WorkCounts {
+    fn add_assign(&mut self, o: WorkCounts) {
+        self.nodes_visited += o.nodes_visited;
+        self.opens += o.opens;
+        self.node_interactions += o.node_interactions;
+        self.leaf_interactions += o.leaf_interactions;
+    }
+}
+
+/// Per-traversal statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraversalStats {
+    /// Interaction counters.
+    pub counts: WorkCounts,
+    /// Placeholder hits that required a fetch.
+    pub fetches: u64,
+}
+
+/// A tree node plus the target buckets still interested in it.
+#[derive(Clone, Debug)]
+pub struct WorkItem<D> {
+    /// The node to evaluate.
+    pub node: NodeHandle<D>,
+    /// Indices into the partition's bucket array.
+    pub buckets: Vec<u32>,
+}
+
+/// A work item that hit a placeholder: the executor must fetch `key`
+/// and re-enqueue the buckets when the fill lands.
+#[derive(Clone, Debug)]
+pub struct PendingFetch<D> {
+    /// Key of the remote node.
+    pub key: NodeKey,
+    /// The placeholder node (carries `home_rank` and the request flag).
+    pub node: NodeHandle<D>,
+    /// Buckets that opened the placeholder.
+    pub buckets: Vec<u32>,
+}
+
+/// Evaluates one work item: `open`/`node`/`leaf` per interested bucket,
+/// pushing child items onto `out` (in reverse slot order, so a LIFO
+/// stack pops slot 0 first) and surrendering placeholder hits to
+/// `fetches`.
+pub fn process_item<V: Visitor>(
+    cache: &CacheTree<V::Data>,
+    visitor: &V,
+    buckets: &mut [TargetBucket<V::State>],
+    item: WorkItem<V::Data>,
+    out: &mut Vec<WorkItem<V::Data>>,
+    fetches: &mut Vec<PendingFetch<V::Data>>,
+    counts: &mut WorkCounts,
+) {
+    let node = item.node.get(cache);
+    counts.nodes_visited += 1;
+    let view = SpatialNodeView::of(node);
+    match node.kind {
+        NodeKind::Empty => {}
+        NodeKind::Leaf => {
+            for &b in &item.buckets {
+                counts.opens += 1;
+                let bucket = &mut buckets[b as usize];
+                if visitor.open(&view, bucket) {
+                    counts.leaf_interactions += (node.particles.len() * bucket.len()) as u64;
+                    visitor.leaf(&view, bucket);
+                } else {
+                    counts.node_interactions += bucket.len() as u64;
+                    visitor.node(&view, bucket);
+                }
+            }
+        }
+        NodeKind::Internal | NodeKind::Placeholder => {
+            let mut opened = Vec::new();
+            for &b in &item.buckets {
+                counts.opens += 1;
+                let bucket = &mut buckets[b as usize];
+                if visitor.open(&view, bucket) {
+                    opened.push(b);
+                } else {
+                    counts.node_interactions += bucket.len() as u64;
+                    visitor.node(&view, bucket);
+                }
+            }
+            if opened.is_empty() {
+                return;
+            }
+            if node.kind == NodeKind::Placeholder {
+                fetches.push(PendingFetch { key: node.key, node: item.node, buckets: opened });
+            } else {
+                // Reverse slot order: a LIFO stack then visits children
+                // in ascending slot (depth-first, SFC) order.
+                for i in (0..8).rev() {
+                    if let Some(c) = node.child(i) {
+                        out.push(WorkItem { node: NodeHandle::new(c), buckets: opened.clone() });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the initial work list for one partition's buckets.
+pub fn seed_items<V: Visitor>(
+    cache: &CacheTree<V::Data>,
+    kind: TraversalKind,
+    buckets: &[TargetBucket<V::State>],
+) -> Vec<WorkItem<V::Data>> {
+    let root = match cache.root() {
+        Some(r) => r,
+        None => return Vec::new(),
+    };
+    match kind {
+        TraversalKind::TopDown => {
+            if buckets.is_empty() {
+                return Vec::new();
+            }
+            vec![WorkItem {
+                node: NodeHandle::new(root),
+                buckets: (0..buckets.len() as u32).collect(),
+            }]
+        }
+        TraversalKind::BasicDfs => (0..buckets.len() as u32)
+            .map(|b| WorkItem { node: NodeHandle::new(root), buckets: vec![b] })
+            .collect(),
+        TraversalKind::UpAndDown => {
+            let mut items = Vec::new();
+            for (bi, bucket) in buckets.iter().enumerate() {
+                seed_up_and_down::<V>(cache, bucket.leaf_key, bi as u32, &mut items);
+            }
+            items
+        }
+        TraversalKind::DualTree => {
+            panic!("dual-tree traversal runs on the shared-memory engine only (traverse_local)")
+        }
+    }
+}
+
+/// Runs a dual-tree traversal (Gray & Moore) over one partition's
+/// buckets. The work unit is a *(source node, target node)* pair; the
+/// visitor's `cell()` decides whether to open both sides (B² child
+/// pairs) or only the source (B pairs), and a source pruned against an
+/// internal target applies its summary to every partition bucket below
+/// that target at once — the bulk saving dual-tree methods offer.
+///
+/// Pruning against internal targets is conservative: `open()` is
+/// consulted with an empty pseudo-bucket carrying the target node's
+/// bounding box and default state.
+pub fn traverse_dual<V: Visitor>(
+    cache: &CacheTree<V::Data>,
+    visitor: &V,
+    buckets: &mut [TargetBucket<V::State>],
+) -> WorkCounts {
+    let mut counts = WorkCounts::default();
+    let root = match cache.root() {
+        Some(r) => r,
+        None => return counts,
+    };
+    if buckets.is_empty() {
+        return counts;
+    }
+    let bits = cache.bits;
+    // Buckets of this partition beneath a given target node.
+    let under = |key: paratreet_geometry::NodeKey, buckets: &[TargetBucket<V::State>]| -> Vec<u32> {
+        buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| key == b.leaf_key || key.is_ancestor_of(b.leaf_key, bits))
+            .map(|(i, _)| i as u32)
+            .collect()
+    };
+    // Target nodes worth visiting: ancestors (and selves) of this
+    // partition's bucket leaves. Everything else belongs to other
+    // partitions and is skipped before it costs a pair evaluation.
+    let mut relevant: std::collections::HashSet<paratreet_geometry::NodeKey> =
+        std::collections::HashSet::new();
+    for b in buckets.iter() {
+        let mut k = b.leaf_key;
+        loop {
+            if !relevant.insert(k) || k == paratreet_geometry::NodeKey::root() {
+                break;
+            }
+            k = k.parent(bits);
+        }
+    }
+
+    let mut stack: Vec<(NodeHandle<V::Data>, NodeHandle<V::Data>)> =
+        vec![(NodeHandle::new(root), NodeHandle::new(root))];
+    while let Some((src_h, tgt_h)) = stack.pop() {
+        let src = src_h.get(cache);
+        let tgt = tgt_h.get(cache);
+        if !relevant.contains(&tgt.key) {
+            continue;
+        }
+        counts.nodes_visited += 1;
+        let src_view = SpatialNodeView::of(src);
+
+        if tgt.kind == NodeKind::Leaf {
+            // Single-tree semantics against the bucket(s) of this leaf.
+            let members = under(tgt.key, buckets);
+            for b in members {
+                let bucket = &mut buckets[b as usize];
+                counts.opens += 1;
+                if !visitor.open(&src_view, bucket) {
+                    counts.node_interactions += bucket.len() as u64;
+                    visitor.node(&src_view, bucket);
+                } else if src.kind == NodeKind::Leaf {
+                    counts.leaf_interactions += (src.particles.len() * bucket.len()) as u64;
+                    visitor.leaf(&src_view, bucket);
+                } else {
+                    assert!(
+                        src.kind == NodeKind::Internal || src.kind == NodeKind::Empty,
+                        "dual-tree traversal requires a fully local tree"
+                    );
+                    for i in (0..8).rev() {
+                        if let Some(c) = src.child(i) {
+                            stack.push((NodeHandle::new(c), tgt_h));
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        // Internal target: does this partition own anything below it?
+        let members = under(tgt.key, buckets);
+        if members.is_empty() || tgt.kind == NodeKind::Empty {
+            continue;
+        }
+        assert!(
+            tgt.kind == NodeKind::Internal,
+            "dual-tree traversal requires a fully local tree"
+        );
+        // Conservative pruning with a pseudo-bucket at the target's box.
+        let pseudo = TargetBucket {
+            leaf_key: tgt.key,
+            particles: Vec::new(),
+            bbox: tgt.bbox,
+            state: V::State::default(),
+        };
+        counts.opens += 1;
+        if !visitor.open(&src_view, &pseudo) {
+            // The source's summary covers every bucket below the target.
+            for b in members {
+                let bucket = &mut buckets[b as usize];
+                counts.node_interactions += bucket.len() as u64;
+                visitor.node(&src_view, bucket);
+            }
+            continue;
+        }
+        if src.kind != NodeKind::Internal {
+            // Source cannot open further (leaf): descend the target only.
+            for i in (0..8).rev() {
+                if let Some(c) = tgt.child(i) {
+                    stack.push((src_h, NodeHandle::new(c)));
+                }
+            }
+            continue;
+        }
+        let tgt_view = SpatialNodeView::of(tgt);
+        if visitor.cell(&src_view, &tgt_view) {
+            // Open both: B² child pairs.
+            for i in (0..8).rev() {
+                if let Some(sc) = src.child(i) {
+                    for j in (0..8).rev() {
+                        if let Some(tc) = tgt.child(j) {
+                            stack.push((NodeHandle::new(sc), NodeHandle::new(tc)));
+                        }
+                    }
+                }
+            }
+        } else {
+            // Keep the target, open only the source: B pairs.
+            for i in (0..8).rev() {
+                if let Some(sc) = src.child(i) {
+                    stack.push((NodeHandle::new(sc), tgt_h));
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Up-and-down seeds for one bucket: walk the path root → leaf; emit, for
+/// every ancestor, its non-path children, and the leaf itself last — so a
+/// LIFO stack visits the bucket's own leaf first, then nearby siblings,
+/// then progressively farther subtrees. If the walk hits a placeholder
+/// (the leaf lives under unfetched remote data), the placeholder itself
+/// is emitted as the final, nearest item.
+fn seed_up_and_down<V: Visitor>(
+    cache: &CacheTree<V::Data>,
+    leaf_key: NodeKey,
+    bucket: u32,
+    items: &mut Vec<WorkItem<V::Data>>,
+) {
+    let root = match cache.root() {
+        Some(r) => r,
+        None => return,
+    };
+    let bits = cache.bits;
+    let leaf_level = leaf_key.level(bits);
+    let mut node = root;
+    let mut level = node.key.level(bits);
+    loop {
+        if node.key == leaf_key || node.kind != NodeKind::Internal {
+            // Reached the leaf (or a placeholder / oversized leaf that
+            // covers it): nearest item, emitted last → popped first.
+            items.push(WorkItem { node: NodeHandle::new(node), buckets: vec![bucket] });
+            return;
+        }
+        level += 1;
+        debug_assert!(level <= leaf_level, "leaf key must be beneath the root");
+        let path_slot = leaf_key.ancestor_at(level, bits).child_index(bits);
+        for i in (0..8).rev() {
+            if i == path_slot {
+                continue;
+            }
+            if let Some(c) = node.child(i) {
+                items.push(WorkItem { node: NodeHandle::new(c), buckets: vec![bucket] });
+            }
+        }
+        match node.child(path_slot) {
+            Some(c) => node = c,
+            None => return, // leaf's slot vanished: nothing nearer to add
+        }
+    }
+}
+
+/// Runs a traversal over one partition's buckets entirely locally,
+/// panicking if any placeholder is opened (the shared-memory engine
+/// guarantees all data is local). Returns the interaction counters.
+pub fn traverse_local<V: Visitor>(
+    cache: &CacheTree<V::Data>,
+    visitor: &V,
+    kind: TraversalKind,
+    buckets: &mut [TargetBucket<V::State>],
+) -> WorkCounts {
+    if kind == TraversalKind::DualTree {
+        return traverse_dual(cache, visitor, buckets);
+    }
+    let mut counts = WorkCounts::default();
+    let mut stack = seed_items::<V>(cache, kind, buckets);
+    // Up-and-down seeds are ordered nearest-last; reverse handled by LIFO.
+    let mut fetches = Vec::new();
+    while let Some(item) = stack.pop() {
+        process_item(cache, visitor, buckets, item, &mut stack, &mut fetches, &mut counts);
+        assert!(
+            fetches.is_empty(),
+            "local traversal reached a remote placeholder {:?}",
+            fetches[0].key
+        );
+    }
+    counts
+}

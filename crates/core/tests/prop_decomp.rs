@@ -1,0 +1,125 @@
+//! Property tests for the decomposition layer: every particle gets a
+//! valid partition, pieces tile without overlap, and all of it is
+//! deterministic — for every decomposition type, tree type, and curve.
+
+use paratreet_core::{decompose, Configuration, DecompType, SfcCurve};
+use paratreet_geometry::Vec3;
+use paratreet_particles::Particle;
+use paratreet_tree::TreeType;
+use proptest::prelude::*;
+
+fn arb_particles() -> impl Strategy<Value = Vec<Particle>> {
+    prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0), 1..400).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, z))| Particle::point_mass(i as u64, 1.0, Vec3::new(x, y, z)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_particle_lands_in_a_valid_partition(
+        ps in arb_particles(),
+        decomp_idx in 0usize..4,
+        tree_idx in 0usize..4,
+        n_partitions in 1usize..24,
+        n_subtrees in 1usize..24,
+        hilbert in any::<bool>(),
+    ) {
+        let config = Configuration {
+            decomp_type: [DecompType::Sfc, DecompType::Oct, DecompType::Kd, DecompType::LongestDim][decomp_idx],
+            tree_type: [TreeType::Octree, TreeType::KdTree, TreeType::LongestDim, TreeType::BinaryOct][tree_idx],
+            n_partitions,
+            n_subtrees,
+            bucket_size: 8,
+            sfc: if hilbert { SfcCurve::Hilbert } else { SfcCurve::Morton },
+            ..Default::default()
+        };
+        let n = ps.len();
+        let d = decompose(ps, &config);
+        prop_assert!(d.n_partitions >= 1);
+        let mut total = 0usize;
+        for s in &d.subtrees {
+            for p in &s.particles {
+                let id = d.partitioner.assign(p) as usize;
+                prop_assert!(id < d.n_partitions, "partition {id} out of {}", d.n_partitions);
+            }
+            total += s.particles.len();
+        }
+        prop_assert_eq!(total, n, "pieces must conserve particles");
+    }
+
+    #[test]
+    fn pieces_form_an_antichain(
+        ps in arb_particles(),
+        tree_idx in 0usize..4,
+        n_subtrees in 1usize..32,
+    ) {
+        let tree_type =
+            [TreeType::Octree, TreeType::KdTree, TreeType::LongestDim, TreeType::BinaryOct][tree_idx];
+        let config = Configuration {
+            tree_type,
+            n_subtrees,
+            bucket_size: 4,
+            ..Default::default()
+        };
+        let d = decompose(ps, &config);
+        let bits = tree_type.bits_per_level();
+        for a in &d.subtrees {
+            for b in &d.subtrees {
+                if a.key != b.key {
+                    prop_assert!(
+                        !a.key.is_ancestor_of(b.key, bits),
+                        "piece {:?} is an ancestor of {:?}",
+                        a.key,
+                        b.key
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_is_deterministic(
+        ps in arb_particles(),
+        decomp_idx in 0usize..4,
+    ) {
+        let config = Configuration {
+            decomp_type: [DecompType::Sfc, DecompType::Oct, DecompType::Kd, DecompType::LongestDim][decomp_idx],
+            bucket_size: 8,
+            ..Default::default()
+        };
+        let a = decompose(ps.clone(), &config);
+        let b = decompose(ps, &config);
+        prop_assert_eq!(a.n_partitions, b.n_partitions);
+        prop_assert_eq!(a.subtrees.len(), b.subtrees.len());
+        for (x, y) in a.subtrees.iter().zip(&b.subtrees) {
+            prop_assert_eq!(x.key, y.key);
+            prop_assert_eq!(x.particles.len(), y.particles.len());
+        }
+    }
+
+    #[test]
+    fn partition_assignment_is_stable(
+        ps in arb_particles(),
+        decomp_idx in 0usize..4,
+    ) {
+        // Assigning the same particle twice gives the same partition
+        // (the partitioner is a pure function of key/position).
+        let config = Configuration {
+            decomp_type: [DecompType::Sfc, DecompType::Oct, DecompType::Kd, DecompType::LongestDim][decomp_idx],
+            n_partitions: 7,
+            bucket_size: 8,
+            ..Default::default()
+        };
+        let d = decompose(ps, &config);
+        for s in &d.subtrees {
+            for p in &s.particles {
+                prop_assert_eq!(d.partitioner.assign(p), d.partitioner.assign(p));
+            }
+        }
+    }
+}

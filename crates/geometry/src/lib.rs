@@ -1,0 +1,69 @@
+//! Geometric primitives for ParaTreeT.
+//!
+//! This crate holds everything the tree layers need to reason about space:
+//!
+//! * [`Vec3`] — a plain 3-component `f64` vector with the small set of
+//!   operations the physics kernels use,
+//! * [`BoundingBox`] — axis-aligned boxes with grow/intersect/containment,
+//! * [`Sphere`] — bounding spheres used by opening criteria,
+//! * [`morton`] — space-filling-curve (Morton / Z-order) particle keys used
+//!   by SFC decomposition,
+//! * [`hilbert`] — 3-D Hilbert-curve keys (Skilling's algorithm), the
+//!   locality-preserving alternative production codes prefer,
+//! * [`key`] — prefix keys identifying nodes of a hierarchical tree, the
+//!   same keying scheme classic hashed oct-tree codes use.
+//!
+//! Everything here is `Copy`, allocation-free, and deterministic so the
+//! higher layers can use it inside tight traversal loops and reproducible
+//! tests.
+
+pub mod bbox;
+pub mod hilbert;
+pub mod key;
+pub mod morton;
+pub mod sphere;
+pub mod vec3;
+
+pub use bbox::BoundingBox;
+pub use hilbert::{hilbert_key, HILBERT_BITS_PER_DIM};
+pub use key::{NodeKey, ROOT_KEY};
+pub use morton::{morton_key, MortonKey, MORTON_BITS_PER_DIM};
+pub use sphere::Sphere;
+pub use vec3::Vec3;
+
+/// The three spatial axes, used by k-d style splits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The x axis (component 0).
+    X,
+    /// The y axis (component 1).
+    Y,
+    /// The z axis (component 2).
+    Z,
+}
+
+impl Axis {
+    /// All axes in component order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// The component index of this axis (0, 1, or 2).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// The axis for a component index; panics if `i > 2`.
+    #[inline]
+    pub fn from_index(i: usize) -> Axis {
+        match i {
+            0 => Axis::X,
+            1 => Axis::Y,
+            2 => Axis::Z,
+            _ => panic!("axis index out of range: {i}"),
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Morton (Z-order) space-filling-curve keys.
+//!
+//! SFC decomposition maps every particle to a point on a one-dimensional
+//! number line and slices that line into partitions uniform in particle
+//! count (Warren & Salmon 1993, ref. 6 in the paper). We use the Morton
+//! curve: each coordinate is quantised to [`MORTON_BITS_PER_DIM`] bits and
+//! the bits of x, y, z are interleaved into a single 63-bit key.
+//!
+//! The same bit layout doubles as the octree digit sequence: the top three
+//! bits of a key name the root octant the particle falls in, the next
+//! three its sub-octant, and so on. This is the "mapping function from
+//! particle key to octree node key" the paper mentions, and it is what
+//! lets SFC decomposition pair naturally with octrees.
+
+/// Bits of resolution per dimension (3 × 21 = 63 bits total).
+pub const MORTON_BITS_PER_DIM: u32 = 21;
+
+/// A 63-bit Morton key. The value `u64::MAX` is never produced and is free
+/// for use as a sentinel by callers.
+pub type MortonKey = u64;
+
+use crate::{BoundingBox, Vec3};
+
+/// Spreads the low 21 bits of `v` so that consecutive input bits land
+/// three positions apart (bit i of the input moves to bit 3i).
+#[inline]
+pub fn spread_bits(v: u64) -> u64 {
+    // Standard magic-number bit spreading for 21-bit inputs.
+    let mut x = v & 0x1f_ffff; // 21 bits
+    x = (x | x << 32) & 0x1f00000000ffff;
+    x = (x | x << 16) & 0x1f0000ff0000ff;
+    x = (x | x << 8) & 0x100f00f00f00f00f;
+    x = (x | x << 4) & 0x10c30c30c30c30c3;
+    x = (x | x << 2) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`spread_bits`]: collects every third bit back together.
+#[inline]
+pub fn compact_bits(v: u64) -> u64 {
+    let mut x = v & 0x1249249249249249;
+    x = (x | x >> 2) & 0x10c30c30c30c30c3;
+    x = (x | x >> 4) & 0x100f00f00f00f00f;
+    x = (x | x >> 8) & 0x1f0000ff0000ff;
+    x = (x | x >> 16) & 0x1f00000000ffff;
+    x = (x | x >> 32) & 0x1f_ffff;
+    x
+}
+
+/// Interleaves three 21-bit integer coordinates into a Morton key.
+/// Bit layout matches [`BoundingBox::octant`]: x occupies the highest bit
+/// of every 3-bit digit, then y, then z.
+#[inline]
+pub fn interleave(ix: u64, iy: u64, iz: u64) -> MortonKey {
+    (spread_bits(ix) << 2) | (spread_bits(iy) << 1) | spread_bits(iz)
+}
+
+/// Splits a Morton key back into its three integer coordinates.
+#[inline]
+pub fn deinterleave(key: MortonKey) -> (u64, u64, u64) {
+    (compact_bits(key >> 2), compact_bits(key >> 1), compact_bits(key))
+}
+
+/// Quantises one coordinate of `p` into a 21-bit cell index within `[lo, hi)`.
+#[inline]
+fn quantize(v: f64, lo: f64, hi: f64) -> u64 {
+    let cells = (1u64 << MORTON_BITS_PER_DIM) as f64;
+    let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.0 };
+    // Clamp so points exactly on the upper boundary stay in the last cell.
+    ((t * cells) as u64).min((1 << MORTON_BITS_PER_DIM) - 1)
+}
+
+/// The Morton key of position `p` within `universe`. Points outside the
+/// box are clamped to its surface cells.
+#[inline]
+pub fn morton_key(p: Vec3, universe: &BoundingBox) -> MortonKey {
+    let ix = quantize(p.x, universe.lo.x, universe.hi.x);
+    let iy = quantize(p.y, universe.lo.y, universe.hi.y);
+    let iz = quantize(p.z, universe.lo.z, universe.hi.z);
+    interleave(ix, iy, iz)
+}
+
+/// The octree child digit (0..8) of a Morton key at `level` (level 0 is
+/// the root split). Returns the 3-bit group counting from the top.
+#[inline]
+pub fn octree_digit(key: MortonKey, level: u32) -> usize {
+    debug_assert!(level < MORTON_BITS_PER_DIM);
+    ((key >> (3 * (MORTON_BITS_PER_DIM - 1 - level))) & 0b111) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_compact_roundtrip() {
+        for v in [0u64, 1, 2, 0x15555, 0x1f_ffff, 123_456] {
+            assert_eq!(compact_bits(spread_bits(v)), v);
+        }
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        let (x, y, z) = (123u64, 45_678, 1_999_999);
+        assert_eq!(deinterleave(interleave(x, y, z)), (x, y, z));
+    }
+
+    #[test]
+    fn interleave_bit_layout_matches_octants() {
+        // x-high alone should set bit 2 of the top digit.
+        let max = (1u64 << MORTON_BITS_PER_DIM) - 1;
+        let key = interleave(max, 0, 0);
+        assert_eq!(octree_digit(key, 0), 0b100);
+        let key = interleave(0, max, 0);
+        assert_eq!(octree_digit(key, 0), 0b010);
+        let key = interleave(0, 0, max);
+        assert_eq!(octree_digit(key, 0), 0b001);
+    }
+
+    #[test]
+    fn keys_fit_in_63_bits() {
+        let max = (1u64 << MORTON_BITS_PER_DIM) - 1;
+        let key = interleave(max, max, max);
+        assert!(key < 1u64 << 63);
+        assert_eq!(key, (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn morton_key_ordering_is_spatial() {
+        let u = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
+        // All points in the low octant sort before all points in octant 7.
+        let lo_octant = morton_key(Vec3::splat(0.25), &u);
+        let hi_octant = morton_key(Vec3::splat(0.75), &u);
+        assert!(lo_octant < hi_octant);
+        assert_eq!(octree_digit(lo_octant, 0), 0);
+        assert_eq!(octree_digit(hi_octant, 0), 7);
+    }
+
+    #[test]
+    fn boundary_points_clamp() {
+        let u = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
+        let k = morton_key(Vec3::splat(1.0), &u);
+        let (x, y, z) = deinterleave(k);
+        let max = (1u64 << MORTON_BITS_PER_DIM) - 1;
+        assert_eq!((x, y, z), (max, max, max));
+        // Outside points clamp rather than wrap.
+        let k2 = morton_key(Vec3::splat(5.0), &u);
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn degenerate_universe_yields_zero() {
+        let u = BoundingBox::new(Vec3::splat(1.0), Vec3::splat(1.0));
+        assert_eq!(morton_key(Vec3::splat(1.0), &u), 0);
+    }
+
+    #[test]
+    fn octree_digit_walks_down_levels() {
+        let u = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
+        // Point in octant 7 of octant 0: first digit 0, second 7.
+        let p = Vec3::splat(0.49);
+        let k = morton_key(p, &u);
+        assert_eq!(octree_digit(k, 0), 0);
+        assert_eq!(octree_digit(k, 1), 7);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based invariants for the geometry primitives.
+
+use paratreet_geometry::{morton, BoundingBox, NodeKey, Sphere, Vec3, ROOT_KEY};
+use proptest::prelude::*;
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (-1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_vec3() -> impl Strategy<Value = Vec3> {
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn box_around_contains_all_points(pts in prop::collection::vec(vec3(), 1..64)) {
+        let b = BoundingBox::around(pts.iter().copied());
+        for p in &pts {
+            prop_assert!(b.contains(*p));
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in vec3(), b in vec3(), c in vec3(), d in vec3()) {
+        let b1 = BoundingBox::new(a, b);
+        let b2 = BoundingBox::new(c, d);
+        let u = b1.union(&b2);
+        prop_assert!(u.contains_box(&b1));
+        prop_assert!(u.contains_box(&b2));
+    }
+
+    #[test]
+    fn octants_tile_without_overlap_interior(p in unit_vec3()) {
+        let b = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
+        // Each point maps to exactly one octant, which contains it.
+        let i = b.octant_of(p);
+        prop_assert!(b.octant(i).contains(p));
+    }
+
+    #[test]
+    fn dist_sq_lower_bounds_point_distances(p in vec3(), a in vec3(), b in vec3()) {
+        let bx = BoundingBox::new(a, b);
+        let d = bx.dist_sq_to(p);
+        // distance to any corner is at least the box distance
+        prop_assert!(p.dist_sq(bx.lo) + 1e-9 >= d);
+        prop_assert!(p.dist_sq(bx.hi) + 1e-9 >= d);
+        prop_assert!(bx.max_dist_sq_to(p) + 1e-9 >= d);
+    }
+
+    #[test]
+    fn sphere_box_agrees_with_point_sampling(p in unit_vec3(), r in 0.01f64..2.0) {
+        let b = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
+        let s = Sphere::new(p * 3.0, r);
+        if b.intersects_sphere(&s) {
+            prop_assert!(b.dist_sq_to(s.center) <= s.radius_sq() + 1e-9);
+        } else {
+            prop_assert!(b.dist_sq_to(s.center) > s.radius_sq());
+        }
+    }
+
+    #[test]
+    fn morton_roundtrip(x in 0u64..(1<<21), y in 0u64..(1<<21), z in 0u64..(1<<21)) {
+        let k = morton::interleave(x, y, z);
+        prop_assert_eq!(morton::deinterleave(k), (x, y, z));
+    }
+
+    #[test]
+    fn morton_key_is_monotone_under_octant_refinement(p in unit_vec3()) {
+        // The first octree digit of the particle key matches the octant
+        // that the universe box assigns the point to.
+        let u = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
+        let k = morton::morton_key(p, &u);
+        prop_assert_eq!(morton::octree_digit(k, 0), u.octant_of(p));
+    }
+
+    #[test]
+    fn node_key_child_parent(path in prop::collection::vec(0usize..8, 0..20)) {
+        let mut k = ROOT_KEY;
+        for &d in &path {
+            let c = k.child(d, 3);
+            prop_assert_eq!(c.parent(3), k);
+            prop_assert_eq!(c.child_index(3), d);
+            k = c;
+        }
+        prop_assert_eq!(k.level(3), path.len() as u32);
+        if !path.is_empty() {
+            prop_assert!(ROOT_KEY.is_ancestor_of(k, 3));
+        }
+    }
+
+    #[test]
+    fn node_morton_range_nests(path in prop::collection::vec(0usize..8, 1..21)) {
+        let mut k = ROOT_KEY;
+        let mut prev = k.morton_range(21);
+        for &d in &path {
+            k = k.child(d, 3);
+            let (lo, hi) = k.morton_range(21);
+            prop_assert!(lo >= prev.0 && hi <= prev.1, "child range must nest");
+            prev = (lo, hi);
+        }
+    }
+
+    #[test]
+    fn morton_preserves_octree_locality(a in unit_vec3(), b in unit_vec3()) {
+        // If two points share the same first octree digit, their keys lie
+        // in the same eighth of the key space.
+        let u = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
+        let ka = morton::morton_key(a, &u);
+        let kb = morton::morton_key(b, &u);
+        if u.octant_of(a) == u.octant_of(b) {
+            prop_assert_eq!(ka >> 60, kb >> 60);
+        }
+    }
+
+    #[test]
+    fn node_key_total_order_matches_dfs(d1 in 0usize..8, d2 in 0usize..8) {
+        // Among siblings, key order is child-index order.
+        let a = ROOT_KEY.child(d1, 3);
+        let b = ROOT_KEY.child(d2, 3);
+        prop_assert_eq!(a.cmp(&b), d1.cmp(&d2));
+        let _ = NodeKey::root();
+    }
+}

@@ -1,0 +1,383 @@
+//! Deterministic synthetic initial-condition generators.
+//!
+//! Each generator stands in for one of the paper's datasets (see the
+//! substitution table in DESIGN.md). All of them take an explicit seed and
+//! use `StdRng`, so every experiment in the repo is reproducible bit-for-bit.
+
+use crate::Particle;
+use paratreet_geometry::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gravitational constant in simulation units (G = 1 everywhere).
+pub const G: f64 = 1.0;
+
+/// Draws a unit vector isotropically distributed on the sphere.
+fn random_unit_vector(rng: &mut StdRng) -> Vec3 {
+    // Marsaglia's method: uniform on the sphere without trig.
+    loop {
+        let x: f64 = rng.random_range(-1.0..1.0);
+        let y: f64 = rng.random_range(-1.0..1.0);
+        let s = x * x + y * y;
+        if s < 1.0 {
+            let f = 2.0 * (1.0 - s).sqrt();
+            return Vec3::new(x * f, y * f, 1.0 - 2.0 * s);
+        }
+    }
+}
+
+/// A standard-normal sample via Box–Muller (rand_distr is outside the
+/// allowed dependency set).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Uniform random positions in a cube of half-width `half` centred at the
+/// origin; equal masses summing to `total_mass`; zero velocities.
+///
+/// Stand-in for the paper's "80 million particles in a uniform particle
+/// distribution representing a volume of the present-day Universe".
+pub fn uniform_cube(n: usize, seed: u64, half: f64, total_mass: f64) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = total_mass / n.max(1) as f64;
+    // Softening comparable to the mean interparticle spacing over 50.
+    let soft = 2.0 * half / (n.max(1) as f64).cbrt() / 50.0;
+    (0..n)
+        .map(|i| {
+            let pos = Vec3::new(
+                rng.random_range(-half..half),
+                rng.random_range(-half..half),
+                rng.random_range(-half..half),
+            );
+            Particle { id: i as u64, mass: m, pos, softening: soft, ..Particle::default() }
+        })
+        .collect()
+}
+
+/// A Plummer sphere of scale radius `a` in virial equilibrium
+/// (Aarseth, Henon & Wielen 1974 sampling), total mass `total_mass`.
+pub fn plummer(n: usize, seed: u64, a: f64, total_mass: f64) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = total_mass / n.max(1) as f64;
+    let soft = a / (n.max(1) as f64).cbrt() / 10.0;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        // Radius from the inverse cumulative mass profile.
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let r = a / (u.powf(-2.0 / 3.0) - 1.0).sqrt();
+        let pos = random_unit_vector(&mut rng) * r;
+        // Velocity magnitude by von Neumann rejection on q²(1-q²)^(7/2).
+        let q = loop {
+            let q: f64 = rng.random_range(0.0..1.0);
+            let g: f64 = rng.random_range(0.0..0.1);
+            if g < q * q * (1.0 - q * q).powf(3.5) {
+                break q;
+            }
+        };
+        let v_esc = (2.0 * G * total_mass).sqrt() * (r * r + a * a).powf(-0.25);
+        let vel = random_unit_vector(&mut rng) * (q * v_esc);
+        out.push(Particle {
+            id: i as u64,
+            mass: m,
+            pos,
+            vel,
+            softening: soft,
+            ..Particle::default()
+        });
+    }
+    out
+}
+
+/// A clustered volume: `clusters` Plummer spheres with centres uniform in
+/// a cube of half-width `half`. Stand-in for the paper's "clustered
+/// dataset of 80 million particles" used in the cache-model comparison
+/// (Fig. 3). Clustering is what stresses tree imbalance and the cache.
+pub fn clustered(n: usize, clusters: usize, seed: u64, half: f64, total_mass: f64) -> Vec<Particle> {
+    let clusters = clusters.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec3> = (0..clusters)
+        .map(|_| {
+            Vec3::new(
+                rng.random_range(-half..half),
+                rng.random_range(-half..half),
+                rng.random_range(-half..half),
+            )
+        })
+        .collect();
+    let a = half / clusters as f64 / 2.0;
+    let mut out = Vec::with_capacity(n);
+    for c in 0..clusters {
+        let n_c = n / clusters + usize::from(c < n % clusters);
+        let sub_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(c as u64);
+        let mut cluster = plummer(n_c, sub_seed, a, total_mass / clusters as f64);
+        for p in &mut cluster {
+            p.pos += centers[c];
+            p.id = out.len() as u64;
+            out.push(*p);
+        }
+    }
+    out
+}
+
+/// Parameters for [`keplerian_disk`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiskParams {
+    /// Mass of the central star (placed at the origin as particle 0).
+    pub star_mass: f64,
+    /// Mass of the embedded giant planet.
+    pub planet_mass: f64,
+    /// Circular orbit radius of the planet.
+    pub planet_radius: f64,
+    /// Inner edge of the planetesimal disk.
+    pub r_in: f64,
+    /// Outer edge of the planetesimal disk.
+    pub r_out: f64,
+    /// Total mass of the planetesimal disk.
+    pub disk_mass: f64,
+    /// Physical (collision) radius of each planetesimal.
+    pub body_radius: f64,
+    /// RMS eccentricity excitation of the planetesimals.
+    pub rms_ecc: f64,
+    /// Disk aspect ratio h/r (vertical thickness).
+    pub aspect: f64,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        // Loosely mirrors the paper's case study: star + Jupiter-mass
+        // planet, disk spanning the 3:1 .. 5:3 resonances around the
+        // planet at 5.2 AU (units: AU, solar masses, G=1).
+        DiskParams {
+            star_mass: 1.0,
+            planet_mass: 1.0e-3,
+            planet_radius: 5.2,
+            r_in: 2.0,
+            r_out: 4.4,
+            disk_mass: 1.0e-5,
+            body_radius: 3.3e-7, // ~50 km in AU
+            rms_ecc: 0.02,
+            aspect: 0.01,
+        }
+    }
+}
+
+/// A planetesimal disk on near-circular Keplerian orbits around a central
+/// star, with an embedded giant planet. Particle 0 is the star, particle 1
+/// the planet, and particles 2.. the planetesimals with surface density
+/// Σ ∝ 1/r. Stand-in for the Fig. 12–13 protoplanetary-disk dataset.
+pub fn keplerian_disk(n: usize, seed: u64, params: DiskParams) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n + 2);
+    out.push(Particle {
+        id: 0,
+        mass: params.star_mass,
+        softening: 1e-3,
+        ..Particle::default()
+    });
+    let v_planet = (G * params.star_mass / params.planet_radius).sqrt();
+    out.push(Particle {
+        id: 1,
+        mass: params.planet_mass,
+        pos: Vec3::new(params.planet_radius, 0.0, 0.0),
+        vel: Vec3::new(0.0, v_planet, 0.0),
+        softening: 1e-3,
+        ..Particle::default()
+    });
+    let m = params.disk_mass / n.max(1) as f64;
+    for i in 0..n {
+        // Σ ∝ 1/r means the cumulative mass is linear in r: sample radius
+        // uniformly between the edges.
+        let r: f64 = rng.random_range(params.r_in..params.r_out);
+        let phi: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        let z = standard_normal(&mut rng) * params.aspect * r;
+        let pos = Vec3::new(r * phi.cos(), r * phi.sin(), z);
+        // Near-circular orbit with small epicyclic excitation.
+        let v_circ = (G * params.star_mass / r).sqrt();
+        let e_r = standard_normal(&mut rng) * params.rms_ecc * v_circ;
+        let e_t = standard_normal(&mut rng) * params.rms_ecc * v_circ * 0.5;
+        let tangent = Vec3::new(-phi.sin(), phi.cos(), 0.0);
+        let radial = Vec3::new(phi.cos(), phi.sin(), 0.0);
+        let vel = tangent * (v_circ + e_t) + radial * e_r;
+        out.push(Particle {
+            id: (i + 2) as u64,
+            mass: m,
+            pos,
+            vel,
+            radius: params.body_radius,
+            softening: params.body_radius,
+            ..Particle::default()
+        });
+    }
+    out
+}
+
+/// A perturbed cubic lattice of gas particles: grid positions displaced by
+/// Gaussian noise of relative amplitude `amplitude`. Stand-in for the
+/// "cosmological volume of 33 million particles" gas snapshot used in the
+/// SPH comparison (Fig. 11). Particles carry uniform internal energy.
+pub fn perturbed_lattice(n: usize, seed: u64, half: f64, amplitude: f64) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (n as f64).cbrt().ceil() as usize;
+    let spacing = 2.0 * half / side.max(1) as f64;
+    let m = 1.0 / n.max(1) as f64;
+    let mut out = Vec::with_capacity(n);
+    'fill: for ix in 0..side {
+        for iy in 0..side {
+            for iz in 0..side {
+                if out.len() == n {
+                    break 'fill;
+                }
+                let base = Vec3::new(
+                    -half + (ix as f64 + 0.5) * spacing,
+                    -half + (iy as f64 + 0.5) * spacing,
+                    -half + (iz as f64 + 0.5) * spacing,
+                );
+                let jitter = Vec3::new(
+                    standard_normal(&mut rng),
+                    standard_normal(&mut rng),
+                    standard_normal(&mut rng),
+                ) * (amplitude * spacing);
+                out.push(Particle {
+                    id: out.len() as u64,
+                    mass: m,
+                    pos: base + jitter,
+                    smoothing: spacing,
+                    internal_energy: 1.0,
+                    softening: spacing / 20.0,
+                    ..Particle::default()
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParticleVec;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_cube(100, 7, 1.0, 1.0), uniform_cube(100, 7, 1.0, 1.0));
+        assert_eq!(plummer(50, 7, 1.0, 1.0), plummer(50, 7, 1.0, 1.0));
+        assert_ne!(uniform_cube(100, 7, 1.0, 1.0), uniform_cube(100, 8, 1.0, 1.0));
+    }
+
+    #[test]
+    fn uniform_cube_bounds_and_mass() {
+        let ps = uniform_cube(1000, 1, 2.0, 5.0);
+        assert_eq!(ps.len(), 1000);
+        for p in &ps {
+            assert!(p.pos.x.abs() <= 2.0 && p.pos.y.abs() <= 2.0 && p.pos.z.abs() <= 2.0);
+        }
+        assert!((ps.total_mass() - 5.0).abs() < 1e-9);
+        // ids are unique and sequential
+        for (i, p) in ps.iter().enumerate() {
+            assert_eq!(p.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn plummer_has_half_mass_radius_near_theory() {
+        // Plummer half-mass radius = a / sqrt(2^(2/3) - 1) ≈ 1.305 a.
+        let a = 1.0;
+        let ps = plummer(20_000, 3, a, 1.0);
+        let mut radii: Vec<f64> = ps.iter().map(|p| p.pos.norm()).collect();
+        radii.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let rh = radii[radii.len() / 2];
+        assert!((rh - 1.305 * a).abs() < 0.1 * a, "half-mass radius {rh}");
+    }
+
+    #[test]
+    fn plummer_velocities_are_bound() {
+        let ps = plummer(2000, 9, 1.0, 1.0);
+        for p in &ps {
+            let v_esc = (2.0 * G * 1.0).sqrt() * (p.pos.norm_sq() + 1.0).powf(-0.25);
+            assert!(p.vel.norm() <= v_esc + 1e-12);
+        }
+    }
+
+    #[test]
+    fn clustered_splits_mass_evenly() {
+        let ps = clustered(999, 4, 5, 10.0, 4.0);
+        assert_eq!(ps.len(), 999);
+        assert!((ps.total_mass() - 4.0).abs() < 1e-9);
+        for (i, p) in ps.iter().enumerate() {
+            assert_eq!(p.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn clustered_is_actually_clustered() {
+        // Density contrast: a clustered set has much smaller median
+        // nearest-pair distance than a uniform set of the same count and
+        // volume (median, not mean — Plummer tails are heavy).
+        let c = clustered(500, 4, 11, 1.0, 1.0);
+        let u = uniform_cube(500, 11, 1.0, 1.0);
+        let median_min = |ps: &[Particle]| {
+            let mut d: Vec<f64> = ps
+                .iter()
+                .map(|a| {
+                    ps.iter()
+                        .filter(|b| b.id != a.id)
+                        .map(|b| a.pos.dist_sq(b.pos))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            d.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            d[d.len() / 2]
+        };
+        assert!(median_min(&c) < median_min(&u));
+    }
+
+    #[test]
+    fn disk_particles_orbit_the_star() {
+        let ps = keplerian_disk(500, 2, DiskParams::default());
+        assert_eq!(ps.len(), 502);
+        assert_eq!(ps[0].mass, 1.0); // star
+        assert_eq!(ps[1].mass, 1.0e-3); // planet
+        for p in &ps[2..] {
+            let r = (p.pos.x * p.pos.x + p.pos.y * p.pos.y).sqrt();
+            assert!(r >= 2.0 && r <= 4.4, "radius {r} outside disk");
+            assert!(p.pos.z.abs() < 1.0, "disk should be thin");
+            // Specific angular momentum points along +z (prograde).
+            assert!(p.pos.cross(p.vel).z > 0.0);
+            assert!(p.radius > 0.0);
+        }
+    }
+
+    #[test]
+    fn disk_is_mostly_two_dimensional() {
+        let ps = keplerian_disk(2000, 4, DiskParams::default());
+        let b = ps[2..].to_vec().bounding_box();
+        let s = b.size();
+        assert!(s.z < s.x / 10.0, "z extent {} vs x {}", s.z, s.x);
+    }
+
+    #[test]
+    fn lattice_fills_exact_count() {
+        for n in [1, 7, 8, 27, 100] {
+            let ps = perturbed_lattice(n, 1, 1.0, 0.05);
+            assert_eq!(ps.len(), n);
+        }
+        let ps = perturbed_lattice(64, 1, 1.0, 0.0);
+        // Unperturbed lattice is a regular grid: distinct positions.
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                assert!(ps[i].pos.dist_sq(ps[j].pos) > 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_gas_has_sph_fields() {
+        let ps = perturbed_lattice(27, 1, 1.0, 0.01);
+        for p in &ps {
+            assert!(p.smoothing > 0.0);
+            assert!(p.internal_energy > 0.0);
+        }
+    }
+}

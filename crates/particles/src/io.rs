@@ -1,0 +1,255 @@
+//! Snapshot IO: a compact little-endian binary format plus CSV export.
+//!
+//! The reference ParaTreeT reads Tipsy/NChilada snapshots; those formats
+//! carry cosmology metadata we do not need, so this crate defines a
+//! minimal self-describing binary container (magic, version, count, then
+//! fixed-width records) that round-trips every [`Particle`] field exactly.
+
+use crate::Particle;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use paratreet_geometry::Vec3;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// File magic: "PTRT".
+const MAGIC: u32 = 0x5054_5254;
+/// Current format version.
+const VERSION: u32 = 1;
+/// Bytes per particle record (u64 id + 17 f64 fields + u64 key).
+const RECORD_BYTES: usize = 8 + 17 * 8 + 8;
+
+fn put_vec3(buf: &mut BytesMut, v: Vec3) {
+    buf.put_f64_le(v.x);
+    buf.put_f64_le(v.y);
+    buf.put_f64_le(v.z);
+}
+
+fn get_vec3(buf: &mut Bytes) -> Vec3 {
+    Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le())
+}
+
+/// Serialises a particle slice to the binary snapshot format.
+pub fn to_bytes(particles: &[Particle]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + particles.len() * RECORD_BYTES);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(particles.len() as u64);
+    for p in particles {
+        buf.put_u64_le(p.id);
+        buf.put_f64_le(p.mass);
+        put_vec3(&mut buf, p.pos);
+        put_vec3(&mut buf, p.vel);
+        put_vec3(&mut buf, p.acc);
+        buf.put_f64_le(p.potential);
+        buf.put_f64_le(p.softening);
+        buf.put_f64_le(p.radius);
+        buf.put_f64_le(p.smoothing);
+        buf.put_f64_le(p.density);
+        buf.put_f64_le(p.pressure);
+        buf.put_f64_le(p.internal_energy);
+        buf.put_u64_le(p.key);
+    }
+    buf.freeze()
+}
+
+/// Parses a binary snapshot produced by [`to_bytes`].
+pub fn from_bytes(mut data: Bytes) -> io::Result<Vec<Particle>> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if data.remaining() < 16 {
+        return Err(err("snapshot truncated before header"));
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(err("bad snapshot magic"));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(err(&format!("unsupported snapshot version {version}")));
+    }
+    let n = data.get_u64_le() as usize;
+    if data.remaining() != n * RECORD_BYTES {
+        return Err(err("snapshot length does not match particle count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Particle {
+            id: data.get_u64_le(),
+            mass: data.get_f64_le(),
+            pos: get_vec3(&mut data),
+            vel: get_vec3(&mut data),
+            acc: get_vec3(&mut data),
+            potential: data.get_f64_le(),
+            softening: data.get_f64_le(),
+            radius: data.get_f64_le(),
+            smoothing: data.get_f64_le(),
+            density: data.get_f64_le(),
+            pressure: data.get_f64_le(),
+            internal_energy: data.get_f64_le(),
+            key: data.get_u64_le(),
+        });
+    }
+    Ok(out)
+}
+
+/// Writes a binary snapshot to `path`.
+pub fn write_snapshot(path: impl AsRef<Path>, particles: &[Particle]) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&to_bytes(particles))
+}
+
+/// Reads a binary snapshot from `path`.
+pub fn read_snapshot(path: impl AsRef<Path>) -> io::Result<Vec<Particle>> {
+    let mut f = std::fs::File::open(path)?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    from_bytes(Bytes::from(data))
+}
+
+/// Appends the fixed-width wire encoding of one particle to `out`.
+/// Used by the software cache to ship leaf buckets between ranks.
+pub fn put_particle(out: &mut Vec<u8>, p: &Particle) {
+    let mut buf = BytesMut::with_capacity(RECORD_BYTES);
+    buf.put_u64_le(p.id);
+    buf.put_f64_le(p.mass);
+    put_vec3(&mut buf, p.pos);
+    put_vec3(&mut buf, p.vel);
+    put_vec3(&mut buf, p.acc);
+    buf.put_f64_le(p.potential);
+    buf.put_f64_le(p.softening);
+    buf.put_f64_le(p.radius);
+    buf.put_f64_le(p.smoothing);
+    buf.put_f64_le(p.density);
+    buf.put_f64_le(p.pressure);
+    buf.put_f64_le(p.internal_energy);
+    buf.put_u64_le(p.key);
+    out.extend_from_slice(&buf);
+}
+
+/// Reads one particle from `input` at `*off`, advancing the offset.
+/// Returns `None` if fewer than a full record remains.
+pub fn get_particle(input: &[u8], off: &mut usize) -> Option<Particle> {
+    if input.len() < *off + RECORD_BYTES {
+        return None;
+    }
+    let mut data = Bytes::copy_from_slice(&input[*off..*off + RECORD_BYTES]);
+    *off += RECORD_BYTES;
+    Some(Particle {
+        id: data.get_u64_le(),
+        mass: data.get_f64_le(),
+        pos: get_vec3(&mut data),
+        vel: get_vec3(&mut data),
+        acc: get_vec3(&mut data),
+        potential: data.get_f64_le(),
+        softening: data.get_f64_le(),
+        radius: data.get_f64_le(),
+        smoothing: data.get_f64_le(),
+        density: data.get_f64_le(),
+        pressure: data.get_f64_le(),
+        internal_energy: data.get_f64_le(),
+        key: data.get_u64_le(),
+    })
+}
+
+/// Bytes one particle occupies on the wire.
+pub const PARTICLE_WIRE_BYTES: usize = RECORD_BYTES;
+
+/// Writes positions, velocities, and accelerations as CSV, for plotting.
+pub fn write_csv(w: &mut impl Write, particles: &[Particle]) -> io::Result<()> {
+    writeln!(w, "id,mass,x,y,z,vx,vy,vz,ax,ay,az,density")?;
+    for p in particles {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            p.id,
+            p.mass,
+            p.pos.x,
+            p.pos.y,
+            p.pos.z,
+            p.vel.x,
+            p.vel.y,
+            p.vel.z,
+            p.acc.x,
+            p.acc.y,
+            p.acc.z,
+            p.density
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let mut ps = gen::plummer(64, 5, 1.0, 2.0);
+        ps[3].acc = Vec3::splat(1.5);
+        ps[3].potential = -0.25;
+        ps[3].radius = 0.01;
+        ps[3].density = 9.0;
+        ps[3].key = 42;
+        let back = from_bytes(to_bytes(&ps)).unwrap();
+        assert_eq!(ps, back);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let back = from_bytes(to_bytes(&[])).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut data = to_bytes(&gen::uniform_cube(4, 1, 1.0, 1.0)).to_vec();
+        data[0] ^= 0xff;
+        assert!(from_bytes(Bytes::from(data)).is_err());
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let data = to_bytes(&gen::uniform_cube(4, 1, 1.0, 1.0));
+        let cut = data.slice(0..data.len() - 8);
+        assert!(from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(from_bytes(Bytes::from_static(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("paratreet_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.ptrt");
+        let ps = gen::uniform_cube(32, 9, 1.0, 1.0);
+        write_snapshot(&path, &ps).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), ps);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn single_particle_wire_roundtrip() {
+        let mut p = gen::plummer(1, 3, 1.0, 1.0)[0];
+        p.density = 4.5;
+        p.key = 77;
+        let mut buf = vec![0xAA]; // leading garbage the offset skips
+        let mut off = 1;
+        put_particle(&mut buf, &p);
+        assert_eq!(buf.len(), 1 + PARTICLE_WIRE_BYTES);
+        assert_eq!(get_particle(&buf, &mut off), Some(p));
+        assert_eq!(off, buf.len());
+        assert_eq!(get_particle(&buf, &mut off), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let ps = gen::uniform_cube(3, 1, 1.0, 1.0);
+        let mut out = Vec::new();
+        write_csv(&mut out, &ps).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.starts_with("id,mass,"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Particle types, deterministic workload generators, and snapshot IO.
+//!
+//! The paper evaluates ParaTreeT on cosmology datasets (uniform and
+//! clustered volumes of up to 80 M particles) and a planetesimal disk of
+//! 10–50 M bodies. Those initial-condition files are not available, so
+//! this crate provides synthetic generators with the same *distribution
+//! shapes* — which is what drives tree depth, imbalance, and decomposition
+//! behaviour:
+//!
+//! * [`gen::uniform_cube`] — the "volume of the present-day Universe"
+//!   uniform distribution of Fig. 10,
+//! * [`gen::plummer`] — a single collapsed halo,
+//! * [`gen::clustered`] — a multi-Plummer clustered volume (Fig. 3),
+//! * [`gen::keplerian_disk`] — the mostly-2D protoplanetary disk with an
+//!   embedded giant planet (Figs. 12–13),
+//! * [`gen::perturbed_lattice`] — a cosmological-volume gas proxy for the
+//!   SPH experiments (Fig. 11).
+//!
+//! All generators are seeded and deterministic.
+
+pub mod gen;
+pub mod io;
+pub mod particle;
+
+pub use particle::{Particle, ParticleVec};

@@ -1,0 +1,212 @@
+//! The particle record shared by every application.
+//!
+//! ParaTreeT's applications (gravity, SPH, collisions) all operate on one
+//! particle set, so — like the reference implementation — we keep a single
+//! flat record with the union of per-application fields. The record is
+//! `#[repr(C)]` and `Copy` so bucket slices serialise to the wire with a
+//! straight memcpy and traversal kernels stream it efficiently.
+
+use paratreet_geometry::{BoundingBox, MortonKey, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// One simulation particle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
+pub struct Particle {
+    /// Stable identifier, unique within a snapshot.
+    pub id: u64,
+    /// Gravitational / inertial mass.
+    pub mass: f64,
+    /// Position.
+    pub pos: Vec3,
+    /// Velocity.
+    pub vel: Vec3,
+    /// Acceleration accumulated by the current traversal.
+    pub acc: Vec3,
+    /// Gravitational potential accumulated by the current traversal.
+    pub potential: f64,
+    /// Gravitational softening length.
+    pub softening: f64,
+    /// Physical radius (collision detection; zero for point masses).
+    pub radius: f64,
+    /// SPH smoothing length.
+    pub smoothing: f64,
+    /// SPH mass density.
+    pub density: f64,
+    /// SPH pressure.
+    pub pressure: f64,
+    /// SPH specific internal energy.
+    pub internal_energy: f64,
+    /// Morton key within the current universe box (set by decomposition).
+    pub key: MortonKey,
+}
+
+impl Particle {
+    /// A point mass at `pos` — the minimal particle gravity needs.
+    pub fn point_mass(id: u64, mass: f64, pos: Vec3) -> Particle {
+        Particle { id, mass, pos, ..Particle::default() }
+    }
+
+    /// Kinetic energy `m v² / 2`.
+    #[inline]
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self.mass * self.vel.norm_sq()
+    }
+
+    /// Specific orbital angular momentum about the origin.
+    #[inline]
+    pub fn angular_momentum(&self) -> Vec3 {
+        self.pos.cross(self.vel) * self.mass
+    }
+
+    /// Resets the per-iteration accumulators (acceleration, potential,
+    /// density, pressure) before a new traversal.
+    #[inline]
+    pub fn reset_accumulators(&mut self) {
+        self.acc = Vec3::ZERO;
+        self.potential = 0.0;
+        self.density = 0.0;
+        self.pressure = 0.0;
+    }
+}
+
+/// Extension helpers over a flat particle vector.
+pub trait ParticleVec {
+    /// Tight bounding box of all particle positions.
+    fn bounding_box(&self) -> BoundingBox;
+    /// Total mass.
+    fn total_mass(&self) -> f64;
+    /// Mass-weighted centre of mass; the origin for an empty set.
+    fn center_of_mass(&self) -> Vec3;
+    /// Assigns Morton keys in `universe` to every particle.
+    fn assign_keys(&mut self, universe: &BoundingBox);
+    /// Sorts by Morton key (the SFC order decomposition relies on).
+    fn sort_by_sfc_key(&mut self);
+    /// Sum of kinetic energies.
+    fn kinetic_energy(&self) -> f64;
+}
+
+impl ParticleVec for [Particle] {
+    fn bounding_box(&self) -> BoundingBox {
+        BoundingBox::around(self.iter().map(|p| p.pos))
+    }
+
+    fn total_mass(&self) -> f64 {
+        self.iter().map(|p| p.mass).sum()
+    }
+
+    fn center_of_mass(&self) -> Vec3 {
+        let m = self.total_mass();
+        if m == 0.0 {
+            return Vec3::ZERO;
+        }
+        let weighted: Vec3 = self.iter().map(|p| p.pos * p.mass).sum();
+        weighted / m
+    }
+
+    fn assign_keys(&mut self, universe: &BoundingBox) {
+        for p in self.iter_mut() {
+            p.key = paratreet_geometry::morton_key(p.pos, universe);
+        }
+    }
+
+    fn sort_by_sfc_key(&mut self) {
+        self.sort_by(|a, b| a.key.cmp(&b.key).then(a.id.cmp(&b.id)));
+    }
+
+    fn kinetic_energy(&self) -> f64 {
+        self.iter().map(|p| p.kinetic_energy()).sum()
+    }
+}
+
+impl ParticleVec for Vec<Particle> {
+    fn bounding_box(&self) -> BoundingBox {
+        self.as_slice().bounding_box()
+    }
+    fn total_mass(&self) -> f64 {
+        self.as_slice().total_mass()
+    }
+    fn center_of_mass(&self) -> Vec3 {
+        self.as_slice().center_of_mass()
+    }
+    fn assign_keys(&mut self, universe: &BoundingBox) {
+        self.as_mut_slice().assign_keys(universe)
+    }
+    fn sort_by_sfc_key(&mut self) {
+        self.as_mut_slice().sort_by_sfc_key()
+    }
+    fn kinetic_energy(&self) -> f64 {
+        self.as_slice().kinetic_energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_particles() -> Vec<Particle> {
+        vec![
+            Particle::point_mass(0, 1.0, Vec3::new(0.0, 0.0, 0.0)),
+            Particle::point_mass(1, 2.0, Vec3::new(3.0, 0.0, 0.0)),
+            Particle::point_mass(2, 1.0, Vec3::new(0.0, 4.0, 0.0)),
+        ]
+    }
+
+    #[test]
+    fn center_of_mass_weights_by_mass() {
+        let ps = three_particles();
+        let com = ps.center_of_mass();
+        assert_eq!(com, Vec3::new(6.0 / 4.0, 4.0 / 4.0, 0.0));
+        assert_eq!(ps.total_mass(), 4.0);
+    }
+
+    #[test]
+    fn empty_set_is_well_defined() {
+        let ps: Vec<Particle> = vec![];
+        assert_eq!(ps.center_of_mass(), Vec3::ZERO);
+        assert_eq!(ps.total_mass(), 0.0);
+        assert!(ps.bounding_box().is_empty());
+    }
+
+    #[test]
+    fn bounding_box_covers_all() {
+        let ps = three_particles();
+        let b = ps.bounding_box();
+        for p in &ps {
+            assert!(b.contains(p.pos));
+        }
+    }
+
+    #[test]
+    fn key_assignment_then_sort_is_sfc_order() {
+        let mut ps = three_particles();
+        let u = ps.bounding_box().padded(1e-9);
+        ps.assign_keys(&u);
+        ps.sort_by_sfc_key();
+        for w in ps.windows(2) {
+            assert!(w[0].key <= w[1].key);
+        }
+    }
+
+    #[test]
+    fn accumulator_reset() {
+        let mut p = Particle::point_mass(0, 1.0, Vec3::ZERO);
+        p.acc = Vec3::splat(5.0);
+        p.potential = -1.0;
+        p.density = 2.0;
+        p.reset_accumulators();
+        assert_eq!(p.acc, Vec3::ZERO);
+        assert_eq!(p.potential, 0.0);
+        assert_eq!(p.density, 0.0);
+    }
+
+    #[test]
+    fn energies() {
+        let mut p = Particle::point_mass(0, 2.0, Vec3::ZERO);
+        p.vel = Vec3::new(3.0, 0.0, 0.0);
+        assert_eq!(p.kinetic_energy(), 9.0);
+        p.pos = Vec3::new(1.0, 0.0, 0.0);
+        p.vel = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(p.angular_momentum(), Vec3::new(0.0, 0.0, 2.0));
+    }
+}

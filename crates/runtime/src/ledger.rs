@@ -1,0 +1,143 @@
+//! Per-phase busy-time accounting — the data behind Fig. 9.
+//!
+//! Every task the simulator runs contributes one `(start, end, phase)`
+//! interval. The ledger can then report total busy time per phase and a
+//! binned utilisation profile: for each time bin, the fraction of total
+//! worker capacity spent in each phase — exactly what the paper's
+//! *Projections* timeline shows.
+
+use crate::phase::{Phase, N_PHASES};
+
+/// One busy interval of one worker.
+#[derive(Clone, Copy, Debug)]
+pub struct Interval {
+    /// Virtual start time (seconds).
+    pub start: f64,
+    /// Virtual end time (seconds).
+    pub end: f64,
+    /// Activity category.
+    pub phase: Phase,
+}
+
+/// Accumulates busy intervals across all workers.
+#[derive(Clone, Debug, Default)]
+pub struct Ledger {
+    intervals: Vec<Interval>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// Records a busy interval.
+    pub fn record(&mut self, start: f64, end: f64, phase: Phase) {
+        debug_assert!(end >= start);
+        self.intervals.push(Interval { start, end, phase });
+    }
+
+    /// All recorded intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Total busy seconds per phase.
+    pub fn busy_per_phase(&self) -> [f64; N_PHASES] {
+        let mut out = [0.0; N_PHASES];
+        for iv in &self.intervals {
+            out[iv.phase.index()] += iv.end - iv.start;
+        }
+        out
+    }
+
+    /// Total busy seconds across all phases.
+    pub fn total_busy(&self) -> f64 {
+        self.busy_per_phase().iter().sum()
+    }
+
+    /// The latest interval end (0 when empty).
+    pub fn horizon(&self) -> f64 {
+        self.intervals.iter().map(|iv| iv.end).fold(0.0, f64::max)
+    }
+
+    /// Utilisation profile: `bins` time slices over `[0, horizon)`; each
+    /// slice reports busy worker-seconds per phase divided by slice
+    /// capacity (`slice_width × n_workers`), so a fully busy machine
+    /// sums to 1.0 across phases.
+    pub fn profile(&self, bins: usize, n_workers: usize) -> Vec<[f64; N_PHASES]> {
+        assert!(bins > 0);
+        let horizon = self.horizon();
+        let mut out = vec![[0.0; N_PHASES]; bins];
+        if horizon == 0.0 || n_workers == 0 {
+            return out;
+        }
+        let width = horizon / bins as f64;
+        let capacity = width * n_workers as f64;
+        for iv in &self.intervals {
+            // Spread the interval over the bins it overlaps.
+            let first = ((iv.start / width) as usize).min(bins - 1);
+            let last = ((iv.end / width) as usize).min(bins - 1);
+            for b in first..=last {
+                let lo = (b as f64 * width).max(iv.start);
+                let hi = ((b + 1) as f64 * width).min(iv.end);
+                if hi > lo {
+                    out[b][iv.phase.index()] += (hi - lo) / capacity;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_totals_per_phase() {
+        let mut l = Ledger::new();
+        l.record(0.0, 1.0, Phase::TreeBuild);
+        l.record(0.5, 2.5, Phase::LocalTraversal);
+        l.record(2.0, 3.0, Phase::LocalTraversal);
+        let busy = l.busy_per_phase();
+        assert_eq!(busy[Phase::TreeBuild.index()], 1.0);
+        assert_eq!(busy[Phase::LocalTraversal.index()], 3.0);
+        assert_eq!(l.total_busy(), 4.0);
+        assert_eq!(l.horizon(), 3.0);
+    }
+
+    #[test]
+    fn profile_conserves_busy_time() {
+        let mut l = Ledger::new();
+        l.record(0.0, 4.0, Phase::LocalTraversal);
+        l.record(1.0, 3.0, Phase::CacheInsertion);
+        let workers = 2;
+        let bins = 8;
+        let prof = l.profile(bins, workers);
+        let width = l.horizon() / bins as f64;
+        let capacity = width * workers as f64;
+        let total: f64 = prof.iter().flat_map(|b| b.iter()).sum::<f64>() * capacity;
+        assert!((total - l.total_busy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_busy_machine_fills_bins() {
+        let mut l = Ledger::new();
+        l.record(0.0, 2.0, Phase::LocalTraversal);
+        l.record(0.0, 2.0, Phase::LocalTraversal);
+        let prof = l.profile(4, 2);
+        for bin in prof {
+            let sum: f64 = bin.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_ledger_is_flat() {
+        let l = Ledger::new();
+        assert_eq!(l.horizon(), 0.0);
+        let prof = l.profile(3, 4);
+        assert!(prof.iter().all(|b| b.iter().all(|&v| v == 0.0)));
+    }
+}

@@ -1,0 +1,32 @@
+//! The runtime substrate: a deterministic model of a distributed machine.
+//!
+//! The reference ParaTreeT runs on Charm++ across hundreds of
+//! supercomputer nodes. Reproducing its *scaling* results needs a
+//! distributed machine; this crate provides one as a **discrete-event
+//! simulator** ([`sim::Sim`]): ranks × worker threads, a work queue per
+//! rank with least-busy-worker assignment (the paper's fill-message
+//! policy), per-message latency plus per-byte bandwidth costs with
+//! sender-side injection serialisation, and named exclusive resources to
+//! model locks (the XWrite cache). The traversal engine executes the
+//! *real algorithm* — actual trees, actual fills — while charging virtual
+//! time, so simulated makespans reflect genuine communication volume,
+//! duplicate fetches, and critical-path structure rather than a formula.
+//!
+//! Everything is deterministic: ties in the event queue break on a
+//! sequence number, so a given workload and machine produce the same
+//! timeline every run.
+//!
+//! [`machine::MachineSpec`] carries the Table I presets (Summit,
+//! Stampede2, Bridges2); [`phase::Phase`] names the activity categories
+//! of the Fig. 9 utilisation profile; [`ledger::Ledger`] accumulates
+//! per-phase busy intervals and renders the profile.
+
+pub mod ledger;
+pub mod machine;
+pub mod phase;
+pub mod sim;
+
+pub use ledger::Ledger;
+pub use machine::MachineSpec;
+pub use phase::Phase;
+pub use sim::{CommStats, Sim, WorkerId};

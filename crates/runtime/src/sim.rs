@@ -1,0 +1,343 @@
+//! The discrete-event distributed-machine simulator.
+//!
+//! [`Sim`] plays the role Charm++ plays for the reference code: it owns
+//! the notion of ranks, workers, message delivery, and time. The engine
+//! layered on top executes the real algorithm inside event handlers and
+//! charges costs in *calibrated seconds* (measured on the Stampede2
+//! Skylake baseline and scaled by the machine's clock).
+//!
+//! Scheduling rules:
+//!
+//! * a task spawned on a rank goes to that rank's **least busy worker**
+//!   (the paper's fill-assignment policy) and runs for its cost,
+//! * an *exclusive* task additionally serialises on a named per-rank
+//!   resource — this models the XWrite cache's insertion lock and the
+//!   one-message-at-a-time semantics of chares (partitions),
+//! * a message occupies the sender's NIC for `bytes × byte_time`
+//!   (injection serialisation), then arrives `latency` later.
+//!
+//! Determinism: the event queue breaks time ties by sequence number, so
+//! identical inputs replay identical timelines.
+
+use crate::ledger::Ledger;
+use crate::machine::MachineSpec;
+use crate::phase::Phase;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Identifies one worker thread: `(rank, worker index within rank)`.
+pub type WorkerId = (u32, u32);
+
+/// A pending event.
+struct Scheduled<P> {
+    time: f64,
+    seq: u64,
+    payload: P,
+}
+
+impl<P> PartialEq for Scheduled<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P> Eq for Scheduled<P> {}
+impl<P> PartialOrd for Scheduled<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Scheduled<P> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Communication counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommStats {
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+}
+
+/// The simulator. `P` is the engine's event payload type.
+pub struct Sim<P> {
+    /// The machine being simulated.
+    pub machine: MachineSpec,
+    now: f64,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<P>>,
+    /// `rank * workers_per_rank + worker` → busy-until time.
+    worker_free: Vec<f64>,
+    /// Per-rank NIC busy-until time.
+    nic_free: Vec<f64>,
+    /// Named exclusive resources → busy-until time.
+    resource_free: HashMap<u64, f64>,
+    /// Busy-interval accounting.
+    pub ledger: Ledger,
+    /// Communication accounting.
+    pub comm: CommStats,
+    compute_scale: f64,
+}
+
+impl<P> Sim<P> {
+    /// A fresh simulator for `machine` at time zero.
+    pub fn new(machine: MachineSpec) -> Sim<P> {
+        let workers = machine.total_workers();
+        let nodes = machine.nodes;
+        let compute_scale = machine.compute_scale();
+        Sim {
+            machine,
+            now: 0.0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            worker_free: vec![0.0; workers],
+            nic_free: vec![0.0; nodes],
+            resource_free: HashMap::new(),
+            ledger: Ledger::new(),
+            comm: CommStats::default(),
+            compute_scale,
+        }
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn n_ranks(&self) -> u32 {
+        self.machine.nodes as u32
+    }
+
+    fn push(&mut self, time: f64, payload: P) {
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq: self.seq, payload });
+    }
+
+    /// Index of the least-busy worker on `rank`.
+    fn least_busy_worker(&self, rank: u32) -> usize {
+        let w = self.machine.workers_per_rank;
+        let base = rank as usize * w;
+        let mut best = base;
+        for i in base..base + w {
+            if self.worker_free[i] < self.worker_free[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Runs `cost` calibrated-seconds of `phase` work on `rank`'s least
+    /// busy worker; `payload` fires when it completes.
+    pub fn spawn(&mut self, rank: u32, phase: Phase, cost: f64, payload: P) {
+        self.spawn_inner(rank, None, phase, cost, payload);
+    }
+
+    /// Like [`Sim::spawn`], but also serialises on exclusive resource
+    /// `resource` (a caller-chosen id, e.g. a partition id or a lock id):
+    /// the task cannot start until both a worker and the resource are
+    /// free, and it holds the resource for its duration.
+    pub fn spawn_exclusive(&mut self, rank: u32, resource: u64, phase: Phase, cost: f64, payload: P) {
+        self.spawn_inner(rank, Some(resource), phase, cost, payload);
+    }
+
+    fn spawn_inner(&mut self, rank: u32, resource: Option<u64>, phase: Phase, cost: f64, payload: P) {
+        debug_assert!((rank as usize) < self.machine.nodes, "rank out of range");
+        debug_assert!(cost >= 0.0);
+        let cost = cost * self.compute_scale;
+        let w = self.least_busy_worker(rank);
+        let mut start = self.now.max(self.worker_free[w]);
+        if let Some(r) = resource {
+            let free = self.resource_free.entry(r).or_insert(0.0);
+            start = start.max(*free);
+            *free = start + cost;
+        }
+        let end = start + cost;
+        self.worker_free[w] = end;
+        self.ledger.record(start, end, phase);
+        self.push(end, payload);
+    }
+
+    /// Sends `bytes` from `from` to `to`; `payload` fires on arrival.
+    /// Rank-local sends skip the NIC and latency entirely (shared
+    /// memory), which is exactly the saving the node-wide cache exploits.
+    pub fn send(&mut self, from: u32, to: u32, bytes: u64, payload: P) {
+        self.comm.messages += 1;
+        if from == to {
+            self.push(self.now, payload);
+            return;
+        }
+        self.comm.bytes += bytes;
+        let nic = &mut self.nic_free[from as usize];
+        let inject_done = self.now.max(*nic) + bytes as f64 * self.machine.byte_time_s;
+        *nic = inject_done;
+        let arrive = inject_done + self.machine.latency_s;
+        self.push(arrive, payload);
+    }
+
+    /// Fires `payload` at the current time without occupying a worker
+    /// (control messages, iteration barriers).
+    pub fn post(&mut self, payload: P) {
+        self.push(self.now, payload);
+    }
+
+    /// Drains the event queue, advancing time and calling `handler` for
+    /// every event. Returns the makespan: the later of the last event and
+    /// the last worker-busy end.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Sim<P>, P)) -> f64 {
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.time >= self.now - 1e-12, "time must not run backwards");
+            self.now = self.now.max(ev.time);
+            handler(self, ev.payload);
+        }
+        self.makespan()
+    }
+
+    /// The later of "now" and every worker's busy-until.
+    pub fn makespan(&self) -> f64 {
+        self.worker_free.iter().copied().fold(self.now, f64::max)
+    }
+
+    /// Total worker-seconds of capacity up to the makespan.
+    pub fn capacity(&self) -> f64 {
+        self.makespan() * self.machine.total_workers() as f64
+    }
+
+    /// Fraction of capacity spent busy (0..=1).
+    pub fn utilization(&self) -> f64 {
+        let cap = self.capacity();
+        if cap == 0.0 {
+            0.0
+        } else {
+            self.ledger.total_busy() / cap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineSpec {
+        MachineSpec::test(2, 2)
+    }
+
+    #[test]
+    fn tasks_run_in_time_order_deterministically() {
+        let mut sim: Sim<u32> = Sim::new(machine());
+        sim.spawn(0, Phase::TreeBuild, 2.0, 1);
+        sim.spawn(0, Phase::TreeBuild, 1.0, 2);
+        sim.spawn(1, Phase::TreeBuild, 0.5, 3);
+        let mut order = Vec::new();
+        sim.run(|_, p| order.push(p));
+        assert_eq!(order, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn least_busy_worker_balances() {
+        // Two workers on rank 0: four 1s tasks finish at 1,1,2,2 not 1,2,3,4.
+        let mut sim: Sim<u32> = Sim::new(machine());
+        for i in 0..4 {
+            sim.spawn(0, Phase::LocalTraversal, 1.0, i);
+        }
+        let makespan = sim.run(|_, _| {});
+        assert!((makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusive_resource_serialises() {
+        // Two workers, but both tasks hold resource 7: they serialise.
+        let mut sim: Sim<u32> = Sim::new(machine());
+        sim.spawn_exclusive(0, 7, Phase::CacheInsertion, 1.0, 0);
+        sim.spawn_exclusive(0, 7, Phase::CacheInsertion, 1.0, 1);
+        let makespan = sim.run(|_, _| {});
+        assert!((makespan - 2.0).abs() < 1e-12);
+        // Without the resource they would overlap.
+        let mut sim2: Sim<u32> = Sim::new(machine());
+        sim2.spawn(0, Phase::CacheInsertion, 1.0, 0);
+        sim2.spawn(0, Phase::CacheInsertion, 1.0, 1);
+        assert!((sim2.run(|_, _| {}) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn messages_pay_latency_and_bandwidth() {
+        let m = machine();
+        let latency = m.latency_s;
+        let byte_time = m.byte_time_s;
+        let mut sim: Sim<&str> = Sim::new(m);
+        sim.send(0, 1, 1000, "arrived");
+        let mut arrival = 0.0;
+        sim.run(|s, p| {
+            assert_eq!(p, "arrived");
+            arrival = s.now();
+        });
+        let expected = 1000.0 * byte_time + latency;
+        assert!((arrival - expected).abs() < 1e-15);
+        assert_eq!(sim.comm.messages, 1);
+        assert_eq!(sim.comm.bytes, 1000);
+    }
+
+    #[test]
+    fn rank_local_sends_are_free() {
+        let mut sim: Sim<&str> = Sim::new(machine());
+        sim.send(1, 1, 1_000_000, "local");
+        let mut arrival = f64::NAN;
+        sim.run(|s, _| arrival = s.now());
+        assert_eq!(arrival, 0.0);
+        assert_eq!(sim.comm.bytes, 0, "local bytes do not hit the network");
+    }
+
+    #[test]
+    fn nic_injection_serialises_sends() {
+        let m = machine();
+        let byte_time = m.byte_time_s;
+        let mut sim: Sim<u32> = Sim::new(m);
+        sim.send(0, 1, 1_000_000, 1);
+        sim.send(0, 1, 1_000_000, 2);
+        let mut times = Vec::new();
+        sim.run(|s, p| times.push((p, s.now())));
+        // Second message injects only after the first.
+        let gap = times[1].1 - times[0].1;
+        assert!((gap - 1_000_000.0 * byte_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut sim: Sim<u32> = Sim::new(machine());
+        sim.spawn(0, Phase::LocalTraversal, 1.0, 0);
+        let mut count = 0;
+        sim.run(|s, p| {
+            count += 1;
+            if p < 3 {
+                s.spawn(0, Phase::LocalTraversal, 1.0, p + 1);
+            }
+        });
+        assert_eq!(count, 4);
+        assert!((sim.makespan() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut sim: Sim<u32> = Sim::new(MachineSpec::test(1, 2));
+        sim.spawn(0, Phase::LocalTraversal, 2.0, 0); // one of two workers busy
+        sim.run(|_, _| {});
+        assert!((sim.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_scale_applies_to_costs() {
+        // Summit's 3.1 GHz clock makes a 1.0s-calibrated task faster.
+        let mut sim: Sim<u32> = Sim::new(MachineSpec::summit(1));
+        sim.spawn(0, Phase::LocalTraversal, 1.0, 0);
+        let makespan = sim.run(|_, _| {});
+        assert!((makespan - 2.1 / 3.1).abs() < 1e-12);
+    }
+}

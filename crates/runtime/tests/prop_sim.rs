@@ -1,0 +1,101 @@
+//! Property tests for the discrete-event machine: time never runs
+//! backwards, work is conserved into the ledger, exclusive resources
+//! serialise, and identical inputs replay identical timelines.
+
+use paratreet_runtime::{MachineSpec, Phase, Sim};
+use proptest::prelude::*;
+
+fn arb_tasks() -> impl Strategy<Value = Vec<(u8, f64)>> {
+    prop::collection::vec((0u8..4, 1e-6f64..1e-2), 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn events_fire_in_nondecreasing_time(tasks in arb_tasks()) {
+        let mut sim: Sim<usize> = Sim::new(MachineSpec::test(4, 2));
+        for (i, (rank, cost)) in tasks.iter().enumerate() {
+            sim.spawn(*rank as u32, Phase::Other, *cost, i);
+        }
+        let mut times = Vec::new();
+        sim.run(|s, _| times.push(s.now()));
+        for w in times.windows(2) {
+            prop_assert!(w[1] >= w[0], "time ran backwards: {} -> {}", w[0], w[1]);
+        }
+        prop_assert!(sim.makespan() >= times.last().copied().unwrap_or(0.0));
+    }
+
+    #[test]
+    fn busy_time_equals_total_cost(tasks in arb_tasks()) {
+        let mut sim: Sim<usize> = Sim::new(MachineSpec::test(4, 2));
+        let total: f64 = tasks.iter().map(|(_, c)| *c).sum();
+        for (i, (rank, cost)) in tasks.iter().enumerate() {
+            sim.spawn(*rank as u32, Phase::LocalTraversal, *cost, i);
+        }
+        sim.run(|_, _| {});
+        let busy = sim.ledger.total_busy();
+        prop_assert!((busy - total).abs() < 1e-9 * total.max(1.0),
+            "ledger {busy} vs spawned {total}");
+    }
+
+    #[test]
+    fn makespan_bounded_by_serial_and_critical(tasks in arb_tasks()) {
+        let workers = 2usize;
+        let mut sim: Sim<usize> = Sim::new(MachineSpec::test(1, workers));
+        let total: f64 = tasks.iter().map(|(_, c)| *c).sum();
+        let max_single = tasks.iter().map(|(_, c)| *c).fold(0.0, f64::max);
+        for (i, (_, cost)) in tasks.iter().enumerate() {
+            sim.spawn(0, Phase::Other, *cost, i);
+        }
+        let makespan = sim.run(|_, _| {});
+        // Never faster than perfect speedup, never slower than serial.
+        prop_assert!(makespan + 1e-12 >= total / workers as f64);
+        prop_assert!(makespan <= total + 1e-12);
+        prop_assert!(makespan + 1e-12 >= max_single);
+    }
+
+    #[test]
+    fn exclusive_resource_fully_serialises(tasks in arb_tasks()) {
+        let mut sim: Sim<usize> = Sim::new(MachineSpec::test(1, 4));
+        let total: f64 = tasks.iter().map(|(_, c)| *c).sum();
+        for (i, (_, cost)) in tasks.iter().enumerate() {
+            sim.spawn_exclusive(0, 42, Phase::CacheInsertion, *cost, i);
+        }
+        let makespan = sim.run(|_, _| {});
+        prop_assert!((makespan - total).abs() < 1e-9 * total.max(1.0),
+            "exclusive tasks must serialise: {makespan} vs {total}");
+    }
+
+    #[test]
+    fn replay_is_bitwise_identical(tasks in arb_tasks()) {
+        let run = || {
+            let mut sim: Sim<usize> = Sim::new(MachineSpec::test(3, 2));
+            let mut order = Vec::new();
+            for (i, (rank, cost)) in tasks.iter().enumerate() {
+                sim.spawn((*rank % 3) as u32, Phase::Other, *cost, i);
+            }
+            sim.run(|s, p| order.push((p, s.now())));
+            (order, sim.makespan())
+        };
+        let (oa, ma) = run();
+        let (ob, mb) = run();
+        prop_assert_eq!(oa, ob);
+        prop_assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn messages_preserve_payload_and_order_per_link(
+        payloads in prop::collection::vec(0u32..1000, 1..32),
+    ) {
+        // Same-size messages on one link arrive in send order (FIFO NIC
+        // injection + constant latency).
+        let mut sim: Sim<u32> = Sim::new(MachineSpec::test(2, 1));
+        for &p in &payloads {
+            sim.send(0, 1, 128, p);
+        }
+        let mut got = Vec::new();
+        sim.run(|_, p| got.push(p));
+        prop_assert_eq!(got, payloads);
+    }
+}

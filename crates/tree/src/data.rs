@@ -1,0 +1,149 @@
+//! The `Data` abstraction (paper §II-A-1).
+//!
+//! `Data` is the application-specific state that adorns every tree node,
+//! "summarizing the set of particles contained within that subtree in
+//! some fashion" with constant space. The library calls
+//! [`Data::from_leaf`] when particles are assigned to leaves, constructs
+//! parent state with [`Default::default`], and folds children upward with
+//! [`Data::merge`] — the Rust spelling of the paper's
+//! `Data(Particle*, int)`, `Data()`, and `operator+=`.
+//!
+//! Because node state crosses simulated process boundaries (the software
+//! cache ships subtree fragments between ranks), `Data` also carries a
+//! fixed wire encoding via [`Data::encode`] / [`Data::decode`].
+
+use paratreet_geometry::BoundingBox;
+use paratreet_particles::Particle;
+
+/// Per-node application state, accumulated from the leaves to the root.
+///
+/// Implementations must satisfy, up to floating-point rounding:
+///
+/// * **identity** — merging a `Default` value changes nothing,
+/// * **associativity of merge over subtree unions** — accumulating a
+///   parent from its children equals extracting from the concatenated
+///   particle set (this is what makes bottom-up accumulation correct),
+/// * **encode/decode round-trip** — `decode(encode(d)) == d`.
+pub trait Data: Clone + Default + Send + Sync + 'static {
+    /// Extracts leaf state from a bucket of particles. `bbox` is the
+    /// leaf's spatial footprint (the tight box around its particles).
+    fn from_leaf(particles: &[Particle], bbox: &BoundingBox) -> Self;
+
+    /// Accumulates a child's state into this (parent) state.
+    fn merge(&mut self, child: &Self);
+
+    /// Appends the wire encoding of this state to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes state from the front of `input`, returning the value and
+    /// the number of bytes consumed, or `None` if `input` is malformed.
+    fn decode(input: &[u8]) -> Option<(Self, usize)>;
+}
+
+/// The trivial `Data`: just a particle count. Used by tests and by
+/// traversals that only need tree structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountData {
+    /// Number of particles beneath this node.
+    pub count: u64,
+}
+
+impl Data for CountData {
+    fn from_leaf(particles: &[Particle], _bbox: &BoundingBox) -> Self {
+        CountData { count: particles.len() as u64 }
+    }
+
+    fn merge(&mut self, child: &Self) {
+        self.count += child.count;
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.count.to_le_bytes());
+    }
+
+    fn decode(input: &[u8]) -> Option<(Self, usize)> {
+        let bytes: [u8; 8] = input.get(..8)?.try_into().ok()?;
+        Some((CountData { count: u64::from_le_bytes(bytes) }, 8))
+    }
+}
+
+/// Encoding helpers shared by `Data` implementations.
+pub mod wire {
+    use paratreet_geometry::Vec3;
+
+    /// Appends an `f64` little-endian.
+    #[inline]
+    pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `Vec3` as three little-endian `f64`s.
+    #[inline]
+    pub fn put_vec3(out: &mut Vec<u8>, v: Vec3) {
+        put_f64(out, v.x);
+        put_f64(out, v.y);
+        put_f64(out, v.z);
+    }
+
+    /// Reads an `f64` from `input` at `*off`, advancing the offset.
+    #[inline]
+    pub fn get_f64(input: &[u8], off: &mut usize) -> Option<f64> {
+        let bytes: [u8; 8] = input.get(*off..*off + 8)?.try_into().ok()?;
+        *off += 8;
+        Some(f64::from_le_bytes(bytes))
+    }
+
+    /// Reads a `Vec3` from `input` at `*off`, advancing the offset.
+    #[inline]
+    pub fn get_vec3(input: &[u8], off: &mut usize) -> Option<Vec3> {
+        Some(Vec3::new(get_f64(input, off)?, get_f64(input, off)?, get_f64(input, off)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paratreet_geometry::Vec3;
+
+    fn bucket(n: usize) -> Vec<Particle> {
+        (0..n).map(|i| Particle::point_mass(i as u64, 1.0, Vec3::splat(i as f64))).collect()
+    }
+
+    #[test]
+    fn count_data_accumulates() {
+        let b = BoundingBox::empty();
+        let a = CountData::from_leaf(&bucket(3), &b);
+        let c = CountData::from_leaf(&bucket(5), &b);
+        let mut parent = CountData::default();
+        parent.merge(&a);
+        parent.merge(&c);
+        assert_eq!(parent.count, 8);
+        // identity
+        let mut d = a;
+        d.merge(&CountData::default());
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn count_data_wire_roundtrip() {
+        let d = CountData { count: 123_456_789 };
+        let mut buf = Vec::new();
+        d.encode(&mut buf);
+        let (back, used) = CountData::decode(&buf).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(used, buf.len());
+        assert!(CountData::decode(&buf[..4]).is_none());
+    }
+
+    #[test]
+    fn wire_helpers_roundtrip() {
+        let mut buf = Vec::new();
+        wire::put_f64(&mut buf, 1.5);
+        wire::put_vec3(&mut buf, Vec3::new(1.0, -2.0, 3.0));
+        let mut off = 0;
+        assert_eq!(wire::get_f64(&buf, &mut off), Some(1.5));
+        assert_eq!(wire::get_vec3(&buf, &mut off), Some(Vec3::new(1.0, -2.0, 3.0)));
+        assert_eq!(off, buf.len());
+        assert_eq!(wire::get_f64(&buf, &mut off), None);
+    }
+}

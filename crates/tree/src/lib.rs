@@ -1,0 +1,27 @@
+//! Spatial tree construction and the `Data` accumulation abstraction.
+//!
+//! This crate implements the lowest layer of the paper's abstraction
+//! stack: *trees* and their *Data*. It provides
+//!
+//! * the [`Data`] trait — the paper's three-function interface
+//!   (`Data(particles, n)`, `Data()`, `operator+=`) that extracts
+//!   application state from the particle set into tree nodes and
+//!   accumulates it from the leaves to the root (§II-A-1),
+//! * [`TreeType`] — the built-in tree types: octree, k-d
+//!   (axis-cycling median splits), and the longest-dimension tree from
+//!   the planetary-disk case study (§IV-B),
+//! * [`build::TreeBuilder`] — sequential and rayon-parallel top-down
+//!   builds that reorder particles so every leaf owns a contiguous
+//!   bucket, then accumulate `Data` bottom-up,
+//! * [`node::BuiltTree`] — the arena the build produces, which the cache
+//!   layer grafts into the per-process global tree.
+
+pub mod build;
+pub mod data;
+pub mod node;
+pub mod types;
+
+pub use build::TreeBuilder;
+pub use data::{CountData, Data};
+pub use node::{BuildNode, BuiltTree, NodeIdx, NodeShape};
+pub use types::TreeType;

@@ -1,0 +1,236 @@
+//! The arena a tree build produces.
+//!
+//! A [`BuiltTree`] is one *Subtree*'s piece of the global tree: an array
+//! of nodes (index 0 is the subtree root) plus the particle array,
+//! reordered so every leaf owns one contiguous *bucket*. Storing nodes in
+//! an arena keeps the build allocation-free per node, makes bottom-up
+//! `Data` accumulation a reverse scan, and lets the cache layer serialise
+//! any subtree fragment as a contiguous slice walk.
+
+use crate::Data;
+use paratreet_geometry::{BoundingBox, NodeKey};
+use paratreet_particles::Particle;
+use std::collections::HashMap;
+
+/// Index of a node within a [`BuiltTree`] arena.
+pub type NodeIdx = u32;
+
+/// Sentinel for "no child".
+pub const NO_NODE: NodeIdx = u32::MAX;
+
+/// The structural kind of a built node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeShape {
+    /// Interior node with at least one child.
+    Internal,
+    /// Leaf owning the particle bucket `particles[start..end]`.
+    Leaf {
+        /// First particle index of the bucket.
+        start: u32,
+        /// One past the last particle index of the bucket.
+        end: u32,
+    },
+    /// A region with no particles (only produced by octree splits).
+    Empty,
+}
+
+/// One node of a built tree.
+#[derive(Clone, Debug)]
+pub struct BuildNode<D> {
+    /// Path key of this node in the global tree.
+    pub key: NodeKey,
+    /// Spatial footprint. For octrees this is the node's octant region;
+    /// for median-split trees the region bounded by split planes.
+    pub bbox: BoundingBox,
+    /// Structural kind.
+    pub shape: NodeShape,
+    /// Children arena indices ([`NO_NODE`] where absent). Only the first
+    /// `branch_factor` entries are meaningful.
+    pub children: [NodeIdx; 8],
+    /// Accumulated application state.
+    pub data: D,
+    /// Total particles beneath this node.
+    pub n_particles: u32,
+    /// Depth below the subtree root.
+    pub depth: u32,
+}
+
+impl<D> BuildNode<D> {
+    /// Iterator over present child indices.
+    pub fn child_indices(&self) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.children.iter().copied().filter(|&c| c != NO_NODE)
+    }
+
+    /// True for leaves (not internal, not empty).
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.shape, NodeShape::Leaf { .. })
+    }
+
+    /// The bucket range for a leaf; `None` otherwise.
+    pub fn bucket_range(&self) -> Option<std::ops::Range<usize>> {
+        match self.shape {
+            NodeShape::Leaf { start, end } => Some(start as usize..end as usize),
+            _ => None,
+        }
+    }
+}
+
+/// A built (sub)tree: node arena plus bucket-ordered particles.
+#[derive(Clone, Debug)]
+pub struct BuiltTree<D> {
+    /// Node arena; index 0 is this subtree's root.
+    pub nodes: Vec<BuildNode<D>>,
+    /// Particles, reordered so each leaf's bucket is contiguous.
+    pub particles: Vec<Particle>,
+    /// Bits per key digit (3 = octree, 1 = binary trees).
+    pub bits_per_level: u32,
+}
+
+impl<D: Data> BuiltTree<D> {
+    /// The root node.
+    pub fn root(&self) -> &BuildNode<D> {
+        &self.nodes[0]
+    }
+
+    /// The node at arena index `i`.
+    pub fn node(&self, i: NodeIdx) -> &BuildNode<D> {
+        &self.nodes[i as usize]
+    }
+
+    /// The particles of leaf `i`; empty slice for non-leaves.
+    pub fn bucket(&self, i: NodeIdx) -> &[Particle] {
+        match self.node(i).bucket_range() {
+            Some(r) => &self.particles[r],
+            None => &[],
+        }
+    }
+
+    /// Arena indices of all leaves, in DFS (which equals SFC) order.
+    pub fn leaf_indices(&self) -> Vec<NodeIdx> {
+        let mut out = Vec::new();
+        let mut stack = vec![0 as NodeIdx];
+        while let Some(i) = stack.pop() {
+            let n = self.node(i);
+            if n.is_leaf() {
+                out.push(i);
+            }
+            // Push children in reverse so they pop in ascending order.
+            for c in n.children.iter().rev() {
+                if *c != NO_NODE {
+                    stack.push(*c);
+                }
+            }
+        }
+        out
+    }
+
+    /// A key → arena-index map for this subtree.
+    pub fn key_index(&self) -> HashMap<NodeKey, NodeIdx> {
+        self.nodes.iter().enumerate().map(|(i, n)| (n.key, i as NodeIdx)).collect()
+    }
+
+    /// Maximum node depth below the subtree root.
+    pub fn max_depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Checks the structural invariants the rest of the system relies on;
+    /// returns a description of the first violation, if any. Used by
+    /// tests and debug assertions, not on hot paths.
+    pub fn validate(&self, bucket_size: usize) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("tree has no nodes".into());
+        }
+        let mut seen_particles = 0usize;
+        let mut next_start = 0u32;
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n.shape {
+                NodeShape::Leaf { start, end } => {
+                    if end < start || end as usize > self.particles.len() {
+                        return Err(format!("leaf {i} has bad bucket range {start}..{end}"));
+                    }
+                    if (end - start) as usize > bucket_size {
+                        return Err(format!(
+                            "leaf {i} bucket of {} exceeds bucket size {bucket_size}",
+                            end - start
+                        ));
+                    }
+                    if start != next_start {
+                        return Err(format!(
+                            "leaf {i} bucket starts at {start}, expected {next_start} (buckets must tile the particle array in DFS order)"
+                        ));
+                    }
+                    next_start = end;
+                    seen_particles += (end - start) as usize;
+                    if n.n_particles != end - start {
+                        return Err(format!("leaf {i} count mismatch"));
+                    }
+                    for p in &self.particles[start as usize..end as usize] {
+                        if !n.bbox.contains(p.pos) {
+                            return Err(format!("leaf {i} bbox does not contain its particle"));
+                        }
+                    }
+                }
+                NodeShape::Internal => {
+                    let mut child_count = 0;
+                    for &c in &n.children {
+                        if c == NO_NODE {
+                            continue;
+                        }
+                        let c = c as usize;
+                        if c >= self.nodes.len() {
+                            return Err(format!("node {i} child index {c} out of bounds"));
+                        }
+                        let child = &self.nodes[c];
+                        if child.depth != n.depth + 1 {
+                            return Err(format!("node {i} child {c} depth mismatch"));
+                        }
+                        if child.key.parent(self.bits_per_level) != n.key {
+                            return Err(format!("node {i} child {c} key mismatch"));
+                        }
+                        child_count += child.n_particles;
+                    }
+                    if child_count != n.n_particles {
+                        return Err(format!(
+                            "node {i} particle count {} != children sum {child_count}",
+                            n.n_particles
+                        ));
+                    }
+                    if child_count == 0 {
+                        return Err(format!("internal node {i} is empty"));
+                    }
+                }
+                NodeShape::Empty => {
+                    if n.n_particles != 0 {
+                        return Err(format!("empty node {i} claims particles"));
+                    }
+                }
+            }
+        }
+        if seen_particles != self.particles.len() {
+            return Err(format!(
+                "leaves cover {seen_particles} particles, array has {}",
+                self.particles.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// DFS iteration helper used by validation in tests.
+pub fn count_reachable<D: Data>(tree: &BuiltTree<D>) -> usize {
+    let mut seen = 0;
+    let mut stack = vec![0 as NodeIdx];
+    while let Some(i) = stack.pop() {
+        seen += 1;
+        for c in tree.node(i).child_indices() {
+            stack.push(c);
+        }
+    }
+    seen
+}

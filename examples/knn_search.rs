@@ -1,0 +1,66 @@
+//! k-nearest-neighbour search with the up-and-down traversal, checked
+//! against brute force — the intro's second headline workload.
+//!
+//! ```text
+//! cargo run --release --example knn_search -- [n] [k]
+//! ```
+
+use paratreet::core_api::{Configuration, TraversalKind};
+use paratreet_apps::knn::knn_search;
+use paratreet_particles::gen;
+use paratreet_tree::TreeType;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let k: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+
+    let particles = gen::clustered(n, 5, 11, 1.0, 1.0);
+
+    // k-d trees suit kNN: children uniform in particle count (§I).
+    let config = Configuration {
+        tree_type: TreeType::KdTree,
+        bucket_size: 16,
+        n_subtrees: 8,
+        n_partitions: 8,
+        ..Default::default()
+    };
+
+    let t0 = Instant::now();
+    let neighbors = knn_search(particles.clone(), k, config, TraversalKind::UpAndDown);
+    let tree_time = t0.elapsed();
+
+    // Validate a sample against brute force.
+    let t0 = Instant::now();
+    let mut checked = 0;
+    let mut correct = 0;
+    for p in particles.iter().step_by((n / 64).max(1)) {
+        let mut dists: Vec<(f64, u64)> = particles
+            .iter()
+            .filter(|q| q.id != p.id)
+            .map(|q| (q.pos.dist_sq(p.pos), q.id))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let brute: Vec<u64> = dists.into_iter().take(k).map(|(_, id)| id).collect();
+        let got: Vec<u64> = neighbors[&p.id].iter().map(|nb| nb.id).collect();
+        checked += 1;
+        if got == brute {
+            correct += 1;
+        }
+    }
+    let brute_time = t0.elapsed();
+
+    println!("kNN over {n} clustered particles, k = {k} (k-d tree, up-and-down traversal)");
+    println!("tree search (all particles):   {tree_time:?}");
+    println!("brute force ({checked} sampled):      {brute_time:?}");
+    println!("sample agreement: {correct}/{checked}");
+
+    // Show one query's neighbours.
+    let q = &particles[0];
+    println!("\nparticle {} at {:?}:", q.id, q.pos);
+    for nb in neighbors[&q.id].iter().take(5) {
+        println!("  neighbour {:>6}  dist {:.5}", nb.id, nb.dist_sq.sqrt());
+    }
+    assert_eq!(correct, checked, "tree kNN must match brute force exactly");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: a complete Barnes-Hut gravity application.
+//!
+//! This is the Rust analogue of the paper's Fig. 8 `GravityMain`: choose
+//! a configuration, start a top-down traversal with the gravity visitor,
+//! then use the results. Everything else — decomposition, the
+//! Partitions–Subtrees split, tree build, caching, parallel traversal,
+//! write-back — is the framework's job.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use paratreet::core_api::{Configuration, DecompType, Framework, TraversalKind};
+use paratreet_apps::gravity::{CentroidData, GravityVisitor};
+use paratreet_particles::gen;
+use paratreet_tree::TreeType;
+
+fn main() {
+    // 10k particles in a uniform box — a tiny "present-day Universe".
+    let particles = gen::uniform_cube(10_000, 42, 1.0, 1.0);
+
+    // The paper's Fig. 8 configuration: octree + SFC decomposition.
+    let config = Configuration {
+        tree_type: TreeType::Octree,
+        decomp_type: DecompType::Sfc,
+        bucket_size: 16,
+        n_subtrees: 8,
+        n_partitions: 8,
+        ..Default::default()
+    };
+
+    let mut framework: Framework<CentroidData> = Framework::new(config, particles);
+    let visitor = GravityVisitor { theta: 0.7, g: 1.0 };
+
+    // One iteration: the equivalent of `partitions().startDown<GravityVisitor>()`.
+    let (_, report) = framework.step(|step| {
+        step.traverse(&visitor, TraversalKind::TopDown);
+    });
+
+    // "outputParticleAccelerations()"
+    let p = &framework.particles()[0];
+    println!("first particle: pos {:?} acc {:?}", p.pos, p.acc);
+    println!(
+        "step: {} subtrees, {} partitions, {} buckets ({} split across partitions)",
+        report.n_subtrees, report.n_partitions, report.n_buckets, report.n_split_leaves
+    );
+    println!(
+        "work: {} particle-particle + {} particle-node interactions, {} opens",
+        report.counts.leaf_interactions, report.counts.node_interactions, report.counts.opens
+    );
+    println!(
+        "time: decompose {:.1}ms, build {:.1}ms, share {:.1}ms, traverse {:.1}ms",
+        report.seconds_decompose * 1e3,
+        report.seconds_build * 1e3,
+        report.seconds_share * 1e3,
+        report.seconds_traverse * 1e3
+    );
+}

@@ -1,0 +1,358 @@
+//! The `paratreet` command-line driver — the paper's "coding,
+//! configuring and running the application" workflow (§II-D-2): pick an
+//! application, a workload (generator or snapshot file), a tree type, a
+//! decomposition type, a traversal, an engine, and iterate.
+//!
+//! ```text
+//! paratreet gravity --particles 20000 --iterations 5 --tree oct --decomp sfc
+//! paratreet sph     --particles 8000  --k 32
+//! paratreet disk    --particles 3000  --iterations 100
+//! paratreet gravity --input snap.ptrt --output out.ptrt --csv out.csv
+//! paratreet gravity --engine threaded --ranks 4 --workers 2
+//! ```
+
+use paratreet::core_api::{
+    CacheModel, Configuration, DecompType, DistributedEngine, Framework, ThreadedEngine,
+    TraversalKind,
+};
+use paratreet_apps::collision::{orbital_period, DiskSimulation};
+use paratreet_apps::gravity::{CentroidData, GravityVisitor};
+use paratreet_apps::sph::{sph_framework, SphSimulation};
+use paratreet_geometry::Vec3;
+use paratreet_particles::gen::{self, DiskParams};
+use paratreet_particles::{io, Particle};
+use paratreet_runtime::MachineSpec;
+use std::collections::HashMap;
+use std::process::exit;
+
+const USAGE: &str = "\
+paratreet — spatial tree traversal framework (ParaTreeT reproduction)
+
+USAGE: paratreet <APP> [OPTIONS]
+
+APPS:
+  gravity     Barnes-Hut N-body (leapfrog integration)
+  sph         smoothed-particle hydrodynamics (kNN density + pressure)
+  disk        planetesimal disk with collision detection (case study)
+
+WORKLOAD (default: generator):
+  --particles N        particle count                      [10000]
+  --dist KIND          uniform | plummer | clustered | disk | lattice
+  --seed S             generator seed                      [1]
+  --input FILE         read a .ptrt snapshot instead of generating
+
+CONFIGURATION:
+  --tree KIND          oct | kd | longest-dim              [oct]
+  --decomp KIND        sfc | oct | kd | longest-dim        [sfc]
+  --traversal KIND     top-down | basic-dfs | up-and-down | dual-tree
+  --bucket N           max bucket size                     [16]
+  --subtrees N         minimum Subtrees                    [8]
+  --partitions N       minimum Partitions                  [16]
+  --iterations N       simulation steps                    [1]
+  --theta T            Barnes-Hut opening angle            [0.7]
+  --k N                SPH/kNN neighbour count             [32]
+  --dt T               timestep (gravity/disk)             [auto]
+
+ENGINE:
+  --engine KIND        shared | threaded | machine         [shared]
+  --ranks N            ranks for threaded/machine engines  [2]
+  --workers N          workers per rank                    [2]
+
+OUTPUT:
+  --output FILE        write final .ptrt snapshot
+  --csv FILE           write final state as CSV
+";
+
+fn parse_args() -> (String, HashMap<String, String>) {
+    let mut args = std::env::args().skip(1);
+    let app = match args.next() {
+        Some(a) if !a.starts_with("--") => a,
+        _ => {
+            eprintln!("{USAGE}");
+            exit(2);
+        }
+    };
+    let mut opts = HashMap::new();
+    while let Some(k) = args.next() {
+        if let Some(name) = k.strip_prefix("--") {
+            match args.next() {
+                Some(v) => {
+                    opts.insert(name.to_string(), v);
+                }
+                None => {
+                    eprintln!("missing value for --{name}\n{USAGE}");
+                    exit(2);
+                }
+            }
+        } else {
+            eprintln!("unexpected argument {k}\n{USAGE}");
+            exit(2);
+        }
+    }
+    (app, opts)
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    match opts.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --{key}: {v}");
+            exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn tree_type(s: &str) -> paratreet_tree::TreeType {
+    match s {
+        "oct" => paratreet_tree::TreeType::Octree,
+        "kd" => paratreet_tree::TreeType::KdTree,
+        "longest-dim" => paratreet_tree::TreeType::LongestDim,
+        _ => {
+            eprintln!("unknown tree type {s}");
+            exit(2);
+        }
+    }
+}
+
+fn decomp_type(s: &str) -> DecompType {
+    match s {
+        "sfc" => DecompType::Sfc,
+        "oct" => DecompType::Oct,
+        "kd" => DecompType::Kd,
+        "longest-dim" => DecompType::LongestDim,
+        _ => {
+            eprintln!("unknown decomposition type {s}");
+            exit(2);
+        }
+    }
+}
+
+fn traversal_kind(s: &str) -> TraversalKind {
+    match s {
+        "top-down" => TraversalKind::TopDown,
+        "basic-dfs" => TraversalKind::BasicDfs,
+        "up-and-down" => TraversalKind::UpAndDown,
+        "dual-tree" => TraversalKind::DualTree,
+        _ => {
+            eprintln!("unknown traversal {s}");
+            exit(2);
+        }
+    }
+}
+
+fn load_particles(app: &str, opts: &HashMap<String, String>) -> Vec<Particle> {
+    if let Some(path) = opts.get("input") {
+        match io::read_snapshot(path) {
+            Ok(ps) => {
+                println!("loaded {} particles from {path}", ps.len());
+                return ps;
+            }
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+    let n = get(opts, "particles", 10_000usize);
+    let seed = get(opts, "seed", 1u64);
+    let default_dist = match app {
+        "sph" => "lattice",
+        "disk" => "disk",
+        _ => "plummer",
+    };
+    let binding = default_dist.to_string();
+    let dist = opts.get("dist").unwrap_or(&binding);
+    match dist.as_str() {
+        "uniform" => gen::uniform_cube(n, seed, 1.0, 1.0),
+        "plummer" => gen::plummer(n, seed, 1.0, 1.0),
+        "clustered" => gen::clustered(n, 4, seed, 1.0, 1.0),
+        "lattice" => gen::perturbed_lattice(n, seed, 0.5, 0.02),
+        "disk" => {
+            let mut params = DiskParams::default();
+            params.body_radius *= get(opts, "radius-scale", 3e4);
+            gen::keplerian_disk(n, seed, params)
+        }
+        other => {
+            eprintln!("unknown distribution {other}");
+            exit(2);
+        }
+    }
+}
+
+fn write_outputs(opts: &HashMap<String, String>, particles: &[Particle]) {
+    if let Some(path) = opts.get("output") {
+        if let Err(e) = io::write_snapshot(path, particles) {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        }
+        println!("wrote snapshot to {path}");
+    }
+    if let Some(path) = opts.get("csv") {
+        match std::fs::File::create(path) {
+            Ok(mut f) => {
+                io::write_csv(&mut f, particles).expect("csv write");
+                println!("wrote CSV to {path}");
+            }
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
+fn configuration(opts: &HashMap<String, String>) -> Configuration {
+    Configuration {
+        tree_type: tree_type(&get(opts, "tree", "oct".to_string())),
+        decomp_type: decomp_type(&get(opts, "decomp", "sfc".to_string())),
+        bucket_size: get(opts, "bucket", 16usize),
+        n_subtrees: get(opts, "subtrees", 8usize),
+        n_partitions: get(opts, "partitions", 16usize),
+        iterations: get(opts, "iterations", 1usize),
+        seed: get(opts, "seed", 1u64),
+        ..Default::default()
+    }
+}
+
+fn run_gravity(opts: &HashMap<String, String>) {
+    let mut particles = load_particles("gravity", opts);
+    for p in &mut particles {
+        if p.softening == 0.0 {
+            p.softening = 0.01;
+        }
+    }
+    let config = configuration(opts);
+    let kind = traversal_kind(&get(opts, "traversal", "top-down".to_string()));
+    let visitor = GravityVisitor { theta: get(opts, "theta", 0.7), g: 1.0 };
+    let iterations = config.iterations;
+    let dt = get(opts, "dt", 1.0 / 64.0);
+    let engine = get(opts, "engine", "shared".to_string());
+
+    match engine.as_str() {
+        "shared" => {
+            let mut fw: Framework<CentroidData> = Framework::new(config, particles);
+            fw.step(|s| {
+                s.traverse(&visitor, kind);
+            });
+            for step in 0..iterations {
+                for p in fw.particles_mut().iter_mut() {
+                    p.vel += p.acc * (0.5 * dt);
+                    p.pos += p.vel * dt;
+                    p.acc = Vec3::ZERO;
+                    p.potential = 0.0;
+                }
+                let (_, report) = fw.step(|s| {
+                    s.traverse(&visitor, kind);
+                });
+                for p in fw.particles_mut().iter_mut() {
+                    p.vel += p.acc * (0.5 * dt);
+                }
+                println!(
+                    "step {step}: {} pp + {} pn interactions, traverse {:.1} ms",
+                    report.counts.leaf_interactions,
+                    report.counts.node_interactions,
+                    report.seconds_traverse * 1e3
+                );
+            }
+            write_outputs(opts, fw.particles());
+        }
+        "threaded" => {
+            let ranks = get(opts, "ranks", 2usize);
+            let workers = get(opts, "workers", 2usize);
+            let eng = ThreadedEngine::new(config, ranks, workers, &visitor);
+            let rep = eng.run_iteration(particles, kind);
+            println!(
+                "threaded ({ranks}x{workers}): {} pp interactions, {} remote fills, {} fetches",
+                rep.counts.leaf_interactions, rep.remote_fills, rep.cache.requests_sent
+            );
+            write_outputs(opts, &rep.particles);
+        }
+        "machine" => {
+            let ranks = get(opts, "ranks", 2usize);
+            let eng = DistributedEngine::new(
+                MachineSpec::stampede2(ranks),
+                config,
+                CacheModel::WaitFree,
+                kind,
+                &visitor,
+            );
+            let rep = eng.run_iteration(particles);
+            println!(
+                "machine model ({ranks} nodes): makespan {:.3} ms, utilization {:.1}%, {} bytes on the wire",
+                rep.makespan * 1e3,
+                rep.utilization * 100.0,
+                rep.comm.bytes
+            );
+            write_outputs(opts, &rep.particles);
+        }
+        other => {
+            eprintln!("unknown engine {other}");
+            exit(2);
+        }
+    }
+}
+
+fn run_sph(opts: &HashMap<String, String>) {
+    let particles = load_particles("sph", opts);
+    let config = configuration(opts);
+    let iterations = config.iterations;
+    let mut fw = sph_framework(config, particles);
+    let sph = SphSimulation { k: get(opts, "k", 32usize), ..Default::default() };
+    let dt = get(opts, "dt", 1e-3);
+    for step in 0..iterations {
+        for p in fw.particles_mut().iter_mut() {
+            p.acc = Vec3::ZERO;
+        }
+        let stats = sph.step(&mut fw);
+        for p in fw.particles_mut().iter_mut() {
+            p.vel += p.acc * dt;
+            p.pos += p.vel * dt;
+        }
+        println!(
+            "step {step}: mean density {:.4}, {} neighbour entries",
+            stats.mean_density, stats.neighbor_entries
+        );
+    }
+    write_outputs(opts, fw.particles());
+}
+
+fn run_disk(opts: &HashMap<String, String>) {
+    let particles = load_particles("disk", opts);
+    let mut config = configuration(opts);
+    if !opts.contains_key("tree") {
+        config.tree_type = paratreet_tree::TreeType::LongestDim;
+    }
+    if !opts.contains_key("decomp") {
+        config.decomp_type = DecompType::LongestDim;
+    }
+    let iterations = config.iterations;
+    let star_mass = particles.first().map(|p| p.mass).unwrap_or(1.0);
+    let dt = get(opts, "dt", orbital_period(2.0, star_mass) / 50.0);
+    let mut sim = DiskSimulation::new(config, particles, dt);
+    for step in 0..iterations {
+        let events = sim.step();
+        if !events.is_empty() {
+            println!("step {step}: {} collisions (total {})", events.len(), sim.events.len());
+        }
+    }
+    println!(
+        "{} collisions over {iterations} steps; {} bodies remain",
+        sim.events.len(),
+        sim.framework.particles().len()
+    );
+    write_outputs(opts, sim.framework.particles());
+}
+
+fn main() {
+    let (app, opts) = parse_args();
+    match app.as_str() {
+        "gravity" => run_gravity(&opts),
+        "sph" => run_sph(&opts),
+        "disk" => run_disk(&opts),
+        "help" | "-h" | "--help" => println!("{USAGE}"),
+        other => {
+            eprintln!("unknown app {other}\n{USAGE}");
+            exit(2);
+        }
+    }
+}

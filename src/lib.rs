@@ -1,0 +1,17 @@
+//! Umbrella crate: re-exports the whole ParaTreeT reproduction so
+//! examples, integration tests, and the `paratreet` CLI can reach every
+//! layer through one dependency.
+//!
+//! See the README for a tour and DESIGN.md for the system inventory.
+
+/// The framework crate (`paratreet-core`), under its conventional alias.
+pub use paratreet_core as core_api;
+
+pub use paratreet_apps as apps;
+pub use paratreet_baselines as baselines;
+pub use paratreet_cache as cache;
+pub use paratreet_cachesim as cachesim;
+pub use paratreet_geometry as geometry;
+pub use paratreet_particles as particles;
+pub use paratreet_runtime as runtime;
+pub use paratreet_tree as tree;

@@ -1,0 +1,202 @@
+//! The distributed (machine-model) engine must agree with the
+//! shared-memory engine on *physics* and *interaction counts*, and its
+//! virtual-time behaviour must respond to the mechanisms the paper
+//! describes: cache models change communication volume, more ranks
+//! change the local/remote work split, and all partitions always finish.
+
+use paratreet_apps::gravity::{CentroidData, GravityVisitor};
+use paratreet_baselines::direct::rms_acc_error;
+use paratreet_core::{
+    CacheModel, Configuration, DistributedEngine, Framework, TraversalKind,
+};
+use paratreet_particles::gen;
+use paratreet_runtime::MachineSpec;
+
+/// Subtree/partition counts high enough that `DistributedEngine::new`
+/// does not raise them for ≤4 ranks — identical decomposition (and so
+/// identical opening decisions) across engines and rank counts.
+fn config() -> Configuration {
+    Configuration { bucket_size: 8, n_subtrees: 16, n_partitions: 32, ..Default::default() }
+}
+
+#[test]
+fn distributed_matches_shared_memory_forces() {
+    let ps = gen::clustered(1000, 3, 19, 1.0, 1.0);
+    let visitor = GravityVisitor::default();
+
+    let mut fw: Framework<CentroidData> = Framework::new(config(), ps.clone());
+    let (_, report) = fw.step(|step| {
+        step.traverse(&visitor, TraversalKind::TopDown);
+    });
+    let reference = fw.particles().to_vec();
+
+    for ranks in [1usize, 2, 4] {
+        let engine = DistributedEngine::new(
+            MachineSpec::test(ranks, 4),
+            config(),
+            CacheModel::WaitFree,
+            TraversalKind::TopDown,
+            &visitor,
+        );
+        let rep = engine.run_iteration(ps.clone());
+        let err = rms_acc_error(&rep.particles, &reference);
+        assert!(err < 1e-9, "{ranks} ranks: force mismatch {err}");
+        // Exact interaction counts match (same pruning decisions).
+        assert_eq!(
+            rep.counts.leaf_interactions, report.counts.leaf_interactions,
+            "{ranks} ranks"
+        );
+        assert_eq!(
+            rep.counts.node_interactions, report.counts.node_interactions,
+            "{ranks} ranks"
+        );
+    }
+}
+
+#[test]
+fn single_rank_sends_no_network_traffic() {
+    let ps = gen::uniform_cube(400, 3, 1.0, 1.0);
+    let visitor = GravityVisitor::default();
+    let engine = DistributedEngine::new(
+        MachineSpec::test(1, 4),
+        config(),
+        CacheModel::WaitFree,
+        TraversalKind::TopDown,
+        &visitor,
+    );
+    let rep = engine.run_iteration(ps);
+    assert_eq!(rep.comm.bytes, 0, "one rank has nothing to fetch remotely");
+    assert_eq!(rep.cache.requests_sent, 0);
+}
+
+#[test]
+fn multi_rank_fetches_remote_data_and_all_partitions_finish() {
+    let ps = gen::clustered(1200, 4, 23, 1.0, 1.0);
+    let visitor = GravityVisitor::default();
+    let engine = DistributedEngine::new(
+        MachineSpec::test(4, 2),
+        config(),
+        CacheModel::WaitFree,
+        TraversalKind::TopDown,
+        &visitor,
+    );
+    let rep = engine.run_iteration(ps);
+    assert!(rep.cache.requests_sent > 0, "remote subtrees must be fetched");
+    assert!(rep.comm.bytes > 0);
+    assert!(rep.cache.fills_inserted > 0);
+    assert_eq!(rep.cache.waiters_parked, rep.cache.waiters_resumed);
+    assert!(rep.makespan > rep.traversal_start);
+    // The phase ledger saw both local traversal and cache activity.
+    use paratreet_runtime::Phase;
+    assert!(rep.phase_busy[Phase::LocalTraversal.index()] > 0.0);
+    assert!(rep.phase_busy[Phase::CacheInsertion.index()] > 0.0);
+    assert!(rep.phase_busy[Phase::TreeBuild.index()] > 0.0);
+}
+
+#[test]
+fn per_thread_cache_duplicates_fetches() {
+    let ps = gen::clustered(1200, 4, 29, 1.0, 1.0);
+    let visitor = GravityVisitor::default();
+    let run = |model: CacheModel| {
+        DistributedEngine::new(
+            MachineSpec::test(4, 4),
+            config(),
+            model,
+            TraversalKind::TopDown,
+            &visitor,
+        )
+        .run_iteration(ps.clone())
+    };
+    let shared = run(CacheModel::WaitFree);
+    let per_thread = run(CacheModel::PerThread);
+    assert!(
+        per_thread.cache.requests_sent > shared.cache.requests_sent,
+        "per-thread caches must duplicate fetches: {} vs {}",
+        per_thread.cache.requests_sent,
+        shared.cache.requests_sent
+    );
+    assert!(per_thread.comm.bytes > shared.comm.bytes);
+    // Physics is unaffected by the cache model.
+    let err = rms_acc_error(&per_thread.particles, &shared.particles);
+    assert!(err < 1e-9);
+}
+
+#[test]
+fn xwrite_serialises_insertions_but_keeps_physics() {
+    let ps = gen::clustered(1000, 4, 31, 1.0, 1.0);
+    let visitor = GravityVisitor::default();
+    let run = |model: CacheModel| {
+        DistributedEngine::new(
+            MachineSpec::test(4, 4),
+            config(),
+            model,
+            TraversalKind::TopDown,
+            &visitor,
+        )
+        .run_iteration(ps.clone())
+    };
+    let wait_free = run(CacheModel::WaitFree);
+    let xwrite = run(CacheModel::XWrite);
+    // Same fetches (both share per-rank caches)...
+    assert_eq!(xwrite.cache.requests_sent, wait_free.cache.requests_sent);
+    // ...but serialised insertion can only make the makespan worse or equal.
+    assert!(xwrite.makespan >= wait_free.makespan * 0.999);
+    let err = rms_acc_error(&xwrite.particles, &wait_free.particles);
+    assert!(err < 1e-9);
+}
+
+#[test]
+fn deterministic_replay() {
+    let ps = gen::uniform_cube(500, 37, 1.0, 1.0);
+    let visitor = GravityVisitor::default();
+    let run = || {
+        DistributedEngine::new(
+            MachineSpec::test(3, 2),
+            config(),
+            CacheModel::WaitFree,
+            TraversalKind::TopDown,
+            &visitor,
+        )
+        .run_iteration(ps.clone())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.comm.messages, b.comm.messages);
+    assert_eq!(a.counts, b.counts);
+}
+
+#[test]
+fn knn_works_distributed() {
+    use paratreet_apps::knn::{KnnData, KnnVisitor};
+    let ps = gen::uniform_cube(400, 41, 1.0, 1.0);
+    let visitor = KnnVisitor { k: 8 };
+
+    // Shared-memory reference neighbour distance sums per particle.
+    let mut fw: Framework<KnnData> = Framework::new(config(), ps.clone());
+    let ((ref_states, ref_ids), _) = fw.step(|step| {
+        let (s, _) = step.traverse(&visitor, TraversalKind::TopDown);
+        (s, step.bucket_particle_ids())
+    });
+    let mut reference: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+    for (state, ids) in ref_states.into_iter().zip(ref_ids) {
+        for (heap, id) in state.heaps.into_iter().zip(ids) {
+            reference.insert(id, heap.into_sorted().into_iter().map(|n| n.id).collect());
+        }
+    }
+
+    let engine = DistributedEngine::new(
+        MachineSpec::test(3, 2),
+        config(),
+        CacheModel::WaitFree,
+        TraversalKind::TopDown,
+        &visitor,
+    );
+    let rep = engine.run_iteration(ps);
+    assert!(rep.cache.requests_sent > 0);
+    // The distributed run cannot return neighbour lists through particles
+    // (state lives in buckets), but its interaction counts must indicate
+    // the same amount of exact work up to placeholder re-visits.
+    assert!(rep.counts.leaf_interactions > 0);
+    assert!(!reference.is_empty());
+}

@@ -1,0 +1,156 @@
+//! Framework-level properties: particle conservation through steps,
+//! deterministic replay, split-bucket bookkeeping, and the
+//! Partitions–Subtrees binding optimisation.
+
+use paratreet_apps::gravity::{CentroidData, GravityVisitor};
+use paratreet_core::{Configuration, DecompType, Framework, TraversalKind};
+use paratreet_particles::{gen, Particle};
+use paratreet_tree::TreeType;
+use proptest::prelude::*;
+
+fn step_once(
+    particles: Vec<Particle>,
+    config: Configuration,
+) -> (Vec<Particle>, paratreet_core::StepReport) {
+    let mut fw: Framework<CentroidData> = Framework::new(config, particles);
+    let visitor = GravityVisitor::default();
+    let (_, report) = fw.step(|s| {
+        s.traverse(&visitor, TraversalKind::TopDown);
+    });
+    (fw.particles().to_vec(), report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn particles_are_conserved_through_steps(
+        n in 5usize..300,
+        seed in 0u64..500,
+        tree_idx in 0usize..3,
+        decomp_idx in 0usize..4,
+        n_subtrees in 1usize..20,
+        n_partitions in 1usize..20,
+    ) {
+        let config = Configuration {
+            tree_type: [TreeType::Octree, TreeType::KdTree, TreeType::LongestDim][tree_idx],
+            decomp_type: [DecompType::Sfc, DecompType::Oct, DecompType::Kd, DecompType::LongestDim][decomp_idx],
+            bucket_size: 8,
+            n_subtrees,
+            n_partitions,
+            ..Default::default()
+        };
+        let particles = gen::clustered(n, 2, seed, 1.0, 1.0);
+        let mut ids: Vec<u64> = particles.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        let (after, report) = step_once(particles, config);
+        let mut ids_after: Vec<u64> = after.iter().map(|p| p.id).collect();
+        ids_after.sort_unstable();
+        prop_assert_eq!(ids, ids_after, "no particle may be lost or duplicated");
+        prop_assert!(report.n_buckets >= report.n_split_leaves);
+        prop_assert!(report.n_subtrees >= 1);
+    }
+
+    #[test]
+    fn steps_are_deterministic(n in 20usize..200, seed in 0u64..500) {
+        let config = Configuration { bucket_size: 8, n_subtrees: 6, n_partitions: 9, ..Default::default() };
+        let particles = gen::uniform_cube(n, seed, 1.0, 1.0);
+        let (a, ra) = step_once(particles.clone(), config.clone());
+        let (b, rb) = step_once(particles, config);
+        prop_assert_eq!(ra.counts, rb.counts);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.acc, y.acc);
+        }
+    }
+
+    #[test]
+    fn matched_splitters_never_split_buckets(
+        n in 50usize..400,
+        seed in 0u64..500,
+    ) {
+        // When Partitions and Subtrees use the same (octree) splitters,
+        // "buckets are never split up" (§II-C-1): every tree leaf maps
+        // into exactly one Partition.
+        let config = Configuration {
+            tree_type: TreeType::Octree,
+            decomp_type: DecompType::Oct,
+            bucket_size: 8,
+            n_subtrees: 8,
+            n_partitions: 8,
+            ..Default::default()
+        };
+        prop_assert!(config.partitions_match_subtrees());
+        let particles = gen::uniform_cube(n, seed, 1.0, 1.0);
+        let (_, report) = step_once(particles, config);
+        prop_assert_eq!(report.n_split_leaves, 0, "aligned splitters must not split buckets");
+    }
+
+    #[test]
+    fn mismatched_splitters_split_only_buckets(
+        n in 200usize..500,
+        seed in 0u64..500,
+    ) {
+        // SFC partitions over an octree: splits happen (that is the
+        // model working), and the number of split leaves stays below the
+        // partition count's order — only boundary buckets split.
+        let n_partitions = 12usize;
+        let config = Configuration {
+            tree_type: TreeType::Octree,
+            decomp_type: DecompType::Sfc,
+            bucket_size: 8,
+            n_subtrees: 4,
+            n_partitions,
+            ..Default::default()
+        };
+        let particles = gen::uniform_cube(n, seed, 1.0, 1.0);
+        let (_, report) = step_once(particles, config);
+        // Each of the 11 interior SFC boundaries can split at most one
+        // leaf (boundaries are points on the Morton line).
+        prop_assert!(
+            report.n_split_leaves < n_partitions,
+            "{} split leaves for {} partitions",
+            report.n_split_leaves,
+            n_partitions
+        );
+    }
+}
+
+#[test]
+fn multiple_traversals_share_the_sources() {
+    // Two traversals in one step see the same start-of-step sources;
+    // accumulators add up across traversals.
+    let particles = gen::uniform_cube(300, 9, 1.0, 1.0);
+    let config = Configuration { bucket_size: 8, ..Default::default() };
+    let visitor = GravityVisitor::default();
+
+    let mut fw: Framework<CentroidData> = Framework::new(config.clone(), particles.clone());
+    fw.step(|s| {
+        s.traverse(&visitor, TraversalKind::TopDown);
+        s.traverse(&visitor, TraversalKind::TopDown);
+    });
+    let twice = fw.particles().to_vec();
+
+    let mut fw1: Framework<CentroidData> = Framework::new(config, particles);
+    fw1.step(|s| {
+        s.traverse(&visitor, TraversalKind::TopDown);
+    });
+    let once = fw1.particles().to_vec();
+
+    for (a, b) in twice.iter().zip(&once) {
+        assert_eq!(a.id, b.id);
+        assert!((a.acc - b.acc * 2.0).norm() <= 1e-12 * b.acc.norm().max(1e-30));
+    }
+}
+
+#[test]
+fn empty_and_single_particle_steps_work() {
+    let config = Configuration::default();
+    let (after, report) = step_once(vec![Particle::point_mass(7, 1.0, Default::default())], config);
+    assert_eq!(after.len(), 1);
+    assert_eq!(after[0].id, 7);
+    // The counter counts the offered (self) pair, but the kernel skips
+    // it: no force on a lone particle.
+    assert_eq!(report.counts.leaf_interactions, 1);
+    assert_eq!(after[0].acc, paratreet_geometry::Vec3::ZERO);
+}

@@ -1,0 +1,109 @@
+//! End-to-end application pipelines through the public API: a
+//! multi-step SPH run stays physical, and the disk case study detects,
+//! merges, and conserves through collisions.
+
+use paratreet_apps::collision::{orbital_period, DiskSimulation};
+use paratreet_apps::sph::{sph_framework, SphSimulation};
+use paratreet_core::{Configuration, DecompType};
+use paratreet_geometry::Vec3;
+use paratreet_particles::gen::{self, DiskParams};
+use paratreet_tree::TreeType;
+
+#[test]
+fn sph_multi_step_run_stays_physical() {
+    let mut particles = gen::perturbed_lattice(1000, 3, 0.5, 0.02);
+    for p in &mut particles {
+        if p.pos.norm() < 0.2 {
+            p.internal_energy = 5.0;
+        }
+    }
+    let config = Configuration { bucket_size: 16, n_subtrees: 4, n_partitions: 4, ..Default::default() };
+    let mut fw = sph_framework(config, particles);
+    let sph = SphSimulation { k: 24, ..Default::default() };
+    let dt = 1e-3;
+
+    let mut prev_hot_radius = 0.0;
+    for step in 0..8 {
+        for p in fw.particles_mut().iter_mut() {
+            p.acc = Vec3::ZERO;
+        }
+        let stats = sph.step(&mut fw);
+        assert!(stats.mean_density.is_finite() && stats.mean_density > 0.0, "step {step}");
+        for p in fw.particles_mut().iter_mut() {
+            p.vel += p.acc * dt;
+            p.pos += p.vel * dt;
+            assert!(p.pos.is_finite(), "position blew up at step {step}");
+            assert!(p.density >= 0.0);
+        }
+        let hot_radius = fw
+            .particles()
+            .iter()
+            .filter(|p| p.internal_energy > 2.0)
+            .map(|p| p.pos.norm())
+            .fold(0.0, f64::max);
+        if step > 2 {
+            assert!(
+                hot_radius >= prev_hot_radius * 0.99,
+                "hot blob should not collapse: {hot_radius} < {prev_hot_radius}"
+            );
+        }
+        prev_hot_radius = hot_radius;
+    }
+}
+
+#[test]
+fn disk_simulation_conserves_mass_through_mergers() {
+    let mut params = DiskParams::default();
+    params.body_radius *= 5e4; // ensure collisions at small N
+    params.rms_ecc = 0.08;
+    let particles = gen::keplerian_disk(600, 17, params);
+    let mass0: f64 = particles.iter().map(|p| p.mass).sum();
+    let config = Configuration {
+        tree_type: TreeType::LongestDim,
+        decomp_type: DecompType::LongestDim,
+        bucket_size: 16,
+        ..Default::default()
+    };
+    let dt = orbital_period(params.r_in, params.star_mass) / 60.0;
+    let mut sim = DiskSimulation::new(config, particles, dt);
+    let mut total_events = 0;
+    for _ in 0..30 {
+        total_events += sim.step().len();
+    }
+    assert!(total_events > 0, "inflated radii must produce collisions");
+    let mass1: f64 = sim.framework.particles().iter().map(|p| p.mass).sum();
+    assert!((mass1 - mass0).abs() < 1e-12 * mass0, "mergers must conserve mass");
+    assert_eq!(
+        sim.framework.particles().len() + total_events.min(sim.events.len()),
+        600 + 2,
+        "each collision merges exactly one body away"
+    );
+    // Events recorded carry radii inside the disk (plus margin).
+    for ev in &sim.events {
+        assert!(ev.radius > 1.0 && ev.radius < 6.0, "impact at r = {}", ev.radius);
+    }
+}
+
+#[test]
+fn disk_angular_momentum_is_stable_without_collisions() {
+    let params = DiskParams::default(); // tiny radii: no collisions
+    let particles = gen::keplerian_disk(400, 23, params);
+    let lz0: f64 = particles.iter().map(|p| p.angular_momentum().z).sum();
+    let config = Configuration {
+        tree_type: TreeType::LongestDim,
+        decomp_type: DecompType::LongestDim,
+        bucket_size: 16,
+        ..Default::default()
+    };
+    let dt = orbital_period(params.r_in, params.star_mass) / 80.0;
+    let mut sim = DiskSimulation::new(config, particles, dt);
+    for _ in 0..20 {
+        let events = sim.step();
+        assert!(events.is_empty(), "50 km bodies at N=400 should never touch");
+    }
+    let lz1: f64 = sim.framework.particles().iter().map(|p| p.angular_momentum().z).sum();
+    assert!(
+        ((lz1 - lz0) / lz0).abs() < 1e-3,
+        "z angular momentum drifted: {lz0} -> {lz1}"
+    );
+}

@@ -1,0 +1,224 @@
+//! Traversal completeness: for *any* opening criterion, every (target
+//! particle, source particle) pair must be accounted exactly once —
+//! either through a leaf interaction or through exactly one pruned
+//! ancestor's summary. A visitor that accumulates source *mass* per
+//! target makes this a conservation law: after any traversal, every
+//! particle has absorbed exactly the total mass of the universe.
+
+use paratreet_core::{
+    Configuration, DecompType, Framework, SpatialNodeView, TargetBucket, TraversalKind, Visitor,
+};
+use paratreet_particles::{gen, Particle};
+use paratreet_tree::{CountData, Data, TreeType};
+use proptest::prelude::*;
+
+/// Accumulates the mass of every source it is shown into each target's
+/// `density` field; "opens" nodes by a deterministic pseudo-random hash
+/// so the pruning pattern is arbitrary but reproducible.
+struct MassAuditVisitor {
+    /// Salt for the pseudo-random open decision.
+    salt: u64,
+}
+
+/// Data carrying subtree mass for the audit.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct MassData {
+    mass: f64,
+    count: CountData,
+}
+
+impl Data for MassData {
+    fn from_leaf(particles: &[Particle], bbox: &paratreet_geometry::BoundingBox) -> Self {
+        MassData {
+            mass: particles.iter().map(|p| p.mass).sum(),
+            count: CountData::from_leaf(particles, bbox),
+        }
+    }
+    fn merge(&mut self, child: &Self) {
+        self.mass += child.mass;
+        self.count.merge(&child.count);
+    }
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.mass.to_le_bytes());
+        self.count.encode(out);
+    }
+    fn decode(input: &[u8]) -> Option<(Self, usize)> {
+        let bytes: [u8; 8] = input.get(..8)?.try_into().ok()?;
+        let (count, used) = CountData::decode(&input[8..])?;
+        Some((MassData { mass: f64::from_le_bytes(bytes), count }, 8 + used))
+    }
+}
+
+impl Visitor for MassAuditVisitor {
+    type Data = MassData;
+    type State = ();
+
+    fn open(&self, source: &SpatialNodeView<'_, MassData>, target: &TargetBucket<()>) -> bool {
+        // Arbitrary deterministic pruning: hash the (node, bucket) pair.
+        let h = source
+            .key
+            .raw()
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(target.leaf_key.raw())
+            .wrapping_mul(self.salt | 1);
+        (h >> 32) & 3 != 0 // open ~75% of the time
+    }
+
+    fn node(&self, source: &SpatialNodeView<'_, MassData>, target: &mut TargetBucket<()>) {
+        for p in &mut target.particles {
+            p.density += source.data.mass;
+        }
+    }
+
+    fn leaf(&self, source: &SpatialNodeView<'_, MassData>, target: &mut TargetBucket<()>) {
+        for p in &mut target.particles {
+            for s in source.particles {
+                p.density += s.mass;
+            }
+        }
+    }
+
+    fn cell(
+        &self,
+        source: &SpatialNodeView<'_, MassData>,
+        target: &SpatialNodeView<'_, MassData>,
+    ) -> bool {
+        // Exercise both dual-tree branches pseudo-randomly.
+        let h = source
+            .key
+            .raw()
+            .rotate_left(17)
+            .wrapping_add(target.key.raw())
+            .wrapping_mul(self.salt | 1);
+        (h >> 16) & 1 == 0
+    }
+}
+
+fn run_audit(
+    particles: Vec<Particle>,
+    tree_type: TreeType,
+    decomp_type: DecompType,
+    kind: TraversalKind,
+    salt: u64,
+) -> (f64, Vec<f64>) {
+    let total_mass: f64 = particles.iter().map(|p| p.mass).sum();
+    let config = Configuration {
+        tree_type,
+        decomp_type,
+        bucket_size: 8,
+        n_subtrees: 6,
+        n_partitions: 5,
+        ..Default::default()
+    };
+    let mut fw: Framework<MassData> = Framework::new(config, particles);
+    let visitor = MassAuditVisitor { salt };
+    fw.step(|s| {
+        s.traverse(&visitor, kind);
+    });
+    (total_mass, fw.particles().iter().map(|p| p.density).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_pair_accounted_exactly_once(
+        n in 10usize..250,
+        seed in 0u64..1000,
+        salt in 0u64..1000,
+        tree_idx in 0usize..4,
+        decomp_idx in 0usize..4,
+        kind_idx in 0usize..3,
+    ) {
+        let tree_type =
+            [TreeType::Octree, TreeType::KdTree, TreeType::LongestDim, TreeType::BinaryOct][tree_idx];
+        let decomp_type =
+            [DecompType::Sfc, DecompType::Oct, DecompType::Kd, DecompType::LongestDim][decomp_idx];
+        let kind =
+            [TraversalKind::TopDown, TraversalKind::BasicDfs, TraversalKind::DualTree][kind_idx];
+        let particles = gen::clustered(n, 3, seed, 1.0, 1.0);
+        let (total, absorbed) = run_audit(particles, tree_type, decomp_type, kind, salt);
+        for (i, a) in absorbed.iter().enumerate() {
+            prop_assert!(
+                (a - total).abs() < 1e-9 * total.max(1.0),
+                "particle {i} absorbed {a}, expected {total} \
+                 ({tree_type:?}/{decomp_type:?}/{kind:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn up_and_down_is_also_complete(
+        n in 10usize..200,
+        seed in 0u64..1000,
+        salt in 0u64..1000,
+    ) {
+        // Up-and-down reaches every node through leaf-to-root sibling
+        // expansion; it must account every pair exactly once too.
+        let particles = gen::uniform_cube(n, seed, 1.0, 1.0);
+        let (total, absorbed) = run_audit(
+            particles,
+            TreeType::Octree,
+            DecompType::Sfc,
+            TraversalKind::UpAndDown,
+            salt,
+        );
+        for (i, a) in absorbed.iter().enumerate() {
+            prop_assert!(
+                (a - total).abs() < 1e-9 * total.max(1.0),
+                "particle {i} absorbed {a}, expected {total}"
+            );
+        }
+    }
+}
+
+#[test]
+fn open_everything_gives_exact_n_squared() {
+    struct OpenAll;
+    impl Visitor for OpenAll {
+        type Data = CountData;
+        type State = ();
+        fn open(&self, _s: &SpatialNodeView<'_, CountData>, _t: &TargetBucket<()>) -> bool {
+            true
+        }
+        fn node(&self, _s: &SpatialNodeView<'_, CountData>, _t: &mut TargetBucket<()>) {
+            panic!("node() must never fire when everything opens");
+        }
+        fn leaf(&self, _s: &SpatialNodeView<'_, CountData>, _t: &mut TargetBucket<()>) {}
+    }
+    let n = 300usize;
+    let particles = gen::uniform_cube(n, 3, 1.0, 1.0);
+    let config = Configuration { bucket_size: 8, ..Default::default() };
+    let mut fw: Framework<CountData> = Framework::new(config, particles);
+    let (_, report) = fw.step(|s| {
+        s.traverse(&OpenAll, TraversalKind::TopDown);
+    });
+    assert_eq!(report.counts.leaf_interactions, (n * n) as u64);
+    assert_eq!(report.counts.node_interactions, 0);
+}
+
+#[test]
+fn open_nothing_prunes_at_the_root() {
+    struct OpenNone;
+    impl Visitor for OpenNone {
+        type Data = CountData;
+        type State = ();
+        fn open(&self, _s: &SpatialNodeView<'_, CountData>, _t: &TargetBucket<()>) -> bool {
+            false
+        }
+        fn node(&self, _s: &SpatialNodeView<'_, CountData>, _t: &mut TargetBucket<()>) {}
+        fn leaf(&self, _s: &SpatialNodeView<'_, CountData>, _t: &mut TargetBucket<()>) {
+            panic!("leaf() must never fire when nothing opens");
+        }
+    }
+    let particles = gen::uniform_cube(200, 3, 1.0, 1.0);
+    let config = Configuration { bucket_size: 8, ..Default::default() };
+    let mut fw: Framework<CountData> = Framework::new(config, particles);
+    let (_, report) = fw.step(|s| {
+        s.traverse(&OpenNone, TraversalKind::TopDown);
+    });
+    // Every bucket prunes exactly once, at the root: one node()
+    // application per target particle.
+    assert_eq!(report.counts.node_interactions, 200);
+    assert_eq!(report.counts.leaf_interactions, 0);
+}
