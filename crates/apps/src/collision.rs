@@ -13,7 +13,9 @@
 //! those locations and [`CollisionProfile`] accumulates the histogram.
 
 use crate::gravity::{grav_approx, grav_exact, CentroidData};
-use paratreet_core::{Configuration, Framework, SpatialNodeView, TargetBucket, TraversalKind, Visitor};
+use paratreet_core::{
+    Configuration, Framework, SpatialNodeView, TargetBucket, TraversalKind, Visitor,
+};
 use paratreet_geometry::{BoundingBox, Sphere, Vec3};
 use paratreet_particles::gen::G;
 use paratreet_particles::Particle;
@@ -318,16 +320,19 @@ impl DiskSimulation {
         }
 
         // Resolve collisions by perfect merger (momentum conserving).
-        if !step_events.is_empty() {
-            self.merge(&step_events);
-        }
+        // Only *resolved* events are recorded and returned: a detected
+        // pair whose body already merged this step is skipped, and the
+        // survivors are re-detected next step if they still overlap.
+        let step_events =
+            if step_events.is_empty() { step_events } else { self.merge(&step_events) };
         self.events.extend(step_events.iter().copied());
         step_events
     }
 
-    fn merge(&mut self, events: &[CollisionEvent]) {
+    fn merge(&mut self, events: &[CollisionEvent]) -> Vec<CollisionEvent> {
         let particles = self.framework.particles_mut();
         let mut absorbed: Vec<u64> = Vec::new();
+        let mut resolved = Vec::with_capacity(events.len());
         for ev in events {
             if absorbed.contains(&ev.a) || absorbed.contains(&ev.b) {
                 continue; // one merger per body per step
@@ -343,9 +348,11 @@ impl DiskSimulation {
                 a.radius = (a.radius.powi(3) + b.radius.powi(3)).cbrt();
                 a.mass = m;
                 absorbed.push(ev.b);
+                resolved.push(*ev);
             }
         }
         particles.retain(|p| !absorbed.contains(&p.id));
+        resolved
     }
 
     /// The collision profile over the recorded events.

@@ -58,7 +58,10 @@ impl Data for PairData {
         let hi = wire::get_vec3(input, &mut off)?;
         let bytes: [u8; 8] = input.get(off..off + 8)?.try_into().ok()?;
         off += 8;
-        Some((PairData { tight_box: BoundingBox { lo, hi }, count: u64::from_le_bytes(bytes) }, off))
+        Some((
+            PairData { tight_box: BoundingBox { lo, hi }, count: u64::from_le_bytes(bytes) },
+            off,
+        ))
     }
 }
 
@@ -165,7 +168,11 @@ impl Visitor for PairCountVisitor {
     type Data = PairData;
     type State = PairCounts;
 
-    fn open(&self, source: &SpatialNodeView<'_, PairData>, target: &TargetBucket<PairCounts>) -> bool {
+    fn open(
+        &self,
+        source: &SpatialNodeView<'_, PairData>,
+        target: &TargetBucket<PairCounts>,
+    ) -> bool {
         if source.data.count == 0 {
             return false;
         }

@@ -286,7 +286,9 @@ mod tests {
         let b = BoundingBox::empty();
         let shift = Vec3::new(100.0, -50.0, 25.0);
         let ps: Vec<Particle> = (0..5)
-            .map(|i| particle(i, 1.0 + i as f64, Vec3::new(i as f64, (i * i) as f64 * 0.1, -(i as f64))))
+            .map(|i| {
+                particle(i, 1.0 + i as f64, Vec3::new(i as f64, (i * i) as f64 * 0.1, -(i as f64)))
+            })
             .collect();
         let shifted: Vec<Particle> =
             ps.iter().map(|p| particle(p.id, p.mass, p.pos + shift)).collect();

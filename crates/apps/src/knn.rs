@@ -254,7 +254,13 @@ mod tests {
     fn heap_keeps_k_nearest() {
         let mut h = KnnHeap::new(3);
         for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0, 0.5].iter().enumerate() {
-            h.offer(Neighbor { dist_sq: *d, id: i as u64, pos: Vec3::ZERO, mass: 1.0, vel: Vec3::ZERO });
+            h.offer(Neighbor {
+                dist_sq: *d,
+                id: i as u64,
+                pos: Vec3::ZERO,
+                mass: 1.0,
+                vel: Vec3::ZERO,
+            });
         }
         assert_eq!(h.len(), 3);
         let sorted = h.into_sorted();
@@ -277,11 +283,8 @@ mod tests {
     fn brute_knn(ps: &[Particle], k: usize) -> std::collections::HashMap<u64, Vec<u64>> {
         let mut out = std::collections::HashMap::new();
         for p in ps {
-            let mut d: Vec<(f64, u64)> = ps
-                .iter()
-                .filter(|q| q.id != p.id)
-                .map(|q| (q.pos.dist_sq(p.pos), q.id))
-                .collect();
+            let mut d: Vec<(f64, u64)> =
+                ps.iter().filter(|q| q.id != p.id).map(|q| (q.pos.dist_sq(p.pos), q.id)).collect();
             d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             out.insert(p.id, d.into_iter().take(k).map(|(_, id)| id).collect());
         }

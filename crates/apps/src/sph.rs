@@ -71,10 +71,13 @@ pub struct SphQuantities {
 /// Density estimate from a fixed-k neighbour list: `h = r_k / 2` so the
 /// kernel support exactly encloses the k neighbours, then
 /// `ρ = Σⱼ mⱼ W(rᵢⱼ, h) + mᵢ W(0, h)` (self-contribution included).
-pub fn density_from_neighbors(mass: f64, neighbors: &[Neighbor], h_override: Option<f64>) -> (f64, f64) {
-    let h = h_override.unwrap_or_else(|| {
-        neighbors.last().map(|n| n.dist_sq.sqrt() * 0.5).unwrap_or(0.0)
-    });
+pub fn density_from_neighbors(
+    mass: f64,
+    neighbors: &[Neighbor],
+    h_override: Option<f64>,
+) -> (f64, f64) {
+    let h = h_override
+        .unwrap_or_else(|| neighbors.last().map(|n| n.dist_sq.sqrt() * 0.5).unwrap_or(0.0));
     if h <= 0.0 {
         return (0.0, 0.0);
     }
@@ -178,11 +181,7 @@ impl SphSimulation {
             p.acc += acc;
         }
         let n = fw.particles().len().max(1);
-        SphStepStats {
-            step: report,
-            neighbor_entries,
-            mean_density: mean_density / n as f64,
-        }
+        SphStepStats { step: report, neighbor_entries, mean_density: mean_density / n as f64 }
     }
 }
 
@@ -249,8 +248,8 @@ mod tests {
         let stats = sph.step(&mut fw);
         let volume = (2.0 * half) as f64;
         let expected = 1.0 / (volume * volume * volume); // total mass 1
-        // Interior particles (away from the free boundary) carry the
-        // expected density.
+                                                         // Interior particles (away from the free boundary) carry the
+                                                         // expected density.
         let interior: Vec<f64> = fw
             .particles()
             .iter()
@@ -275,28 +274,16 @@ mod tests {
             // Pull everything toward the origin to create an overdensity.
             p.pos = p.pos * (0.4 + 0.6 * p.pos.norm());
         }
-        let config = Configuration {
-            bucket_size: 16,
-            n_subtrees: 4,
-            n_partitions: 4,
-            ..Default::default()
-        };
+        let config =
+            Configuration { bucket_size: 16, n_subtrees: 4, n_partitions: 4, ..Default::default() };
         let mut fw = sph_framework(config, ps);
         let sph = SphSimulation { k: 24, ..Default::default() };
         sph.step(&mut fw);
         // Density must peak centrally.
-        let inner_rho: f64 = fw
-            .particles()
-            .iter()
-            .filter(|p| p.pos.norm() < 0.15)
-            .map(|p| p.density)
-            .sum::<f64>();
-        let outer_rho: f64 = fw
-            .particles()
-            .iter()
-            .filter(|p| p.pos.norm() > 0.35)
-            .map(|p| p.density)
-            .sum::<f64>();
+        let inner_rho: f64 =
+            fw.particles().iter().filter(|p| p.pos.norm() < 0.15).map(|p| p.density).sum::<f64>();
+        let outer_rho: f64 =
+            fw.particles().iter().filter(|p| p.pos.norm() > 0.35).map(|p| p.density).sum::<f64>();
         assert!(inner_rho > 0.0 && outer_rho > 0.0);
         // Mean radial acceleration of mid-shell particles points outward.
         let mid: Vec<&Particle> =

@@ -109,19 +109,12 @@ mod tests {
         let (_, rep_topdown) = fw1.step(|s| {
             s.traverse(&v, TraversalKind::TopDown);
         });
-        let mut fw2: Framework<paratreet_apps::gravity::CentroidData> =
-            Framework::new(config, ps);
+        let mut fw2: Framework<paratreet_apps::gravity::CentroidData> = Framework::new(config, ps);
         let (_, rep_dfs) = fw2.step(|s| {
             s.traverse(&v, TraversalKind::BasicDfs);
         });
-        assert_eq!(
-            rep_topdown.counts.leaf_interactions,
-            rep_dfs.counts.leaf_interactions
-        );
-        assert_eq!(
-            rep_topdown.counts.node_interactions,
-            rep_dfs.counts.node_interactions
-        );
+        assert_eq!(rep_topdown.counts.leaf_interactions, rep_dfs.counts.leaf_interactions);
+        assert_eq!(rep_topdown.counts.node_interactions, rep_dfs.counts.node_interactions);
         // ...but the DFS walk visits far more nodes for the same work —
         // the cache-efficiency mechanism of §III-A.
         assert!(rep_dfs.counts.nodes_visited > 4 * rep_topdown.counts.nodes_visited);

@@ -12,9 +12,7 @@
 
 use paratreet_apps::knn::{KnnData, Neighbor};
 use paratreet_apps::sph::{density_from_neighbors, kernel_w};
-use paratreet_core::{
-    Framework, SpatialNodeView, TargetBucket, TraversalKind, Visitor,
-};
+use paratreet_core::{Framework, SpatialNodeView, TargetBucket, TraversalKind, Visitor};
 use std::collections::HashMap;
 
 /// Fixed-radius neighbour search: gathers every particle within
@@ -37,7 +35,11 @@ impl Visitor for BallSearchVisitor {
     type Data = KnnData;
     type State = BallState;
 
-    fn open(&self, source: &SpatialNodeView<'_, KnnData>, target: &TargetBucket<BallState>) -> bool {
+    fn open(
+        &self,
+        source: &SpatialNodeView<'_, KnnData>,
+        target: &TargetBucket<BallState>,
+    ) -> bool {
         if source.data.count == 0 {
             return false;
         }
@@ -103,11 +105,8 @@ pub fn gadget_density(
     let spacing = (bbox.volume().max(1e-30) / n as f64).cbrt();
 
     // Per-particle bisection state: (lo, hi, current radius, done).
-    let mut radius: HashMap<u64, (f64, f64, f64, bool)> = fw
-        .particles()
-        .iter()
-        .map(|p| (p.id, (0.0, f64::INFINITY, 2.0 * spacing, false)))
-        .collect();
+    let mut radius: HashMap<u64, (f64, f64, f64, bool)> =
+        fw.particles().iter().map(|p| (p.id, (0.0, f64::INFINITY, 2.0 * spacing, false))).collect();
     let lo_target = (k as f64 * (1.0 - tol)).floor() as usize;
     let hi_target = (k as f64 * (1.0 + tol)).ceil() as usize;
 
@@ -124,10 +123,7 @@ pub fn gadget_density(
         if outstanding.is_empty() {
             break;
         }
-        let pass_radius = outstanding
-            .iter()
-            .map(|id| radius[id].2)
-            .fold(0.0f64, f64::max);
+        let pass_radius = outstanding.iter().map(|id| radius[id].2).fold(0.0f64, f64::max);
         stats.ball_passes += 1;
         stats.pass_radii.push(pass_radius);
 
@@ -187,8 +183,8 @@ pub fn gadget_density(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paratreet_core::Configuration;
     use paratreet_apps::sph::{sph_framework, SphSimulation};
+    use paratreet_core::Configuration;
     use paratreet_particles::gen;
 
     fn config() -> Configuration {

@@ -22,7 +22,8 @@ fn make_world(n: usize) -> (Vec<SubtreeSummary<CentroidData>>, Vec<Vec<u8>>) {
     let mut summaries = Vec::new();
     let mut trees = Vec::new();
     for oct in 0..8 {
-        let part: Vec<_> = ps.iter().copied().filter(|p| universe.octant_of(p.pos) == oct).collect();
+        let part: Vec<_> =
+            ps.iter().copied().filter(|p| universe.octant_of(p.pos) == oct).collect();
         if part.is_empty() {
             continue;
         }
@@ -43,10 +44,7 @@ fn make_world(n: usize) -> (Vec<SubtreeSummary<CentroidData>>, Vec<Vec<u8>>) {
         trees.push(tree);
     }
     home.init(&summaries, trees);
-    let fills = summaries
-        .iter()
-        .map(|s| home.serialize_fragment(s.key, 64).unwrap())
-        .collect();
+    let fills = summaries.iter().map(|s| home.serialize_fragment(s.key, 64).unwrap()).collect();
     (summaries, fills)
 }
 
@@ -63,7 +61,7 @@ fn bench_serialize(c: &mut Criterion) {
             let fresh: CacheTree<CentroidData> = CacheTree::new(0, 3);
             fresh.init(&summaries, vec![]);
             for f in &fills {
-                black_box(fresh.insert_fragment(f).unwrap().1.len());
+                black_box(fresh.insert_fragment(f).unwrap().resumed.len());
             }
         })
     });
@@ -84,7 +82,7 @@ fn bench_insert_models(c: &mut Criterion) {
                         let fresh = &fresh;
                         s.spawn(move || {
                             for f in chunk {
-                                black_box(fresh.insert_fragment(f).unwrap().1.len());
+                                black_box(fresh.insert_fragment(f).unwrap().resumed.len());
                             }
                         });
                     }
@@ -101,7 +99,7 @@ fn bench_insert_models(c: &mut Criterion) {
                         let locked = &locked;
                         s.spawn(move || {
                             for f in chunk {
-                                black_box(locked.insert_fragment(f).unwrap().1.len());
+                                black_box(locked.insert_fragment(f).unwrap().resumed.len());
                             }
                         });
                     }

@@ -12,18 +12,24 @@ fn bench_gravity_styles(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_transpose");
     group.sample_size(10);
     let ps = gen::uniform_cube(20_000, 5, 1.0, 1.0);
-    let config = Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 8, ..Default::default() };
+    let config =
+        Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 8, ..Default::default() };
     let visitor = GravityVisitor::default();
     for kind in [TraversalKind::TopDown, TraversalKind::BasicDfs] {
-        group.bench_with_input(BenchmarkId::new("gravity_20k", format!("{kind:?}")), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut fw: Framework<CentroidData> = Framework::new(config.clone(), ps.clone());
-                let (_, report) = fw.step(|s| {
-                    s.traverse(&visitor, kind);
-                });
-                black_box(report.counts.leaf_interactions)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gravity_20k", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut fw: Framework<CentroidData> =
+                        Framework::new(config.clone(), ps.clone());
+                    let (_, report) = fw.step(|s| {
+                        s.traverse(&visitor, kind);
+                    });
+                    black_box(report.counts.leaf_interactions)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -32,18 +38,23 @@ fn bench_knn_styles(c: &mut Criterion) {
     let mut group = c.benchmark_group("knn_traversal");
     group.sample_size(10);
     let ps = gen::clustered(10_000, 4, 5, 1.0, 1.0);
-    let config = Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 8, ..Default::default() };
+    let config =
+        Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 8, ..Default::default() };
     let visitor = KnnVisitor { k: 16 };
     for kind in [TraversalKind::UpAndDown, TraversalKind::TopDown] {
-        group.bench_with_input(BenchmarkId::new("knn_10k_k16", format!("{kind:?}")), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut fw: Framework<KnnData> = Framework::new(config.clone(), ps.clone());
-                let (_, report) = fw.step(|s| {
-                    s.traverse(&visitor, kind);
-                });
-                black_box(report.counts.leaf_interactions)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("knn_10k_k16", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut fw: Framework<KnnData> = Framework::new(config.clone(), ps.clone());
+                    let (_, report) = fw.step(|s| {
+                        s.traverse(&visitor, kind);
+                    });
+                    black_box(report.counts.leaf_interactions)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -60,7 +71,8 @@ fn bench_theta(c: &mut Criterion) {
             &theta,
             |b, _| {
                 b.iter(|| {
-                    let mut fw: Framework<CentroidData> = Framework::new(config.clone(), ps.clone());
+                    let mut fw: Framework<CentroidData> =
+                        Framework::new(config.clone(), ps.clone());
                     let (_, report) = fw.step(|s| {
                         s.traverse(&visitor, TraversalKind::TopDown);
                     });

@@ -16,18 +16,14 @@ fn bench_build(c: &mut Criterion) {
             let ps = gen::clustered(n, 4, 7, 1.0, 1.0);
             let bbox = ps.bounding_box().padded(1e-9);
             let bbox = if tree_type == TreeType::Octree { bbox.bounding_cube() } else { bbox };
-            group.bench_with_input(
-                BenchmarkId::new(tree_type.name(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let t = TreeBuilder::new(tree_type)
-                            .bucket_size(16)
-                            .build::<CentroidData>(black_box(ps.clone()), bbox);
-                        black_box(t.nodes.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(tree_type.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    let t = TreeBuilder::new(tree_type)
+                        .bucket_size(16)
+                        .build::<CentroidData>(black_box(ps.clone()), bbox);
+                    black_box(t.nodes.len())
+                })
+            });
         }
     }
     group.finish();

@@ -30,7 +30,9 @@ fn main() {
     }
     direct_gravity(&mut reference, 1.0);
 
-    println!("Ablation: bucket size, Barnes-Hut on a {n}-particle Plummer sphere (theta = {theta})\n");
+    println!(
+        "Ablation: bucket size, Barnes-Hut on a {n}-particle Plummer sphere (theta = {theta})\n"
+    );
     println!(
         "{:>7} {:>10} {:>12} {:>12} {:>12} {:>10}",
         "bucket", "leaves", "pp pairs", "pn approx", "traverse", "rms err"

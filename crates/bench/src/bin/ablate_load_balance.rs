@@ -60,7 +60,10 @@ fn main() {
     );
 
     println!("Ablation: measured-load SFC re-balancing, {n} clustered particles");
-    println!("(SFC decomposition on {} cores; clusters skew per-partition cost)\n", procs * workers);
+    println!(
+        "(SFC decomposition on {} cores; clusters skew per-partition cost)\n",
+        procs * workers
+    );
 
     // Iteration 1: default placement, measure loads.
     let first = engine.run_iteration(particles.clone());
@@ -72,7 +75,11 @@ fn main() {
         }
         let max = per_rank.iter().copied().fold(0.0, f64::max);
         let avg: f64 = per_rank.iter().sum::<f64>() / procs as f64;
-        if avg == 0.0 { 1.0 } else { max / avg }
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
     };
     let n_parts = costs.len();
     let default_imb = imbalance(&|p| (p * procs / n_parts) as u32);

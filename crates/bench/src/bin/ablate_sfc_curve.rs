@@ -14,9 +14,7 @@
 
 use paratreet_apps::gravity::GravityVisitor;
 use paratreet_bench::{fmt_bytes, fmt_seconds, Args};
-use paratreet_core::{
-    CacheModel, Configuration, DistributedEngine, SfcCurve, TraversalKind,
-};
+use paratreet_core::{CacheModel, Configuration, DistributedEngine, SfcCurve, TraversalKind};
 use paratreet_particles::gen;
 use paratreet_runtime::MachineSpec;
 

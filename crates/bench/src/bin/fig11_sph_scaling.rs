@@ -48,11 +48,11 @@ fn main() {
     };
 
     println!("Figure 11: average SPH iteration time, {n} gas particles, k = {k}");
+    println!("(Stampede2 model; Gadget-2's bisection used {} ball passes)\n", pass_radii.len());
     println!(
-        "(Stampede2 model; Gadget-2's bisection used {} ball passes)\n",
-        pass_radii.len()
+        "{:>7} {:>7} {:>12} {:>12} {:>8}",
+        "nodes", "cores", "ParaTreeT", "Gadget2", "speedup"
     );
-    println!("{:>7} {:>7} {:>12} {:>12} {:>8}", "nodes", "cores", "ParaTreeT", "Gadget2", "speedup");
     println!("{}", "-".repeat(52));
 
     let knn = KnnVisitor { k };
@@ -106,6 +106,9 @@ fn main() {
     }
     println!();
     println!("paper shape: ParaTreeT several times faster across the sweep, the gap");
-    println!("growing with scale; mechanisms: one kNN pass vs {} ball passes, and", pass_radii.len());
+    println!(
+        "growing with scale; mechanisms: one kNN pass vs {} ball passes, and",
+        pass_radii.len()
+    );
     println!("pure-MPI ranks duplicating remote fetches 48x per node.");
 }

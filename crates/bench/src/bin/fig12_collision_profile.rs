@@ -85,13 +85,7 @@ fn main() {
         } else {
             ""
         };
-        println!(
-            "{:>8.2} {:>6}  {}{}",
-            c,
-            count,
-            bar(count as f64 / max_bin as f64, 30),
-            mark
-        );
+        println!("{:>8.2} {:>6}  {}{}", c, count, bar(count as f64 / max_bin as f64, 30), mark);
     }
 
     // Collisions vs orbital period (the paper's dotted curve).

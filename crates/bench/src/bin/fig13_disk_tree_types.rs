@@ -44,10 +44,7 @@ fn main() {
 
     println!("Figure 13: average iteration time on a {n}-planetesimal disk");
     println!("(Stampede2 machine model, 48 workers/node)\n");
-    println!(
-        "{:>7} {:>7} {:>12} {:>12} {:>12}",
-        "nodes", "cores", "LongDim", "PTT-Oct", "ChaNGa"
-    );
+    println!("{:>7} {:>7} {:>12} {:>12} {:>12}", "nodes", "cores", "LongDim", "PTT-Oct", "ChaNGa");
     println!("{}", "-".repeat(56));
 
     let mut nodes = 1;

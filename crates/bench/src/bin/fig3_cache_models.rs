@@ -33,9 +33,7 @@ fn main() {
     let particles = gen::clustered(n, 8, seed, 1.0, 1.0);
     let visitor = GravityVisitor { theta, g: 1.0 };
 
-    println!(
-        "Figure 3: average gravity traversal time vs cores, {n} clustered particles"
-    );
+    println!("Figure 3: average gravity traversal time vs cores, {n} clustered particles");
     println!("(Stampede2 machine model, 24 workers per process)\n");
     println!(
         "{:>7} {:>7} {:>12} {:>12} {:>12}",

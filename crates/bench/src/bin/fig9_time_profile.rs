@@ -40,20 +40,18 @@ fn main() {
     let profile = rep.ledger.profile(bins, workers);
     let horizon = rep.ledger.horizon();
 
+    println!("Figure 9: utilisation profile, Barnes-Hut on {} CPUs, {n} particles", workers);
     println!(
-        "Figure 9: utilisation profile, Barnes-Hut on {} CPUs, {n} particles",
-        workers
+        "(each row is one time bin of {}; bars are fraction of capacity)\n",
+        fmt_seconds(horizon / bins as f64)
     );
-    println!("(each row is one time bin of {}; bars are fraction of capacity)\n", fmt_seconds(horizon / bins as f64));
 
     // Group phases like the paper's legend.
     let groups: [(&str, &[Phase]); 5] = [
-        ("setup (decomp+build+share)", &[
-            Phase::Decomposition,
-            Phase::TreeBuild,
-            Phase::LeafSharing,
-            Phase::ShareTopLevels,
-        ]),
+        (
+            "setup (decomp+build+share)",
+            &[Phase::Decomposition, Phase::TreeBuild, Phase::LeafSharing, Phase::ShareTopLevels],
+        ),
         ("local traversal", &[Phase::LocalTraversal]),
         ("cache req+fill", &[Phase::CacheRequest, Phase::FillServe]),
         ("cache insertion", &[Phase::CacheInsertion]),
@@ -84,8 +82,12 @@ fn main() {
             println!("  {:<22} {}", p.label(), fmt_seconds(busy[p.index()]));
         }
     }
-    println!("\nmakespan {}  traversal from {}  utilization {:.1}%",
-        fmt_seconds(rep.makespan), fmt_seconds(rep.traversal_start), rep.utilization * 100.0);
+    println!(
+        "\nmakespan {}  traversal from {}  utilization {:.1}%",
+        fmt_seconds(rep.makespan),
+        fmt_seconds(rep.traversal_start),
+        rep.utilization * 100.0
+    );
     println!("paper shape: high utilisation dominated by local traversal, low-util");
     println!("share step at the start, cache requests/insertions/resumptions at the tail.");
 }

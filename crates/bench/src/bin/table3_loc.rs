@@ -60,8 +60,8 @@ fn section(text: &str, markers: &[&str]) -> String {
 
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let gravity = std::fs::read_to_string(root.join("crates/apps/src/gravity.rs"))
-        .expect("gravity source");
+    let gravity =
+        std::fs::read_to_string(root.join("crates/apps/src/gravity.rs")).expect("gravity source");
 
     let data_lines = count_lines(&section(
         &gravity,
@@ -69,9 +69,14 @@ fn main() {
     ));
     let visitor_lines = count_lines(&section(
         &gravity,
-        &["struct GravityVisitor", "impl Default for GravityVisitor", "impl Visitor for GravityVisitor"],
+        &[
+            "struct GravityVisitor",
+            "impl Default for GravityVisitor",
+            "impl Visitor for GravityVisitor",
+        ],
     ));
-    let kernel_lines = count_lines(&section(&gravity, &["pub fn grav_exact", "pub fn grav_approx"]));
+    let kernel_lines =
+        count_lines(&section(&gravity, &["pub fn grav_exact", "pub fn grav_approx"]));
 
     println!("TABLE III: line counts of user code in the gravity application\n");
     println!("{:<34} {:>10}  {}", "Role (this repo)", "Lines", "Paper equivalent");

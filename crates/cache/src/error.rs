@@ -1,0 +1,69 @@
+//! Structured errors for the fetch → serialize → fill → resume pipeline.
+//!
+//! The error-handling contract of this crate (see also DESIGN.md):
+//!
+//! * **Recoverable conditions return [`CacheError`]** — malformed or
+//!   truncated fill payloads, fills whose splice point is not
+//!   materialised yet (orphans), and fetches for keys the home rank
+//!   cannot locate. Engines log these and degrade to a re-request; they
+//!   must never abort a simulation.
+//! * **Programming errors panic** — API misuse that no message can
+//!   trigger, such as calling [`crate::CacheTree::init`] with duplicate
+//!   subtree summaries or grafting a tree whose first node is not its
+//!   root. These stay `assert!`/`debug_assert!`.
+//!
+//! Every variant carries enough context to be logged without access to
+//! the failing payload.
+
+use paratreet_geometry::NodeKey;
+
+/// Why a cache operation was rejected. All variants are recoverable:
+/// the cache's state is unchanged (failed operations are atomic — they
+/// validate before they mutate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// A fill payload failed to decode (truncated, bad magic, or an
+    /// inconsistent node table).
+    MalformedFragment {
+        /// Payload size, for log correlation.
+        len: usize,
+    },
+    /// A fill payload decoded to zero nodes.
+    EmptyFragment,
+    /// A fill arrived for a subtree whose parent is not materialised on
+    /// this rank, so there is nowhere to splice it. Seen when faults
+    /// reorder a fill ahead of the fill that creates its splice point.
+    OrphanFill {
+        /// Root key of the orphaned fragment.
+        key: NodeKey,
+    },
+    /// A fetch asked this rank to serialise a key it cannot locate
+    /// (not in the hash table and not reachable from the root).
+    UnknownKey {
+        /// The key the requester asked for.
+        key: NodeKey,
+    },
+    /// The cache has no root yet ([`crate::CacheTree::init`] has not
+    /// run), so nothing can be located or spliced.
+    NotInitialized,
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::MalformedFragment { len } => {
+                write!(f, "malformed fill fragment ({len} bytes)")
+            }
+            CacheError::EmptyFragment => write!(f, "empty fill fragment"),
+            CacheError::OrphanFill { key } => {
+                write!(f, "fill for {key} has no materialised parent to splice into")
+            }
+            CacheError::UnknownKey { key } => {
+                write!(f, "no node for key {key} on this rank")
+            }
+            CacheError::NotInitialized => write!(f, "cache has no root (init not called)"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}

@@ -29,15 +29,33 @@
 //! worker so fetches duplicate, and the *exclusive-write* model
 //! ("XWrite") routes every insertion through one [`parking_lot::Mutex`]
 //! (see [`xwrite::XWriteCache`]).
+//!
+//! # Error model
+//!
+//! Anything a *message* can get wrong is a recoverable [`CacheError`]:
+//! [`serialize_fragment`](CacheTree::serialize_fragment) and
+//! [`insert_fragment`](CacheTree::insert_fragment) return `Result`, and a
+//! rejected fill (garbage bytes, an orphan whose splice point has not
+//! arrived yet, an unknown key) must leave the cache unchanged — the
+//! executors log the error and rely on retry, they never abort.
+//! Programming errors — violated engine invariants — stay debug
+//! assertions. [`insert_fragment`](CacheTree::insert_fragment) returns a
+//! [`FillOutcome`]: the canonical root, one `(key, waiter)` pair per
+//! parked traversal unblocked by *any* key the fragment materialised, and
+//! a `duplicate` flag for idempotently absorbed re-deliveries.
+//! [`CacheTree::audit`] checks the full structural invariant set and is
+//! run at phase boundaries by the DES engine in debug builds.
 
+pub mod error;
 pub mod node;
 pub mod stats;
 pub mod tree;
 pub mod wire;
 pub mod xwrite;
 
+pub use error::CacheError;
 pub use node::{CacheNode, NodeHandle, NodeKind};
 pub use stats::CacheStats;
-pub use tree::{CacheTree, RequestOutcome, SubtreeSummary};
+pub use tree::{CacheTree, FillOutcome, RequestOutcome, SubtreeSummary};
 pub use wire::Fragment;
 pub use xwrite::XWriteCache;

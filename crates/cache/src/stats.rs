@@ -19,6 +19,9 @@ pub struct CacheStats {
     pub requests_deduped: AtomicU64,
     /// Fill fragments inserted.
     pub fills_inserted: AtomicU64,
+    /// Fills whose root was already materialised (idempotent duplicate
+    /// deliveries, e.g. under fault injection).
+    pub fills_duplicate: AtomicU64,
     /// Total bytes of fill payloads received.
     pub bytes_received: AtomicU64,
     /// Nodes materialised from fills.
@@ -55,6 +58,7 @@ impl CacheStats {
             requests_sent: Self::get(&self.requests_sent),
             requests_deduped: Self::get(&self.requests_deduped),
             fills_inserted: Self::get(&self.fills_inserted),
+            fills_duplicate: Self::get(&self.fills_duplicate),
             bytes_received: Self::get(&self.bytes_received),
             nodes_inserted: Self::get(&self.nodes_inserted),
             particles_inserted: Self::get(&self.particles_inserted),
@@ -73,6 +77,8 @@ pub struct CacheStatsSnapshot {
     pub requests_deduped: u64,
     /// See [`CacheStats::fills_inserted`].
     pub fills_inserted: u64,
+    /// See [`CacheStats::fills_duplicate`].
+    pub fills_duplicate: u64,
     /// See [`CacheStats::bytes_received`].
     pub bytes_received: u64,
     /// See [`CacheStats::nodes_inserted`].
@@ -91,6 +97,7 @@ impl CacheStatsSnapshot {
         self.requests_sent += o.requests_sent;
         self.requests_deduped += o.requests_deduped;
         self.fills_inserted += o.fills_inserted;
+        self.fills_duplicate += o.fills_duplicate;
         self.bytes_received += o.bytes_received;
         self.nodes_inserted += o.nodes_inserted;
         self.particles_inserted += o.particles_inserted;
@@ -116,7 +123,8 @@ mod tests {
 
     #[test]
     fn snapshots_merge() {
-        let mut a = CacheStatsSnapshot { requests_sent: 1, bytes_received: 10, ..Default::default() };
+        let mut a =
+            CacheStatsSnapshot { requests_sent: 1, bytes_received: 10, ..Default::default() };
         let b = CacheStatsSnapshot { requests_sent: 2, waiters_parked: 5, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.requests_sent, 3);

@@ -22,14 +22,15 @@
 //! `Acquire`. Hence any `&CacheNode` obtained through the tree is valid
 //! for the tree's lifetime and its non-atomic fields are fully visible.
 
+use crate::error::CacheError;
 use crate::node::{CacheNode, NodeKind};
 use crate::stats::CacheStats;
 use crate::wire;
-use parking_lot::Mutex;
 use paratreet_geometry::{BoundingBox, NodeKey};
 use paratreet_tree::node::NO_NODE;
 use paratreet_tree::{BuiltTree, Data, NodeShape};
-use std::collections::HashMap;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
@@ -63,6 +64,23 @@ pub enum RequestOutcome<'a, D> {
     },
     /// A fetch is already in flight; the waiter has been parked.
     InFlight,
+}
+
+/// Everything a successful fill splice produced: the canonical node now
+/// standing at the fragment root's key, and every parked waiter the fill
+/// unblocked (tagged with the key it was parked on, so engines can
+/// requeue the right paused work).
+#[derive(Debug)]
+pub struct FillOutcome<'a, D> {
+    /// Canonical node at the fragment root's key. On a duplicate fill
+    /// this is the *pre-existing* materialised node, not the payload's.
+    pub root: &'a CacheNode<D>,
+    /// `(key, waiter)` pairs drained from `pending`, covering every key
+    /// the fill materialised — root, interior, and frontier keys alike.
+    pub resumed: Vec<(NodeKey, u64)>,
+    /// True when the fragment root was already materialised and the
+    /// payload was discarded (idempotent duplicate delivery).
+    pub duplicate: bool,
 }
 
 /// Book-keeping guarded by one short-held mutex: the process-level hash
@@ -119,8 +137,22 @@ impl<D: Data> CacheTree<D> {
     /// with `home_rank == self.rank`.
     ///
     /// Called once per iteration, before traversal, from one thread.
+    ///
+    /// # Panics
+    ///
+    /// On API misuse (programming errors, not message faults): empty
+    /// `summaries`, duplicate keys in `summaries` (which would corrupt
+    /// the skeleton's child lists), or a local tree without a summary.
     pub fn init(&self, summaries: &[SubtreeSummary<D>], local: Vec<BuiltTree<D>>) {
         assert!(!summaries.is_empty(), "cannot init cache with no subtrees");
+        let mut summary_keys: HashSet<NodeKey> = HashSet::with_capacity(summaries.len());
+        for s in summaries {
+            assert!(
+                summary_keys.insert(s.key),
+                "duplicate subtree summary for {}: every key must appear exactly once",
+                s.key
+            );
+        }
         let mut local_by_key: HashMap<NodeKey, BuiltTree<D>> = HashMap::new();
         for t in local {
             local_by_key.insert(t.root().key, t);
@@ -244,6 +276,13 @@ impl<D: Data> CacheTree<D> {
                 }
             }
         }
+        // The caller treats slot 0 as the subtree root; a BuiltTree whose
+        // first node is not its root would silently graft garbage.
+        debug_assert_eq!(
+            unsafe { ptrs[0].as_ref() }.key,
+            tree.root().key,
+            "grafted tree's nodes[0] must be its root"
+        );
         ptrs[0]
     }
 
@@ -313,30 +352,79 @@ impl<D: Data> CacheTree<D> {
     }
 
     /// Serialises the subtree under `key` to relative `depth` levels —
-    /// the home-side half of a fetch (Step 1 of Fig. 2).
-    pub fn serialize_fragment(&self, key: NodeKey, depth: u32) -> Option<Vec<u8>> {
-        let node = self.find(key)?;
-        Some(wire::encode_fragment(node, depth))
+    /// the home-side half of a fetch (Step 1 of Fig. 2). Fails with
+    /// [`CacheError::UnknownKey`] when this rank cannot locate `key`
+    /// (e.g. a corrupted fetch message); engines log and drop such
+    /// requests instead of panicking.
+    pub fn serialize_fragment(&self, key: NodeKey, depth: u32) -> Result<Vec<u8>, CacheError> {
+        if self.root().is_none() {
+            return Err(CacheError::NotInitialized);
+        }
+        let node = self.find(key).ok_or(CacheError::UnknownKey { key })?;
+        Ok(wire::encode_fragment(node, depth))
     }
 
     /// Splices a received fill into the tree (Steps 2–4 of Fig. 2) and
-    /// returns the materialised fragment root plus every parked waiter
-    /// this fill unblocks (Step 5). Any worker thread may call this —
-    /// that is the point of the wait-free design: the tree structure is
-    /// updated by one atomic swap, and only the hash-table/pending
-    /// book-keeping takes a (short) lock.
-    pub fn insert_fragment(&self, bytes: &[u8]) -> Result<(&CacheNode<D>, Vec<u64>), String> {
-        let frag = wire::decode_fragment::<D>(bytes).ok_or("malformed fill fragment")?;
+    /// returns a [`FillOutcome`]: the canonical fragment-root node plus
+    /// every parked waiter this fill unblocks (Step 5). Any worker
+    /// thread may call this — that is the point of the wait-free design:
+    /// the tree structure is updated by atomic child-pointer swaps, and
+    /// only the hash-table/pending book-keeping takes a (short) lock.
+    ///
+    /// Guarantees, in the presence of duplicated / reordered deliveries:
+    ///
+    /// * **Per-key canonicalisation** — for every key the fragment
+    ///   carries, the first *materialised* node wins and stays canonical;
+    ///   later copies are discarded (the cache is no-delete, so they stay
+    ///   allocated but unreachable). Duplicate fills are idempotent.
+    /// * **Complete waiter drain** — `pending` is drained for *every*
+    ///   key whose canonical node is materialised after this call, not
+    ///   just the fragment root. A deep fill that materialises interior
+    ///   keys resumes waiters parked at those depths too.
+    /// * **Atomic failure** — on `Err` the cache is unchanged, so the
+    ///   engine can simply re-request.
+    ///
+    /// A fill whose root decodes to a placeholder (the home rank
+    /// serialised at depth 0, carrying no child data) clears the
+    /// `requested` flag and hands back the parked waiters so the engine
+    /// re-requests instead of deadlocking.
+    pub fn insert_fragment(&self, bytes: &[u8]) -> Result<FillOutcome<'_, D>, CacheError> {
+        let frag = wire::decode_fragment::<D>(bytes)
+            .ok_or(CacheError::MalformedFragment { len: bytes.len() })?;
         if frag.nodes.is_empty() {
-            return Err("empty fill fragment".into());
+            return Err(CacheError::EmptyFragment);
         }
+        let root_key = frag.nodes[0].key;
+        let n_fragment_particles = frag.n_particles;
+
+        let mut book = self.book.lock();
+
+        // Validate the splice point *before* mutating anything, so a
+        // rejected fill leaves the cache untouched.
+        if root_key == NodeKey::root() {
+            if !book.resolved.contains_key(&root_key) {
+                return Err(CacheError::NotInitialized);
+            }
+        } else {
+            let parent_key = root_key.parent(self.bits);
+            let parent_ok = book
+                .resolved
+                .get(&parent_key)
+                // SAFETY: resolved pointers target nodes owned by self.
+                .map(|p| !unsafe { p.as_ref() }.is_placeholder())
+                .unwrap_or(false);
+            if !parent_ok {
+                return Err(CacheError::OrphanFill { key: root_key });
+            }
+        }
+
         CacheStats::add(&self.stats.fills_inserted, 1);
         CacheStats::add(&self.stats.bytes_received, bytes.len() as u64);
         CacheStats::add(&self.stats.nodes_inserted, frag.nodes.len() as u64);
-        CacheStats::add(&self.stats.particles_inserted, frag.n_particles);
+        CacheStats::add(&self.stats.particles_inserted, n_fragment_particles);
 
-        let root_key = frag.nodes[0].key;
-        // Adopt allocations (pointers stay valid; Boxes move, heap doesn't).
+        // Adopt allocations (pointers stay valid; Boxes move, heap
+        // doesn't). Lock order is always book → allocs, as in `init`.
         let mut ptrs = Vec::with_capacity(frag.nodes.len());
         {
             let mut allocs = self.allocs.lock();
@@ -346,61 +434,240 @@ impl<D: Data> CacheTree<D> {
                 ptrs.push(ptr);
             }
         }
-        let root_ptr = ptrs[0];
 
-        let mut book = self.book.lock();
-        // Wire frontier placeholders through the hash table (Step 3):
-        // if a key is already materialised (e.g. an ancestor fill raced
-        // with a sibling path), point at the existing node instead.
+        // Step 3a — canonicalise per key: decide, for every key the
+        // fragment carries, which node shall represent it from now on.
+        // An existing materialised node always wins (idempotence); an
+        // existing placeholder is kept over a fragment placeholder (it
+        // owns the `requested` flag and the identity other parents point
+        // at) but loses to fragment data.
+        let mut fragment_wins = Vec::with_capacity(ptrs.len());
         for &p in &ptrs {
             // SAFETY: just adopted, owned by self.
             let node = unsafe { p.as_ref() };
-            if node.kind == NodeKind::Internal {
-                for slot in 0..wire::MAX_BRANCH {
-                    let child = node.children[slot].load(Ordering::Relaxed);
-                    if child.is_null() {
-                        continue;
-                    }
-                    // SAFETY: fragment-internal pointer, adopted above.
-                    let child_key = unsafe { (*child).key };
-                    if let Some(&existing) = book.resolved.get(&child_key) {
-                        // Keep the already-materialised node; the
-                        // fragment's duplicate stays allocated but
-                        // unreachable (no-delete cache).
-                        node.children[slot].store(existing.as_ptr(), Ordering::Release);
+            let wins = match book.resolved.get(&node.key) {
+                Some(existing) => {
+                    // SAFETY: resolved pointers target nodes owned by self.
+                    let ex = unsafe { existing.as_ref() };
+                    ex.is_placeholder() && !node.is_placeholder()
+                }
+                None => true,
+            };
+            if wins {
+                book.resolved.insert(node.key, p);
+            }
+            fragment_wins.push(wins);
+        }
+
+        // Step 3b — rewire winning internal nodes' child slots to the
+        // canonical node per key. Pre-publication: Relaxed suffices, the
+        // publishing stores below are Release.
+        for (i, &p) in ptrs.iter().enumerate() {
+            if !fragment_wins[i] {
+                continue;
+            }
+            // SAFETY: adopted above.
+            let node = unsafe { p.as_ref() };
+            if node.kind != NodeKind::Internal {
+                continue;
+            }
+            for slot in 0..wire::MAX_BRANCH {
+                let child = node.children[slot].load(Ordering::Relaxed);
+                if child.is_null() {
+                    continue;
+                }
+                // SAFETY: fragment-internal pointer, adopted above.
+                let child_key = unsafe { (*child).key };
+                if let Some(canon) = book.resolved.get(&child_key) {
+                    if canon.as_ptr() != child {
+                        node.children[slot].store(canon.as_ptr(), Ordering::Relaxed);
                     }
                 }
             }
         }
-        for &p in &ptrs {
-            let node = unsafe { p.as_ref() };
-            book.resolved.entry(node.key).or_insert(p);
+
+        // Step 4 — publish every winning node into its canonical
+        // parent's child slot (Release: pairs with traversal's Acquire
+        // loads). This covers the fragment root replacing its
+        // placeholder AND interior keys whose placeholder is referenced
+        // by an *older* fill's internal node.
+        for (i, &p) in ptrs.iter().enumerate() {
+            if !fragment_wins[i] {
+                continue;
+            }
+            // SAFETY: adopted above.
+            let key = unsafe { p.as_ref() }.key;
+            if key == NodeKey::root() {
+                self.root.store(p.as_ptr(), Ordering::Release);
+                continue;
+            }
+            let Some(parent) = book.resolved.get(&key.parent(self.bits)) else {
+                // Interior keys always have their parent in the fragment;
+                // the root's parent was validated above.
+                continue;
+            };
+            // SAFETY: resolved pointers target nodes owned by self.
+            let parent_ref = unsafe { parent.as_ref() };
+            if parent_ref.is_placeholder() {
+                // Never hang children off a placeholder (audit invariant).
+                continue;
+            }
+            parent_ref.children[key.child_index(self.bits)].store(p.as_ptr(), Ordering::Release);
         }
-        // The fragment root replaces the placeholder: update the hash
-        // table and swap the parent's child slot atomically (Step 4).
-        book.resolved.insert(root_key, root_ptr);
-        let resumed = book.pending.remove(&root_key).unwrap_or_default();
+
+        // Step 5 — drain waiters for every key that is materialised
+        // after this fill, tagging each with its parking key so the
+        // engine can requeue the right paused work.
+        let mut resumed: Vec<(NodeKey, u64)> = Vec::new();
+        for &p in &ptrs {
+            // SAFETY: adopted above.
+            let key = unsafe { p.as_ref() }.key;
+            let materialised = book
+                .resolved
+                .get(&key)
+                // SAFETY: resolved pointers target nodes owned by self.
+                .map(|c| !unsafe { c.as_ref() }.is_placeholder())
+                .unwrap_or(false);
+            if materialised {
+                if let Some(ws) = book.pending.remove(&key) {
+                    resumed.extend(ws.into_iter().map(|w| (key, w)));
+                }
+            }
+        }
+
+        let canon_root = book.resolved[&root_key];
+        // SAFETY: nodes live as long as self.
+        let canon_root_ref = unsafe { &*canon_root.as_ptr() };
+        if canon_root_ref.is_placeholder() {
+            // Depth-0 fill: no data arrived. Re-arm the request flag and
+            // hand the waiters back; resuming them re-runs the visitor,
+            // which re-requests at the placeholder and re-parks.
+            canon_root_ref.requested.store(false, Ordering::Release);
+            if let Some(ws) = book.pending.remove(&root_key) {
+                resumed.extend(ws.into_iter().map(|w| (root_key, w)));
+            }
+        }
         CacheStats::add(&self.stats.waiters_resumed, resumed.len() as u64);
 
-        if root_key != NodeKey::root() {
-            let parent_key = root_key.parent(self.bits);
-            let parent = book
-                .resolved
-                .get(&parent_key)
-                .copied()
-                .ok_or_else(|| format!("fill for {root_key} has no materialised parent"))?;
-            let slot = root_key.child_index(self.bits);
-            // SAFETY: parent owned by self; Release publishes the fully
-            // wired fragment to traversal threads that Acquire-load it.
-            unsafe { parent.as_ref() }.children[slot]
-                .store(root_ptr.as_ptr(), Ordering::Release);
-        } else {
-            self.root.store(root_ptr.as_ptr(), Ordering::Release);
+        let duplicate = !fragment_wins[0] && !canon_root_ref.is_placeholder();
+        if duplicate {
+            CacheStats::add(&self.stats.fills_duplicate, 1);
         }
         drop(book);
 
-        // SAFETY: nodes live as long as self.
-        Ok((unsafe { &*root_ptr.as_ptr() }, resumed))
+        Ok(FillOutcome { root: canon_root_ref, resumed, duplicate })
+    }
+
+    /// Checks every structural invariant of the cached tree. Intended
+    /// for debug builds at phase boundaries; takes the book-keeping lock
+    /// (mutations are excluded, lock-free readers race benignly).
+    ///
+    /// Invariants checked:
+    ///
+    /// 1. every `resolved` key maps to a node with that key, reachable
+    ///    from the root,
+    /// 2. every reachable child's key equals `parent.key.child(slot)`,
+    ///    and no child sits in a slot beyond the branch factor,
+    /// 3. no placeholder (or leaf, or empty) node has children,
+    /// 4. every `pending` key refers to a resolved placeholder (a waiter
+    ///    parked on materialised data would sleep forever),
+    /// 5. the allocation list is at least as large as the reachable set
+    ///    (no-delete cache: nothing reachable was ever freed).
+    pub fn audit(&self) -> Result<(), String> {
+        let book = self.book.lock();
+        let root = self.root.load(Ordering::Acquire);
+        if root.is_null() {
+            return if book.resolved.is_empty() && book.pending.is_empty() {
+                Ok(())
+            } else {
+                Err("cache has book-keeping entries but no published root".into())
+            };
+        }
+
+        let branch = 1usize << self.bits;
+        let mut errors: Vec<String> = Vec::new();
+        let mut reachable: HashSet<*const CacheNode<D>> = HashSet::new();
+        let mut stack: Vec<*const CacheNode<D>> = vec![root];
+        while let Some(p) = stack.pop() {
+            if !reachable.insert(p) {
+                // SAFETY: reachable pointers target nodes owned by self.
+                let key = unsafe { (*p).key };
+                errors.push(format!("node {key} is reachable via more than one path"));
+                continue;
+            }
+            // SAFETY: as above.
+            let node = unsafe { &*p };
+            let mut has_children = false;
+            for slot in 0..node.children.len() {
+                let c = node.children[slot].load(Ordering::Acquire);
+                if c.is_null() {
+                    continue;
+                }
+                has_children = true;
+                if slot >= branch {
+                    errors.push(format!(
+                        "node {} has a child in slot {slot}, beyond branch factor {branch}",
+                        node.key
+                    ));
+                }
+                // SAFETY: child pointers target nodes owned by self.
+                let child_key = unsafe { (*c).key };
+                let expected = node.key.child(slot, self.bits);
+                if child_key != expected {
+                    errors.push(format!(
+                        "child of {} in slot {slot} has key {child_key}, expected {expected}",
+                        node.key
+                    ));
+                }
+                stack.push(c);
+            }
+            if has_children && node.kind != NodeKind::Internal {
+                errors.push(format!("{:?} node {} has children", node.kind, node.key));
+            }
+        }
+
+        for (&key, p) in &book.resolved {
+            // SAFETY: resolved pointers target nodes owned by self.
+            let node = unsafe { p.as_ref() };
+            if node.key != key {
+                errors.push(format!("resolved[{key}] points at node with key {}", node.key));
+            }
+            if !reachable.contains(&(p.as_ptr() as *const CacheNode<D>)) {
+                errors.push(format!("resolved key {key} is not reachable from the root"));
+            }
+        }
+
+        for (&key, waiters) in &book.pending {
+            if waiters.is_empty() {
+                continue;
+            }
+            let is_placeholder = book
+                .resolved
+                .get(&key)
+                // SAFETY: as above.
+                .map(|p| unsafe { p.as_ref() }.is_placeholder())
+                .unwrap_or(false);
+            if !is_placeholder {
+                errors.push(format!(
+                    "{} waiter(s) parked on {key}, which is not a resolved placeholder",
+                    waiters.len()
+                ));
+            }
+        }
+
+        let n_alloc = self.allocs.lock().len();
+        if n_alloc < reachable.len() {
+            errors.push(format!(
+                "allocation list holds {n_alloc} nodes but {} are reachable",
+                reachable.len()
+            ));
+        }
+
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors.join("; "))
+        }
     }
 
     /// Number of nodes currently allocated (including superseded

@@ -8,10 +8,10 @@
 //! charging queueing delay per lock acquisition, using the contention
 //! counter this wrapper maintains.
 
-use crate::node::CacheNode;
-use crate::tree::CacheTree;
-use parking_lot::Mutex;
+use crate::error::CacheError;
+use crate::tree::{CacheTree, FillOutcome};
 use paratreet_tree::Data;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A [`CacheTree`] whose insertions are serialised by a single lock.
@@ -32,7 +32,7 @@ impl<D: Data> XWriteCache<D> {
     /// Inserts a fill while holding the process-wide write lock.
     /// Deserialisation happens *inside* the lock too — that is what the
     /// exclusive-write model costs.
-    pub fn insert_fragment(&self, bytes: &[u8]) -> Result<(&CacheNode<D>, Vec<u64>), String> {
+    pub fn insert_fragment(&self, bytes: &[u8]) -> Result<FillOutcome<'_, D>, CacheError> {
         let guard = match self.write_lock.try_lock() {
             Some(g) => g,
             None => {

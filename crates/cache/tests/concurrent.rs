@@ -46,10 +46,8 @@ fn make_fills(n: usize) -> (CacheTree<CountData>, Vec<(NodeKey, Vec<u8>)>) {
     }
     home.init(&summaries, trees);
 
-    let fills: Vec<(NodeKey, Vec<u8>)> = summaries
-        .iter()
-        .map(|s| (s.key, home.serialize_fragment(s.key, 64).unwrap()))
-        .collect();
+    let fills: Vec<(NodeKey, Vec<u8>)> =
+        summaries.iter().map(|s| (s.key, home.serialize_fragment(s.key, 64).unwrap())).collect();
 
     // Away cache: same summaries, no local trees, all placeholders.
     let away: CacheTree<CountData> = CacheTree::new(0, 3);
@@ -144,9 +142,7 @@ fn concurrent_requests_send_exactly_one_fetch_per_key() {
             let away_ref = &away;
             let sends_ref = &sends;
             s.spawn(move || {
-                if let paratreet_cache::RequestOutcome::SendFetch { .. } =
-                    away_ref.request(ph, t)
-                {
+                if let paratreet_cache::RequestOutcome::SendFetch { .. } = away_ref.request(ph, t) {
                     sends_ref.fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -159,10 +155,78 @@ fn concurrent_requests_send_exactly_one_fetch_per_key() {
     assert_eq!(snap.waiters_parked, 8);
 
     // The fill resumes all eight waiters.
-    let (_, resumed) = away.insert_fragment(&fills[0].1).unwrap();
-    let mut resumed = resumed;
+    let outcome = away.insert_fragment(&fills[0].1).unwrap();
+    let mut resumed: Vec<u64> = outcome
+        .resumed
+        .iter()
+        .map(|&(k, w)| {
+            assert_eq!(k, key);
+            w
+        })
+        .collect();
     resumed.sort_unstable();
     assert_eq!(resumed, (0..8).collect::<Vec<_>>());
+}
+
+#[test]
+fn racing_requests_and_fills_account_for_every_waiter() {
+    // `request` and `insert_fragment` race on the same key from many
+    // threads: every waiter must end up either served immediately
+    // (Ready) or resumed by exactly one fill — never parked forever,
+    // never resumed twice — and exactly one of the two racing inserts
+    // is the canonical one.
+    for round in 0..10u64 {
+        let (away, fills) = make_fills(600);
+        let key = fills[0].0;
+        let fill = &fills[0].1;
+        let ph = away.lookup(key).unwrap();
+        let ready = std::sync::atomic::AtomicU64::new(0);
+        let resumed = std::sync::Mutex::new(Vec::new());
+        let duplicates = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let away_ref = &away;
+                let ready_ref = &ready;
+                s.spawn(move || match away_ref.request(ph, round * 100 + t) {
+                    paratreet_cache::RequestOutcome::Ready(n) => {
+                        assert!(!n.is_placeholder());
+                        ready_ref.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {} // parked; a fill must hand it back
+                });
+            }
+            for _ in 0..2 {
+                let away_ref = &away;
+                let resumed_ref = &resumed;
+                let duplicates_ref = &duplicates;
+                s.spawn(move || {
+                    let out = away_ref.insert_fragment(fill).unwrap();
+                    if out.duplicate {
+                        duplicates_ref.fetch_add(1, Ordering::Relaxed);
+                    }
+                    resumed_ref.lock().unwrap().extend(out.resumed);
+                });
+            }
+        });
+        let resumed = resumed.into_inner().unwrap();
+        let mut waiters: Vec<u64> = resumed
+            .iter()
+            .map(|&(k, w)| {
+                assert_eq!(k, key);
+                w
+            })
+            .collect();
+        waiters.sort_unstable();
+        waiters.dedup();
+        assert_eq!(waiters.len(), resumed.len(), "round {round}: waiter resumed twice");
+        assert_eq!(
+            ready.load(Ordering::Relaxed) + resumed.len() as u64,
+            8,
+            "round {round}: every waiter is served exactly once"
+        );
+        assert_eq!(duplicates.load(Ordering::Relaxed), 1, "round {round}");
+        away.audit().unwrap_or_else(|e| panic!("round {round}: audit failed: {e}"));
+    }
 }
 
 #[test]

@@ -76,10 +76,7 @@ enum Shape {
 }
 
 fn arb_shape() -> impl Strategy<Value = Shape> {
-    let leaf = prop_oneof![
-        (0usize..10).prop_map(Shape::Leaf),
-        Just(Shape::Empty),
-    ];
+    let leaf = prop_oneof![(0usize..10).prop_map(Shape::Leaf), Just(Shape::Empty),];
     leaf.prop_recursive(3, 32, 4, |inner| {
         prop::collection::vec(prop::option::of(inner), 1..4).prop_map(Shape::Internal)
     })

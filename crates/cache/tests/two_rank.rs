@@ -106,8 +106,12 @@ fn fetch_fill_swap_resume_cycle() {
 
     // Home rank serialises the fill (depth 2).
     let fill = c1.serialize_fragment(remote.key, 2).unwrap();
-    let (node, resumed) = c0.insert_fragment(&fill).unwrap();
-    assert_eq!(resumed, vec![42, 43]);
+    let outcome = c0.insert_fragment(&fill).unwrap();
+    assert!(!outcome.duplicate);
+    let mut resumed = outcome.resumed.clone();
+    resumed.sort_by_key(|(_, w)| *w);
+    assert_eq!(resumed, vec![(remote.key, 42), (remote.key, 43)]);
+    let node = outcome.root;
     assert_eq!(node.key, remote.key);
     assert_ne!(node.kind, NodeKind::Placeholder);
     assert_eq!(node.n_particles, remote.n_particles);
@@ -158,8 +162,8 @@ fn chained_fetches_reach_all_particles() {
                 RequestOutcome::SendFetch { home_rank } => {
                     assert_eq!(home_rank, 1);
                     let fill = c1.serialize_fragment(key, 1).unwrap();
-                    let (_, resumed) = c0.insert_fragment(&fill).unwrap();
-                    assert_eq!(resumed, vec![waiter]);
+                    let outcome = c0.insert_fragment(&fill).unwrap();
+                    assert_eq!(outcome.resumed, vec![(key, waiter)]);
                 }
                 RequestOutcome::Ready(_) | RequestOutcome::InFlight => {
                     panic!("each placeholder key is requested exactly once")

@@ -175,8 +175,12 @@ impl CacheHierarchy {
         let l3_sets = (cfg.l3_bytes / (cfg.l3_ways * cfg.line_bytes)).next_power_of_two() / 2;
         let l3_capacity = l3_sets.max(1) * cfg.l3_ways * cfg.line_bytes;
         CacheHierarchy {
-            l1: (0..cpus).map(|_| SetAssoc::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes)).collect(),
-            l2: (0..cpus).map(|_| SetAssoc::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes)).collect(),
+            l1: (0..cpus)
+                .map(|_| SetAssoc::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes))
+                .collect(),
+            l2: (0..cpus)
+                .map(|_| SetAssoc::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes))
+                .collect(),
             l3: SetAssoc::new(l3_capacity, cfg.l3_ways, cfg.line_bytes),
             l1_stats: vec![LevelStats::default(); cpus],
             l2_stats: vec![LevelStats::default(); cpus],
@@ -227,8 +231,7 @@ impl CacheHierarchy {
         }
         let l3_hit = self.l3.access_line(line_addr);
         bump(&mut self.l3_stats, write, !l3_hit);
-        self.cycles[cpu] +=
-            if l3_hit { self.cfg.l3_cycles } else { self.cfg.mem_cycles };
+        self.cycles[cpu] += if l3_hit { self.cfg.l3_cycles } else { self.cfg.mem_cycles };
     }
 
     /// Estimated data-access runtime: the busiest CPU's cycles over the
@@ -325,7 +328,8 @@ mod tests {
 
     #[test]
     fn miss_rates_compute() {
-        let s = LevelStats { load_accesses: 10, load_misses: 3, store_accesses: 4, store_misses: 1 };
+        let s =
+            LevelStats { load_accesses: 10, load_misses: 3, store_accesses: 4, store_misses: 1 };
         assert!((s.load_miss_rate() - 0.3).abs() < 1e-12);
         assert!((s.store_miss_rate() - 0.25).abs() < 1e-12);
         assert_eq!(LevelStats::default().load_miss_rate(), 0.0);

@@ -25,4 +25,4 @@ pub mod hierarchy;
 pub mod trace;
 
 pub use hierarchy::{CacheHierarchy, HierarchyConfig, LevelStats};
-pub use trace::{simulate_gravity, TraceConfig, TraceStyle, TraceResult};
+pub use trace::{simulate_gravity, TraceConfig, TraceResult, TraceStyle};

@@ -156,7 +156,12 @@ struct CpuState {
     queue: Vec<Vec<u32>>,
 }
 
-fn opens(tree: &BuiltTree<CentroidData>, node: NodeIdx, bucket_box: &paratreet_geometry::BoundingBox, theta: f64) -> bool {
+fn opens(
+    tree: &BuiltTree<CentroidData>,
+    node: NodeIdx,
+    bucket_box: &paratreet_geometry::BoundingBox,
+    theta: f64,
+) -> bool {
     let d = &tree.node(node).data;
     if d.sum_mass == 0.0 {
         return false;
@@ -168,9 +173,8 @@ fn opens(tree: &BuiltTree<CentroidData>, node: NodeIdx, bucket_box: &paratreet_g
 /// Replays the traversal and returns the Table II row.
 pub fn simulate_gravity(particles: Vec<Particle>, cfg: TraceConfig) -> TraceResult {
     let bbox = particles.bounding_box().padded(1e-9).bounding_cube();
-    let tree: BuiltTree<CentroidData> = TreeBuilder::new(TreeType::Octree)
-        .bucket_size(cfg.bucket_size)
-        .build(particles, bbox);
+    let tree: BuiltTree<CentroidData> =
+        TreeBuilder::new(TreeType::Octree).bucket_size(cfg.bucket_size).build(particles, bbox);
 
     // Buckets = leaves, with their particle ranges.
     let buckets: Vec<Bucket> = tree
@@ -185,9 +189,7 @@ pub fn simulate_gravity(particles: Vec<Particle>, cfg: TraceConfig) -> TraceResu
         .iter()
         .map(|b| {
             paratreet_geometry::BoundingBox::around(
-                tree.particles[b.start as usize..(b.start + b.len) as usize]
-                    .iter()
-                    .map(|p| p.pos),
+                tree.particles[b.start as usize..(b.start + b.len) as usize].iter().map(|p| p.pos),
             )
         })
         .collect();
@@ -297,7 +299,12 @@ pub fn simulate_gravity(particles: Vec<Particle>, cfg: TraceConfig) -> TraceResu
                         for t in 0..bucket.len {
                             let taddr = TGT_BASE + (bucket.start + t) * PARTICLE_BYTES;
                             hier.access(cpu, taddr, TGT_READ, false);
-                            hier.access(cpu, NODE_BASE + node_idx as u64 * cfg.node_bytes, 64, false);
+                            hier.access(
+                                cpu,
+                                NODE_BASE + node_idx as u64 * cfg.node_bytes,
+                                64,
+                                false,
+                            );
                             hier.access(cpu, taddr + TGT_READ, TGT_WRITE, true);
                             hier.cycles[cpu] += cfg.compute_pn;
                             pn += 1;

@@ -149,8 +149,7 @@ fn split_piece(mut piece: SubtreePiece, tree_type: TreeType) -> Vec<SubtreePiece
                     .partial_cmp(&b.pos.component(axis.index()))
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
-            let mid =
-                piece.particles.partition_point(|p| p.pos.component(axis.index()) < plane);
+            let mid = piece.particles.partition_point(|p| p.pos.component(axis.index()) < plane);
             let hi_particles = piece.particles.split_off(mid);
             let (lo_box, hi_box) = piece.bbox.split_at(axis, plane);
             let mut out = Vec::new();
@@ -261,15 +260,9 @@ fn oct_partitioner(
     n_partitions: usize,
     bucket_size: usize,
 ) -> (Partitioner, usize) {
-    let pieces = find_subtree_pieces(
-        sorted.to_vec(),
-        universe,
-        TreeType::Octree,
-        n_partitions,
-        bucket_size,
-    );
-    let mut floors: Vec<MortonKey> =
-        pieces.iter().map(|p| p.key.morton_range(21).0).collect();
+    let pieces =
+        find_subtree_pieces(sorted.to_vec(), universe, TreeType::Octree, n_partitions, bucket_size);
+    let mut floors: Vec<MortonKey> = pieces.iter().map(|p| p.key.morton_range(21).0).collect();
     floors.sort_unstable();
     let count = floors.len();
     let splitters = floors.split_off(1);
@@ -315,10 +308,16 @@ fn build_planes(
     };
     let (lo_box, hi_box) = bbox.split_at(axis, plane);
     let my_index = nodes.len() as u32;
-    nodes.push(PlaneNode { axis, plane, lo: PlaneChild::Part(u32::MAX), hi: PlaneChild::Part(u32::MAX) });
+    nodes.push(PlaneNode {
+        axis,
+        plane,
+        lo: PlaneChild::Part(u32::MAX),
+        hi: PlaneChild::Part(u32::MAX),
+    });
     let (lo_slice, hi_slice) = particles.split_at_mut(mid);
     let lo = build_planes(lo_slice, lo_box, depth + 1, lo_parts, next_part, nodes, tree_type);
-    let hi = build_planes(hi_slice, hi_box, depth + 1, parts - lo_parts, next_part, nodes, tree_type);
+    let hi =
+        build_planes(hi_slice, hi_box, depth + 1, parts - lo_parts, next_part, nodes, tree_type);
     nodes[my_index as usize].lo = lo;
     nodes[my_index as usize].hi = hi;
     PlaneChild::Node(my_index)
@@ -333,11 +332,8 @@ pub fn decompose(mut particles: Vec<Particle>, config: &Configuration) -> Decomp
         TreeType::Octree | TreeType::BinaryOct => tight.bounding_cube(),
         _ => tight,
     };
-    let universe = if universe.is_empty() {
-        BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0))
-    } else {
-        universe
-    };
+    let universe =
+        if universe.is_empty() { BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0)) } else { universe };
     // Key particles along the configured curve. The Hilbert curve only
     // applies to SFC decomposition — octree decomposition derives its
     // splitters from Morton digit structure.
@@ -352,9 +348,7 @@ pub fn decompose(mut particles: Vec<Particle>, config: &Configuration) -> Decomp
     }
 
     let (partitioner, n_partitions) = match config.decomp_type {
-        DecompType::Sfc => {
-            (sfc_partitioner(&particles, config.n_partitions), config.n_partitions)
-        }
+        DecompType::Sfc => (sfc_partitioner(&particles, config.n_partitions), config.n_partitions),
         DecompType::Oct => {
             oct_partitioner(&particles, universe, config.n_partitions, config.bucket_size)
         }
@@ -529,10 +523,7 @@ mod tests {
     fn disk_longest_dim_slices_the_plane() {
         // A thin disk decomposed by LongestDim should never split along z.
         let ps = gen::keplerian_disk(800, 3, gen::DiskParams::default());
-        let d = decompose(
-            ps,
-            &config(DecompType::LongestDim, TreeType::LongestDim),
-        );
+        let d = decompose(ps, &config(DecompType::LongestDim, TreeType::LongestDim));
         if let Partitioner::Planes { nodes } = &d.partitioner {
             assert!(!nodes.is_empty());
             for n in nodes {

@@ -29,7 +29,9 @@ use paratreet_geometry::{BoundingBox, NodeKey};
 use paratreet_particles::io::PARTICLE_WIRE_BYTES;
 use paratreet_particles::Particle;
 use paratreet_runtime::sim::CommStats;
-use paratreet_runtime::{Ledger, MachineSpec, Phase, Sim};
+use paratreet_runtime::{
+    FaultAction, FaultConfig, FaultInjector, FaultStats, Ledger, MachineSpec, Phase, Sim,
+};
 use paratreet_tree::TreeBuilder;
 use std::collections::HashMap;
 
@@ -123,28 +125,94 @@ pub struct IterationReport {
     /// Final particle state (for physics validation against the
     /// shared-memory engine).
     pub particles: Vec<Particle>,
+    /// Faults injected into fetch/fill messages this iteration (all
+    /// zero unless the engine was configured with
+    /// [`DistributedEngine::with_faults`]).
+    pub faults: FaultStats,
+    /// Fetches re-sent after a retry timeout expired.
+    pub fetch_retries: u64,
+    /// Fills the cache rejected ([`paratreet_cache::CacheError`]); each
+    /// was logged and degraded to a re-request instead of aborting.
+    pub fill_errors: u64,
 }
 
-/// Event payloads of the engine's simulation.
+/// Event payloads of the engine's simulation. `Clone` because the fault
+/// layer may deliver a message twice.
+#[derive(Clone)]
 enum Ev {
     DecompDone,
     BuildDone,
     ShareArrive,
     LeafShareArrive,
     /// (Re)process a partition's work list.
-    PartRun { part: u32 },
+    PartRun {
+        part: u32,
+    },
     /// A partition's processing batch finished; release its effects.
-    PartWorkDone { part: u32, fetches: Vec<(NodeKey, Vec<u32>)> },
+    PartWorkDone {
+        part: u32,
+        fetches: Vec<(NodeKey, Vec<u32>)>,
+    },
     /// A fetch request arrived at the home rank.
-    RequestArrive { key: NodeKey, home_rank: u32, to_cache: u32, requester_rank: u32 },
+    RequestArrive {
+        key: NodeKey,
+        home_rank: u32,
+        to_cache: u32,
+        requester_rank: u32,
+    },
     /// The home rank finished serialising a fill.
-    FillServeDone { home_rank: u32, to_cache: u32, requester_rank: u32, bytes: Vec<u8> },
+    FillServeDone {
+        home_rank: u32,
+        to_cache: u32,
+        requester_rank: u32,
+        bytes: Vec<u8>,
+    },
     /// A fill arrived at the requesting rank.
-    FillArrive { to_cache: u32, bytes: Vec<u8> },
+    FillArrive {
+        to_cache: u32,
+        bytes: Vec<u8>,
+    },
     /// An insertion task completed: splice and resume.
-    InsertDone { to_cache: u32, bytes: Vec<u8> },
+    InsertDone {
+        to_cache: u32,
+        bytes: Vec<u8>,
+    },
     /// A paused partition's resumption task completed.
-    Resumed { part: u32, key: NodeKey },
+    Resumed {
+        part: u32,
+        key: NodeKey,
+    },
+    /// A fetch's retry timer expired; re-request if the fill never came.
+    /// Only scheduled when fault injection is on.
+    FetchTimeout {
+        key: NodeKey,
+        home_rank: u32,
+        to_cache: u32,
+        requester_rank: u32,
+        attempt: u32,
+    },
+}
+
+/// Routes one engine message through the fault layer: deliver, drop,
+/// duplicate, or delay it per the injector's seeded decision stream.
+/// With no injector this is exactly [`Sim::send`].
+fn send_faulty(
+    sim: &mut Sim<Ev>,
+    injector: &mut Option<FaultInjector>,
+    from: u32,
+    to: u32,
+    bytes: u64,
+    ev: Ev,
+) {
+    match injector.as_mut().map(FaultInjector::decide) {
+        None | Some(FaultAction::Deliver) => sim.send(from, to, bytes, ev),
+        Some(FaultAction::Drop) => {}
+        Some(FaultAction::Duplicate) => {
+            sim.send(from, to, bytes, ev.clone());
+            sim.send(from, to, bytes, ev);
+        }
+        Some(FaultAction::Delay(extra)) => sim.send_delayed(from, to, bytes, extra, ev),
+    }
 }
 
 /// Per-partition chare state.
@@ -178,6 +246,9 @@ pub struct DistributedEngine<'v, V: Visitor> {
     pub costs: CostModel,
     /// Traversal schedule.
     pub kind: TraversalKind,
+    /// Optional deterministic fault injection on fetch/fill messages.
+    /// Enables the retry-timeout path; `None` means a perfect network.
+    pub faults: Option<FaultConfig>,
     visitor: &'v V,
 }
 
@@ -191,7 +262,22 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         kind: TraversalKind,
         visitor: &'v V,
     ) -> DistributedEngine<'v, V> {
-        DistributedEngine { machine, config, cache_model, costs: CostModel::default(), kind, visitor }
+        DistributedEngine {
+            machine,
+            config,
+            cache_model,
+            costs: CostModel::default(),
+            kind,
+            faults: None,
+            visitor,
+        }
+    }
+
+    /// Injects seeded message faults (drops, duplicates, delays) into
+    /// the fetch/fill traffic and arms the retry timeout.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Runs one full iteration over `particles` and reports.
@@ -224,9 +310,8 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         config.n_subtrees = config.n_subtrees.max(self.machine.nodes * 4);
         let by_granularity = (n_total / (config.bucket_size * 4)).max(1);
         let by_machine = self.machine.nodes * self.machine.workers_per_rank * 2;
-        config.n_partitions = config
-            .n_partitions
-            .max(by_machine.min(by_granularity).max(self.machine.nodes * 2));
+        config.n_partitions =
+            config.n_partitions.max(by_machine.min(by_granularity).max(self.machine.nodes * 2));
 
         // ---- Decomposition (centrally executed, per-rank charged) ----
         let decomp = decompose(particles, &config);
@@ -336,6 +421,19 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             caches[ci as usize].init(&summaries, local);
         }
 
+        // Debug builds sweep every cache's structural invariants at
+        // phase boundaries; release builds skip the O(cache) walk.
+        #[cfg(debug_assertions)]
+        let audit_all = |caches: &[CacheTree<V::Data>], when: &str| {
+            for (ci, c) in caches.iter().enumerate() {
+                if let Err(e) = c.audit() {
+                    panic!("cache {ci} audit failed {when}: {e}");
+                }
+            }
+        };
+        #[cfg(debug_assertions)]
+        audit_all(&caches, "after init");
+
         // XWrite lock resource ids (one per rank), partition resources.
         const LOCK_BASE: u64 = 1 << 48;
         let part_resource = |p: u32| -> u64 { p as u64 + 1 };
@@ -419,6 +517,13 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         let mut traversal_start = 0.0f64;
         let mut parts_done = 0usize;
 
+        // Fault layer (None ⇒ perfect network, no timers) and the error
+        // accounting the report surfaces.
+        let mut injector = self.faults.map(FaultInjector::new);
+        let retry_timeout = self.faults.map(|f| f.retry_timeout_s).unwrap_or(0.0);
+        let mut fetch_retries = 0u64;
+        let mut fill_errors = 0u64;
+
         // Per-subtree build costs: Subtrees build independently, in
         // parallel across each rank's workers (the model's
         // synchronisation-free build).
@@ -482,6 +587,8 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             Ev::LeafShareArrive => {
                 leaf_share_left -= 1;
                 if leaf_share_left == 0 {
+                    #[cfg(debug_assertions)]
+                    audit_all(&caches, "at traversal start");
                     traversal_start = sim.now();
                     // Seed every partition's traversal.
                     for p in 0..parts.len() as u32 {
@@ -544,7 +651,13 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                 let mut rerun = false;
                 for (key, buckets) in fetches {
                     // Re-find the placeholder (it may have been swapped).
-                    let node = cache.find(key).expect("fetch target known to skeleton");
+                    // The skeleton guarantees the key exists; a miss is
+                    // an engine bug, not a recoverable message fault.
+                    let Some(node) = cache.find(key) else {
+                        debug_assert!(false, "fetch target {key} missing from skeleton");
+                        fill_errors += 1;
+                        continue;
+                    };
                     if !node.is_placeholder() {
                         // Fill landed while we were busy: traverse on.
                         ps.stack.push(WorkItem { node: NodeHandle::new(node), buckets });
@@ -564,7 +677,9 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                             ps.outstanding += 1;
                             // Small CPU cost to issue the request.
                             sim.ledger.record(sim.now(), sim.now(), Phase::CacheRequest);
-                            sim.send(
+                            send_faulty(
+                                sim,
+                                &mut injector,
                                 ps.rank,
                                 home_rank,
                                 costs.request_bytes,
@@ -575,6 +690,18 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                                     requester_rank: ps.rank,
                                 },
                             );
+                            if injector.is_some() {
+                                sim.post_after(
+                                    retry_timeout,
+                                    Ev::FetchTimeout {
+                                        key,
+                                        home_rank,
+                                        to_cache: ps.cache_idx,
+                                        requester_rank: ps.rank,
+                                        attempt: 1,
+                                    },
+                                );
+                            }
                         }
                         RequestOutcome::InFlight => {
                             ps.paused
@@ -601,20 +728,36 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                 // every cache instance of that rank (with PerThread they
                 // all graft the local trees), so its first cache serves.
                 let home_cache = (home * caches_per_rank) as usize;
-                let bytes = caches[home_cache]
-                    .serialize_fragment(key, fetch_depth)
-                    .expect("home rank owns the subtree");
-                let cost = costs.serialize_per_byte * bytes.len() as f64 + costs.insert_fixed / 2.0;
-                sim.spawn(
-                    home,
-                    Phase::FillServe,
-                    cost,
-                    Ev::FillServeDone { home_rank: home, to_cache, requester_rank, bytes },
-                );
+                match caches[home_cache].serialize_fragment(key, fetch_depth) {
+                    Ok(bytes) => {
+                        let cost = costs.serialize_per_byte * bytes.len() as f64
+                            + costs.insert_fixed / 2.0;
+                        sim.spawn(
+                            home,
+                            Phase::FillServe,
+                            cost,
+                            Ev::FillServeDone { home_rank: home, to_cache, requester_rank, bytes },
+                        );
+                    }
+                    Err(e) => {
+                        // The home rank cannot serve this key. Drop the
+                        // request; the requester's retry timer re-issues
+                        // it rather than aborting the simulation.
+                        fill_errors += 1;
+                        eprintln!("des: fetch for {key} failed at home rank {home}: {e}");
+                    }
+                }
             }
             Ev::FillServeDone { home_rank, to_cache, requester_rank, bytes } => {
                 let nbytes = bytes.len() as u64;
-                sim.send(home_rank, requester_rank, nbytes, Ev::FillArrive { to_cache, bytes });
+                send_faulty(
+                    sim,
+                    &mut injector,
+                    home_rank,
+                    requester_rank,
+                    nbytes,
+                    Ev::FillArrive { to_cache, bytes },
+                );
             }
             Ev::FillArrive { to_cache, bytes } => {
                 let rank = caches[to_cache as usize].rank;
@@ -627,38 +770,94 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                         cost,
                         Ev::InsertDone { to_cache, bytes },
                     ),
-                    _ => sim.spawn(rank, Phase::CacheInsertion, cost, Ev::InsertDone { to_cache, bytes }),
+                    _ => sim.spawn(
+                        rank,
+                        Phase::CacheInsertion,
+                        cost,
+                        Ev::InsertDone { to_cache, bytes },
+                    ),
                 }
             }
             Ev::InsertDone { to_cache, bytes } => {
                 let cache = &caches[to_cache as usize];
-                let (node, resumed) = cache.insert_fragment(&bytes).expect("valid fill");
-                let key = node.key;
-                for waiter in resumed {
-                    let part = waiter as u32;
-                    let rank = parts[part as usize].rank;
-                    sim.spawn(rank, Phase::TraversalResumption, costs.resume, Ev::Resumed {
-                        part,
-                        key,
-                    });
+                match cache.insert_fragment(&bytes) {
+                    Ok(outcome) => {
+                        // A fill may materialise several keys at once (a
+                        // deep fragment covering earlier shallow waits);
+                        // every (key, waiter) pair resumes independently.
+                        for (key, waiter) in outcome.resumed {
+                            let part = waiter as u32;
+                            let rank = parts[part as usize].rank;
+                            sim.spawn(
+                                rank,
+                                Phase::TraversalResumption,
+                                costs.resume,
+                                Ev::Resumed { part, key },
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        // A bad fill degrades to a logged drop; the
+                        // placeholder stays pending and the retry timer
+                        // re-requests it.
+                        fill_errors += 1;
+                        eprintln!("des: fill rejected by cache {to_cache}: {e}");
+                    }
                 }
             }
             Ev::Resumed { part, key } => {
                 let ps = &mut parts[part as usize];
                 let cache = &caches[ps.cache_idx as usize];
                 if let Some(items) = ps.paused.remove(&key) {
-                    let node = cache.find(key).expect("fill materialised");
+                    let Some(node) = cache.find(key) else {
+                        // Resumption implies the key was just spliced;
+                        // losing it again is an engine bug.
+                        debug_assert!(false, "resumed key {key} missing from cache");
+                        ps.paused.insert(key, items);
+                        return;
+                    };
                     for item in items {
                         ps.outstanding -= 1;
-                        ps.stack.push(WorkItem { node: NodeHandle::new(node), buckets: item.buckets });
+                        ps.stack
+                            .push(WorkItem { node: NodeHandle::new(node), buckets: item.buckets });
                     }
                     ps.resumed_once = true;
                     sim.post(Ev::PartRun { part });
                 }
             }
+            Ev::FetchTimeout { key, home_rank, to_cache, requester_rank, attempt } => {
+                // Re-request only if the fill never landed (the fetch or
+                // the fill was dropped, or both are still delayed — a
+                // duplicate fill is idempotent, so over-asking is safe).
+                let still_pending =
+                    caches[to_cache as usize].find(key).is_some_and(|n| n.is_placeholder());
+                if still_pending && injector.is_some() {
+                    fetch_retries += 1;
+                    send_faulty(
+                        sim,
+                        &mut injector,
+                        requester_rank,
+                        home_rank,
+                        costs.request_bytes,
+                        Ev::RequestArrive { key, home_rank, to_cache, requester_rank },
+                    );
+                    sim.post_after(
+                        retry_timeout,
+                        Ev::FetchTimeout {
+                            key,
+                            home_rank,
+                            to_cache,
+                            requester_rank,
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
+            }
         });
 
         assert_eq!(parts_done, parts.len(), "all partitions must finish");
+        #[cfg(debug_assertions)]
+        audit_all(&caches, "after traversal");
 
         // ---- Write-back and reporting ----
         for ps in &parts {
@@ -685,6 +884,9 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             n_shared_buckets,
             partition_costs,
             particles: master,
+            faults: injector.map(|f| f.stats).unwrap_or_default(),
+            fetch_retries,
+            fill_errors,
         }
     }
 }
@@ -698,9 +900,7 @@ pub fn sfc_balanced_assignment(costs: &[f64], ranks: usize) -> Vec<u32> {
     let ranks = ranks.max(1);
     let total: f64 = costs.iter().sum();
     if total <= 0.0 {
-        return (0..costs.len())
-            .map(|i| (i * ranks / costs.len().max(1)) as u32)
-            .collect();
+        return (0..costs.len()).map(|i| (i * ranks / costs.len().max(1)) as u32).collect();
     }
     let per_rank = total / ranks as f64;
     let mut out = Vec::with_capacity(costs.len());

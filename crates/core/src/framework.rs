@@ -22,6 +22,10 @@ use paratreet_particles::Particle;
 use paratreet_tree::{Data, TreeBuilder};
 use rayon::prelude::*;
 
+/// A partition's share of target buckets: the global bucket indices and
+/// the owned copies the traversal mutates.
+type PartitionSlot<S> = (Vec<usize>, Vec<TargetBucket<S>>);
+
 /// Where one target bucket's particles live in the master array.
 #[derive(Clone, Debug)]
 struct BucketMeta {
@@ -168,7 +172,7 @@ impl<D: Data> Step<D> {
             self.buckets.iter().map(|b| b.partition).max().map_or(0, |m| m as usize + 1);
 
         // Assemble per-partition target buckets (owned particle copies).
-        let mut per_partition: Vec<(Vec<usize>, Vec<TargetBucket<V::State>>)> =
+        let mut per_partition: Vec<PartitionSlot<V::State>> =
             (0..n_partitions).map(|_| (Vec::new(), Vec::new())).collect();
         for (bi, meta) in self.buckets.iter().enumerate() {
             let particles: Vec<Particle> =

@@ -152,11 +152,9 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
         // rayon-parallel inside TreeBuilder) ----
         let decomp = decompose(particles, &config);
         let n_subtrees = decomp.subtrees.len();
-        let subtree_rank =
-            |si: usize| -> u32 { (si * ranks / n_subtrees) as u32 };
+        let subtree_rank = |si: usize| -> u32 { (si * ranks / n_subtrees) as u32 };
         let n_partitions = decomp.n_partitions.max(1);
-        let partition_rank =
-            |pi: usize| -> u32 { (pi * ranks / n_partitions) as u32 };
+        let partition_rank = |pi: usize| -> u32 { (pi * ranks / n_partitions) as u32 };
 
         let trees: Vec<(u32, paratreet_tree::BuiltTree<V::Data>)> = decomp
             .subtrees
@@ -313,21 +311,30 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             Msg::Request { key, reply_to } => {
-                                let bytes = shared
-                                    .cache
-                                    .serialize_fragment(key, shared.fetch_depth)
-                                    .expect("home rank owns the data");
-                                if reply_to != shared.rank {
-                                    remote_fills.fetch_add(1, Ordering::Relaxed);
+                                match shared.cache.serialize_fragment(key, shared.fetch_depth) {
+                                    Ok(bytes) => {
+                                        if reply_to != shared.rank {
+                                            remote_fills.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        if shared.net[reply_to as usize]
+                                            .send(Msg::Fill { bytes })
+                                            .is_err()
+                                        {
+                                            debug_assert!(false, "rank {reply_to} hung up early");
+                                        }
+                                    }
+                                    Err(e) => eprintln!(
+                                        "threaded: fetch for {key} failed on rank {}: {e}",
+                                        shared.rank
+                                    ),
                                 }
-                                shared.net[reply_to as usize]
-                                    .send(Msg::Fill { bytes })
-                                    .expect("requester alive");
                             }
                             Msg::Fill { bytes } => {
                                 // Hand the insert to the least busy
                                 // worker: any idle one takes it next.
-                                shared.tasks.send(Task::InsertFill(bytes)).expect("workers alive");
+                                if shared.tasks.send(Task::InsertFill(bytes)).is_err() {
+                                    debug_assert!(false, "workers gone before fill handled");
+                                }
                             }
                             Msg::Shutdown => break,
                         }
@@ -366,9 +373,9 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
             for tx in &net_senders {
                 let _ = tx.send(Msg::Shutdown);
             }
-            for r in 0..ranks {
+            for tx in task_senders.iter().take(ranks) {
                 for _ in 0..workers {
-                    let _ = task_senders[r].send(Task::Stop);
+                    let _ = tx.send(Task::Stop);
                 }
             }
             for h in worker_handles {
@@ -405,13 +412,22 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
     }
 }
 
-/// Inserts a fill and re-enqueues every partition it unblocks.
+/// Inserts a fill and re-enqueues every partition it unblocks. A fill
+/// may materialise several keys at once; each (key, partition) pair
+/// from the outcome releases its own waiting entry.
 fn handle_fill<V: Visitor>(shared: &RankShared<V>, bytes: &[u8]) {
-    let (node, resumed) = shared.cache.insert_fragment(bytes).expect("valid fill");
-    let key = node.key;
+    let outcome = match shared.cache.insert_fragment(bytes) {
+        Ok(o) => o,
+        Err(e) => {
+            // Rejected fills mutate nothing; log and drop, the
+            // placeholder stays requestable.
+            eprintln!("threaded: fill rejected on rank {}: {e}", shared.rank);
+            return;
+        }
+    };
     let mut parked = shared.parked.lock();
-    for part in resumed {
-        let entry = parked.entry(part as u32).or_default();
+    for (key, waiter) in outcome.resumed {
+        let entry = parked.entry(waiter as u32).or_default();
         if let Some(bucket_sets) = entry.waiting.remove(&key) {
             for buckets in bucket_sets {
                 entry.ready.push((key, buckets));
@@ -421,7 +437,9 @@ fn handle_fill<V: Visitor>(shared: &RankShared<V>, bytes: &[u8]) {
         // workers; if it is running, it will collect `ready` itself.
         if let Some(mut state) = entry.state.take() {
             drain_ready(shared, &mut state, entry);
-            shared.tasks.send(Task::RunPartition(state)).expect("workers alive");
+            if shared.tasks.send(Task::RunPartition(state)).is_err() {
+                debug_assert!(false, "workers gone while partitions still parked");
+            }
         }
     }
 }
@@ -433,7 +451,10 @@ fn drain_ready<V: Visitor>(
     entry: &mut Parked<V>,
 ) {
     for (key, buckets) in entry.ready.drain(..) {
-        let node = shared.cache.find(key).expect("fill materialised");
+        let Some(node) = shared.cache.find(key) else {
+            debug_assert!(false, "released key {key} missing from cache");
+            continue;
+        };
         state.outstanding -= 1;
         state.stack.push(WorkItem { node: NodeHandle::new(node), buckets });
     }
@@ -494,9 +515,12 @@ fn run_partition<V: Visitor>(
                     ps.stack.push(WorkItem { node: NodeHandle::new(n), buckets: f.buckets });
                 }
                 RequestOutcome::SendFetch { home_rank } => {
-                    shared.net[home_rank as usize]
+                    if shared.net[home_rank as usize]
                         .send(Msg::Request { key: f.key, reply_to: shared.rank })
-                        .expect("home rank alive");
+                        .is_err()
+                    {
+                        debug_assert!(false, "home rank {home_rank} hung up early");
+                    }
                 }
                 RequestOutcome::InFlight => {}
             }

@@ -22,6 +22,9 @@ use paratreet_cache::{CacheTree, NodeHandle, NodeKind};
 use paratreet_geometry::NodeKey;
 use std::ops::AddAssign;
 
+/// A (source, target) node pair on the dual-tree work stack.
+type NodePair<D> = (NodeHandle<D>, NodeHandle<D>);
+
 /// Which software-cache model a distributed run uses (Fig. 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CacheModel {
@@ -224,14 +227,15 @@ pub fn traverse_dual<V: Visitor>(
     }
     let bits = cache.bits;
     // Buckets of this partition beneath a given target node.
-    let under = |key: paratreet_geometry::NodeKey, buckets: &[TargetBucket<V::State>]| -> Vec<u32> {
-        buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| key == b.leaf_key || key.is_ancestor_of(b.leaf_key, bits))
-            .map(|(i, _)| i as u32)
-            .collect()
-    };
+    let under =
+        |key: paratreet_geometry::NodeKey, buckets: &[TargetBucket<V::State>]| -> Vec<u32> {
+            buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| key == b.leaf_key || key.is_ancestor_of(b.leaf_key, bits))
+                .map(|(i, _)| i as u32)
+                .collect()
+        };
     // Target nodes worth visiting: ancestors (and selves) of this
     // partition's bucket leaves. Everything else belongs to other
     // partitions and is skipped before it costs a pair evaluation.
@@ -247,8 +251,7 @@ pub fn traverse_dual<V: Visitor>(
         }
     }
 
-    let mut stack: Vec<(NodeHandle<V::Data>, NodeHandle<V::Data>)> =
-        vec![(NodeHandle::new(root), NodeHandle::new(root))];
+    let mut stack: Vec<NodePair<V::Data>> = vec![(NodeHandle::new(root), NodeHandle::new(root))];
     while let Some((src_h, tgt_h)) = stack.pop() {
         let src = src_h.get(cache);
         let tgt = tgt_h.get(cache);
@@ -289,10 +292,7 @@ pub fn traverse_dual<V: Visitor>(
         if members.is_empty() || tgt.kind == NodeKind::Empty {
             continue;
         }
-        assert!(
-            tgt.kind == NodeKind::Internal,
-            "dual-tree traversal requires a fully local tree"
-        );
+        assert!(tgt.kind == NodeKind::Internal, "dual-tree traversal requires a fully local tree");
         // Conservative pruning with a pseudo-bucket at the target's box.
         let pseudo = TargetBucket {
             leaf_key: tgt.key,

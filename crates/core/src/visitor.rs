@@ -87,13 +87,25 @@ pub trait Visitor: Send + Sync {
     type State: Default + Clone + Send + Sync + 'static;
 
     /// Should the traversal descend below `source` for this target?
-    fn open(&self, source: &SpatialNodeView<'_, Self::Data>, target: &TargetBucket<Self::State>) -> bool;
+    fn open(
+        &self,
+        source: &SpatialNodeView<'_, Self::Data>,
+        target: &TargetBucket<Self::State>,
+    ) -> bool;
 
     /// Consume `source`'s summary for this target (pruned path).
-    fn node(&self, source: &SpatialNodeView<'_, Self::Data>, target: &mut TargetBucket<Self::State>);
+    fn node(
+        &self,
+        source: &SpatialNodeView<'_, Self::Data>,
+        target: &mut TargetBucket<Self::State>,
+    );
 
     /// Exact interaction of a source leaf with this target.
-    fn leaf(&self, source: &SpatialNodeView<'_, Self::Data>, target: &mut TargetBucket<Self::State>);
+    fn leaf(
+        &self,
+        source: &SpatialNodeView<'_, Self::Data>,
+        target: &mut TargetBucket<Self::State>,
+    );
 
     /// Dual-tree hook: when evaluating node–node interactions, `true`
     /// opens both target and source (B² child interactions), `false`
@@ -151,15 +163,8 @@ mod tests {
     #[test]
     fn visitor_state_lives_in_bucket() {
         let b = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
-        let node = CacheNode::new(
-            ROOT_KEY,
-            b,
-            3,
-            CountData { count: 3 },
-            0,
-            NodeKind::Internal,
-            vec![],
-        );
+        let node =
+            CacheNode::new(ROOT_KEY, b, 3, CountData { count: 3 }, 0, NodeKind::Internal, vec![]);
         let v = CountingVisitor;
         let mut bucket = TargetBucket {
             leaf_key: ROOT_KEY,

@@ -26,10 +26,7 @@ impl BoundingBox {
     /// The empty box: `lo = +inf`, `hi = -inf`, absorbs any point on `grow`.
     #[inline]
     pub fn empty() -> BoundingBox {
-        BoundingBox {
-            lo: Vec3::splat(f64::INFINITY),
-            hi: Vec3::splat(f64::NEG_INFINITY),
-        }
+        BoundingBox { lo: Vec3::splat(f64::INFINITY), hi: Vec3::splat(f64::NEG_INFINITY) }
     }
 
     /// A box from explicit corners. Corners are sorted component-wise so

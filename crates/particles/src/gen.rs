@@ -94,7 +94,13 @@ pub fn plummer(n: usize, seed: u64, a: f64, total_mass: f64) -> Vec<Particle> {
 /// a cube of half-width `half`. Stand-in for the paper's "clustered
 /// dataset of 80 million particles" used in the cache-model comparison
 /// (Fig. 3). Clustering is what stresses tree imbalance and the cache.
-pub fn clustered(n: usize, clusters: usize, seed: u64, half: f64, total_mass: f64) -> Vec<Particle> {
+pub fn clustered(
+    n: usize,
+    clusters: usize,
+    seed: u64,
+    half: f64,
+    total_mass: f64,
+) -> Vec<Particle> {
     let clusters = clusters.max(1);
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<Vec3> = (0..clusters)
@@ -108,12 +114,12 @@ pub fn clustered(n: usize, clusters: usize, seed: u64, half: f64, total_mass: f6
         .collect();
     let a = half / clusters as f64 / 2.0;
     let mut out = Vec::with_capacity(n);
-    for c in 0..clusters {
+    for (c, center) in centers.iter().enumerate() {
         let n_c = n / clusters + usize::from(c < n % clusters);
         let sub_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(c as u64);
         let mut cluster = plummer(n_c, sub_seed, a, total_mass / clusters as f64);
         for p in &mut cluster {
-            p.pos += centers[c];
+            p.pos += *center;
             p.id = out.len() as u64;
             out.push(*p);
         }
@@ -170,12 +176,7 @@ impl Default for DiskParams {
 pub fn keplerian_disk(n: usize, seed: u64, params: DiskParams) -> Vec<Particle> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n + 2);
-    out.push(Particle {
-        id: 0,
-        mass: params.star_mass,
-        softening: 1e-3,
-        ..Particle::default()
-    });
+    out.push(Particle { id: 0, mass: params.star_mass, softening: 1e-3, ..Particle::default() });
     let v_planet = (G * params.star_mass / params.planet_radius).sqrt();
     out.push(Particle {
         id: 1,

@@ -78,11 +78,11 @@ impl Ledger {
             // Spread the interval over the bins it overlaps.
             let first = ((iv.start / width) as usize).min(bins - 1);
             let last = ((iv.end / width) as usize).min(bins - 1);
-            for b in first..=last {
+            for (b, slot) in out.iter_mut().enumerate().take(last + 1).skip(first) {
                 let lo = (b as f64 * width).max(iv.start);
                 let hi = ((b + 1) as f64 * width).min(iv.end);
                 if hi > lo {
-                    out[b][iv.phase.index()] += (hi - lo) / capacity;
+                    slot[iv.phase.index()] += (hi - lo) / capacity;
                 }
             }
         }

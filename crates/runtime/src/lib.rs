@@ -29,4 +29,4 @@ pub mod sim;
 pub use ledger::Ledger;
 pub use machine::MachineSpec;
 pub use phase::Phase;
-pub use sim::{CommStats, Sim, WorkerId};
+pub use sim::{CommStats, FaultAction, FaultConfig, FaultInjector, FaultStats, Sim, WorkerId};

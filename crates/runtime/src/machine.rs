@@ -78,10 +78,7 @@ impl MachineSpec {
     /// Stampede2 configured as the paper runs Fig. 3: 24 cores to a
     /// process, one thread per core (two ranks per node).
     pub fn stampede2_24(processes: usize) -> MachineSpec {
-        MachineSpec {
-            workers_per_rank: 24,
-            ..MachineSpec::stampede2(processes)
-        }
+        MachineSpec { workers_per_rank: 24, ..MachineSpec::stampede2(processes) }
     }
 
     /// Bridges2 regular memory partition (PSC): EPYC 7742, 128
@@ -135,7 +132,10 @@ mod tests {
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0], ("Summit".into(), 42, "POWER9".into(), 3.1, "UCX".into()));
         assert_eq!(rows[1], ("Stampede2".into(), 48, "Skylake".into(), 2.1, "MPI".into()));
-        assert_eq!(rows[2], ("Bridges2".into(), 128, "EPYC 7742".into(), 2.25, "Infiniband".into()));
+        assert_eq!(
+            rows[2],
+            ("Bridges2".into(), 128, "EPYC 7742".into(), 2.25, "Infiniband".into())
+        );
     }
 
     #[test]

@@ -49,10 +49,7 @@ impl<P> PartialOrd for Scheduled<P> {
 impl<P> Ord for Scheduled<P> {
     fn cmp(&self, other: &Self) -> CmpOrdering {
         // Reverse for a min-heap on (time, seq).
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -145,11 +142,25 @@ impl<P> Sim<P> {
     /// `resource` (a caller-chosen id, e.g. a partition id or a lock id):
     /// the task cannot start until both a worker and the resource are
     /// free, and it holds the resource for its duration.
-    pub fn spawn_exclusive(&mut self, rank: u32, resource: u64, phase: Phase, cost: f64, payload: P) {
+    pub fn spawn_exclusive(
+        &mut self,
+        rank: u32,
+        resource: u64,
+        phase: Phase,
+        cost: f64,
+        payload: P,
+    ) {
         self.spawn_inner(rank, Some(resource), phase, cost, payload);
     }
 
-    fn spawn_inner(&mut self, rank: u32, resource: Option<u64>, phase: Phase, cost: f64, payload: P) {
+    fn spawn_inner(
+        &mut self,
+        rank: u32,
+        resource: Option<u64>,
+        phase: Phase,
+        cost: f64,
+        payload: P,
+    ) {
         debug_assert!((rank as usize) < self.machine.nodes, "rank out of range");
         debug_assert!(cost >= 0.0);
         let cost = cost * self.compute_scale;
@@ -170,16 +181,25 @@ impl<P> Sim<P> {
     /// Rank-local sends skip the NIC and latency entirely (shared
     /// memory), which is exactly the saving the node-wide cache exploits.
     pub fn send(&mut self, from: u32, to: u32, bytes: u64, payload: P) {
+        self.send_delayed(from, to, bytes, 0.0, payload);
+    }
+
+    /// Like [`Sim::send`], but the message spends `extra_delay` extra
+    /// seconds in flight. This is the fault layer's delay/reorder knob:
+    /// a delayed message arrives after messages sent later, so handlers
+    /// observe genuine reordering.
+    pub fn send_delayed(&mut self, from: u32, to: u32, bytes: u64, extra_delay: f64, payload: P) {
+        debug_assert!(extra_delay >= 0.0);
         self.comm.messages += 1;
         if from == to {
-            self.push(self.now, payload);
+            self.push(self.now + extra_delay, payload);
             return;
         }
         self.comm.bytes += bytes;
         let nic = &mut self.nic_free[from as usize];
         let inject_done = self.now.max(*nic) + bytes as f64 * self.machine.byte_time_s;
         *nic = inject_done;
-        let arrive = inject_done + self.machine.latency_s;
+        let arrive = inject_done + self.machine.latency_s + extra_delay;
         self.push(arrive, payload);
     }
 
@@ -187,6 +207,13 @@ impl<P> Sim<P> {
     /// (control messages, iteration barriers).
     pub fn post(&mut self, payload: P) {
         self.push(self.now, payload);
+    }
+
+    /// Fires `payload` `delay` seconds from now without occupying a
+    /// worker — timers, e.g. the engine's fetch-retry timeout.
+    pub fn post_after(&mut self, delay: f64, payload: P) {
+        debug_assert!(delay >= 0.0);
+        self.push(self.now + delay, payload);
     }
 
     /// Drains the event queue, advancing time and calling `handler` for
@@ -218,6 +245,132 @@ impl<P> Sim<P> {
             0.0
         } else {
             self.ledger.total_busy() / cap
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic fault injection.
+// ---------------------------------------------------------------------
+
+/// Probabilities and magnitudes for deterministic message-fault
+/// injection. All decisions derive from `seed` through a splitmix64
+/// stream, so a given config replays the identical fault pattern every
+/// run — faults are part of the simulated timeline, not noise.
+///
+/// The three probabilities partition one uniform draw per message, so
+/// they must sum to at most 1. `drop_p` must stay below 1.0: a message
+/// stream that loses everything can never be recovered by retries.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Seed of the decision stream.
+    pub seed: u64,
+    /// Probability a message is silently dropped.
+    pub drop_p: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate_p: f64,
+    /// Probability a message is delayed (and thereby reordered past
+    /// messages sent after it).
+    pub delay_p: f64,
+    /// Mean extra in-flight time of a delayed message (seconds); the
+    /// actual delay is uniform in `[0.5, 1.5] × delay_s`.
+    pub delay_s: f64,
+    /// How long the engine waits for a fill before re-requesting.
+    pub retry_timeout_s: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            seed: 0x5EED_CAFE,
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            delay_p: 0.0,
+            delay_s: 0.0,
+            retry_timeout_s: 2e-3,
+        }
+    }
+}
+
+/// What the injector decided for one message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Do not deliver at all.
+    Drop,
+    /// Deliver twice.
+    Duplicate,
+    /// Deliver with this many extra seconds in flight.
+    Delay(f64),
+}
+
+/// Counts of injected faults, for reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultStats {
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Messages duplicated.
+    pub duplicated: u64,
+    /// Messages delayed.
+    pub delayed: u64,
+}
+
+/// The seeded decision stream. One [`FaultInjector::decide`] call per
+/// message, in a deterministic order, yields a deterministic fault
+/// pattern.
+pub struct FaultInjector {
+    /// The configuration in force.
+    pub config: FaultConfig,
+    /// Faults injected so far.
+    pub stats: FaultStats,
+    state: u64,
+}
+
+impl FaultInjector {
+    /// A fresh injector; panics on probabilities that do not partition
+    /// a unit draw or that would drop every message.
+    pub fn new(config: FaultConfig) -> FaultInjector {
+        assert!(
+            config.drop_p >= 0.0 && config.duplicate_p >= 0.0 && config.delay_p >= 0.0,
+            "fault probabilities must be non-negative"
+        );
+        assert!(
+            config.drop_p + config.duplicate_p + config.delay_p <= 1.0,
+            "fault probabilities must sum to at most 1"
+        );
+        assert!(config.drop_p < 1.0, "drop_p = 1 would defeat every retry");
+        FaultInjector { config, stats: FaultStats::default(), state: config.seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: tiny, seedable, and plenty for fault decisions.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decides the fate of the next message.
+    pub fn decide(&mut self) -> FaultAction {
+        let u = self.next_unit();
+        let c = &self.config;
+        if u < c.drop_p {
+            self.stats.dropped += 1;
+            FaultAction::Drop
+        } else if u < c.drop_p + c.duplicate_p {
+            self.stats.duplicated += 1;
+            FaultAction::Duplicate
+        } else if u < c.drop_p + c.duplicate_p + c.delay_p {
+            self.stats.delayed += 1;
+            FaultAction::Delay(c.delay_s * (0.5 + self.next_unit()))
+        } else {
+            FaultAction::Deliver
         }
     }
 }
@@ -330,6 +483,62 @@ mod tests {
         sim.spawn(0, Phase::LocalTraversal, 2.0, 0); // one of two workers busy
         sim.run(|_, _| {});
         assert!((sim.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn post_after_fires_at_the_requested_time() {
+        let mut sim: Sim<u32> = Sim::new(machine());
+        sim.post_after(2.5, 1);
+        sim.post(0);
+        let mut order = Vec::new();
+        sim.run(|s, p| order.push((p, s.now())));
+        assert_eq!(order[0].0, 0);
+        assert_eq!(order[1].0, 1);
+        assert!((order[1].1 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delayed_sends_reorder_past_later_sends() {
+        let m = machine();
+        let mut sim: Sim<u32> = Sim::new(m);
+        sim.send_delayed(0, 1, 10, 1.0, 1); // sent first, delayed
+        sim.send(0, 1, 10, 2); // sent second, arrives first
+        let mut order = Vec::new();
+        sim.run(|_, p| order.push(p));
+        assert_eq!(order, vec![2, 1]);
+    }
+
+    #[test]
+    fn fault_injector_is_deterministic_and_counts() {
+        let cfg = FaultConfig {
+            seed: 42,
+            drop_p: 0.2,
+            duplicate_p: 0.2,
+            delay_p: 0.2,
+            delay_s: 1e-3,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultInjector::new(cfg);
+        let mut b = FaultInjector::new(cfg);
+        let seq_a: Vec<FaultAction> = (0..256).map(|_| a.decide()).collect();
+        let seq_b: Vec<FaultAction> = (0..256).map(|_| b.decide()).collect();
+        assert_eq!(seq_a, seq_b, "same seed must replay the same faults");
+        assert_eq!(
+            a.stats.dropped + a.stats.duplicated + a.stats.delayed,
+            seq_a.iter().filter(|x| !matches!(x, FaultAction::Deliver)).count() as u64
+        );
+        // Rough sanity: each fault kind actually fires at these rates.
+        assert!(a.stats.dropped > 20 && a.stats.duplicated > 20 && a.stats.delayed > 20);
+        // A different seed gives a different pattern.
+        let mut c = FaultInjector::new(FaultConfig { seed: 43, ..cfg });
+        let seq_c: Vec<FaultAction> = (0..256).map(|_| c.decide()).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn fault_injector_rejects_overfull_probabilities() {
+        FaultInjector::new(FaultConfig { drop_p: 0.6, duplicate_p: 0.6, ..FaultConfig::default() });
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl TreeBuilder {
     /// Takes ownership of the particles, reorders them, and returns the
     /// arena plus the reordered array. For octrees, `root_bbox` should be
     /// (an octant of) a cube so octants stay cubical.
-    pub fn build<D: Data>(&self, mut particles: Vec<Particle>, root_bbox: BoundingBox) -> BuiltTree<D> {
+    pub fn build<D: Data>(
+        &self,
+        mut particles: Vec<Particle>,
+        root_bbox: BoundingBox,
+    ) -> BuiltTree<D> {
         let bits = self.tree_type.bits_per_level();
         // Stop splitting when the key cannot hold another digit.
         let max_depth = (63 - self.root_key.level(bits) * bits) / bits;
@@ -142,12 +146,21 @@ impl TreeBuilder {
                 rest = tail;
             }
         }
-        let build_child = |(slot, slice, off, cb, ck): (usize, &mut [Particle], u32, BoundingBox, NodeKey)| {
-            (
-                slot,
-                self.node_arena::<D>(slice, off, cb, ck, global_depth + 1, local_depth + 1, max_local_depth),
-            )
-        };
+        let build_child =
+            |(slot, slice, off, cb, ck): (usize, &mut [Particle], u32, BoundingBox, NodeKey)| {
+                (
+                    slot,
+                    self.node_arena::<D>(
+                        slice,
+                        off,
+                        cb,
+                        ck,
+                        global_depth + 1,
+                        local_depth + 1,
+                        max_local_depth,
+                    ),
+                )
+            };
         let child_arenas: Vec<(usize, Vec<BuildNode<D>>)> =
             if self.parallel && n as usize >= PARALLEL_THRESHOLD {
                 tasks.into_par_iter().map(build_child).collect()
@@ -217,10 +230,8 @@ impl TreeBuilder {
             }
             TreeType::BinaryOct => {
                 // Spatial-midpoint binary split along the cycling axis.
-                let axis = self
-                    .tree_type
-                    .cycling_axis(global_depth)
-                    .expect("binary oct cycles axes");
+                let axis =
+                    self.tree_type.cycling_axis(global_depth).expect("binary oct cycles axes");
                 let plane = bbox.center().component(axis.index());
                 particles.sort_unstable_by(|a, b| {
                     a.pos
@@ -228,8 +239,7 @@ impl TreeBuilder {
                         .partial_cmp(&b.pos.component(axis.index()))
                         .unwrap_or(std::cmp::Ordering::Equal)
                 });
-                let mid = particles
-                    .partition_point(|p| p.pos.component(axis.index()) < plane);
+                let mid = particles.partition_point(|p| p.pos.component(axis.index()) < plane);
                 let (lo_box, hi_box) = bbox.split_at(axis, plane);
                 let mut out = Vec::new();
                 if mid > 0 {
@@ -356,10 +366,18 @@ mod tests {
         // 100 particles at the same point: octree cannot separate them;
         // the build must cap depth and emit one oversize leaf.
         let ps: Vec<_> = (0..100)
-            .map(|i| paratreet_particles::Particle::point_mass(i, 1.0, paratreet_geometry::Vec3::splat(0.5)))
+            .map(|i| {
+                paratreet_particles::Particle::point_mass(
+                    i,
+                    1.0,
+                    paratreet_geometry::Vec3::splat(0.5),
+                )
+            })
             .collect();
-        let bbox = BoundingBox::new(paratreet_geometry::Vec3::ZERO, paratreet_geometry::Vec3::splat(1.0));
-        let t: BuiltTree<CountData> = TreeBuilder::new(TreeType::Octree).bucket_size(4).build(ps, bbox);
+        let bbox =
+            BoundingBox::new(paratreet_geometry::Vec3::ZERO, paratreet_geometry::Vec3::splat(1.0));
+        let t: BuiltTree<CountData> =
+            TreeBuilder::new(TreeType::Octree).bucket_size(4).build(ps, bbox);
         assert_eq!(t.root().n_particles, 100);
         let leaves = t.leaf_indices();
         assert_eq!(leaves.len(), 1);
@@ -371,11 +389,8 @@ mod tests {
         let sub_key = ROOT_KEY.child(5, 3);
         let ps = gen::uniform_cube(300, 3, 1.0, 1.0);
         let bbox = ps.bounding_box().padded(1e-9).bounding_cube();
-        let builder = TreeBuilder {
-            root_key: sub_key,
-            root_depth: 1,
-            ..TreeBuilder::new(TreeType::Octree)
-        };
+        let builder =
+            TreeBuilder { root_key: sub_key, root_depth: 1, ..TreeBuilder::new(TreeType::Octree) };
         let t: BuiltTree<CountData> = builder.build(ps, bbox.octant(5));
         for n in &t.nodes {
             assert!(n.key == sub_key || sub_key.is_ancestor_of(n.key, 3));
@@ -392,7 +407,8 @@ mod tests {
 
     #[test]
     fn empty_particle_set_yields_empty_root() {
-        let bbox = BoundingBox::new(paratreet_geometry::Vec3::ZERO, paratreet_geometry::Vec3::splat(1.0));
+        let bbox =
+            BoundingBox::new(paratreet_geometry::Vec3::ZERO, paratreet_geometry::Vec3::splat(1.0));
         let t: BuiltTree<CountData> = TreeBuilder::new(TreeType::Octree).build(vec![], bbox);
         assert_eq!(t.nodes.len(), 1);
         assert_eq!(t.root().shape, NodeShape::Empty);
@@ -410,9 +426,7 @@ mod tests {
     fn clustered_octree_is_deeper_than_uniform() {
         let mk = |ps: Vec<paratreet_particles::Particle>| {
             let bbox = ps.bounding_box().padded(1e-9).bounding_cube();
-            TreeBuilder::new(TreeType::Octree)
-                .bucket_size(8)
-                .build::<CountData>(ps, bbox)
+            TreeBuilder::new(TreeType::Octree).bucket_size(8).build::<CountData>(ps, bbox)
         };
         let uni = mk(gen::uniform_cube(4000, 9, 1.0, 1.0));
         let clu = mk(gen::clustered(4000, 3, 9, 1.0, 1.0));

@@ -20,7 +20,8 @@ fn main() {
     for p in &mut particles {
         p.softening = 0.02;
     }
-    let config = Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 16, ..Default::default() };
+    let config =
+        Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 16, ..Default::default() };
     let visitor = GravityVisitor { theta: 0.6, g: 1.0 };
     // Crossing time of a Plummer sphere ~ a few; resolve it well.
     let dt = 1.0 / 64.0;
@@ -33,7 +34,10 @@ fn main() {
     });
     let e0 = total_energy(fw.particles());
     println!("evolving a {n}-particle Plummer halo for {steps} steps (dt = {dt})");
-    println!("{:>6} {:>14} {:>14} {:>12} {:>12}", "step", "kinetic", "potential", "dE/E0", "CoM drift");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>12}",
+        "step", "kinetic", "potential", "dE/E0", "CoM drift"
+    );
 
     for step in 0..steps {
         // Kick-drift with current accelerations.

@@ -24,7 +24,8 @@ fn main() {
         }
     }
 
-    let config = Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 8, ..Default::default() };
+    let config =
+        Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 8, ..Default::default() };
     let mut fw = sph_framework(config, particles);
     let sph = SphSimulation { k: 32, ..Default::default() };
     let dt = 2e-3;
@@ -48,11 +49,9 @@ fn main() {
         }
 
         // The hot core should expand: track the hot particles' extent.
-        let hot: Vec<_> =
-            fw.particles().iter().filter(|p| p.internal_energy > 5.0).collect();
+        let hot: Vec<_> = fw.particles().iter().filter(|p| p.internal_energy > 5.0).collect();
         let core_radius = hot.iter().map(|p| p.pos.norm()).fold(0.0, f64::max);
-        let core_rho =
-            hot.iter().map(|p| p.density).sum::<f64>() / hot.len().max(1) as f64;
+        let core_rho = hot.iter().map(|p| p.density).sum::<f64>() / hot.len().max(1) as f64;
         let vmax = fw.particles().iter().map(|p| p.vel.norm()).fold(0.0, f64::max);
         if step % 4 == 0 || step + 1 == steps {
             println!(

@@ -18,7 +18,8 @@ fn main() {
     let data = gen::clustered(n, 5, 11, 1.0, 1.0);
     let random = gen::uniform_cube(n, 997, 1.0, 1.0);
     let bins = SeparationBins::logarithmic(0.01, 1.0, n_bins);
-    let config = Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 8, ..Default::default() };
+    let config =
+        Configuration { bucket_size: 16, n_subtrees: 8, n_partitions: 8, ..Default::default() };
 
     let xi = two_point_correlation(data, random, &bins, config, TraversalKind::TopDown);
 

@@ -1,0 +1,137 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Same bench-definition API (`criterion_group!`, `benchmark_group`,
+//! `bench_with_input`, ...) but a deliberately tiny runner: each
+//! benchmark runs a fixed handful of iterations and prints the mean
+//! wall-clock time. No statistics, plots, or baselines — enough to keep
+//! `cargo bench` and `cargo clippy --all-targets` working offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u32 = 1;
+const TIMED_ITERS: u32 = 3;
+
+/// Identifier for a bench within a group: `function_name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to bench closures; `iter` runs and times the workload.
+pub struct Bencher {
+    label: String,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            black_box(f());
+        }
+        let mean = start.elapsed().as_secs_f64() / TIMED_ITERS as f64;
+        println!("bench {:<48} {:>12.3} µs/iter", self.label, mean * 1e6);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { label: format!("{}/{}", self.name, id) };
+        f(&mut b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { label: format!("{}/{}", self.name, id) };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { label: id.to_string() };
+        f(&mut b);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Exposes the `par_iter` API surface the workspace uses but executes
+//! sequentially. Results are identical to rayon's (the workspace only
+//! uses order-insensitive reductions and independent maps); only the
+//! wall-clock parallelism is sacrificed, which is acceptable for an
+//! offline build.
+
+/// A "parallel" iterator: a thin adapter over a sequential iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+pub mod prelude {
+    use super::ParIter;
+
+    /// `into_par_iter()` for owned collections.
+    pub trait IntoParallelIterator {
+        type Item;
+        type SeqIter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type SeqIter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Item = T;
+        type SeqIter = std::ops::Range<T>;
+        fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+            ParIter(self)
+        }
+    }
+
+    /// `par_iter()` / `par_iter_mut()` for slices (and, via deref, Vec).
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    }
+
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+            ParIter(self.iter())
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+            ParIter(self.iter_mut())
+        }
+    }
+}
+
+// Seen at the crate root in some call sites.
+pub use prelude::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}

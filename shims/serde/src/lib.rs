@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Marker traits plus no-op derive macros. The workspace only tags POD
+//! types as serde-compatible for downstream tooling; all real wire
+//! formats are hand-rolled (`particles::io`, `cache::wire`), so no
+//! serializer machinery is needed.
+
+/// Marker: type is serde-serialisable.
+pub trait Serialize {}
+
+/// Marker: type is serde-deserialisable.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

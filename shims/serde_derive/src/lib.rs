@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain-old-data
+//! structs but never actually serialises through serde (wire formats are
+//! hand-rolled in `particles::io` and `cache::wire`). The derives here
+//! therefore expand to nothing, which keeps `#[derive(Serialize,
+//! Deserialize)]` attributes compiling without a network dependency.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -21,7 +21,7 @@ use paratreet_apps::sph::{sph_framework, SphSimulation};
 use paratreet_geometry::Vec3;
 use paratreet_particles::gen::{self, DiskParams};
 use paratreet_particles::{io, Particle};
-use paratreet_runtime::MachineSpec;
+use paratreet_runtime::{FaultConfig, FaultStats, MachineSpec};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -57,6 +57,14 @@ ENGINE:
   --engine KIND        shared | threaded | machine         [shared]
   --ranks N            ranks for threaded/machine engines  [2]
   --workers N          workers per rank                    [2]
+
+FAULT INJECTION (machine engine only; seeded, deterministic):
+  --fault-drop P       drop probability per message        [0]
+  --fault-dup P        duplicate probability per message   [0]
+  --fault-delay P      extra-delay probability per message [0]
+  --fault-delay-s T    extra delay magnitude, seconds      [2e-3]
+  --fault-seed S       fault stream seed                   [0x5EEDCAFE]
+  --fault-timeout T    fetch retry timeout, seconds        [5e-3]
 
 OUTPUT:
   --output FILE        write final .ptrt snapshot
@@ -214,6 +222,36 @@ fn configuration(opts: &HashMap<String, String>) -> Configuration {
     }
 }
 
+/// Fault-injection knobs for the machine engine; `None` when every
+/// probability is zero (a perfect network needs no retry machinery).
+fn fault_config(opts: &HashMap<String, String>) -> Option<FaultConfig> {
+    let drop_p = get(opts, "fault-drop", 0.0f64);
+    let duplicate_p = get(opts, "fault-dup", 0.0f64);
+    let delay_p = get(opts, "fault-delay", 0.0f64);
+    if drop_p == 0.0 && duplicate_p == 0.0 && delay_p == 0.0 {
+        return None;
+    }
+    if !(0.0..1.0).contains(&drop_p)
+        || !(0.0..=1.0).contains(&duplicate_p)
+        || !(0.0..=1.0).contains(&delay_p)
+        || drop_p + duplicate_p + delay_p > 1.0
+    {
+        eprintln!(
+            "fault probabilities must lie in [0, 1] and sum to at most 1, \
+             with --fault-drop < 1 (otherwise no fetch ever survives a retry)"
+        );
+        exit(2);
+    }
+    Some(FaultConfig {
+        seed: get(opts, "fault-seed", 0x5EED_CAFEu64),
+        drop_p,
+        duplicate_p,
+        delay_p,
+        delay_s: get(opts, "fault-delay-s", 2e-3),
+        retry_timeout_s: get(opts, "fault-timeout", 5e-3),
+    })
+}
+
 fn run_gravity(opts: &HashMap<String, String>) {
     let mut particles = load_particles("gravity", opts);
     for p in &mut particles {
@@ -269,13 +307,16 @@ fn run_gravity(opts: &HashMap<String, String>) {
         }
         "machine" => {
             let ranks = get(opts, "ranks", 2usize);
-            let eng = DistributedEngine::new(
+            let mut eng = DistributedEngine::new(
                 MachineSpec::stampede2(ranks),
                 config,
                 CacheModel::WaitFree,
                 kind,
                 &visitor,
             );
+            if let Some(f) = fault_config(opts) {
+                eng = eng.with_faults(f);
+            }
             let rep = eng.run_iteration(particles);
             println!(
                 "machine model ({ranks} nodes): makespan {:.3} ms, utilization {:.1}%, {} bytes on the wire",
@@ -283,6 +324,16 @@ fn run_gravity(opts: &HashMap<String, String>) {
                 rep.utilization * 100.0,
                 rep.comm.bytes
             );
+            if rep.faults != FaultStats::default() || rep.fetch_retries > 0 {
+                println!(
+                    "faults injected: {} dropped, {} duplicated, {} delayed; {} fetch retries, {} fill errors",
+                    rep.faults.dropped,
+                    rep.faults.duplicated,
+                    rep.faults.delayed,
+                    rep.fetch_retries,
+                    rep.fill_errors
+                );
+            }
             write_outputs(opts, &rep.particles);
         }
         other => {

@@ -6,9 +6,7 @@
 
 use paratreet_apps::gravity::{CentroidData, GravityVisitor};
 use paratreet_baselines::direct::rms_acc_error;
-use paratreet_core::{
-    CacheModel, Configuration, DistributedEngine, Framework, TraversalKind,
-};
+use paratreet_core::{CacheModel, Configuration, DistributedEngine, Framework, TraversalKind};
 use paratreet_particles::gen;
 use paratreet_runtime::MachineSpec;
 
@@ -42,14 +40,8 @@ fn distributed_matches_shared_memory_forces() {
         let err = rms_acc_error(&rep.particles, &reference);
         assert!(err < 1e-9, "{ranks} ranks: force mismatch {err}");
         // Exact interaction counts match (same pruning decisions).
-        assert_eq!(
-            rep.counts.leaf_interactions, report.counts.leaf_interactions,
-            "{ranks} ranks"
-        );
-        assert_eq!(
-            rep.counts.node_interactions, report.counts.node_interactions,
-            "{ranks} ranks"
-        );
+        assert_eq!(rep.counts.leaf_interactions, report.counts.leaf_interactions, "{ranks} ranks");
+        assert_eq!(rep.counts.node_interactions, report.counts.node_interactions, "{ranks} ranks");
     }
 }
 

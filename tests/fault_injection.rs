@@ -1,0 +1,117 @@
+//! Fault-injection acceptance for the DES engine: with seeded drops,
+//! duplicates, and delays (reorders) on every fetch and fill message,
+//! the gravity traversal must still complete — via idempotent duplicate
+//! handling and retry-on-timeout — and produce results identical to the
+//! fault-free run. In debug builds the cache audit also runs at every
+//! phase boundary inside `run_iteration`, so these tests double as
+//! audit coverage under adversarial delivery.
+
+use paratreet_apps::gravity::GravityVisitor;
+use paratreet_baselines::direct::rms_acc_error;
+use paratreet_core::{CacheModel, Configuration, DistributedEngine, TraversalKind};
+use paratreet_particles::gen;
+use paratreet_runtime::{FaultConfig, MachineSpec};
+
+fn config() -> Configuration {
+    Configuration { bucket_size: 8, n_subtrees: 16, n_partitions: 32, ..Default::default() }
+}
+
+fn faults(seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        drop_p: 0.15,
+        duplicate_p: 0.15,
+        delay_p: 0.20,
+        delay_s: 2e-3,
+        retry_timeout_s: 5e-3,
+    }
+}
+
+fn run(
+    ps: &[paratreet_particles::Particle],
+    f: Option<FaultConfig>,
+) -> paratreet_core::des_engine::IterationReport {
+    let visitor = GravityVisitor::default();
+    let mut engine = DistributedEngine::new(
+        MachineSpec::test(4, 2),
+        config(),
+        CacheModel::WaitFree,
+        TraversalKind::TopDown,
+        &visitor,
+    );
+    if let Some(f) = f {
+        engine = engine.with_faults(f);
+    }
+    engine.run_iteration(ps.to_vec())
+}
+
+#[test]
+fn faulty_network_reaches_identical_results() {
+    let ps = gen::clustered(1000, 4, 23, 1.0, 1.0);
+    let clean = run(&ps, None);
+    let faulty = run(&ps, Some(faults(7)));
+
+    // The fault layer actually fired all three kinds on this seed...
+    assert!(faulty.faults.dropped > 0, "no drops injected: {:?}", faulty.faults);
+    assert!(faulty.faults.duplicated > 0, "no duplicates injected: {:?}", faulty.faults);
+    assert!(faulty.faults.delayed > 0, "no delays injected: {:?}", faulty.faults);
+    // ...dropped messages forced timeout retries...
+    assert!(faulty.fetch_retries > 0, "drops must trigger re-requests");
+    // ...and redundant fills were absorbed idempotently, never rejected.
+    assert!(faulty.cache.fills_duplicate > 0, "duplicate fills must be detected");
+    assert_eq!(faulty.fill_errors, 0, "faults reorder/duplicate but never corrupt");
+
+    // Same pruning decisions, same exact work.
+    assert_eq!(faulty.counts.leaf_interactions, clean.counts.leaf_interactions);
+    assert_eq!(faulty.counts.node_interactions, clean.counts.node_interactions);
+    // Same physics (forces differ only by FP summation order).
+    let err = rms_acc_error(&faulty.particles, &clean.particles);
+    assert!(err < 1e-9, "force mismatch under faults: {err}");
+
+    // A perfect network injects nothing and never retries.
+    assert_eq!(clean.faults.dropped + clean.faults.duplicated + clean.faults.delayed, 0);
+    assert_eq!(clean.fetch_retries, 0);
+    assert_eq!(clean.fill_errors, 0);
+}
+
+#[test]
+fn faulty_runs_replay_deterministically() {
+    let ps = gen::uniform_cube(600, 37, 1.0, 1.0);
+    let a = run(&ps, Some(faults(11)));
+    let b = run(&ps, Some(faults(11)));
+    assert_eq!(a.makespan, b.makespan, "same seed must replay the same timeline");
+    assert_eq!(a.comm.messages, b.comm.messages);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.fetch_retries, b.fetch_retries);
+    assert_eq!(a.counts, b.counts);
+}
+
+#[test]
+fn faults_cost_time_but_not_correctness_across_cache_models() {
+    let ps = gen::clustered(800, 4, 31, 1.0, 1.0);
+    for model in [CacheModel::WaitFree, CacheModel::XWrite] {
+        let visitor = GravityVisitor::default();
+        let clean = DistributedEngine::new(
+            MachineSpec::test(3, 2),
+            config(),
+            model,
+            TraversalKind::TopDown,
+            &visitor,
+        )
+        .run_iteration(ps.clone());
+        let faulty = DistributedEngine::new(
+            MachineSpec::test(3, 2),
+            config(),
+            model,
+            TraversalKind::TopDown,
+            &visitor,
+        )
+        .with_faults(faults(3))
+        .run_iteration(ps.clone());
+        assert_eq!(faulty.counts, clean.counts, "{model:?}");
+        let err = rms_acc_error(&faulty.particles, &clean.particles);
+        assert!(err < 1e-9, "{model:?}: force mismatch under faults: {err}");
+        // Lost and delayed messages can only stretch the timeline.
+        assert!(faulty.makespan >= clean.makespan * 0.999, "{model:?}");
+    }
+}

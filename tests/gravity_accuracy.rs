@@ -65,21 +65,15 @@ fn longest_dim_tree_matches_direct() {
 
 #[test]
 fn binary_oct_tree_matches_direct() {
-    let config = Configuration {
-        tree_type: TreeType::BinaryOct,
-        bucket_size: 16,
-        ..Default::default()
-    };
+    let config =
+        Configuration { tree_type: TreeType::BinaryOct, bucket_size: 16, ..Default::default() };
     check_accuracy(config, 0.6, TraversalKind::TopDown, 0.02);
 }
 
 #[test]
 fn oct_decomposition_matches_direct() {
-    let config = Configuration {
-        decomp_type: DecompType::Oct,
-        bucket_size: 16,
-        ..Default::default()
-    };
+    let config =
+        Configuration { decomp_type: DecompType::Oct, bucket_size: 16, ..Default::default() };
     check_accuracy(config, 0.6, TraversalKind::TopDown, 0.02);
 }
 

@@ -62,7 +62,7 @@ fn hilbert_reduces_cross_rank_traffic() {
         morton.cache.bytes_received
     );
     // And identical total physics.
-    assert_eq!(hilbert.counts.leaf_interactions + hilbert.counts.node_interactions > 0, true);
+    assert!(hilbert.counts.leaf_interactions + hilbert.counts.node_interactions > 0);
 }
 
 #[test]

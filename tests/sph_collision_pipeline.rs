@@ -17,7 +17,8 @@ fn sph_multi_step_run_stays_physical() {
             p.internal_energy = 5.0;
         }
     }
-    let config = Configuration { bucket_size: 16, n_subtrees: 4, n_partitions: 4, ..Default::default() };
+    let config =
+        Configuration { bucket_size: 16, n_subtrees: 4, n_partitions: 4, ..Default::default() };
     let mut fw = sph_framework(config, particles);
     let sph = SphSimulation { k: 24, ..Default::default() };
     let dt = 1e-3;
@@ -102,8 +103,5 @@ fn disk_angular_momentum_is_stable_without_collisions() {
         assert!(events.is_empty(), "50 km bodies at N=400 should never touch");
     }
     let lz1: f64 = sim.framework.particles().iter().map(|p| p.angular_momentum().z).sum();
-    assert!(
-        ((lz1 - lz0) / lz0).abs() < 1e-3,
-        "z angular momentum drifted: {lz0} -> {lz1}"
-    );
+    assert!(((lz1 - lz0) / lz0).abs() < 1e-3, "z angular momentum drifted: {lz0} -> {lz1}");
 }
