@@ -7,6 +7,7 @@ use paratreet_apps::gravity::CentroidData;
 use paratreet_cache::{CacheTree, SubtreeSummary, XWriteCache};
 use paratreet_geometry::NodeKey;
 use paratreet_particles::{gen, ParticleVec};
+use paratreet_telemetry::Telemetry;
 use paratreet_tree::{TreeBuilder, TreeType};
 use std::hint::black_box;
 
@@ -110,5 +111,54 @@ fn bench_insert_models(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serialize, bench_insert_models);
+/// Recorder overhead on the hot cache-insertion path: the same fill
+/// workload with a disabled handle (the `--no-default-features`
+/// fast path compiles to the same no-op), with an enabled wall-clock
+/// recorder, and the recorder's raw span cost in isolation.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(20);
+    let (summaries, fills) = make_world(20_000);
+    for (name, telemetry) in
+        [("recorder_off", Telemetry::disabled()), ("recorder_on", Telemetry::wall(2))]
+    {
+        group.bench_with_input(
+            BenchmarkId::new("insert_fills", name),
+            &telemetry,
+            |b, telemetry| {
+                b.iter(|| {
+                    let mut fresh: CacheTree<CentroidData> = CacheTree::new(0, 3);
+                    fresh.telemetry = telemetry.clone();
+                    fresh.init(&summaries, vec![]);
+                    for f in &fills {
+                        black_box(fresh.insert_fragment(f).unwrap().resumed.len());
+                    }
+                    // Keep the buffers from growing without bound
+                    // across iterations.
+                    black_box(telemetry.drain().spans.len());
+                })
+            },
+        );
+    }
+    group.bench_function("raw_span", |b| {
+        let telemetry = Telemetry::wall(2);
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            black_box(telemetry.wall_span(0, "local traversal", Some(n), || black_box(n * 3)));
+        });
+        black_box(telemetry.drain().spans.len());
+    });
+    group.bench_function("raw_span_disabled", |b| {
+        let telemetry = Telemetry::disabled();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            black_box(telemetry.wall_span(0, "local traversal", Some(n), || black_box(n * 3)));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialize, bench_insert_models, bench_telemetry_overhead);
 criterion_main!(benches);

@@ -14,7 +14,7 @@
 
 use paratreet_apps::gravity::{CentroidData, GravityVisitor};
 use paratreet_baselines::direct::{direct_gravity, rms_acc_error};
-use paratreet_bench::Args;
+use paratreet_bench::{harness_telemetry, write_telemetry_outputs, Args};
 use paratreet_core::{Configuration, Framework, TraversalKind};
 use paratreet_particles::gen;
 
@@ -39,9 +39,13 @@ fn main() {
     );
     println!("{}", "-".repeat(70));
 
+    let telemetry = harness_telemetry(&args, false);
+    let mut last_metrics = None;
     for bucket in [2usize, 4, 8, 16, 32, 64, 128] {
         let config = Configuration { bucket_size: bucket, ..Default::default() };
-        let mut fw: Framework<CentroidData> = Framework::new(config, reference.clone());
+        let _ = telemetry.drain(); // keep only the final bucket's spans
+        let mut fw: Framework<CentroidData> =
+            Framework::new(config, reference.clone()).with_telemetry(telemetry.clone());
         for p in fw.particles_mut().iter_mut() {
             p.reset_accumulators();
         }
@@ -60,7 +64,9 @@ fn main() {
             report.seconds_traverse * 1e3,
             err
         );
+        last_metrics = Some(report.metrics());
     }
+    write_telemetry_outputs(&args, &telemetry, last_metrics.as_ref());
     println!();
     println!("expected: exact (pp) work grows with bucket size while approximations");
     println!("(pn) shrink; the runtime minimum sits at a moderate bucket (the default");

@@ -12,7 +12,7 @@
 //! ```
 
 use paratreet_apps::gravity::GravityVisitor;
-use paratreet_bench::{fmt_bytes, fmt_seconds, Args};
+use paratreet_bench::{fmt_bytes, fmt_seconds, harness_telemetry, write_telemetry_outputs, Args};
 use paratreet_core::{CacheModel, Configuration, DistributedEngine, TraversalKind};
 use paratreet_particles::gen;
 use paratreet_runtime::MachineSpec;
@@ -34,15 +34,19 @@ fn main() {
     );
     println!("{}", "-".repeat(66));
 
+    let telemetry = harness_telemetry(&args, true);
+    let mut last_metrics = None;
     for depth in 1..=6u32 {
         let config = Configuration { fetch_depth: depth, bucket_size: 16, ..Default::default() };
+        let _ = telemetry.drain(); // keep only the final depth's spans
         let engine = DistributedEngine::new(
             MachineSpec::stampede2_24(procs),
             config,
             CacheModel::WaitFree,
             TraversalKind::TopDown,
             &visitor,
-        );
+        )
+        .with_telemetry(telemetry.clone());
         let rep = engine.run_iteration(particles.clone());
         println!(
             "{:>6} {:>10} {:>10} {:>12} {:>12} {:>9.1}%",
@@ -53,7 +57,9 @@ fn main() {
             fmt_seconds(rep.makespan),
             rep.utilization * 100.0
         );
+        last_metrics = Some(rep.metrics);
     }
+    write_telemetry_outputs(&args, &telemetry, last_metrics.as_ref());
     println!();
     println!("expected: requests fall steeply with depth while bytes grow;");
     println!("the makespan bottoms out at a moderate depth (the default is 3).");

@@ -19,7 +19,7 @@
 //! ```
 
 use paratreet_apps::gravity::GravityVisitor;
-use paratreet_bench::{fmt_seconds, Args};
+use paratreet_bench::{fmt_seconds, harness_telemetry, write_telemetry_outputs, Args};
 use paratreet_core::{
     sfc_balanced_assignment, CacheModel, Configuration, DecompType, DistributedEngine,
     TraversalKind,
@@ -51,13 +51,15 @@ fn main() {
     let workers = args.get_usize("workers", 8);
     let mut machine = MachineSpec::stampede2(procs);
     machine.workers_per_rank = workers;
+    let telemetry = harness_telemetry(&args, true);
     let engine = DistributedEngine::new(
         machine,
         config,
         CacheModel::WaitFree,
         TraversalKind::TopDown,
         &visitor,
-    );
+    )
+    .with_telemetry(telemetry.clone());
 
     println!("Ablation: measured-load SFC re-balancing, {n} clustered particles");
     println!(
@@ -86,6 +88,7 @@ fn main() {
 
     // Iteration 2: re-cut the curve by measured load.
     let assignment = sfc_balanced_assignment(costs, procs);
+    let _ = telemetry.drain(); // export the re-balanced iteration's trace
     let second = engine.run_iteration_with_assignment(particles, Some(&assignment));
     let balanced_imb = imbalance(&|p| assignment[p]);
 
@@ -112,4 +115,5 @@ fn main() {
     );
     let gain = (first.makespan - second.makespan) / first.makespan * 100.0;
     println!("\nre-balancing changed the makespan by {gain:.1}% (paper: 26% at 1536 cores)");
+    write_telemetry_outputs(&args, &telemetry, Some(&second.metrics));
 }

@@ -13,7 +13,7 @@
 //! ```
 
 use paratreet_apps::gravity::GravityVisitor;
-use paratreet_bench::{fmt_bytes, fmt_seconds, Args};
+use paratreet_bench::{fmt_bytes, fmt_seconds, harness_telemetry, write_telemetry_outputs, Args};
 use paratreet_core::{CacheModel, Configuration, DistributedEngine, SfcCurve, TraversalKind};
 use paratreet_particles::gen;
 use paratreet_runtime::MachineSpec;
@@ -37,17 +37,21 @@ fn main() {
     );
     println!("{}", "-".repeat(72));
 
+    let telemetry = harness_telemetry(&args, true);
+    let mut last_metrics = None;
     for curve in [SfcCurve::Morton, SfcCurve::Hilbert] {
         let config = Configuration { sfc: curve, bucket_size: 16, ..Default::default() };
         let mut machine = MachineSpec::stampede2(procs);
         machine.workers_per_rank = 24;
+        let _ = telemetry.drain(); // keep only the final curve's spans
         let engine = DistributedEngine::new(
             machine,
             config,
             CacheModel::WaitFree,
             TraversalKind::TopDown,
             &visitor,
-        );
+        )
+        .with_telemetry(telemetry.clone());
         let rep = engine.run_iteration(particles.clone());
         println!(
             "{:>9} {:>10} {:>12} {:>14} {:>12} {:>7.1}%",
@@ -58,7 +62,9 @@ fn main() {
             fmt_seconds(rep.makespan),
             rep.utilization * 100.0
         );
+        last_metrics = Some(rep.metrics);
     }
+    write_telemetry_outputs(&args, &telemetry, last_metrics.as_ref());
     println!();
     println!("expected: the Hilbert curve's compact slices need fewer remote");
     println!("fetches and share fewer buckets across ranks than Morton slices.");

@@ -17,7 +17,7 @@
 
 use paratreet_apps::gravity::GravityVisitor;
 use paratreet_baselines::changa::ChangaModel;
-use paratreet_bench::{fmt_seconds, Args};
+use paratreet_bench::{fmt_seconds, harness_telemetry, write_telemetry_outputs, Args};
 use paratreet_core::{CacheModel, Configuration, DistributedEngine, TraversalKind};
 use paratreet_particles::gen;
 use paratreet_runtime::MachineSpec;
@@ -41,11 +41,14 @@ fn main() {
     );
     println!("{}", "-".repeat(56));
 
+    let telemetry = harness_telemetry(&args, true);
+    let mut last_metrics = None;
     let mut nodes = 1;
     while nodes <= max_nodes {
         let config = Configuration { bucket_size: 16, ..Default::default() };
         let machine = MachineSpec::summit(nodes);
 
+        let _ = telemetry.drain(); // keep only the final ParaTreeT run
         let ptt = DistributedEngine::new(
             machine.clone(),
             config.clone(),
@@ -53,6 +56,7 @@ fn main() {
             TraversalKind::TopDown,
             &visitor,
         )
+        .with_telemetry(telemetry.clone())
         .run_iteration(particles.clone());
 
         let basic = DistributedEngine::new(
@@ -74,8 +78,10 @@ fn main() {
             fmt_seconds(ch.makespan),
             ch.makespan / ptt.makespan
         );
+        last_metrics = Some(ptt.metrics);
         nodes *= 2;
     }
+    write_telemetry_outputs(&args, &telemetry, last_metrics.as_ref());
     println!();
     println!("paper shape: ParaTreeT 2-3x faster than ChaNGa across the sweep,");
     println!("BasicTrav between them; strong scaling flattens at the largest sizes.");

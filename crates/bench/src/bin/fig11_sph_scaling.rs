@@ -22,7 +22,7 @@
 
 use paratreet_apps::knn::KnnVisitor;
 use paratreet_baselines::gadget::{gadget_density, BallSearchVisitor};
-use paratreet_bench::{fmt_seconds, Args};
+use paratreet_bench::{fmt_seconds, harness_telemetry, write_telemetry_outputs, Args};
 use paratreet_core::{CacheModel, Configuration, DistributedEngine, Framework, TraversalKind};
 use paratreet_particles::gen;
 use paratreet_runtime::MachineSpec;
@@ -57,9 +57,12 @@ fn main() {
 
     let knn = KnnVisitor { k };
 
+    let telemetry = harness_telemetry(&args, true);
+    let mut last_metrics = None;
     let mut nodes = 1;
     while nodes <= max_nodes {
         // ParaTreeT: one up-and-down kNN traversal on SMP nodes.
+        let _ = telemetry.drain(); // keep only the final ParaTreeT run
         let ptt = DistributedEngine::new(
             MachineSpec::stampede2(nodes),
             config.clone(),
@@ -67,6 +70,7 @@ fn main() {
             TraversalKind::UpAndDown,
             &knn,
         )
+        .with_telemetry(telemetry.clone())
         .run_iteration(particles.clone());
 
         // Gadget-2: pure MPI — one rank per core, single worker. Each
@@ -102,8 +106,10 @@ fn main() {
             fmt_seconds(g_total),
             g_total / ptt.makespan
         );
+        last_metrics = Some(ptt.metrics);
         nodes *= 2;
     }
+    write_telemetry_outputs(&args, &telemetry, last_metrics.as_ref());
     println!();
     println!("paper shape: ParaTreeT several times faster across the sweep, the gap");
     println!(

@@ -18,7 +18,7 @@
 //! ```
 
 use paratreet_apps::collision::{orbital_period, resonance_radius, DiskSimulation};
-use paratreet_bench::{bar, Args};
+use paratreet_bench::{bar, harness_telemetry, write_telemetry_outputs, Args};
 use paratreet_core::{Configuration, DecompType};
 use paratreet_particles::gen::{self, DiskParams};
 use paratreet_tree::TreeType;
@@ -45,7 +45,9 @@ fn main() {
         ..Default::default()
     };
     let dt = orbital_period(params.r_in, params.star_mass) / 40.0;
+    let telemetry = harness_telemetry(&args, false);
     let mut sim = DiskSimulation::new(config, particles, dt);
+    sim.framework.telemetry = telemetry.clone();
 
     println!("Figure 12: planetesimal collisions vs distance from the star");
     println!(
@@ -111,4 +113,10 @@ fn main() {
     println!("\ntotal collisions recorded: {} (paper: 258 over 2,000 years at N=10M)", prof.total);
     println!("paper shape: collisions concentrate near the 2:1 resonance once the");
     println!("planet's perturbations pump eccentricities mid-disk.");
+
+    let mut metrics = paratreet_telemetry::MetricsRegistry::new();
+    metrics.set_u64("disk.collisions", sim.events.len() as u64);
+    metrics.set_u64("disk.steps", steps as u64);
+    metrics.set_u64("disk.bodies_remaining", sim.framework.particles().len() as u64);
+    write_telemetry_outputs(&args, &telemetry, Some(&metrics));
 }

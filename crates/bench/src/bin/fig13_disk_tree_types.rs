@@ -26,7 +26,7 @@
 
 use paratreet_apps::collision::DiskGravityVisitor;
 use paratreet_baselines::changa::ChangaModel;
-use paratreet_bench::{fmt_seconds, Args};
+use paratreet_bench::{fmt_seconds, harness_telemetry, write_telemetry_outputs, Args};
 use paratreet_core::{CacheModel, Configuration, DecompType, DistributedEngine, TraversalKind};
 use paratreet_particles::gen::{self, DiskParams};
 use paratreet_runtime::MachineSpec;
@@ -47,6 +47,8 @@ fn main() {
     println!("{:>7} {:>7} {:>12} {:>12} {:>12}", "nodes", "cores", "LongDim", "PTT-Oct", "ChaNGa");
     println!("{}", "-".repeat(56));
 
+    let telemetry = harness_telemetry(&args, true);
+    let mut last_metrics = None;
     let mut nodes = 1;
     while nodes <= max_nodes {
         let machine = MachineSpec::stampede2(nodes);
@@ -57,6 +59,7 @@ fn main() {
             bucket_size: 16,
             ..Default::default()
         };
+        let _ = telemetry.drain(); // keep only the final LongDim run
         let ld = DistributedEngine::new(
             machine.clone(),
             longdim_cfg,
@@ -64,6 +67,7 @@ fn main() {
             TraversalKind::TopDown,
             &visitor,
         )
+        .with_telemetry(telemetry.clone())
         .run_iteration(particles.clone());
 
         let oct_cfg = Configuration {
@@ -101,8 +105,10 @@ fn main() {
             fmt_seconds(oct.makespan),
             fmt_seconds(ch.makespan)
         );
+        last_metrics = Some(ld.metrics);
         nodes *= 2;
     }
+    write_telemetry_outputs(&args, &telemetry, last_metrics.as_ref());
     println!();
     println!("paper shape: longest-dimension tree+decomposition beats both octree");
     println!("configurations on the disk, increasingly so at scale; octree");

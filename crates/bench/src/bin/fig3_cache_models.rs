@@ -17,10 +17,11 @@
 //! ```
 
 use paratreet_apps::gravity::GravityVisitor;
-use paratreet_bench::{fmt_seconds, Args};
+use paratreet_bench::{fmt_seconds, harness_telemetry, write_telemetry_outputs, Args};
 use paratreet_core::{CacheModel, Configuration, DistributedEngine, TraversalKind};
 use paratreet_particles::gen;
 use paratreet_runtime::MachineSpec;
+use paratreet_telemetry::Json;
 
 fn main() {
     let args = Args::parse();
@@ -28,40 +29,74 @@ fn main() {
     let seed = args.get_u64("seed", 3);
     let theta = args.get_f64("theta", 0.7);
     let max_procs = args.get_usize("max-procs", 256);
+    let json = args.get_bool("json", false);
 
     // The paper's dataset is clustered — that is what stresses the cache.
     let particles = gen::clustered(n, 8, seed, 1.0, 1.0);
     let visitor = GravityVisitor { theta, g: 1.0 };
 
-    println!("Figure 3: average gravity traversal time vs cores, {n} clustered particles");
-    println!("(Stampede2 machine model, 24 workers per process)\n");
-    println!(
-        "{:>7} {:>7} {:>12} {:>12} {:>12}",
-        "procs", "cores", "WaitFree", "XWrite", "Sequential"
-    );
-    println!("{}", "-".repeat(56));
+    if !json {
+        println!("Figure 3: average gravity traversal time vs cores, {n} clustered particles");
+        println!("(Stampede2 machine model, 24 workers per process)\n");
+        println!(
+            "{:>7} {:>7} {:>12} {:>12} {:>12}",
+            "procs", "cores", "WaitFree", "XWrite", "Sequential"
+        );
+        println!("{}", "-".repeat(56));
+    }
 
+    let telemetry = harness_telemetry(&args, true);
+    let mut rows = Vec::new();
+    let mut last_metrics = None;
     let mut procs = 1;
     while procs <= max_procs {
         let mut cells = vec![format!("{procs}"), format!("{}", procs * 24)];
-        for model in [CacheModel::WaitFree, CacheModel::XWrite, CacheModel::PerThread] {
+        let mut row = Json::obj();
+        row.push("procs", Json::U64(procs as u64));
+        row.push("cores", Json::U64((procs * 24) as u64));
+        for (name, model) in [
+            ("waitfree", CacheModel::WaitFree),
+            ("xwrite", CacheModel::XWrite),
+            ("sequential", CacheModel::PerThread),
+        ] {
             let config = Configuration { bucket_size: 16, ..Default::default() };
+            let _ = telemetry.drain(); // keep only the final run's spans
             let engine = DistributedEngine::new(
                 MachineSpec::stampede2_24(procs),
                 config,
                 model,
                 TraversalKind::TopDown,
                 &visitor,
-            );
+            )
+            .with_telemetry(telemetry.clone());
             let rep = engine.run_iteration(particles.clone());
-            let traversal = rep.makespan - rep.traversal_start;
+            let traversal = rep.metrics.get_f64("time.traversal_s");
             cells.push(fmt_seconds(traversal));
+            row.push(&format!("{name}_traversal_s"), Json::F64(traversal));
+            if model == CacheModel::WaitFree {
+                last_metrics = Some(rep.metrics);
+            }
         }
-        println!(
-            "{:>7} {:>7} {:>12} {:>12} {:>12}",
-            cells[0], cells[1], cells[2], cells[3], cells[4]
-        );
+        if json {
+            rows.push(row);
+        } else {
+            println!(
+                "{:>7} {:>7} {:>12} {:>12} {:>12}",
+                cells[0], cells[1], cells[2], cells[3], cells[4]
+            );
+        }
         procs *= 2;
+    }
+
+    write_telemetry_outputs(&args, &telemetry, last_metrics.as_ref());
+
+    if json {
+        let mut doc = Json::obj();
+        doc.push("figure", Json::Str("fig3_cache_models".to_string()));
+        doc.push("particles", Json::U64(n as u64));
+        doc.push("sweep", Json::Arr(rows));
+        println!("{doc}");
+        return;
     }
     println!();
     println!("paper shape: XWrite scaling degrades ~1,536 cores; Sequential ~6,144;");

@@ -14,10 +14,11 @@
 //! ```
 
 use paratreet_apps::gravity::GravityVisitor;
-use paratreet_bench::{bar, fmt_seconds, Args};
+use paratreet_bench::{bar, fmt_seconds, harness_telemetry, write_telemetry_outputs, Args};
 use paratreet_core::{CacheModel, Configuration, DistributedEngine, TraversalKind};
 use paratreet_particles::gen;
 use paratreet_runtime::{MachineSpec, Phase};
+use paratreet_telemetry::Json;
 
 fn main() {
     let args = Args::parse();
@@ -25,20 +26,49 @@ fn main() {
     let seed = args.get_u64("seed", 9);
     let procs = args.get_usize("procs", 64); // 64 × 24 = 1536 CPUs
     let bins = args.get_usize("bins", 24);
+    let json = args.get_bool("json", false);
 
     let particles = gen::uniform_cube(n, seed, 1.0, 1.0);
     let visitor = GravityVisitor::default();
+    let telemetry = harness_telemetry(&args, true);
     let engine = DistributedEngine::new(
         MachineSpec::stampede2_24(procs),
         Configuration { bucket_size: 16, ..Default::default() },
         CacheModel::WaitFree,
         TraversalKind::TopDown,
         &visitor,
-    );
+    )
+    .with_telemetry(telemetry.clone());
     let rep = engine.run_iteration(particles);
     let workers = procs * 24;
     let profile = rep.ledger.profile(bins, workers);
     let horizon = rep.ledger.horizon();
+
+    write_telemetry_outputs(&args, &telemetry, Some(&rep.metrics));
+
+    if json {
+        // One machine-readable object: the metrics registry plus the
+        // binned profile (per bin: per-phase fraction of capacity).
+        let mut doc = Json::obj();
+        doc.push("figure", Json::Str("fig9_time_profile".to_string()));
+        doc.push("particles", Json::U64(n as u64));
+        doc.push("workers", Json::U64(workers as u64));
+        doc.push("bin_seconds", Json::F64(horizon / bins.max(1) as f64));
+        doc.push("metrics", rep.metrics.to_json());
+        let rows = profile
+            .iter()
+            .map(|slice| {
+                let mut row = Json::obj();
+                for p in Phase::ALL {
+                    row.push(p.label(), Json::F64(slice[p.index()]));
+                }
+                row
+            })
+            .collect();
+        doc.push("profile", Json::Arr(rows));
+        println!("{doc}");
+        return;
+    }
 
     println!("Figure 9: utilisation profile, Barnes-Hut on {} CPUs, {n} particles", workers);
     println!(

@@ -6,6 +6,7 @@
 //! and column-aligned text output so results read like the paper's
 //! tables.
 
+use paratreet_telemetry::{export, MetricsRegistry, Telemetry};
 use std::collections::HashMap;
 
 /// Parsed `--key value` command-line options.
@@ -46,6 +47,53 @@ impl Args {
     /// A string option with a default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
         self.opts.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// A boolean option with a default; accepts `true`/`false`/`1`/`0`.
+    pub fn get_bool(&self, key: &str, default: bool) -> bool {
+        match self.opts.get(key).map(String::as_str) {
+            Some("true") | Some("1") => true,
+            Some("false") | Some("0") => false,
+            _ => default,
+        }
+    }
+
+    /// The raw value of an option, when present.
+    pub fn get_opt(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(String::as_str)
+    }
+}
+
+/// The telemetry handle for a harness: an enabled recorder when
+/// `--trace-out` was given (virtual clock for machine-model harnesses),
+/// the free disabled handle otherwise. Sweep harnesses attach the same
+/// handle to every engine and drain between runs, so the exported trace
+/// holds the final configuration of the sweep.
+pub fn harness_telemetry(args: &Args, virtual_clock: bool) -> Telemetry {
+    if args.get_opt("trace-out").is_none() {
+        return Telemetry::disabled();
+    }
+    if virtual_clock {
+        Telemetry::virtual_time(1)
+    } else {
+        Telemetry::wall(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8) + 1)
+    }
+}
+
+/// Honours `--trace-out` / `--metrics-out`: drains `telemetry` into a
+/// Chrome trace and dumps `metrics` as JSON (or CSV for a `.csv` path).
+pub fn write_telemetry_outputs(
+    args: &Args,
+    telemetry: &Telemetry,
+    metrics: Option<&MetricsRegistry>,
+) {
+    if let Some(path) = args.get_opt("trace-out") {
+        export::write_chrome_trace(path, &telemetry.drain()).expect("write trace");
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let (Some(path), Some(metrics)) = (args.get_opt("metrics-out"), metrics) {
+        export::write_metrics(path, metrics).expect("write metrics");
+        eprintln!("wrote metrics to {path}");
     }
 }
 
@@ -96,6 +144,23 @@ pub fn bar(frac: f64, width: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bool_options_parse() {
+        let args = Args {
+            opts: HashMap::from([
+                ("json".to_string(), "true".to_string()),
+                ("bar".to_string(), "0".to_string()),
+                ("bad".to_string(), "maybe".to_string()),
+            ]),
+        };
+        assert!(args.get_bool("json", false));
+        assert!(!args.get_bool("bar", true));
+        assert!(args.get_bool("bad", true), "unparsable values fall back to the default");
+        assert!(!args.get_bool("absent", false));
+        assert_eq!(args.get_opt("json"), Some("true"));
+        assert_eq!(args.get_opt("absent"), None);
+    }
 
     #[test]
     fn seconds_format_autoscales() {

@@ -5,6 +5,8 @@
 //! and per byte, and Fig. 3's three cache models differ exactly in how
 //! many requests they send and how insertions serialise.
 
+use paratreet_telemetry::{MetricSource, MetricsRegistry};
+use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic counters describing one cache's traffic. All methods are
@@ -69,7 +71,7 @@ impl CacheStats {
 }
 
 /// Plain-value copy of [`CacheStats`] at one instant.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct CacheStatsSnapshot {
     /// See [`CacheStats::requests_sent`].
     pub requests_sent: u64,
@@ -103,6 +105,20 @@ impl CacheStatsSnapshot {
         self.particles_inserted += o.particles_inserted;
         self.waiters_parked += o.waiters_parked;
         self.waiters_resumed += o.waiters_resumed;
+    }
+}
+
+impl MetricSource for CacheStatsSnapshot {
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_u64(format!("{prefix}.requests_sent"), self.requests_sent);
+        registry.set_u64(format!("{prefix}.requests_deduped"), self.requests_deduped);
+        registry.set_u64(format!("{prefix}.fills_inserted"), self.fills_inserted);
+        registry.set_u64(format!("{prefix}.fills_duplicate"), self.fills_duplicate);
+        registry.set_u64(format!("{prefix}.bytes_received"), self.bytes_received);
+        registry.set_u64(format!("{prefix}.nodes_inserted"), self.nodes_inserted);
+        registry.set_u64(format!("{prefix}.particles_inserted"), self.particles_inserted);
+        registry.set_u64(format!("{prefix}.waiters_parked"), self.waiters_parked);
+        registry.set_u64(format!("{prefix}.waiters_resumed"), self.waiters_resumed);
     }
 }
 

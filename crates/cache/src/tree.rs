@@ -27,6 +27,7 @@ use crate::node::{CacheNode, NodeKind};
 use crate::stats::CacheStats;
 use crate::wire;
 use paratreet_geometry::{BoundingBox, NodeKey};
+use paratreet_telemetry::Telemetry;
 use paratreet_tree::node::NO_NODE;
 use paratreet_tree::{BuiltTree, Data, NodeShape};
 use parking_lot::Mutex;
@@ -99,6 +100,10 @@ pub struct CacheTree<D: Data> {
     pub bits: u32,
     /// Traffic counters.
     pub stats: CacheStats,
+    /// Span sink for the fetch/fill path (wall clock — only the real
+    /// threaded engine attaches an enabled handle; the DES engine keeps
+    /// its virtual-time trace free of wall timestamps).
+    pub telemetry: Telemetry,
     root: AtomicPtr<CacheNode<D>>,
     book: Mutex<Bookkeeping<D>>,
     allocs: Mutex<Vec<NonNull<CacheNode<D>>>>,
@@ -118,6 +123,7 @@ impl<D: Data> CacheTree<D> {
             rank,
             bits,
             stats: CacheStats::new(),
+            telemetry: Telemetry::disabled(),
             root: AtomicPtr::new(std::ptr::null_mut()),
             book: Mutex::new(Bookkeeping { resolved: HashMap::new(), pending: HashMap::new() }),
             allocs: Mutex::new(Vec::new()),
@@ -357,11 +363,13 @@ impl<D: Data> CacheTree<D> {
     /// (e.g. a corrupted fetch message); engines log and drop such
     /// requests instead of panicking.
     pub fn serialize_fragment(&self, key: NodeKey, depth: u32) -> Result<Vec<u8>, CacheError> {
-        if self.root().is_none() {
-            return Err(CacheError::NotInitialized);
-        }
-        let node = self.find(key).ok_or(CacheError::UnknownKey { key })?;
-        Ok(wire::encode_fragment(node, depth))
+        self.telemetry.wall_span(self.rank, "fill serve", Some(key.raw()), || {
+            if self.root().is_none() {
+                return Err(CacheError::NotInitialized);
+            }
+            let node = self.find(key).ok_or(CacheError::UnknownKey { key })?;
+            Ok(wire::encode_fragment(node, depth))
+        })
     }
 
     /// Splices a received fill into the tree (Steps 2–4 of Fig. 2) and
@@ -389,6 +397,11 @@ impl<D: Data> CacheTree<D> {
     /// `requested` flag and hands back the parked waiters so the engine
     /// re-requests instead of deadlocking.
     pub fn insert_fragment(&self, bytes: &[u8]) -> Result<FillOutcome<'_, D>, CacheError> {
+        self.telemetry
+            .wall_span(self.rank, "cache insertion", None, || self.insert_fragment_impl(bytes))
+    }
+
+    fn insert_fragment_impl(&self, bytes: &[u8]) -> Result<FillOutcome<'_, D>, CacheError> {
         let frag = wire::decode_fragment::<D>(bytes)
             .ok_or(CacheError::MalformedFragment { len: bytes.len() })?;
         if frag.nodes.is_empty() {

@@ -32,7 +32,9 @@ use paratreet_runtime::sim::CommStats;
 use paratreet_runtime::{
     FaultAction, FaultConfig, FaultInjector, FaultStats, Ledger, MachineSpec, Phase, Sim,
 };
+use paratreet_telemetry::{MetricsRegistry, Telemetry, Track};
 use paratreet_tree::TreeBuilder;
+use serde::Serialize;
 use std::collections::HashMap;
 
 pub use paratreet_cache::stats::CacheStatsSnapshot as CacheSnapshot;
@@ -97,8 +99,11 @@ impl CostModel {
     }
 }
 
-/// What one simulated iteration measured.
-#[derive(Clone, Debug)]
+/// What one simulated iteration measured. The named fields remain for
+/// direct access; they are assembled from [`IterationReport::metrics`],
+/// which carries every statistic under a stable dotted name (e.g.
+/// `cache.requests_sent`, `phase_busy_s.local_traversal`).
+#[derive(Clone, Debug, Serialize)]
 pub struct IterationReport {
     /// Virtual end-to-end time of the iteration (seconds).
     pub makespan: f64,
@@ -134,6 +139,10 @@ pub struct IterationReport {
     /// Fills the cache rejected ([`paratreet_cache::CacheError`]); each
     /// was logged and degraded to a re-request instead of aborting.
     pub fill_errors: u64,
+    /// Every statistic above under a stable dotted name, plus derived
+    /// timings — query with [`MetricsRegistry::get_u64`] /
+    /// [`MetricsRegistry::get_f64`], or dump via `--metrics-out`.
+    pub metrics: MetricsRegistry,
 }
 
 /// Event payloads of the engine's simulation. `Clone` because the fault
@@ -249,6 +258,11 @@ pub struct DistributedEngine<'v, V: Visitor> {
     /// Optional deterministic fault injection on fetch/fill messages.
     /// Enables the retry-timeout path; `None` means a perfect network.
     pub faults: Option<FaultConfig>,
+    /// Span/counter sink. Attach an enabled virtual-time handle (see
+    /// [`Telemetry::virtual_time`]) to get one span per simulated task on
+    /// its `(rank, worker)` track; the default disabled handle records
+    /// nothing.
+    pub telemetry: Telemetry,
     visitor: &'v V,
 }
 
@@ -269,6 +283,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             costs: CostModel::default(),
             kind,
             faults: None,
+            telemetry: Telemetry::disabled(),
             visitor,
         }
     }
@@ -277,6 +292,13 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
     /// the fetch/fill traffic and arms the retry timeout.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches a telemetry handle; spans are stamped in virtual time,
+    /// so a given workload and seed produce a byte-identical trace.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -486,6 +508,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
 
         // ---- Simulate ----
         let mut sim: Sim<Ev> = Sim::new(self.machine.clone());
+        sim.telemetry = self.telemetry.clone();
         let mut counts_total = WorkCounts::default();
         let costs = self.costs;
         let fetch_depth = config.fetch_depth;
@@ -656,6 +679,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                     let Some(node) = cache.find(key) else {
                         debug_assert!(false, "fetch target {key} missing from skeleton");
                         fill_errors += 1;
+                        sim.telemetry.count("des.fill_errors", 1);
                         continue;
                     };
                     if !node.is_placeholder() {
@@ -677,6 +701,13 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                             ps.outstanding += 1;
                             // Small CPU cost to issue the request.
                             sim.ledger.record(sim.now(), sim.now(), Phase::CacheRequest);
+                            sim.telemetry.span_at(
+                                Track { rank: ps.rank, worker: 0 },
+                                "cache request",
+                                sim.now() * 1e6,
+                                0.0,
+                                Some(key.raw()),
+                            );
                             send_faulty(
                                 sim,
                                 &mut injector,
@@ -744,6 +775,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                         // request; the requester's retry timer re-issues
                         // it rather than aborting the simulation.
                         fill_errors += 1;
+                        sim.telemetry.count("des.fill_errors", 1);
                         eprintln!("des: fetch for {key} failed at home rank {home}: {e}");
                     }
                 }
@@ -801,6 +833,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                         // placeholder stays pending and the retry timer
                         // re-requests it.
                         fill_errors += 1;
+                        sim.telemetry.count("des.fill_errors", 1);
                         eprintln!("des: fill rejected by cache {to_cache}: {e}");
                     }
                 }
@@ -833,6 +866,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                     caches[to_cache as usize].find(key).is_some_and(|n| n.is_placeholder());
                 if still_pending && injector.is_some() {
                     fetch_retries += 1;
+                    sim.telemetry.count("des.fetch_retries", 1);
                     send_faulty(
                         sim,
                         &mut injector,
@@ -872,21 +906,40 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             cache_stats.merge(&c.stats.snapshot());
         }
         let partition_costs: Vec<f64> = parts.iter().map(|p| p.cost).collect();
+        let fault_stats = injector.map(|f| f.stats).unwrap_or_default();
+
+        // Assemble the registry first; the report's named fields read
+        // back from it, so the two can never disagree.
+        let mut metrics = MetricsRegistry::new();
+        metrics.absorb("comm", &sim.comm);
+        metrics.absorb("cache", &cache_stats);
+        metrics.absorb("counts", &counts_total);
+        metrics.absorb("faults", &fault_stats);
+        metrics.absorb("phase_busy_s", &sim.ledger);
+        metrics.set_f64("time.makespan_s", sim.makespan());
+        metrics.set_f64("time.traversal_start_s", traversal_start);
+        metrics.set_f64("time.traversal_s", sim.makespan() - traversal_start);
+        metrics.set_f64("util.workers", sim.utilization());
+        metrics.set_u64("des.fetch_retries", fetch_retries);
+        metrics.set_u64("des.fill_errors", fill_errors);
+        metrics.set_u64("des.n_shared_buckets", n_shared_buckets as u64);
+        metrics.set_u64("des.n_partitions", partition_costs.len() as u64);
         IterationReport {
-            makespan: sim.makespan(),
-            traversal_start,
+            makespan: metrics.get_f64("time.makespan_s"),
+            traversal_start: metrics.get_f64("time.traversal_start_s"),
             phase_busy: sim.ledger.busy_per_phase(),
             comm: sim.comm,
             counts: counts_total,
             cache: cache_stats,
-            utilization: sim.utilization(),
+            utilization: metrics.get_f64("util.workers"),
             ledger: sim.ledger.clone(),
             n_shared_buckets,
             partition_costs,
             particles: master,
-            faults: injector.map(|f| f.stats).unwrap_or_default(),
-            fetch_retries,
-            fill_errors,
+            faults: fault_stats,
+            fetch_retries: metrics.get_u64("des.fetch_retries"),
+            fill_errors: metrics.get_u64("des.fill_errors"),
+            metrics,
         }
     }
 }

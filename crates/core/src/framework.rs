@@ -19,6 +19,7 @@ use crate::visitor::{TargetBucket, Visitor};
 use paratreet_cache::{CacheTree, NodeKind, SubtreeSummary};
 use paratreet_geometry::{BoundingBox, NodeKey};
 use paratreet_particles::Particle;
+use paratreet_telemetry::{MetricsRegistry, Telemetry};
 use paratreet_tree::{Data, TreeBuilder};
 use rayon::prelude::*;
 
@@ -60,6 +61,25 @@ pub struct StepReport {
     pub seconds_traverse: f64,
 }
 
+impl StepReport {
+    /// The report under the stable dotted names the distributed engines
+    /// use where the statistics overlap (`counts.*`, `time.*`), plus
+    /// shared-memory decomposition sizes under `decomp.*`.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.absorb("counts", &self.counts);
+        m.set_u64("decomp.n_subtrees", self.n_subtrees as u64);
+        m.set_u64("decomp.n_partitions", self.n_partitions as u64);
+        m.set_u64("decomp.n_buckets", self.n_buckets as u64);
+        m.set_u64("decomp.n_split_leaves", self.n_split_leaves as u64);
+        m.set_f64("time.decompose_s", self.seconds_decompose);
+        m.set_f64("time.build_s", self.seconds_build);
+        m.set_f64("time.share_s", self.seconds_share);
+        m.set_f64("time.traverse_s", self.seconds_traverse);
+        m
+    }
+}
+
 /// One in-flight step: the built cache plus bucket bookkeeping.
 pub struct Step<D: Data> {
     /// The per-process cached global tree (all subtrees local here).
@@ -73,27 +93,29 @@ pub struct Step<D: Data> {
 }
 
 impl<D: Data> Step<D> {
-    fn build(config: &Configuration, particles: Vec<Particle>) -> Step<D> {
+    fn build(config: &Configuration, telemetry: &Telemetry, particles: Vec<Particle>) -> Step<D> {
         let t0 = std::time::Instant::now();
-        let decomp = decompose(particles, config);
+        let decomp = telemetry.wall_span(0, "decomposition", None, || decompose(particles, config));
         let seconds_decompose = t0.elapsed().as_secs_f64();
 
         // Parallel Subtree build: pieces are independent (the paper's
         // synchronization-free tree build).
         let t0 = std::time::Instant::now();
-        let trees: Vec<_> = decomp
-            .subtrees
-            .into_par_iter()
-            .map(|piece| {
-                let builder = TreeBuilder {
-                    root_key: piece.key,
-                    root_depth: piece.depth,
-                    ..TreeBuilder::new(config.tree_type)
-                }
-                .bucket_size(config.bucket_size);
-                builder.build::<D>(piece.particles, piece.bbox)
-            })
-            .collect();
+        let trees: Vec<_> = telemetry.wall_span(0, "tree build", None, || {
+            decomp
+                .subtrees
+                .into_par_iter()
+                .map(|piece| {
+                    let builder = TreeBuilder {
+                        root_key: piece.key,
+                        root_depth: piece.depth,
+                        ..TreeBuilder::new(config.tree_type)
+                    }
+                    .bucket_size(config.bucket_size);
+                    builder.build::<D>(piece.particles, piece.bbox)
+                })
+                .collect()
+        });
         let seconds_build = t0.elapsed().as_secs_f64();
 
         // Master array: subtree particle arrays concatenated in piece
@@ -102,31 +124,34 @@ impl<D: Data> Step<D> {
         let mut master = Vec::new();
         let mut buckets: Vec<BucketMeta> = Vec::new();
         let mut n_split_leaves = 0usize;
-        for tree in &trees {
-            let offset = master.len() as u32;
-            for li in tree.leaf_indices() {
-                let node = tree.node(li);
-                let range = node.bucket_range().expect("leaf");
-                // Group the leaf's particles by Partition assignment —
-                // the leaf-sharing step, with bucket splitting (Fig. 5).
-                let mut per_part: Vec<(u32, Vec<u32>)> = Vec::new();
-                for i in range {
-                    let part = decomp.partitioner.assign(&tree.particles[i]);
-                    let master_idx = offset + i as u32;
-                    match per_part.iter_mut().find(|(p, _)| *p == part) {
-                        Some((_, v)) => v.push(master_idx),
-                        None => per_part.push((part, vec![master_idx])),
+        let share_span = telemetry.clone();
+        share_span.wall_span(0, "leaf sharing", None, || {
+            for tree in &trees {
+                let offset = master.len() as u32;
+                for li in tree.leaf_indices() {
+                    let node = tree.node(li);
+                    let range = node.bucket_range().expect("leaf");
+                    // Group the leaf's particles by Partition assignment —
+                    // the leaf-sharing step, with bucket splitting (Fig. 5).
+                    let mut per_part: Vec<(u32, Vec<u32>)> = Vec::new();
+                    for i in range {
+                        let part = decomp.partitioner.assign(&tree.particles[i]);
+                        let master_idx = offset + i as u32;
+                        match per_part.iter_mut().find(|(p, _)| *p == part) {
+                            Some((_, v)) => v.push(master_idx),
+                            None => per_part.push((part, vec![master_idx])),
+                        }
+                    }
+                    if per_part.len() > 1 {
+                        n_split_leaves += 1;
+                    }
+                    for (partition, indices) in per_part {
+                        buckets.push(BucketMeta { leaf_key: node.key, partition, indices });
                     }
                 }
-                if per_part.len() > 1 {
-                    n_split_leaves += 1;
-                }
-                for (partition, indices) in per_part {
-                    buckets.push(BucketMeta { leaf_key: node.key, partition, indices });
-                }
+                master.extend_from_slice(&tree.particles);
             }
-            master.extend_from_slice(&tree.particles);
-        }
+        });
         let seconds_share = t0.elapsed().as_secs_f64();
 
         // Cache init: summaries of every piece, then graft (single rank:
@@ -142,7 +167,8 @@ impl<D: Data> Step<D> {
             })
             .collect();
         let n_subtrees = trees.len();
-        let cache: CacheTree<D> = CacheTree::new(0, config.tree_type.bits_per_level());
+        let mut cache: CacheTree<D> = CacheTree::new(0, config.tree_type.bits_per_level());
+        cache.telemetry = telemetry.clone();
         cache.init(&summaries, trees);
 
         let report = StepReport {
@@ -191,12 +217,15 @@ impl<D: Data> Step<D> {
         // Parallel traversal: partitions are independent, the cache is
         // read-only (all local).
         let cache = &self.cache;
-        let counts_total: WorkCounts = per_partition
-            .par_iter_mut()
-            .map(|(_, buckets)| traverse_local(cache, visitor, kind, buckets))
-            .reduce(WorkCounts::default, |mut a, b| {
-                a += b;
-                a
+        let counts_total: WorkCounts =
+            cache.telemetry.clone().wall_span(0, "local traversal", None, || {
+                per_partition
+                    .par_iter_mut()
+                    .map(|(_, buckets)| traverse_local(cache, visitor, kind, buckets))
+                    .reduce(WorkCounts::default, |mut a, b| {
+                        a += b;
+                        a
+                    })
             });
 
         // Write-back: bucket particle copies return to the master array;
@@ -256,6 +285,8 @@ impl<D: Data> Step<D> {
 pub struct Framework<D: Data> {
     /// Run configuration.
     pub config: Configuration,
+    /// Span sink (wall clock); the default disabled handle costs nothing.
+    pub telemetry: Telemetry,
     master: Vec<Particle>,
     _marker: std::marker::PhantomData<D>,
 }
@@ -263,7 +294,18 @@ pub struct Framework<D: Data> {
 impl<D: Data> Framework<D> {
     /// A framework over `particles` with `config`.
     pub fn new(config: Configuration, particles: Vec<Particle>) -> Framework<D> {
-        Framework { config, master: particles, _marker: std::marker::PhantomData }
+        Framework {
+            config,
+            telemetry: Telemetry::disabled(),
+            master: particles,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Attaches a telemetry handle recording wall-clock phase spans.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Current particle state.
@@ -282,7 +324,7 @@ impl<D: Data> Framework<D> {
     /// result and the step report.
     pub fn step<R>(&mut self, f: impl FnOnce(&mut Step<D>) -> R) -> (R, StepReport) {
         let particles = std::mem::take(&mut self.master);
-        let mut step = Step::build(&self.config, particles);
+        let mut step = Step::build(&self.config, &self.telemetry, particles);
         let r = f(&mut step);
         self.master = step.master;
         (r, step.report)

@@ -35,6 +35,7 @@ use paratreet_cache::stats::CacheStatsSnapshot;
 use paratreet_cache::{CacheTree, NodeHandle, RequestOutcome, SubtreeSummary};
 use paratreet_geometry::{BoundingBox, NodeKey};
 use paratreet_particles::Particle;
+use paratreet_telemetry::{MetricsRegistry, Telemetry};
 use paratreet_tree::TreeBuilder;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -110,6 +111,9 @@ pub struct ThreadedReport {
     pub cache: CacheStatsSnapshot,
     /// Number of fills that crossed rank boundaries.
     pub remote_fills: u64,
+    /// Every statistic above under a stable dotted name, plus the
+    /// measured wall time of the iteration.
+    pub metrics: MetricsRegistry,
 }
 
 /// The real-threads engine. See module docs.
@@ -120,6 +124,10 @@ pub struct ThreadedEngine<'v, V: Visitor> {
     pub n_ranks: usize,
     /// Worker threads per rank (in addition to the message pump).
     pub workers_per_rank: usize,
+    /// Span/counter sink (wall clock). An enabled handle records setup
+    /// phases, every partition run, and — through the per-rank caches —
+    /// fill serving and cache insertion, one track per real thread.
+    pub telemetry: Telemetry,
     visitor: &'v V,
 }
 
@@ -135,14 +143,23 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
             config,
             n_ranks: n_ranks.max(1),
             workers_per_rank: workers_per_rank.max(1),
+            telemetry: Telemetry::disabled(),
             visitor,
         }
+    }
+
+    /// Attaches a telemetry handle (use [`Telemetry::wall`], sized to
+    /// `n_ranks × (workers_per_rank + 1)` threads).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Runs one full iteration: decompose, build, exchange, traverse —
     /// with fetches and fills crossing real channels between real
     /// threads. `kind` must not be [`TraversalKind::DualTree`].
     pub fn run_iteration(&self, particles: Vec<Particle>, kind: TraversalKind) -> ThreadedReport {
+        let started = std::time::Instant::now();
         let ranks = self.n_ranks;
         let mut config = self.config.clone();
         config.n_subtrees = config.n_subtrees.max(ranks * 4);
@@ -150,26 +167,30 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
 
         // ---- Decompose and build (centrally; the builds themselves are
         // rayon-parallel inside TreeBuilder) ----
-        let decomp = decompose(particles, &config);
+        let decomp =
+            self.telemetry.wall_span(0, "decomposition", None, || decompose(particles, &config));
         let n_subtrees = decomp.subtrees.len();
         let subtree_rank = |si: usize| -> u32 { (si * ranks / n_subtrees) as u32 };
         let n_partitions = decomp.n_partitions.max(1);
         let partition_rank = |pi: usize| -> u32 { (pi * ranks / n_partitions) as u32 };
 
-        let trees: Vec<(u32, paratreet_tree::BuiltTree<V::Data>)> = decomp
-            .subtrees
-            .into_iter()
-            .enumerate()
-            .map(|(si, piece)| {
-                let builder = TreeBuilder {
-                    root_key: piece.key,
-                    root_depth: piece.depth,
-                    ..TreeBuilder::new(config.tree_type)
-                }
-                .bucket_size(config.bucket_size);
-                (subtree_rank(si), builder.build::<V::Data>(piece.particles, piece.bbox))
-            })
-            .collect();
+        let trees: Vec<(u32, paratreet_tree::BuiltTree<V::Data>)> =
+            self.telemetry.wall_span(0, "tree build", None, || {
+                decomp
+                    .subtrees
+                    .into_iter()
+                    .enumerate()
+                    .map(|(si, piece)| {
+                        let builder = TreeBuilder {
+                            root_key: piece.key,
+                            root_depth: piece.depth,
+                            ..TreeBuilder::new(config.tree_type)
+                        }
+                        .bucket_size(config.bucket_size);
+                        (subtree_rank(si), builder.build::<V::Data>(piece.particles, piece.bbox))
+                    })
+                    .collect()
+            });
         let summaries: Vec<SubtreeSummary<V::Data>> = trees
             .iter()
             .map(|(rank, t)| SubtreeSummary {
@@ -220,7 +241,8 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
             .into_iter()
             .enumerate()
             .map(|(r, local)| {
-                let cache = CacheTree::new(r as u32, bits);
+                let mut cache = CacheTree::new(r as u32, bits);
+                cache.telemetry = self.telemetry.clone();
                 cache.init(&summaries, local);
                 cache
             })
@@ -355,7 +377,14 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
                                 Task::Stop => break,
                                 Task::InsertFill(bytes) => handle_fill(&shared, &bytes),
                                 Task::RunPartition(ps) => {
-                                    if let Some(done) = run_partition(&shared, visitor, kind, ps) {
+                                    let part = ps.id as u64;
+                                    let done = shared.cache.telemetry.wall_span(
+                                        shared.rank,
+                                        "local traversal",
+                                        Some(part),
+                                        || run_partition(&shared, visitor, kind, ps),
+                                    );
+                                    if let Some(done) = done {
                                         collected.lock().push(done);
                                         shared.remaining.fetch_sub(1, Ordering::AcqRel);
                                     }
@@ -403,12 +432,13 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
                 }
             }
         }
-        ThreadedReport {
-            particles: master,
-            counts,
-            cache: cache_stats,
-            remote_fills: remote_fills.load(Ordering::Relaxed) as u64,
-        }
+        let remote_fills = remote_fills.load(Ordering::Relaxed) as u64;
+        let mut metrics = MetricsRegistry::new();
+        metrics.absorb("cache", &cache_stats);
+        metrics.absorb("counts", &counts);
+        metrics.set_u64("net.remote_fills", remote_fills);
+        metrics.set_f64("time.iteration_s", started.elapsed().as_secs_f64());
+        ThreadedReport { particles: master, counts, cache: cache_stats, remote_fills, metrics }
     }
 }
 

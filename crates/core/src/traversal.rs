@@ -20,6 +20,8 @@ use crate::config::TraversalKind;
 use crate::visitor::{SpatialNodeView, TargetBucket, Visitor};
 use paratreet_cache::{CacheTree, NodeHandle, NodeKind};
 use paratreet_geometry::NodeKey;
+use paratreet_telemetry::{MetricSource, MetricsRegistry};
+use serde::Serialize;
 use std::ops::AddAssign;
 
 /// A (source, target) node pair on the dual-tree work stack.
@@ -54,7 +56,7 @@ impl CacheModel {
 /// Interaction counters for one traversal. These are exact algorithmic
 /// quantities (identical across executors), and double as the cost basis
 /// for the virtual-time machine model.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct WorkCounts {
     /// Tree nodes visited (work items processed).
     pub nodes_visited: u64,
@@ -76,12 +78,28 @@ impl AddAssign for WorkCounts {
 }
 
 /// Per-traversal statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, Serialize)]
 pub struct TraversalStats {
     /// Interaction counters.
     pub counts: WorkCounts,
     /// Placeholder hits that required a fetch.
     pub fetches: u64,
+}
+
+impl MetricSource for WorkCounts {
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_u64(format!("{prefix}.nodes_visited"), self.nodes_visited);
+        registry.set_u64(format!("{prefix}.opens"), self.opens);
+        registry.set_u64(format!("{prefix}.node_interactions"), self.node_interactions);
+        registry.set_u64(format!("{prefix}.leaf_interactions"), self.leaf_interactions);
+    }
+}
+
+impl MetricSource for TraversalStats {
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        self.counts.register_metrics(prefix, registry);
+        registry.set_u64(format!("{prefix}.fetches"), self.fetches);
+    }
 }
 
 /// A tree node plus the target buckets still interested in it.

@@ -7,6 +7,7 @@
 //! *Projections* timeline shows.
 
 use crate::phase::{Phase, N_PHASES};
+use paratreet_telemetry::{MetricSource, MetricsRegistry};
 
 /// One busy interval of one worker.
 #[derive(Clone, Copy, Debug)]
@@ -65,13 +66,17 @@ impl Ledger {
     /// slice reports busy worker-seconds per phase divided by slice
     /// capacity (`slice_width × n_workers`), so a fully busy machine
     /// sums to 1.0 across phases.
+    ///
+    /// Degenerate inputs — an empty ledger, `bins == 0`, or
+    /// `n_workers == 0` — yield an empty profile: there is no horizon to
+    /// slice or no capacity to divide by, and a frame of fabricated
+    /// zero rows would plot as a real (idle) timeline.
     pub fn profile(&self, bins: usize, n_workers: usize) -> Vec<[f64; N_PHASES]> {
-        assert!(bins > 0);
         let horizon = self.horizon();
-        let mut out = vec![[0.0; N_PHASES]; bins];
-        if horizon == 0.0 || n_workers == 0 {
-            return out;
+        if bins == 0 || n_workers == 0 || self.intervals.is_empty() || horizon == 0.0 {
+            return Vec::new();
         }
+        let mut out = vec![[0.0; N_PHASES]; bins];
         let width = horizon / bins as f64;
         let capacity = width * n_workers as f64;
         for iv in &self.intervals {
@@ -87,6 +92,19 @@ impl Ledger {
             }
         }
         out
+    }
+}
+
+impl MetricSource for Ledger {
+    /// Registers per-phase busy seconds as `{prefix}.<phase_label>`
+    /// (labels snake_cased) plus `{prefix}.total`.
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        let busy = self.busy_per_phase();
+        for phase in Phase::ALL {
+            let label = phase.label().replace(' ', "_");
+            registry.set_f64(format!("{prefix}.{label}"), busy[phase.index()]);
+        }
+        registry.set_f64(format!("{prefix}.total"), self.total_busy());
     }
 }
 
@@ -134,10 +152,23 @@ mod tests {
     }
 
     #[test]
-    fn empty_ledger_is_flat() {
+    fn empty_ledger_has_empty_profile() {
         let l = Ledger::new();
         assert_eq!(l.horizon(), 0.0);
-        let prof = l.profile(3, 4);
-        assert!(prof.iter().all(|b| b.iter().all(|&v| v == 0.0)));
+        assert!(l.profile(3, 4).is_empty());
+    }
+
+    #[test]
+    fn zero_bins_has_empty_profile() {
+        let mut l = Ledger::new();
+        l.record(0.0, 1.0, Phase::TreeBuild);
+        assert!(l.profile(0, 4).is_empty());
+    }
+
+    #[test]
+    fn zero_workers_has_empty_profile() {
+        let mut l = Ledger::new();
+        l.record(0.0, 1.0, Phase::TreeBuild);
+        assert!(l.profile(3, 0).is_empty());
     }
 }

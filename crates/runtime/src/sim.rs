@@ -22,6 +22,8 @@
 use crate::ledger::Ledger;
 use crate::machine::MachineSpec;
 use crate::phase::Phase;
+use paratreet_telemetry::{MetricSource, MetricsRegistry, Telemetry, Track};
+use serde::Serialize;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -54,12 +56,19 @@ impl<P> Ord for Scheduled<P> {
 }
 
 /// Communication counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
 pub struct CommStats {
     /// Messages sent.
     pub messages: u64,
     /// Payload bytes sent.
     pub bytes: u64,
+}
+
+impl MetricSource for CommStats {
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_u64(format!("{prefix}.messages"), self.messages);
+        registry.set_u64(format!("{prefix}.bytes"), self.bytes);
+    }
 }
 
 /// The simulator. `P` is the engine's event payload type.
@@ -79,6 +88,10 @@ pub struct Sim<P> {
     pub ledger: Ledger,
     /// Communication accounting.
     pub comm: CommStats,
+    /// Span sink. Every task the simulator schedules becomes one span on
+    /// the `(rank, worker)` track it ran on, stamped in *virtual*
+    /// microseconds — a disabled handle (the default) records nothing.
+    pub telemetry: Telemetry,
     compute_scale: f64,
 }
 
@@ -98,6 +111,7 @@ impl<P> Sim<P> {
             resource_free: HashMap::new(),
             ledger: Ledger::new(),
             comm: CommStats::default(),
+            telemetry: Telemetry::disabled(),
             compute_scale,
         }
     }
@@ -174,6 +188,14 @@ impl<P> Sim<P> {
         let end = start + cost;
         self.worker_free[w] = end;
         self.ledger.record(start, end, phase);
+        let local = (w - rank as usize * self.machine.workers_per_rank) as u32;
+        self.telemetry.span_at(
+            Track { rank, worker: local },
+            phase.label(),
+            start * 1e6,
+            (end - start) * 1e6,
+            None,
+        );
         self.push(end, payload);
     }
 
@@ -306,7 +328,7 @@ pub enum FaultAction {
 }
 
 /// Counts of injected faults, for reports.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
 pub struct FaultStats {
     /// Messages dropped.
     pub dropped: u64,
@@ -314,6 +336,14 @@ pub struct FaultStats {
     pub duplicated: u64,
     /// Messages delayed.
     pub delayed: u64,
+}
+
+impl MetricSource for FaultStats {
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_u64(format!("{prefix}.dropped"), self.dropped);
+        registry.set_u64(format!("{prefix}.duplicated"), self.duplicated);
+        registry.set_u64(format!("{prefix}.delayed"), self.delayed);
+    }
 }
 
 /// The seeded decision stream. One [`FaultInjector::decide`] call per

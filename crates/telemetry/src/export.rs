@@ -1,0 +1,50 @@
+//! File exporters behind the `--trace-out` / `--metrics-out` flags.
+
+use crate::chrome::chrome_trace_json;
+use crate::metrics::MetricsRegistry;
+use crate::span::Trace;
+use std::io;
+use std::path::Path;
+
+/// Writes a trace as Chrome trace-event JSON (open in Perfetto or
+/// chrome://tracing).
+pub fn write_chrome_trace(path: impl AsRef<Path>, trace: &Trace) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json(trace))
+}
+
+/// Writes a metrics dump; `.csv` paths get `metric,value` rows, every
+/// other extension a flat JSON object.
+pub fn write_metrics(path: impl AsRef<Path>, metrics: &MetricsRegistry) -> io::Result<()> {
+    let path = path.as_ref();
+    let csv = path.extension().is_some_and(|e| e.eq_ignore_ascii_case("csv"));
+    let body = if csv { metrics.to_csv() } else { format!("{}\n", metrics.to_json()) };
+    std::fs::write(path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::validate_chrome_trace;
+
+    #[test]
+    fn writes_both_formats() {
+        let dir = std::env::temp_dir().join(format!("ptt-export-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut m = MetricsRegistry::new();
+        m.set_u64("n", 3);
+
+        let json_path = dir.join("m.json");
+        write_metrics(&json_path, &m).unwrap();
+        assert_eq!(std::fs::read_to_string(&json_path).unwrap(), "{\"n\":3}\n");
+
+        let csv_path = dir.join("m.csv");
+        write_metrics(&csv_path, &m).unwrap();
+        assert!(std::fs::read_to_string(&csv_path).unwrap().contains("n,3"));
+
+        let trace_path = dir.join("t.json");
+        write_chrome_trace(&trace_path, &Trace::default()).unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(validate_chrome_trace(&text).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,219 @@
+//! Projections-style telemetry for the ParaTreeT reproduction.
+//!
+//! The paper's whole performance story (Fig. 3 cache models, the Fig. 9
+//! time profile, the scaling figures) was read off Charm++ *Projections*
+//! timelines. This crate is the unified layer that lets every engine in
+//! the workspace produce the same artifacts:
+//!
+//! * [`Telemetry`] — the cheap cloneable handle engines carry. Enabled,
+//!   it records spans and counts into a [`recorder::ShardedRecorder`]
+//!   (one buffer per worker, atomic-swap drain — the same wait-free
+//!   discipline as the software cache). Disabled, every call is an
+//!   inlined branch on a `None`; with the `recorder` cargo feature off,
+//!   the handle is a zero-sized struct and calls compile to nothing.
+//! * [`MetricsRegistry`] — named counters/gauges that absorb the
+//!   workspace's stats structs ([`MetricSource`]), so reports are
+//!   queried by metric name instead of hand-plumbed fields.
+//! * [`chrome`] — Chrome trace-event JSON export (loadable in Perfetto
+//!   or chrome://tracing: one track per worker per rank) plus a schema
+//!   validator; [`export`] writes traces and metric dumps to files.
+//!
+//! Clock domains: the discrete-event engine stamps spans in *virtual*
+//! microseconds (deterministic — same seed, byte-identical trace); the
+//! threaded executor and shared-memory framework stamp *wall* time.
+
+pub mod chrome;
+pub mod export;
+pub mod json;
+pub mod metrics;
+#[cfg(feature = "recorder")]
+pub mod recorder;
+pub mod span;
+
+pub use chrome::{chrome_trace_json, validate_chrome_trace};
+pub use json::Json;
+pub use metrics::{MetricSource, MetricValue, MetricsRegistry};
+pub use span::{ClockDomain, Span, Trace, Track};
+
+#[cfg(feature = "recorder")]
+use recorder::{Recorder, ShardedRecorder};
+#[cfg(feature = "recorder")]
+use std::sync::Arc;
+
+/// The handle instrumented code holds. Cloning is cheap (an `Arc` when
+/// enabled, nothing otherwise); the disabled handle makes every method
+/// a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    #[cfg(feature = "recorder")]
+    inner: Option<Arc<ShardedRecorder>>,
+}
+
+impl Telemetry {
+    /// A disabled handle: records nothing, costs (almost) nothing.
+    pub fn disabled() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// An enabled handle stamping virtual-time spans (the DES engine).
+    /// Callers supply explicit timestamps through [`Telemetry::span_at`].
+    #[cfg(feature = "recorder")]
+    pub fn virtual_time(n_shards: usize) -> Telemetry {
+        Telemetry { inner: Some(Arc::new(ShardedRecorder::new(n_shards, ClockDomain::Virtual))) }
+    }
+
+    /// See the enabled variant; without the `recorder` feature this
+    /// returns a disabled handle.
+    #[cfg(not(feature = "recorder"))]
+    pub fn virtual_time(_n_shards: usize) -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// An enabled handle stamping wall-clock spans (threaded executor,
+    /// shared-memory framework). `n_shards` should be sized to the
+    /// expected thread count; undersizing is safe, just more contended.
+    #[cfg(feature = "recorder")]
+    pub fn wall(n_shards: usize) -> Telemetry {
+        Telemetry { inner: Some(Arc::new(ShardedRecorder::new(n_shards, ClockDomain::Wall))) }
+    }
+
+    /// See the enabled variant; without the `recorder` feature this
+    /// returns a disabled handle.
+    #[cfg(not(feature = "recorder"))]
+    pub fn wall(_n_shards: usize) -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Whether spans are actually being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "recorder")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "recorder"))]
+        {
+            false
+        }
+    }
+
+    /// Records a completed span with explicit timestamps (microseconds
+    /// in the recorder's clock domain). This is the DES path: the engine
+    /// knows virtual start/duration exactly.
+    #[inline]
+    pub fn span_at(
+        &self,
+        track: Track,
+        name: &'static str,
+        start_us: f64,
+        dur_us: f64,
+        key: Option<u64>,
+    ) {
+        #[cfg(feature = "recorder")]
+        if let Some(r) = &self.inner {
+            r.record_span(Span { track, name, start_us, dur_us, key });
+        }
+        #[cfg(not(feature = "recorder"))]
+        {
+            let _ = (track, name, start_us, dur_us, key);
+        }
+    }
+
+    /// Runs `f`, recording a wall-clock span around it on the calling
+    /// thread's track (`tid` = the thread's recorder id). This is the
+    /// real-threads path: the executor and the cache don't know virtual
+    /// time, they measure it.
+    #[inline]
+    pub fn wall_span<R>(
+        &self,
+        rank: u32,
+        name: &'static str,
+        key: Option<u64>,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        #[cfg(feature = "recorder")]
+        if let Some(r) = &self.inner {
+            let start_us = r.now_us();
+            let out = f();
+            let dur_us = r.now_us() - start_us;
+            let track = Track { rank, worker: r.thread_slot() as u32 };
+            r.record_span(Span { track, name, start_us, dur_us, key });
+            return out;
+        }
+        #[cfg(not(feature = "recorder"))]
+        {
+            let _ = (rank, name, key);
+        }
+        f()
+    }
+
+    /// Adds `delta` to a named counter (merged across shards at drain).
+    #[inline]
+    pub fn count(&self, name: &'static str, delta: u64) {
+        #[cfg(feature = "recorder")]
+        if let Some(r) = &self.inner {
+            r.add_count(name, delta);
+        }
+        #[cfg(not(feature = "recorder"))]
+        {
+            let _ = (name, delta);
+        }
+    }
+
+    /// Takes everything recorded so far. Returns an empty trace on a
+    /// disabled handle.
+    pub fn drain(&self) -> Trace {
+        #[cfg(feature = "recorder")]
+        if let Some(r) = &self.inner {
+            return r.drain();
+        }
+        Trace::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.span_at(Track { rank: 0, worker: 0 }, "x", 0.0, 1.0, None);
+        t.count("c", 5);
+        let out = t.wall_span(0, "y", None, || 42);
+        assert_eq!(out, 42);
+        let trace = t.drain();
+        assert!(trace.spans.is_empty() && trace.counters.is_empty());
+    }
+
+    #[cfg(feature = "recorder")]
+    #[test]
+    fn enabled_handle_records() {
+        let t = Telemetry::virtual_time(2);
+        t.span_at(Track { rank: 1, worker: 0 }, "build", 10.0, 5.0, Some(7));
+        t.count("fills", 2);
+        assert!(t.is_enabled());
+        let trace = t.drain();
+        assert_eq!(trace.clock, ClockDomain::Virtual);
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "build");
+        assert_eq!(trace.counters["fills"], 2);
+    }
+
+    #[cfg(feature = "recorder")]
+    #[test]
+    fn wall_span_measures_and_returns() {
+        let t = Telemetry::wall(1);
+        let out = t.wall_span(3, "work", None, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            "done"
+        });
+        assert_eq!(out, "done");
+        let trace = t.drain();
+        assert_eq!(trace.clock, ClockDomain::Wall);
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].track.rank, 3);
+        assert!(trace.spans[0].dur_us >= 1000.0, "slept ≥2ms");
+    }
+}

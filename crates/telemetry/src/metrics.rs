@@ -1,0 +1,193 @@
+//! The metrics registry: named counters and gauges with JSON/CSV dumps.
+//!
+//! Engines accumulate into a registry during a run and reports carry it
+//! out, so harnesses query metrics by name instead of hand-plumbing one
+//! struct field per statistic. Stats structs (cache, comm, faults,
+//! traversal counts) implement [`MetricSource`] to register themselves
+//! under a prefix.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// A single metric value: integer counters or float gauges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic count.
+    U64(u64),
+    /// A measured quantity (seconds, fractions).
+    F64(f64),
+}
+
+impl MetricValue {
+    /// The value as a float (counters widen losslessly up to 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            MetricValue::U64(u) => u as f64,
+            MetricValue::F64(f) => f,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        match self {
+            MetricValue::U64(u) => Json::U64(u),
+            MetricValue::F64(f) => Json::F64(f),
+        }
+    }
+}
+
+/// Named metrics, sorted by name (deterministic iteration and output).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Sets a counter to an absolute value.
+    pub fn set_u64(&mut self, name: impl Into<String>, value: u64) {
+        self.values.insert(name.into(), MetricValue::U64(value));
+    }
+
+    /// Sets a gauge.
+    pub fn set_f64(&mut self, name: impl Into<String>, value: f64) {
+        self.values.insert(name.into(), MetricValue::F64(value));
+    }
+
+    /// Adds to a counter, creating it at zero.
+    pub fn add_u64(&mut self, name: &str, delta: u64) {
+        match self.values.get_mut(name) {
+            Some(MetricValue::U64(u)) => *u += delta,
+            Some(MetricValue::F64(f)) => *f += delta as f64,
+            None => {
+                self.values.insert(name.to_string(), MetricValue::U64(delta));
+            }
+        }
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn get_u64(&self, name: &str) -> u64 {
+        match self.values.get(name) {
+            Some(MetricValue::U64(u)) => *u,
+            Some(MetricValue::F64(f)) => *f as u64,
+            None => 0,
+        }
+    }
+
+    /// Reads a gauge (0.0 when absent).
+    pub fn get_f64(&self, name: &str) -> f64 {
+        self.values.get(name).map(|v| v.as_f64()).unwrap_or(0.0)
+    }
+
+    /// Whether a metric exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// All metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, MetricValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Absorbs a stats struct under `prefix` (e.g. `"cache"`).
+    pub fn absorb(&mut self, prefix: &str, source: &impl MetricSource) {
+        source.register_metrics(prefix, self);
+    }
+
+    /// Merges another registry: counters add, gauges overwrite.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in other.iter() {
+            match value {
+                MetricValue::U64(u) => self.add_u64(name, u),
+                MetricValue::F64(f) => self.set_f64(name, f),
+            }
+        }
+    }
+
+    /// One flat JSON object, keys sorted.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, value) in self.iter() {
+            obj.push(name, value.to_json());
+        }
+        obj
+    }
+
+    /// `metric,value` CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (name, value) in self.iter() {
+            match value {
+                MetricValue::U64(u) => out.push_str(&format!("{name},{u}\n")),
+                MetricValue::F64(f) => out.push_str(&format!("{name},{f}\n")),
+            }
+        }
+        out
+    }
+}
+
+/// Implemented by stats structs so they can be absorbed into a registry
+/// under a caller-chosen prefix (`prefix.field` naming).
+pub trait MetricSource {
+    /// Registers every field as `{prefix}.{field}`.
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Demo {
+        hits: u64,
+    }
+    impl MetricSource for Demo {
+        fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+            registry.set_u64(format!("{prefix}.hits"), self.hits);
+        }
+    }
+
+    #[test]
+    fn set_add_get() {
+        let mut r = MetricsRegistry::new();
+        r.add_u64("a", 2);
+        r.add_u64("a", 3);
+        r.set_f64("b", 0.5);
+        assert_eq!(r.get_u64("a"), 5);
+        assert_eq!(r.get_f64("b"), 0.5);
+        assert_eq!(r.get_u64("missing"), 0);
+    }
+
+    #[test]
+    fn absorb_and_dump() {
+        let mut r = MetricsRegistry::new();
+        r.absorb("cache", &Demo { hits: 9 });
+        r.set_f64("time.total_s", 1.25);
+        assert_eq!(r.to_json().to_string(), r#"{"cache.hits":9,"time.total_s":1.25}"#);
+        assert_eq!(r.to_csv(), "metric,value\ncache.hits,9\ntime.total_s,1.25\n");
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = MetricsRegistry::new();
+        a.set_u64("n", 1);
+        let mut b = MetricsRegistry::new();
+        b.set_u64("n", 2);
+        b.set_f64("g", 3.0);
+        a.merge(&b);
+        assert_eq!(a.get_u64("n"), 3);
+        assert_eq!(a.get_f64("g"), 3.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! The trace data model: tracks, spans, counters, clock domains.
+
+use std::collections::BTreeMap;
+
+/// Which clock a trace's timestamps come from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// Simulated seconds from the discrete-event machine model,
+    /// converted to microseconds. Deterministic: the same seed produces
+    /// the same timestamps bit-for-bit.
+    #[default]
+    Virtual,
+    /// Wall-clock microseconds since the recorder was created (the
+    /// threaded executor and the shared-memory framework).
+    Wall,
+}
+
+impl ClockDomain {
+    /// Label used in trace metadata.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClockDomain::Virtual => "virtual",
+            ClockDomain::Wall => "wall",
+        }
+    }
+}
+
+/// One timeline in the trace: a (rank, worker) pair. Exported as
+/// Chrome's `pid`/`tid`, so Perfetto shows one track per worker grouped
+/// by rank — the paper's Projections view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track {
+    /// Rank (process) id → `pid`.
+    pub rank: u32,
+    /// Worker (thread) id within the rank → `tid`.
+    pub worker: u32,
+}
+
+/// One completed span: a named busy interval on one track, optionally
+/// carrying a key attribute (node key, partition id).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Span {
+    /// The timeline this span belongs to.
+    pub track: Track,
+    /// Phase/operation name (static: phase labels, operation names).
+    pub name: &'static str,
+    /// Start time in microseconds of the trace's clock domain.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Optional attribute: the node key or partition a span worked on.
+    pub key: Option<u64>,
+}
+
+/// Everything one recorder captured: spans plus merged counter totals.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// The clock the timestamps were taken on.
+    pub clock: ClockDomain,
+    /// All recorded spans (drain order; sort before exporting).
+    pub spans: Vec<Span>,
+    /// Counter totals, merged across shards.
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl Trace {
+    /// Sorts spans into the canonical export order: by start time, then
+    /// track, then name — a total order, so identical span sets always
+    /// serialise identically.
+    pub fn sort(&mut self) {
+        self.spans.sort_by(|a, b| {
+            a.start_us
+                .total_cmp(&b.start_us)
+                .then_with(|| a.track.cmp(&b.track))
+                .then_with(|| a.name.cmp(b.name))
+                .then_with(|| a.dur_us.total_cmp(&b.dur_us))
+        });
+    }
+
+    /// The distinct tracks present, sorted.
+    pub fn tracks(&self) -> Vec<Track> {
+        let mut tracks: Vec<Track> = self.spans.iter().map(|s| s.track).collect();
+        tracks.sort();
+        tracks.dedup();
+        tracks
+    }
+}

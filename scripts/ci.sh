@@ -15,7 +15,14 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== cargo build --workspace --no-default-features (telemetry off) =="
+cargo build --workspace --no-default-features
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
+
+echo "== fig9 smoke (--json) =="
+cargo run --release -q -p paratreet-bench --bin fig9_time_profile -- \
+    --particles 2000 --procs 2 --bins 8 --json true > /dev/null
 
 echo "CI green."

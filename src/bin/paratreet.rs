@@ -22,6 +22,7 @@ use paratreet_geometry::Vec3;
 use paratreet_particles::gen::{self, DiskParams};
 use paratreet_particles::{io, Particle};
 use paratreet_runtime::{FaultConfig, FaultStats, MachineSpec};
+use paratreet_telemetry::{export, MetricsRegistry, Telemetry};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -69,6 +70,10 @@ FAULT INJECTION (machine engine only; seeded, deterministic):
 OUTPUT:
   --output FILE        write final .ptrt snapshot
   --csv FILE           write final state as CSV
+  --trace-out FILE     write a Chrome trace of the run (open at
+                       ui.perfetto.dev; one track per rank/worker)
+  --metrics-out FILE   dump the metrics registry (.csv extension
+                       selects CSV, anything else JSON)
 ";
 
 fn parse_args() -> (String, HashMap<String, String>) {
@@ -252,6 +257,59 @@ fn fault_config(opts: &HashMap<String, String>) -> Option<FaultConfig> {
     })
 }
 
+/// The telemetry handle for a run: enabled when `--trace-out` was
+/// given (virtual clock for the machine engine, wall clock otherwise),
+/// disabled — and therefore free — when it wasn't.
+fn telemetry_for(opts: &HashMap<String, String>, virtual_clock: bool, shards: usize) -> Telemetry {
+    if !opts.contains_key("trace-out") {
+        return Telemetry::disabled();
+    }
+    let t = if virtual_clock { Telemetry::virtual_time(shards) } else { Telemetry::wall(shards) };
+    if !t.is_enabled() {
+        eprintln!(
+            "warning: --trace-out given but the telemetry feature is compiled out; \
+             the trace will be empty (rebuild without --no-default-features)"
+        );
+    }
+    t
+}
+
+/// Drains `telemetry` into `--trace-out` and dumps `metrics` to
+/// `--metrics-out`, when the respective flag was given.
+fn write_telemetry(
+    opts: &HashMap<String, String>,
+    telemetry: &Telemetry,
+    metrics: Option<&MetricsRegistry>,
+) {
+    if let Some(path) = opts.get("trace-out") {
+        match export::write_chrome_trace(path, &telemetry.drain()) {
+            Ok(()) => println!("wrote Chrome trace to {path} (load at ui.perfetto.dev)"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+    if let Some(path) = opts.get("metrics-out") {
+        let Some(metrics) = metrics else {
+            eprintln!("--metrics-out is not supported for this app/engine combination");
+            exit(2);
+        };
+        match export::write_metrics(path, metrics) {
+            Ok(()) => println!("wrote metrics to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
+/// Wall-clock shard count for engines running on OS threads.
+fn wall_shards(extra_threads: usize) -> usize {
+    extra_threads + std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8) + 1
+}
+
 fn run_gravity(opts: &HashMap<String, String>) {
     let mut particles = load_particles("gravity", opts);
     for p in &mut particles {
@@ -268,10 +326,13 @@ fn run_gravity(opts: &HashMap<String, String>) {
 
     match engine.as_str() {
         "shared" => {
-            let mut fw: Framework<CentroidData> = Framework::new(config, particles);
+            let telemetry = telemetry_for(opts, false, wall_shards(0));
+            let mut fw: Framework<CentroidData> =
+                Framework::new(config, particles).with_telemetry(telemetry.clone());
             fw.step(|s| {
                 s.traverse(&visitor, kind);
             });
+            let mut last_metrics = MetricsRegistry::new();
             for step in 0..iterations {
                 for p in fw.particles_mut().iter_mut() {
                     p.vel += p.acc * (0.5 * dt);
@@ -291,29 +352,36 @@ fn run_gravity(opts: &HashMap<String, String>) {
                     report.counts.node_interactions,
                     report.seconds_traverse * 1e3
                 );
+                last_metrics = report.metrics();
             }
+            write_telemetry(opts, &telemetry, Some(&last_metrics));
             write_outputs(opts, fw.particles());
         }
         "threaded" => {
             let ranks = get(opts, "ranks", 2usize);
             let workers = get(opts, "workers", 2usize);
-            let eng = ThreadedEngine::new(config, ranks, workers, &visitor);
+            let telemetry = telemetry_for(opts, false, wall_shards(ranks * workers + ranks));
+            let eng = ThreadedEngine::new(config, ranks, workers, &visitor)
+                .with_telemetry(telemetry.clone());
             let rep = eng.run_iteration(particles, kind);
             println!(
                 "threaded ({ranks}x{workers}): {} pp interactions, {} remote fills, {} fetches",
                 rep.counts.leaf_interactions, rep.remote_fills, rep.cache.requests_sent
             );
+            write_telemetry(opts, &telemetry, Some(&rep.metrics));
             write_outputs(opts, &rep.particles);
         }
         "machine" => {
             let ranks = get(opts, "ranks", 2usize);
+            let telemetry = telemetry_for(opts, true, 1);
             let mut eng = DistributedEngine::new(
                 MachineSpec::stampede2(ranks),
                 config,
                 CacheModel::WaitFree,
                 kind,
                 &visitor,
-            );
+            )
+            .with_telemetry(telemetry.clone());
             if let Some(f) = fault_config(opts) {
                 eng = eng.with_faults(f);
             }
@@ -334,6 +402,7 @@ fn run_gravity(opts: &HashMap<String, String>) {
                     rep.fill_errors
                 );
             }
+            write_telemetry(opts, &telemetry, Some(&rep.metrics));
             write_outputs(opts, &rep.particles);
         }
         other => {
@@ -347,9 +416,12 @@ fn run_sph(opts: &HashMap<String, String>) {
     let particles = load_particles("sph", opts);
     let config = configuration(opts);
     let iterations = config.iterations;
+    let telemetry = telemetry_for(opts, false, wall_shards(0));
     let mut fw = sph_framework(config, particles);
+    fw.telemetry = telemetry.clone();
     let sph = SphSimulation { k: get(opts, "k", 32usize), ..Default::default() };
     let dt = get(opts, "dt", 1e-3);
+    let mut metrics = MetricsRegistry::new();
     for step in 0..iterations {
         for p in fw.particles_mut().iter_mut() {
             p.acc = Vec3::ZERO;
@@ -363,7 +435,11 @@ fn run_sph(opts: &HashMap<String, String>) {
             "step {step}: mean density {:.4}, {} neighbour entries",
             stats.mean_density, stats.neighbor_entries
         );
+        metrics.set_f64("sph.mean_density", stats.mean_density);
+        metrics.set_u64("sph.neighbor_entries", stats.neighbor_entries as u64);
+        metrics.set_u64("sph.steps", (step + 1) as u64);
     }
+    write_telemetry(opts, &telemetry, Some(&metrics));
     write_outputs(opts, fw.particles());
 }
 
@@ -379,7 +455,9 @@ fn run_disk(opts: &HashMap<String, String>) {
     let iterations = config.iterations;
     let star_mass = particles.first().map(|p| p.mass).unwrap_or(1.0);
     let dt = get(opts, "dt", orbital_period(2.0, star_mass) / 50.0);
+    let telemetry = telemetry_for(opts, false, wall_shards(0));
     let mut sim = DiskSimulation::new(config, particles, dt);
+    sim.framework.telemetry = telemetry.clone();
     for step in 0..iterations {
         let events = sim.step();
         if !events.is_empty() {
@@ -391,6 +469,11 @@ fn run_disk(opts: &HashMap<String, String>) {
         sim.events.len(),
         sim.framework.particles().len()
     );
+    let mut metrics = MetricsRegistry::new();
+    metrics.set_u64("disk.collisions", sim.events.len() as u64);
+    metrics.set_u64("disk.steps", iterations as u64);
+    metrics.set_u64("disk.bodies_remaining", sim.framework.particles().len() as u64);
+    write_telemetry(opts, &telemetry, Some(&metrics));
     write_outputs(opts, sim.framework.particles());
 }
 

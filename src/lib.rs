@@ -14,4 +14,5 @@ pub use paratreet_cachesim as cachesim;
 pub use paratreet_geometry as geometry;
 pub use paratreet_particles as particles;
 pub use paratreet_runtime as runtime;
+pub use paratreet_telemetry as telemetry;
 pub use paratreet_tree as tree;
