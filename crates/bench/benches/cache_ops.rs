@@ -8,18 +8,18 @@ use paratreet_cache::{CacheTree, SubtreeSummary, XWriteCache};
 use paratreet_geometry::NodeKey;
 use paratreet_particles::{gen, ParticleVec};
 use paratreet_telemetry::Telemetry;
-use paratreet_tree::{TreeBuilder, TreeType};
+use paratreet_tree::{BuiltTree, TreeBuilder, TreeType};
 use std::hint::black_box;
 
-/// Builds a home cache over 8 octant subtrees, returning the fills and
-/// the summaries so fresh "away" caches can be constructed per
-/// iteration.
-fn make_world(n: usize) -> (Vec<SubtreeSummary<CentroidData>>, Vec<Vec<u8>>) {
+/// Builds the 8 octant subtrees of a clustered distribution with their
+/// summaries (home rank 1).
+fn make_octant_trees(
+    n: usize,
+) -> (Vec<SubtreeSummary<CentroidData>>, Vec<BuiltTree<CentroidData>>) {
     let mut ps = gen::clustered(n, 4, 3, 1.0, 1.0);
     let universe = ps.bounding_box().padded(1e-9).bounding_cube();
     ps.assign_keys(&universe);
     ps.sort_by_sfc_key();
-    let home: CacheTree<CentroidData> = CacheTree::new(1, 3);
     let mut summaries = Vec::new();
     let mut trees = Vec::new();
     for oct in 0..8 {
@@ -44,6 +44,15 @@ fn make_world(n: usize) -> (Vec<SubtreeSummary<CentroidData>>, Vec<Vec<u8>>) {
         });
         trees.push(tree);
     }
+    (summaries, trees)
+}
+
+/// Builds a home cache over 8 octant subtrees, returning the fills and
+/// the summaries so fresh "away" caches can be constructed per
+/// iteration.
+fn make_world(n: usize) -> (Vec<SubtreeSummary<CentroidData>>, Vec<Vec<u8>>) {
+    let (summaries, trees) = make_octant_trees(n);
+    let home: CacheTree<CentroidData> = CacheTree::new(1, 3);
     home.init(&summaries, trees);
     let fills = summaries.iter().map(|s| home.serialize_fragment(s.key, 64).unwrap()).collect();
     (summaries, fills)
@@ -160,5 +169,72 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serialize, bench_insert_models, bench_telemetry_overhead);
+/// Fault-tolerance hot paths: stale-fill rejection after a cache-wide
+/// epoch bump, whole-subtree grafts (re-shard recovery adopting a dead
+/// rank's reconstructed subtree), and the full-depth serialisation that
+/// both checkpointing and grafting replay. The epoch check itself rides
+/// every `insert_fragment` — compare `stale_fill_reject` against
+/// `cache_wire/decode_insert_20k` for its cost.
+fn bench_recovery_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_overhead");
+    group.sample_size(20);
+    let (summaries, trees) = make_octant_trees(20_000);
+    let home: CacheTree<CentroidData> = CacheTree::new(1, 3);
+    home.init(&summaries, trees.clone());
+    let fills: Vec<Vec<u8>> =
+        summaries.iter().map(|s| home.serialize_fragment(s.key, 64).unwrap()).collect();
+
+    // A crash bumped the receiving cache's epoch: every pre-crash fill
+    // must bounce off the header check without touching the tree.
+    group.bench_function("stale_fill_reject", |b| {
+        b.iter(|| {
+            let fresh: CacheTree<CentroidData> = CacheTree::new(0, 3);
+            fresh.init(&summaries, vec![]);
+            fresh.set_epoch(1);
+            let mut rejected = 0usize;
+            for f in &fills {
+                rejected += usize::from(fresh.insert_fragment(f).is_err());
+            }
+            black_box(rejected)
+        })
+    });
+
+    // Re-shard recovery: a survivor grafts the dead rank's rebuilt
+    // subtrees wholesale (serialize + self-fill through the canonical
+    // splice path).
+    group.bench_function("graft_subtrees", |b| {
+        b.iter(|| {
+            let fresh: CacheTree<CentroidData> = CacheTree::new(0, 3);
+            fresh.init(&summaries, vec![]);
+            let mut resumed = 0usize;
+            for t in &trees {
+                resumed += fresh.insert_subtree(t.clone(), 0).unwrap().resumed.len();
+            }
+            black_box(resumed)
+        })
+    });
+
+    // The checkpoint write path: full-depth fragments of every owned
+    // subtree (what the engine charges to the network each iteration).
+    let total: usize = fills.iter().map(|f| f.len()).sum();
+    group.throughput(criterion::Throughput::Bytes(total as u64));
+    group.bench_function("checkpoint_serialize", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for s in &summaries {
+                bytes += home.serialize_fragment(s.key, 64).unwrap().len();
+            }
+            black_box(bytes)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serialize,
+    bench_insert_models,
+    bench_telemetry_overhead,
+    bench_recovery_overhead
+);
 criterion_main!(benches);

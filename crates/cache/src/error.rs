@@ -46,6 +46,29 @@ pub enum CacheError {
     /// The cache has no root yet ([`crate::CacheTree::init`] has not
     /// run), so nothing can be located or spliced.
     NotInitialized,
+    /// A fill was encoded under an older recovery epoch than the cache
+    /// is currently in: its contents may predate a rank crash, so it is
+    /// rejected before any splice and the requester re-fetches.
+    StaleEpoch {
+        /// Epoch stamped into the fill's wire header.
+        fill_epoch: u32,
+        /// The receiving cache's current epoch.
+        cache_epoch: u32,
+    },
+    /// The operation targeted a cache whose rank has crashed and will
+    /// not return (crash-stop, re-shard recovery). Requests must be
+    /// re-routed to the subtree's new owner.
+    OwnerDead {
+        /// The dead rank.
+        rank: u32,
+    },
+    /// A fill payload carried no epoch header (pre-epoch wire format).
+    /// Legacy payloads cannot be proven fresh, so they are rejected
+    /// with a structured error rather than decoded as garbage.
+    LegacyFragment {
+        /// Payload size, for log correlation.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for CacheError {
@@ -62,6 +85,15 @@ impl std::fmt::Display for CacheError {
                 write!(f, "no node for key {key} on this rank")
             }
             CacheError::NotInitialized => write!(f, "cache has no root (init not called)"),
+            CacheError::StaleEpoch { fill_epoch, cache_epoch } => {
+                write!(f, "stale fill from epoch {fill_epoch} rejected in epoch {cache_epoch}")
+            }
+            CacheError::OwnerDead { rank } => {
+                write!(f, "rank {rank} has crashed and will not return")
+            }
+            CacheError::LegacyFragment { len } => {
+                write!(f, "legacy (pre-epoch) fill fragment ({len} bytes) rejected")
+            }
         }
     }
 }

@@ -33,7 +33,7 @@ use paratreet_tree::{BuiltTree, Data, NodeShape};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, Ordering};
 
 /// The summary of one subtree root that every rank learns during the
 /// share step: enough to build the top skeleton and to prune traversals
@@ -107,6 +107,15 @@ pub struct CacheTree<D: Data> {
     root: AtomicPtr<CacheNode<D>>,
     book: Mutex<Bookkeeping<D>>,
     allocs: Mutex<Vec<NonNull<CacheNode<D>>>>,
+    /// Recovery epoch: fills are stamped with the sender's epoch at
+    /// serialisation and rejected on insert when they predate the
+    /// receiver's ([`CacheError::StaleEpoch`]). Bumped by the engine on
+    /// every recovery (rank crash).
+    epoch: AtomicU32,
+    /// Set when this cache's rank has crashed for good (re-shard
+    /// recovery): serialisation and insertion fail with
+    /// [`CacheError::OwnerDead`].
+    dead: AtomicBool,
 }
 
 // SAFETY: the raw pointers all target boxed nodes owned by `allocs`,
@@ -127,7 +136,96 @@ impl<D: Data> CacheTree<D> {
             root: AtomicPtr::new(std::ptr::null_mut()),
             book: Mutex::new(Bookkeeping { resolved: HashMap::new(), pending: HashMap::new() }),
             allocs: Mutex::new(Vec::new()),
+            epoch: AtomicU32::new(0),
+            dead: AtomicBool::new(false),
         }
+    }
+
+    /// The current recovery epoch. Every fill serialised by this cache
+    /// carries it; every fill inserted must match it.
+    pub fn epoch(&self) -> u32 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Moves this cache into `epoch`. Called by the engine on every
+    /// cache when a crash is detected, so fills serialised before the
+    /// crash can no longer splice anywhere.
+    pub fn set_epoch(&self, epoch: u32) {
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Marks this cache's rank as crashed-for-good (re-shard recovery).
+    pub fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CacheTree::mark_dead`] was called.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Re-arms every placeholder homed on `dead_rank`: clears the
+    /// `requested` flag so the next [`CacheTree::request`] sends a fresh
+    /// fetch (which the engine routes to the subtree's *new* owner)
+    /// instead of deduplicating against a fetch the dead rank swallowed.
+    /// Returns the number of placeholders re-armed.
+    pub fn on_owner_crash(&self, dead_rank: u32) -> usize {
+        let book = self.book.lock();
+        let mut rearmed = 0;
+        for p in book.resolved.values() {
+            // SAFETY: resolved pointers target nodes owned by self.
+            let node = unsafe { p.as_ref() };
+            if node.is_placeholder()
+                && node.home_rank == dead_rank
+                && node.requested.swap(false, Ordering::AcqRel)
+            {
+                rearmed += 1;
+            }
+        }
+        rearmed
+    }
+
+    /// Rebuilds this cache from scratch (restart recovery): every fill
+    /// received so far is forgotten, the book-keeping is cleared, and
+    /// the skeleton is re-initialised from `summaries` + the rank's
+    /// rebuilt `local` trees. Superseded allocations are kept until drop
+    /// (the cache stays no-delete, so old [`NodeHandle`]s never dangle
+    /// — the engine discards all work items of the crashed rank anyway).
+    pub fn reinit(&self, summaries: &[SubtreeSummary<D>], local: Vec<BuiltTree<D>>) {
+        {
+            let mut book = self.book.lock();
+            book.resolved.clear();
+            book.pending.clear();
+            self.root.store(std::ptr::null_mut(), Ordering::Release);
+        }
+        self.init(summaries, local);
+    }
+
+    /// Grafts a freshly (re)built subtree into an already-initialised
+    /// cache — re-shard recovery, where a surviving rank adopts a dead
+    /// rank's subtree reconstructed from its checkpoint. Implemented as
+    /// a self-delivered full-depth fill, which reuses the canonical
+    /// splice/waiter-drain machinery: any traversal parked on the
+    /// subtree's placeholder resumes through the returned
+    /// [`FillOutcome`].
+    pub fn insert_subtree(
+        &self,
+        tree: BuiltTree<D>,
+        home_rank: u32,
+    ) -> Result<FillOutcome<'_, D>, CacheError> {
+        let root = tree.root();
+        let summary = SubtreeSummary {
+            key: root.key,
+            bbox: root.bbox,
+            n_particles: root.n_particles,
+            data: root.data.clone(),
+            home_rank,
+        };
+        let staging: CacheTree<D> = CacheTree::new(home_rank, self.bits);
+        staging.set_epoch(self.epoch());
+        staging.init(std::slice::from_ref(&summary), vec![tree]);
+        let bytes = staging.serialize_fragment(summary.key, u32::MAX)?;
+        self.insert_fragment(&bytes)
     }
 
     /// Takes ownership of a boxed node, returning its stable pointer.
@@ -364,11 +462,14 @@ impl<D: Data> CacheTree<D> {
     /// requests instead of panicking.
     pub fn serialize_fragment(&self, key: NodeKey, depth: u32) -> Result<Vec<u8>, CacheError> {
         self.telemetry.wall_span(self.rank, "fill serve", Some(key.raw()), || {
+            if self.is_dead() {
+                return Err(CacheError::OwnerDead { rank: self.rank });
+            }
             if self.root().is_none() {
                 return Err(CacheError::NotInitialized);
             }
             let node = self.find(key).ok_or(CacheError::UnknownKey { key })?;
-            Ok(wire::encode_fragment(node, depth))
+            Ok(wire::encode_fragment(node, depth, self.epoch()))
         })
     }
 
@@ -402,8 +503,14 @@ impl<D: Data> CacheTree<D> {
     }
 
     fn insert_fragment_impl(&self, bytes: &[u8]) -> Result<FillOutcome<'_, D>, CacheError> {
-        let frag = wire::decode_fragment::<D>(bytes)
-            .ok_or(CacheError::MalformedFragment { len: bytes.len() })?;
+        if self.is_dead() {
+            return Err(CacheError::OwnerDead { rank: self.rank });
+        }
+        let frag = wire::decode_fragment::<D>(bytes)?;
+        let cache_epoch = self.epoch();
+        if frag.epoch != cache_epoch {
+            return Err(CacheError::StaleEpoch { fill_epoch: frag.epoch, cache_epoch });
+        }
         if frag.nodes.is_empty() {
             return Err(CacheError::EmptyFragment);
         }

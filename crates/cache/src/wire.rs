@@ -5,7 +5,13 @@
 //! byte array. The receiver converts it back into [`CacheNode`] objects
 //! and wires parent/child pointers privately before publication.
 //!
-//! Layout: nodes in preorder. Each node is
+//! Layout (wire version 2): a 9-byte header, then nodes in preorder.
+//!
+//! ```text
+//! magic: u32 | version: u8 | epoch: u32
+//! ```
+//!
+//! then each node is
 //!
 //! ```text
 //! key: u64 | kind: u8 | home_rank: u32 | bbox: 6×f64 | n_particles: u32
@@ -16,7 +22,16 @@
 //! Internal nodes at the requested depth limit are demoted to
 //! [`NodeKind::Placeholder`] on the wire — their summaries travel, their
 //! structure stays home until someone asks for it.
+//!
+//! The `epoch` is the sender's recovery epoch at serialisation time
+//! (see [`crate::CacheTree::epoch`]): after a rank crash the engine
+//! bumps every cache's epoch, so in-flight fills serialised before the
+//! crash decode fine but are rejected on insert with
+//! [`CacheError::StaleEpoch`]. Payloads from the pre-epoch wire format
+//! (no magic) are rejected with [`CacheError::LegacyFragment`] instead
+//! of being mis-decoded as node data.
 
+use crate::error::CacheError;
 use crate::node::{CacheNode, NodeKind};
 use paratreet_geometry::{BoundingBox, NodeKey, Vec3};
 use paratreet_particles::io::{get_particle, put_particle};
@@ -26,6 +41,15 @@ use std::sync::atomic::Ordering;
 /// Maximum children per node on the wire (octree width).
 pub const MAX_BRANCH: usize = 8;
 
+/// First four bytes of every versioned fill payload.
+pub const FRAGMENT_MAGIC: u32 = 0xFA57_7EE7;
+
+/// Current wire version (bumped when the node layout changes).
+pub const WIRE_VERSION: u8 = 2;
+
+/// Bytes of the fragment header (magic + version + epoch).
+pub const HEADER_BYTES: usize = 9;
+
 /// A decoded fill: boxed nodes (stable heap addresses) with child
 /// pointers already wired among themselves. Index 0 is the fragment root.
 /// Frontier children are fresh placeholder nodes inside `nodes`.
@@ -34,6 +58,8 @@ pub struct Fragment<D> {
     pub nodes: Vec<Box<CacheNode<D>>>,
     /// Total particles carried (for stats).
     pub n_particles: u64,
+    /// Recovery epoch the sender serialised under.
+    pub epoch: u32,
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -91,11 +117,15 @@ fn kind_from_u8(v: u8) -> Option<NodeKind> {
     })
 }
 
-/// Serialises the subtree under `root` to relative depth `depth_limit`.
-/// Internal nodes exactly at the limit (and placeholders encountered on
-/// the way) are encoded as placeholders; leaves ship with particles.
-pub fn encode_fragment<D: Data>(root: &CacheNode<D>, depth_limit: u32) -> Vec<u8> {
+/// Serialises the subtree under `root` to relative depth `depth_limit`,
+/// stamped with the sender's recovery `epoch`. Internal nodes exactly at
+/// the limit (and placeholders encountered on the way) are encoded as
+/// placeholders; leaves ship with particles.
+pub fn encode_fragment<D: Data>(root: &CacheNode<D>, depth_limit: u32, epoch: u32) -> Vec<u8> {
     let mut out = Vec::new();
+    put_u32(&mut out, FRAGMENT_MAGIC);
+    out.push(WIRE_VERSION);
+    put_u32(&mut out, epoch);
     encode_node(root, depth_limit, &mut out);
     out
 }
@@ -139,17 +169,37 @@ fn encode_node<D: Data>(node: &CacheNode<D>, levels_left: u32, out: &mut Vec<u8>
     }
 }
 
-/// Decodes a fill into a privately wired [`Fragment`]. Returns `None` on
-/// any malformed input (truncation, bad kind bytes, trailing garbage).
-pub fn decode_fragment<D: Data>(input: &[u8]) -> Option<Fragment<D>> {
+/// Decodes a fill into a privately wired [`Fragment`]. Malformed input
+/// (truncation, bad kind bytes, trailing garbage, wrong version) is
+/// [`CacheError::MalformedFragment`]; a payload without the magic is
+/// the pre-epoch wire format, [`CacheError::LegacyFragment`].
+pub fn decode_fragment<D: Data>(input: &[u8]) -> Result<Fragment<D>, CacheError> {
+    let len = input.len();
+    let mut off = 0;
+    let header = (|| {
+        let magic = get_u32(input, &mut off)?;
+        let version = get_u8(input, &mut off)?;
+        let epoch = get_u32(input, &mut off)?;
+        Some((magic, version, epoch))
+    })();
+    let Some((magic, version, epoch)) = header else {
+        return Err(CacheError::MalformedFragment { len });
+    };
+    if magic != FRAGMENT_MAGIC {
+        return Err(CacheError::LegacyFragment { len });
+    }
+    if version != WIRE_VERSION {
+        return Err(CacheError::MalformedFragment { len });
+    }
     let mut nodes = Vec::new();
     let mut n_particles = 0u64;
-    let mut off = 0;
-    decode_node::<D>(input, &mut off, &mut nodes, &mut n_particles)?;
-    if off != input.len() {
-        return None; // trailing garbage
+    if decode_node::<D>(input, &mut off, &mut nodes, &mut n_particles).is_none() {
+        return Err(CacheError::MalformedFragment { len });
     }
-    Some(Fragment { nodes, n_particles })
+    if off != input.len() {
+        return Err(CacheError::MalformedFragment { len }); // trailing garbage
+    }
+    Ok(Fragment { nodes, n_particles, epoch })
 }
 
 /// Decodes one node (and recursively its children), appends the boxed
@@ -208,6 +258,15 @@ mod tests {
     use paratreet_particles::Particle;
     use paratreet_tree::CountData;
 
+    /// Unwraps the error side of a decode (the `Fragment` itself has no
+    /// `Debug`, so `unwrap_err` is unavailable).
+    fn decode_err(r: Result<Fragment<CountData>, CacheError>) -> CacheError {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("payload unexpectedly decoded"),
+        }
+    }
+
     /// Hand-builds: root(internal) -> [leaf(2 particles), internal -> [leaf(1)]]
     fn sample_tree() -> Vec<Box<CacheNode<CountData>>> {
         let b = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
@@ -256,10 +315,11 @@ mod tests {
     #[test]
     fn roundtrip_full_depth() {
         let tree = sample_tree();
-        let bytes = encode_fragment(&tree[0], 10);
+        let bytes = encode_fragment(&tree[0], 10, 7);
         let frag: Fragment<CountData> = decode_fragment(&bytes).unwrap();
         assert_eq!(frag.nodes.len(), 4);
         assert_eq!(frag.n_particles, 3);
+        assert_eq!(frag.epoch, 7);
         let root = &frag.nodes[0];
         assert_eq!(root.key, ROOT_KEY);
         assert_eq!(root.kind, NodeKind::Internal);
@@ -278,7 +338,7 @@ mod tests {
     #[test]
     fn depth_limit_demotes_internals_to_placeholders() {
         let tree = sample_tree();
-        let bytes = encode_fragment(&tree[0], 1);
+        let bytes = encode_fragment(&tree[0], 1, 0);
         let frag: Fragment<CountData> = decode_fragment(&bytes).unwrap();
         let root = &frag.nodes[0];
         // Depth-1 leaf ships fully; depth-1 internal becomes placeholder.
@@ -292,7 +352,7 @@ mod tests {
     #[test]
     fn depth_zero_ships_root_summary_only_for_internal() {
         let tree = sample_tree();
-        let bytes = encode_fragment(&tree[0], 0);
+        let bytes = encode_fragment(&tree[0], 0, 0);
         let frag: Fragment<CountData> = decode_fragment(&bytes).unwrap();
         assert_eq!(frag.nodes.len(), 1);
         assert_eq!(frag.nodes[0].kind, NodeKind::Placeholder);
@@ -301,25 +361,59 @@ mod tests {
     #[test]
     fn truncated_input_rejected() {
         let tree = sample_tree();
-        let bytes = encode_fragment(&tree[0], 10);
+        let bytes = encode_fragment(&tree[0], 10, 0);
         for cut in [1, 9, 20, bytes.len() - 1] {
-            assert!(decode_fragment::<CountData>(&bytes[..cut]).is_none(), "cut at {cut}");
+            assert_eq!(
+                decode_err(decode_fragment::<CountData>(&bytes[..cut])),
+                CacheError::MalformedFragment { len: cut },
+                "cut at {cut}"
+            );
         }
     }
 
     #[test]
     fn trailing_garbage_rejected() {
         let tree = sample_tree();
-        let mut bytes = encode_fragment(&tree[0], 10);
+        let mut bytes = encode_fragment(&tree[0], 10, 0);
         bytes.push(0);
-        assert!(decode_fragment::<CountData>(&bytes).is_none());
+        assert_eq!(
+            decode_err(decode_fragment::<CountData>(&bytes)),
+            CacheError::MalformedFragment { len: bytes.len() }
+        );
     }
 
     #[test]
     fn bad_kind_byte_rejected() {
         let tree = sample_tree();
-        let mut bytes = encode_fragment(&tree[0], 10);
-        bytes[8] = 9; // kind byte of the root
-        assert!(decode_fragment::<CountData>(&bytes).is_none());
+        let mut bytes = encode_fragment(&tree[0], 10, 0);
+        bytes[HEADER_BYTES + 8] = 9; // kind byte of the root
+        assert_eq!(
+            decode_err(decode_fragment::<CountData>(&bytes)),
+            CacheError::MalformedFragment { len: bytes.len() }
+        );
+    }
+
+    #[test]
+    fn legacy_headerless_payload_rejected_structurally() {
+        // The pre-epoch format started straight at the root node's key;
+        // stripping the header reproduces it byte-for-byte.
+        let tree = sample_tree();
+        let bytes = encode_fragment(&tree[0], 10, 3);
+        let legacy = &bytes[HEADER_BYTES..];
+        assert_eq!(
+            decode_err(decode_fragment::<CountData>(legacy)),
+            CacheError::LegacyFragment { len: legacy.len() }
+        );
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let tree = sample_tree();
+        let mut bytes = encode_fragment(&tree[0], 10, 3);
+        bytes[4] = WIRE_VERSION + 1;
+        assert_eq!(
+            decode_err(decode_fragment::<CountData>(&bytes)),
+            CacheError::MalformedFragment { len: bytes.len() }
+        );
     }
 }

@@ -2,8 +2,8 @@
 //! structure, and arbitrary bytes never panic the decoder (fills arrive
 //! from the network; a malformed fill must be an error, not a crash).
 
-use paratreet_cache::wire::{decode_fragment, encode_fragment};
-use paratreet_cache::{CacheNode, NodeKind};
+use paratreet_cache::wire::{decode_fragment, encode_fragment, HEADER_BYTES};
+use paratreet_cache::{CacheError, CacheNode, NodeKind};
 use paratreet_geometry::{BoundingBox, NodeKey, Vec3, ROOT_KEY};
 use paratreet_particles::Particle;
 use paratreet_tree::CountData;
@@ -101,12 +101,13 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn roundtrip_preserves_structure(shape in arb_shape()) {
+    fn roundtrip_preserves_structure_and_epoch(shape in arb_shape(), epoch in any::<u32>()) {
         let mut nodes = Vec::new();
         build_tree(&shape, ROOT_KEY, &mut nodes);
         let root = &nodes[0];
-        let bytes = encode_fragment(root, 16);
+        let bytes = encode_fragment(root, 16, epoch);
         let frag = decode_fragment::<CountData>(&bytes).expect("well-formed fragment");
+        prop_assert_eq!(frag.epoch, epoch, "epoch must survive the wire");
         let mut a = Vec::new();
         fingerprint(root, &mut a);
         let mut b = Vec::new();
@@ -118,7 +119,7 @@ proptest! {
     fn depth_limited_roundtrip_never_exceeds_depth(shape in arb_shape(), depth in 0u32..3) {
         let mut nodes = Vec::new();
         build_tree(&shape, ROOT_KEY, &mut nodes);
-        let bytes = encode_fragment(&nodes[0], depth);
+        let bytes = encode_fragment(&nodes[0], depth, 0);
         let frag = decode_fragment::<CountData>(&bytes).expect("well-formed fragment");
         // No decoded node sits deeper than `depth` below the root.
         for n in &frag.nodes {
@@ -128,7 +129,7 @@ proptest! {
 
     #[test]
     fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
-        // Must return None or Some, never crash.
+        // Must return Ok or Err, never crash.
         let _ = decode_fragment::<CountData>(&bytes);
     }
 
@@ -136,10 +137,10 @@ proptest! {
     fn truncations_of_valid_fragments_are_rejected(shape in arb_shape(), cut_frac in 0.0f64..1.0) {
         let mut nodes = Vec::new();
         build_tree(&shape, ROOT_KEY, &mut nodes);
-        let bytes = encode_fragment(&nodes[0], 16);
+        let bytes = encode_fragment(&nodes[0], 16, 3);
         let cut = ((bytes.len() as f64) * cut_frac) as usize;
         if cut < bytes.len() {
-            prop_assert!(decode_fragment::<CountData>(&bytes[..cut]).is_none());
+            prop_assert!(decode_fragment::<CountData>(&bytes[..cut]).is_err());
         }
     }
 
@@ -147,11 +148,42 @@ proptest! {
     fn bitflips_never_panic(shape in arb_shape(), flip_byte in 0usize..256, flip_bit in 0u8..8) {
         let mut nodes = Vec::new();
         build_tree(&shape, ROOT_KEY, &mut nodes);
-        let mut bytes = encode_fragment(&nodes[0], 16);
+        let mut bytes = encode_fragment(&nodes[0], 16, 3);
         if !bytes.is_empty() {
             let i = flip_byte % bytes.len();
             bytes[i] ^= 1 << flip_bit;
             let _ = decode_fragment::<CountData>(&bytes); // no panic
+        }
+    }
+
+    #[test]
+    fn legacy_headerless_payloads_yield_structured_errors(shape in arb_shape()) {
+        // A pre-epoch payload is exactly a v2 payload with the header
+        // stripped: it must surface as LegacyFragment (or, when shorter
+        // than any header could be, MalformedFragment), never decode.
+        let mut nodes = Vec::new();
+        build_tree(&shape, ROOT_KEY, &mut nodes);
+        let bytes = encode_fragment(&nodes[0], 16, 1);
+        let legacy = &bytes[HEADER_BYTES..];
+        match decode_fragment::<CountData>(legacy) {
+            Err(CacheError::LegacyFragment { len }) => prop_assert_eq!(len, legacy.len()),
+            Err(CacheError::MalformedFragment { .. }) => prop_assert!(legacy.len() < HEADER_BYTES),
+            Err(e) => prop_assert!(false, "unexpected error {}", e),
+            Ok(_) => prop_assert!(false, "legacy payload decoded"),
+        }
+    }
+
+    #[test]
+    fn wrong_wire_versions_are_rejected(shape in arb_shape(), version in any::<u8>()) {
+        let mut nodes = Vec::new();
+        build_tree(&shape, ROOT_KEY, &mut nodes);
+        let mut bytes = encode_fragment(&nodes[0], 16, 1);
+        if version != bytes[4] {
+            bytes[4] = version;
+            prop_assert_eq!(
+                decode_fragment::<CountData>(&bytes).err(),
+                Some(CacheError::MalformedFragment { len: bytes.len() })
+            );
         }
     }
 }

@@ -18,22 +18,51 @@
 //!   handled: any-worker insertion (WaitFree), one-lock-per-rank
 //!   insertion (XWrite), or per-thread caches with duplicated fetches
 //!   (PerThread/"Sequential").
+//!
+//! # Fault tolerance
+//!
+//! With a [`CrashConfig`] in the fault configuration the engine also
+//! models rank crash-stop failures. At iteration start every rank
+//! checkpoints its owned subtree particles and partition assignments to
+//! stable storage (a [`Phase::Checkpoint`] task whose bytes are charged
+//! as communication). A crash kills one rank at a chosen phase or
+//! virtual time: its in-flight messages are invalidated by a per-rank
+//! epoch stamp, its partitions lose all volatile state, and after the
+//! retry timeout the survivors detect the failure, bump the global cache
+//! epoch (stale fills are rejected at insertion), and either wait for
+//! the rank to restart from its checkpoint or re-shard its subtrees and
+//! partitions onto the survivors. Only the crashed rank's subtrees are
+//! rebuilt; survivors' trees, caches, and traversal progress are kept.
+//!
+//! Physics stays exactly-once: traversals whose `open()` ignores bucket
+//! state (TopDown, BasicDfs) run *dry* inside the simulation — same
+//! opens, same fetches, same virtual time, no visitor side effects —
+//! and the visitor is applied once per partition after the simulated
+//! timeline completes, over the fully-materialised cache, in canonical
+//! depth-first order. The result is bit-identical whether or not a
+//! crash occurred. Stateful traversals (UpAndDown) apply during the
+//! simulation and reset a crashed partition's bucket state and
+//! particles to their pre-iteration values before re-running.
 
 use crate::config::{Configuration, TraversalKind};
 use crate::decomp::decompose;
-use crate::traversal::{process_item, seed_items, CacheModel, PendingFetch, WorkCounts, WorkItem};
+use crate::traversal::{
+    process_item, process_item_dry, seed_items, traverse_local, CacheModel, PendingFetch,
+    WorkCounts, WorkItem,
+};
 use crate::visitor::{TargetBucket, Visitor};
 use paratreet_cache::stats::CacheStatsSnapshot;
-use paratreet_cache::{CacheTree, NodeHandle, RequestOutcome, SubtreeSummary};
+use paratreet_cache::{CacheError, CacheTree, NodeHandle, RequestOutcome, SubtreeSummary};
 use paratreet_geometry::{BoundingBox, NodeKey};
 use paratreet_particles::io::PARTICLE_WIRE_BYTES;
 use paratreet_particles::Particle;
 use paratreet_runtime::sim::CommStats;
 use paratreet_runtime::{
-    FaultAction, FaultConfig, FaultInjector, FaultStats, Ledger, MachineSpec, Phase, Sim,
+    CrashConfig, CrashPhase, CrashTrigger, FaultAction, FaultConfig, FaultInjector, FaultStats,
+    Ledger, MachineSpec, Phase, Sim,
 };
-use paratreet_telemetry::{MetricsRegistry, Telemetry, Track};
-use paratreet_tree::TreeBuilder;
+use paratreet_telemetry::{MetricSource, MetricsRegistry, Telemetry, Track};
+use paratreet_tree::{BuiltTree, TreeBuilder};
 use serde::Serialize;
 use std::collections::HashMap;
 
@@ -99,6 +128,64 @@ impl CostModel {
     }
 }
 
+/// What one crash-recovery episode did (all zero when no crash was
+/// configured or the crash never fired). `completed_s` marks the virtual
+/// time when the recovery protocol finished re-injecting every piece of
+/// owed work; re-executed tasks themselves are charged to
+/// [`Phase::Recovery`]/[`Phase::TreeBuild`] in the ledger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct RecoveryStats {
+    /// Crashes that fired (0 or 1).
+    pub count: u64,
+    /// Virtual time of the crash.
+    pub crash_time_s: f64,
+    /// Virtual time the survivors detected it (crash + retry timeout).
+    pub detected_s: f64,
+    /// Virtual time recovery finished orchestrating.
+    pub completed_s: f64,
+    /// Pipeline phase at the crash: 0 decomposition, 1 tree build,
+    /// 2 sharing, 3 traversal.
+    pub phase_idx: u64,
+    /// 1 when the rank restarted from its checkpoint, 0 on re-shard.
+    pub restarted: u64,
+    /// Subtrees reassigned to survivors (re-shard mode).
+    pub resharded_subtrees: u64,
+    /// Partitions moved to survivors (re-shard mode).
+    pub moved_partitions: u64,
+    /// Fills rejected because they were serialised before the crash
+    /// (cache-epoch mismatch).
+    pub stale_fills: u64,
+    /// Fetch requests dropped at a dead or not-yet-recovered home rank.
+    pub dead_requests: u64,
+    /// Events discarded by the per-rank/per-partition epoch stamps.
+    pub discarded_events: u64,
+    /// Placeholder keys re-armed against the dead owner.
+    pub rearmed_keys: u64,
+    /// Bytes written to stable storage at checkpoint time.
+    pub checkpoint_bytes: u64,
+    /// Bytes read back from stable storage during recovery.
+    pub restored_bytes: u64,
+}
+
+impl MetricSource for RecoveryStats {
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_u64(format!("{prefix}.count"), self.count);
+        registry.set_f64(format!("{prefix}.crash_time_s"), self.crash_time_s);
+        registry.set_f64(format!("{prefix}.detected_s"), self.detected_s);
+        registry.set_f64(format!("{prefix}.completed_s"), self.completed_s);
+        registry.set_u64(format!("{prefix}.phase_idx"), self.phase_idx);
+        registry.set_u64(format!("{prefix}.restarted"), self.restarted);
+        registry.set_u64(format!("{prefix}.resharded_subtrees"), self.resharded_subtrees);
+        registry.set_u64(format!("{prefix}.moved_partitions"), self.moved_partitions);
+        registry.set_u64(format!("{prefix}.stale_fills"), self.stale_fills);
+        registry.set_u64(format!("{prefix}.dead_requests"), self.dead_requests);
+        registry.set_u64(format!("{prefix}.discarded_events"), self.discarded_events);
+        registry.set_u64(format!("{prefix}.rearmed_keys"), self.rearmed_keys);
+        registry.set_u64(format!("{prefix}.checkpoint_bytes"), self.checkpoint_bytes);
+        registry.set_u64(format!("{prefix}.restored_bytes"), self.restored_bytes);
+    }
+}
+
 /// What one simulated iteration measured. The named fields remain for
 /// direct access; they are assembled from [`IterationReport::metrics`],
 /// which carries every statistic under a stable dotted name (e.g.
@@ -138,7 +225,11 @@ pub struct IterationReport {
     pub fetch_retries: u64,
     /// Fills the cache rejected ([`paratreet_cache::CacheError`]); each
     /// was logged and degraded to a re-request instead of aborting.
+    /// Stale-epoch rejections after a crash are counted separately in
+    /// [`RecoveryStats::stale_fills`].
     pub fill_errors: u64,
+    /// What the crash-recovery protocol did (all zero without a crash).
+    pub recovery: RecoveryStats,
     /// Every statistic above under a stable dotted name, plus derived
     /// timings — query with [`MetricsRegistry::get_u64`] /
     /// [`MetricsRegistry::get_f64`], or dump via `--metrics-out`.
@@ -146,20 +237,66 @@ pub struct IterationReport {
 }
 
 /// Event payloads of the engine's simulation. `Clone` because the fault
-/// layer may deliver a message twice.
+/// layer may deliver a message twice. Barrier events carry the rank they
+/// count toward plus that rank's epoch at send time (`re`); a crash
+/// bumps the epoch, so the dead rank's in-flight events are discarded at
+/// delivery and recovery re-posts them under the new epoch. Partition
+/// events carry the partition epoch (`pe`) the same way.
 #[derive(Clone)]
 enum Ev {
-    DecompDone,
-    BuildDone,
-    ShareArrive,
-    LeafShareArrive,
+    /// A rank finished writing its checkpoint (no barrier: checkpoints
+    /// overlap decomposition).
+    CheckpointDone,
+    DecompDone {
+        rank: u32,
+        re: u32,
+    },
+    /// One subtree build finished on `rank`. `si` is `u32::MAX` unless
+    /// the subtree was re-sharded and must be grafted into its new
+    /// owner's caches on completion.
+    BuildDone {
+        rank: u32,
+        re: u32,
+        si: u32,
+    },
+    ShareArrive {
+        to: u32,
+        re: u32,
+    },
+    /// `skel` distinguishes the per-rank skeleton-build task from a
+    /// leaf-share message (they share one barrier but different pending
+    /// counters).
+    LeafShareArrive {
+        to: u32,
+        re: u32,
+        skel: bool,
+    },
+    /// The configured rank dies now.
+    Crash,
+    /// The retry timeout elapsed since the crash: survivors react.
+    CrashDetected,
+    /// Restart-mode recovery chain; stages run in order 0..=3.
+    RecoverStep {
+        stage: u8,
+    },
+    /// A re-sharded subtree's checkpoint finished reading at its new
+    /// owner (re-shard mode).
+    SubtreeRestored {
+        si: u32,
+    },
+    /// A crashed rank's subtree finished rebuilding.
+    SubtreeRebuilt {
+        si: u32,
+    },
     /// (Re)process a partition's work list.
     PartRun {
         part: u32,
+        pe: u32,
     },
     /// A partition's processing batch finished; release its effects.
     PartWorkDone {
         part: u32,
+        pe: u32,
         fetches: Vec<(NodeKey, Vec<u32>)>,
     },
     /// A fetch request arrived at the home rank.
@@ -189,6 +326,7 @@ enum Ev {
     /// A paused partition's resumption task completed.
     Resumed {
         part: u32,
+        pe: u32,
         key: NodeKey,
     },
     /// A fetch's retry timer expired; re-request if the fill never came.
@@ -224,6 +362,43 @@ fn send_faulty(
     }
 }
 
+/// The crashed rank's owed barrier deliveries, snapshotted once at
+/// detection. Epoch discards freeze the pending counters between crash
+/// and detection (no barrier can release while the dead rank owes it),
+/// so this snapshot equals the state at the instant of the crash.
+#[derive(Clone, Copy, Default)]
+struct Stuck {
+    decomp: usize,
+    build: usize,
+    share: usize,
+    skel: usize,
+    leaf: usize,
+}
+
+/// Resolves the *current* owner of `key`: walk ancestors up to the
+/// enclosing subtree root and read the (possibly re-sharded) owner
+/// table. Falls back to the cache's baked-in home rank for keys above
+/// every subtree root (the shared top levels).
+fn owner_of(
+    index: &HashMap<NodeKey, usize>,
+    owner: &[u32],
+    bits: u32,
+    key: NodeKey,
+    fallback: u32,
+) -> u32 {
+    let mut k = key;
+    loop {
+        if let Some(&si) = index.get(&k) {
+            return owner[si];
+        }
+        let p = k.parent(bits);
+        if p == k {
+            return fallback;
+        }
+        k = p;
+    }
+}
+
 /// Per-partition chare state.
 struct PartState<V: Visitor> {
     rank: u32,
@@ -238,9 +413,82 @@ struct PartState<V: Visitor> {
     in_flight: usize,
     /// Accumulated traversal cost (the chare's measured load).
     cost: f64,
+    /// Interaction counts this partition has accumulated; discarded on
+    /// crash reset so re-executed work is never double-counted.
+    counts: WorkCounts,
     seeded: bool,
     resumed_once: bool,
     finished: bool,
+}
+
+/// Wipes a partition's volatile traversal state after its rank crashed:
+/// bump the epoch (in-flight events become stale), clear the stack and
+/// parked fetches, restore bucket state *and particles* to their
+/// pre-iteration values so re-running applies every effect exactly once.
+fn reset_part<V: Visitor>(
+    ps: &mut PartState<V>,
+    pe: &mut u32,
+    parts_done: &mut usize,
+    master: &[Particle],
+) {
+    *pe += 1;
+    ps.stack.clear();
+    ps.paused.clear();
+    ps.outstanding = 0;
+    ps.in_flight = 0;
+    ps.counts = WorkCounts::default();
+    ps.seeded = false;
+    ps.resumed_once = false;
+    if ps.finished {
+        ps.finished = false;
+        *parts_done -= 1;
+    }
+    for (indices, b) in ps.bucket_indices.iter().zip(&mut ps.buckets) {
+        b.state = V::State::default();
+        for (slot, &mi) in indices.iter().enumerate() {
+            b.particles[slot] = master[mi as usize];
+        }
+    }
+}
+
+/// Grafts a rebuilt subtree into every cache instance of its (new) home
+/// rank and resumes any traversals parked on its root placeholder.
+#[allow(clippy::too_many_arguments)]
+fn graft_subtree<V: Visitor>(
+    sim: &mut Sim<Ev>,
+    tree: BuiltTree<V::Data>,
+    home: u32,
+    caches_per_rank: u32,
+    caches: &[CacheTree<V::Data>],
+    parts: &[PartState<V>],
+    part_epoch: &[u32],
+    resume_cost: f64,
+    fill_errors: &mut u64,
+) {
+    let mut tree = Some(tree);
+    for i in 0..caches_per_rank {
+        let ci = (home * caches_per_rank + i) as usize;
+        let t = if i + 1 == caches_per_rank {
+            tree.take().expect("graft tree consumed once")
+        } else {
+            tree.as_ref().expect("graft tree alive").clone()
+        };
+        match caches[ci].insert_subtree(t, home) {
+            Ok(outcome) => {
+                for (key, waiter) in outcome.resumed {
+                    let part = waiter as u32;
+                    let rank = parts[part as usize].rank;
+                    sim.spawn(
+                        rank,
+                        Phase::TraversalResumption,
+                        resume_cost,
+                        Ev::Resumed { part, pe: part_epoch[part as usize], key },
+                    );
+                }
+            }
+            Err(_) => *fill_errors += 1,
+        }
+    }
 }
 
 /// The distributed engine. See module docs.
@@ -257,6 +505,8 @@ pub struct DistributedEngine<'v, V: Visitor> {
     pub kind: TraversalKind,
     /// Optional deterministic fault injection on fetch/fill messages.
     /// Enables the retry-timeout path; `None` means a perfect network.
+    /// A [`CrashConfig`] inside additionally arms checkpointing and the
+    /// rank crash-stop recovery protocol (module docs).
     pub faults: Option<FaultConfig>,
     /// Span/counter sink. Attach an enabled virtual-time handle (see
     /// [`Telemetry::virtual_time`]) to get one span per simulated task on
@@ -304,7 +554,18 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
 
     /// Runs one full iteration over `particles` and reports.
     pub fn run_iteration(&self, particles: Vec<Particle>) -> IterationReport {
-        self.run_iteration_with_assignment(particles, None)
+        self.run_inner(particles, None).0
+    }
+
+    /// Like [`DistributedEngine::run_iteration`], but also returns every
+    /// bucket's final visitor state in `(partition, bucket)` order —
+    /// the per-leaf results of state-carrying traversals (SPH densities,
+    /// collision partners, kNN sets), for validation.
+    pub fn run_iteration_states(
+        &self,
+        particles: Vec<Particle>,
+    ) -> (IterationReport, Vec<(NodeKey, V::State)>) {
+        self.run_inner(particles, None)
     }
 
     /// Like [`DistributedEngine::run_iteration`], but with an explicit
@@ -318,10 +579,29 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         particles: Vec<Particle>,
         assignment: Option<&[u32]>,
     ) -> IterationReport {
+        self.run_inner(particles, assignment).0
+    }
+
+    fn run_inner(
+        &self,
+        particles: Vec<Particle>,
+        assignment: Option<&[u32]>,
+    ) -> (IterationReport, Vec<(NodeKey, V::State)>) {
         let n_total = particles.len().max(2);
         let log_n = (n_total as f64).log2();
         let ranks = self.machine.nodes as u32;
         let workers = self.machine.workers_per_rank as u32;
+
+        // Fault layer (None ⇒ perfect network, no timers). Constructed
+        // first so an invalid configuration fails before any work.
+        let mut injector =
+            self.faults.map(|f| FaultInjector::new(f).expect("invalid fault configuration"));
+        let retry_timeout = self.faults.map(|f| f.retry_timeout_s).unwrap_or(0.0);
+        let crash: Option<CrashConfig> = self.faults.and_then(|f| f.crash);
+        if let Some(c) = crash {
+            assert!(ranks >= 2, "rank crash-stop recovery needs at least two ranks");
+            assert!(c.rank < ranks, "crash rank {} out of range for {} ranks", c.rank, ranks);
+        }
 
         // Overdecomposition: the configured counts are minimums. Every
         // rank needs several Subtrees, and enough Partitions to keep its
@@ -355,8 +635,13 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             }
         };
 
+        // Checkpoint: clone the decomposition pieces before the builders
+        // consume them. This is the engine's stable storage — recovery
+        // rebuilds the dead rank's subtrees from exactly these bytes.
+        let checkpoint = if crash.is_some() { Some(decomp.subtrees.clone()) } else { None };
+
         // ---- Build local trees (real) ----
-        let trees: Vec<(u32, paratreet_tree::BuiltTree<V::Data>)> = decomp
+        let trees: Vec<(u32, BuiltTree<V::Data>)> = decomp
             .subtrees
             .into_iter()
             .enumerate()
@@ -383,16 +668,37 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             })
             .collect();
 
+        // The live owner table: starts at the SFC placement and is
+        // rewritten when a crash re-shards the dead rank's subtrees.
+        let mut owner: Vec<u32> = (0..n_subtrees).map(subtree_rank).collect();
+        let subtree_index: HashMap<NodeKey, usize> =
+            summaries.iter().enumerate().map(|(si, s)| (s.key, si)).collect();
+
+        // Rebuilds one subtree from the checkpoint (bit-identical to the
+        // original build: same particles, same builder parameters).
+        let rebuild = |si: usize| -> BuiltTree<V::Data> {
+            let pieces = checkpoint.as_ref().expect("checkpoint exists when a crash is configured");
+            let piece = pieces[si].clone();
+            let builder = TreeBuilder {
+                root_key: piece.key,
+                root_depth: piece.depth,
+                parallel: false,
+                ..TreeBuilder::new(config.tree_type)
+            }
+            .bucket_size(config.bucket_size);
+            builder.build::<V::Data>(piece.particles, piece.bbox)
+        };
+
         // ---- Master array + leaf sharing (bucket construction) ----
         let mut master: Vec<Particle> = Vec::new();
         struct BucketSeed {
             leaf_key: NodeKey,
             partition: u32,
-            subtree_rank: u32,
+            subtree: u32,
             indices: Vec<u32>,
         }
         let mut bucket_seeds: Vec<BucketSeed> = Vec::new();
-        for (rank, tree) in &trees {
+        for (si, (_rank, tree)) in trees.iter().enumerate() {
             let offset = master.len() as u32;
             for li in tree.leaf_indices() {
                 let node = tree.node(li);
@@ -409,7 +715,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                     bucket_seeds.push(BucketSeed {
                         leaf_key: node.key,
                         partition,
-                        subtree_rank: *rank,
+                        subtree: si as u32,
                         indices,
                     });
                 }
@@ -427,7 +733,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         let caches: Vec<CacheTree<V::Data>> =
             (0..n_caches).map(|ci| CacheTree::new(ci / caches_per_rank, bits)).collect();
         // Graft local trees into every cache instance of their home rank.
-        let mut per_rank_trees: Vec<Vec<paratreet_tree::BuiltTree<V::Data>>> =
+        let mut per_rank_trees: Vec<Vec<BuiltTree<V::Data>>> =
             (0..ranks).map(|_| Vec::new()).collect();
         for (rank, tree) in trees {
             per_rank_trees[rank as usize].push(tree);
@@ -476,6 +782,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                     outstanding: 0,
                     in_flight: 0,
                     cost: 0.0,
+                    counts: WorkCounts::default(),
                     seeded: false,
                     resumed_once: false,
                     finished: false,
@@ -483,20 +790,21 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             })
             .collect();
         let mut n_shared_buckets = 0usize;
-        let mut leaf_share_msgs: Vec<(u32, u32, u64)> = Vec::new(); // (from, to, bytes)
+        // Every (subtree, partition) leaf-share pair with its wire size;
+        // sender and receiver are resolved at send time from the live
+        // owner table and partition placement, so recovery can replay
+        // exactly the messages a re-shard redirects.
+        let mut leaf_pairs: Vec<(u32, u32, u64)> = Vec::new();
         for seed in &bucket_seeds {
             let part = &mut parts[seed.partition as usize];
             let particles: Vec<Particle> =
                 seed.indices.iter().map(|&i| master[i as usize]).collect();
             let bbox = BoundingBox::around(particles.iter().map(|p| p.pos));
-            if seed.subtree_rank != part.rank {
+            let bytes = (particles.len() * PARTICLE_WIRE_BYTES) as u64;
+            if owner[seed.subtree as usize] != part.rank {
                 n_shared_buckets += 1;
-                leaf_share_msgs.push((
-                    seed.subtree_rank,
-                    part.rank,
-                    (particles.len() * PARTICLE_WIRE_BYTES) as u64,
-                ));
             }
+            leaf_pairs.push((seed.subtree, seed.partition, bytes));
             part.buckets.push(TargetBucket {
                 leaf_key: seed.leaf_key,
                 particles,
@@ -506,29 +814,89 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             part.bucket_indices.push(seed.indices.clone());
         }
 
+        // Checkpoint sizes: per-subtree particle payloads plus a small
+        // header, and one partition-assignment record per partition.
+        let (ckpt_subtree_bytes, ckpt_rank_bytes) = match &checkpoint {
+            Some(pieces) => {
+                let sb: Vec<u64> = pieces
+                    .iter()
+                    .map(|p| (p.particles.len() * PARTICLE_WIRE_BYTES + 32) as u64)
+                    .collect();
+                let mut rb = vec![0u64; ranks as usize];
+                for (si, b) in sb.iter().enumerate() {
+                    rb[owner[si] as usize] += b;
+                }
+                for p in 0..n_partitions {
+                    rb[partition_rank(p) as usize] += 8;
+                }
+                (sb, rb)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+
         // ---- Simulate ----
         let mut sim: Sim<Ev> = Sim::new(self.machine.clone());
         sim.telemetry = self.telemetry.clone();
-        let mut counts_total = WorkCounts::default();
         let costs = self.costs;
         let fetch_depth = config.fetch_depth;
         let cache_model = self.cache_model;
         let visitor = self.visitor;
         let kind = self.kind;
+        // Geometry-only traversals run dry in the simulation and apply
+        // the visitor once post-sim in canonical order (module docs), so
+        // their physics is independent of message timing and crashes.
+        let dry = matches!(kind, TraversalKind::TopDown | TraversalKind::BasicDfs);
+
+        let mut rec = RecoveryStats::default();
+
+        // Phase 0 (crash runs only): every rank checkpoints its owned
+        // particles and partition table to stable storage, overlapping
+        // the decomposition sort.
+        if crash.is_some() {
+            for r in 0..ranks {
+                let bytes = ckpt_rank_bytes[r as usize];
+                sim.comm.messages += 1;
+                sim.comm.bytes += bytes;
+                rec.checkpoint_bytes += bytes;
+                sim.spawn(
+                    r,
+                    Phase::Checkpoint,
+                    costs.serialize_per_byte * bytes as f64 + costs.insert_fixed,
+                    Ev::CheckpointDone,
+                );
+            }
+        }
 
         // Phase 1: decomposition tasks — the per-rank sort parallelises
         // over the rank's workers (rayon in the real engine).
         let per_rank_particles = (n_total as f64 / ranks as f64).max(1.0);
         let decomp_tasks_per_rank = workers.min(8);
+        let decomp_task_cost =
+            costs.sort_per_particle_log * per_rank_particles * log_n / decomp_tasks_per_rank as f64;
+        let mut pending_decomp = vec![0usize; ranks as usize];
         for r in 0..ranks {
             for _ in 0..decomp_tasks_per_rank {
+                pending_decomp[r as usize] += 1;
                 sim.spawn(
                     r,
                     Phase::Decomposition,
-                    costs.sort_per_particle_log * per_rank_particles * log_n
-                        / decomp_tasks_per_rank as f64,
-                    Ev::DecompDone,
+                    decomp_task_cost,
+                    Ev::DecompDone { rank: r, re: 0 },
                 );
+            }
+        }
+
+        // Arm the crash trigger. Phase triggers other than decomposition
+        // fire inside the matching barrier-release arm below.
+        let phase_trigger = crash.and_then(|c| match c.trigger {
+            CrashTrigger::AtPhase(p) => Some(p),
+            CrashTrigger::AtTime(_) => None,
+        });
+        if let Some(c) = crash {
+            match c.trigger {
+                CrashTrigger::AtPhase(CrashPhase::Decomposition) => sim.post(Ev::Crash),
+                CrashTrigger::AtTime(t) => sim.post_after(t, Ev::Crash),
+                CrashTrigger::AtPhase(_) => {}
             }
         }
 
@@ -538,89 +906,601 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         let mut share_left = 0usize;
         let mut leaf_share_left = 0usize;
         let mut traversal_start = 0.0f64;
+        let mut traversal_begun = false;
         let mut parts_done = 0usize;
-
-        // Fault layer (None ⇒ perfect network, no timers) and the error
-        // accounting the report surfaces.
-        let mut injector = self.faults.map(FaultInjector::new);
-        let retry_timeout = self.faults.map(|f| f.retry_timeout_s).unwrap_or(0.0);
         let mut fetch_retries = 0u64;
         let mut fill_errors = 0u64;
+
+        // Crash-recovery state: epochs, liveness, per-rank owed-delivery
+        // counters (incremented at spawn/send, decremented at valid
+        // delivery — so a crash leaves the dead rank's counters frozen
+        // at exactly what recovery must re-inject).
+        let mut rank_epoch = vec![0u32; ranks as usize];
+        let mut part_epoch = vec![0u32; n_partitions];
+        let mut down = vec![false; ranks as usize];
+        let mut pending_build = vec![0usize; ranks as usize];
+        let mut pending_share_in = vec![0usize; ranks as usize];
+        let mut pending_skel = vec![0usize; ranks as usize];
+        let mut pending_leaf_in = vec![0usize; ranks as usize];
+        let mut needs_graft = vec![false; n_subtrees];
+        let mut recovered_trees: Vec<Option<BuiltTree<V::Data>>> =
+            (0..n_subtrees).map(|_| None).collect();
+        let mut stuck = Stuck::default();
+        let mut crash_fired = false;
+        let mut cache_epoch_now = 0u32;
+        let mut owed_build = 0usize;
+        let mut rec_left = 0usize;
+        let mut graft_left = 0usize;
 
         // Per-subtree build costs: Subtrees build independently, in
         // parallel across each rank's workers (the model's
         // synchronisation-free build).
-        let subtree_builds: Vec<(u32, f64)> = summaries
+        let subtree_build_cost: Vec<f64> = summaries
             .iter()
             .map(|s| {
                 let n_i = s.n_particles.max(1) as f64;
-                (s.home_rank, costs.build_per_particle_log * n_i * (n_i.log2().max(1.0)))
+                costs.build_per_particle_log * n_i * (n_i.log2().max(1.0))
             })
             .collect();
 
         sim.run(|sim, ev| match ev {
-            Ev::DecompDone => {
+            Ev::CheckpointDone => {}
+            Ev::DecompDone { rank, re } => {
+                if re != rank_epoch[rank as usize] {
+                    rec.discarded_events += 1;
+                    return;
+                }
+                pending_decomp[rank as usize] -= 1;
                 decomp_left -= 1;
                 if decomp_left == 0 {
-                    // Phase 2: tree builds, one task per Subtree.
-                    for &(rank, cost) in &subtree_builds {
+                    if phase_trigger == Some(CrashPhase::TreeBuild) && !crash_fired {
+                        sim.post(Ev::Crash);
+                    }
+                    // Phase 2: tree builds, one task per Subtree, on the
+                    // subtree's current owner.
+                    for (si, &cost) in subtree_build_cost.iter().enumerate() {
+                        let r = owner[si];
+                        let stamp = if needs_graft[si] { si as u32 } else { u32::MAX };
                         build_left += 1;
-                        sim.spawn(rank, Phase::TreeBuild, cost, Ev::BuildDone);
+                        pending_build[r as usize] += 1;
+                        sim.spawn(
+                            r,
+                            Phase::TreeBuild,
+                            cost,
+                            Ev::BuildDone { rank: r, re: rank_epoch[r as usize], si: stamp },
+                        );
                     }
                 }
             }
-            Ev::BuildDone => {
+            Ev::BuildDone { rank, re, si } => {
+                if re != rank_epoch[rank as usize] {
+                    rec.discarded_events += 1;
+                    return;
+                }
+                pending_build[rank as usize] -= 1;
                 build_left -= 1;
+                if si != u32::MAX && needs_graft[si as usize] {
+                    // A re-sharded subtree finished building at its new
+                    // owner: graft it so fetches can be served there.
+                    let tree = rebuild(si as usize);
+                    graft_subtree::<V>(
+                        sim,
+                        tree,
+                        owner[si as usize],
+                        caches_per_rank,
+                        &caches,
+                        &parts,
+                        &part_epoch,
+                        costs.resume,
+                        &mut fill_errors,
+                    );
+                    needs_graft[si as usize] = false;
+                }
                 if build_left == 0 {
-                    // Phase 3: share summaries all-to-all.
+                    // Phase 3: share summaries all-to-all among the
+                    // living. With one rank left (or one rank total) the
+                    // barrier is satisfied by a single local event.
                     let payload = summaries.len() as u64 * costs.summary_bytes;
+                    let mut sent = 0usize;
                     for from in 0..ranks {
+                        if down[from as usize] {
+                            continue;
+                        }
                         for to in 0..ranks {
-                            if from != to {
-                                share_left += 1;
-                                sim.send(from, to, payload / ranks as u64, Ev::ShareArrive);
+                            if to == from || down[to as usize] {
+                                continue;
                             }
+                            share_left += 1;
+                            pending_share_in[to as usize] += 1;
+                            sent += 1;
+                            sim.send(
+                                from,
+                                to,
+                                payload / ranks as u64,
+                                Ev::ShareArrive { to, re: rank_epoch[to as usize] },
+                            );
                         }
                     }
-                    if ranks == 1 {
+                    if sent == 0 {
+                        let to = (0..ranks).find(|&r| !down[r as usize]).unwrap_or(0);
                         share_left += 1;
-                        sim.post(Ev::ShareArrive);
+                        pending_share_in[to as usize] += 1;
+                        sim.post(Ev::ShareArrive { to, re: rank_epoch[to as usize] });
                     }
                 }
             }
-            Ev::ShareArrive => {
+            Ev::ShareArrive { to, re } => {
+                if re != rank_epoch[to as usize] {
+                    rec.discarded_events += 1;
+                    return;
+                }
+                pending_share_in[to as usize] -= 1;
                 share_left -= 1;
                 if share_left == 0 {
-                    // Small skeleton-build task per rank, then leaf share.
+                    if phase_trigger == Some(CrashPhase::LeafSharing) && !crash_fired {
+                        sim.post(Ev::Crash);
+                    }
+                    // Small skeleton-build task per living rank, then
+                    // leaf buckets flow from each subtree's current
+                    // owner to its partition's current rank.
                     for r in 0..ranks {
+                        if down[r as usize] {
+                            continue;
+                        }
+                        leaf_share_left += 1;
+                        pending_skel[r as usize] += 1;
                         sim.spawn(
                             r,
                             Phase::ShareTopLevels,
                             costs.insert_fixed + summaries.len() as f64 * 1e-7,
-                            Ev::LeafShareArrive,
+                            Ev::LeafShareArrive { to: r, re: rank_epoch[r as usize], skel: true },
                         );
                     }
-                    leaf_share_left += ranks as usize;
-                    for (from, to, bytes) in leaf_share_msgs.drain(..) {
+                    for &(si, part, bytes) in leaf_pairs.iter() {
+                        let from = owner[si as usize];
+                        let to2 = parts[part as usize].rank;
+                        if from == to2 {
+                            continue;
+                        }
                         leaf_share_left += 1;
-                        sim.send(from, to, bytes, Ev::LeafShareArrive);
+                        pending_leaf_in[to2 as usize] += 1;
+                        sim.send(
+                            from,
+                            to2,
+                            bytes,
+                            Ev::LeafShareArrive {
+                                to: to2,
+                                re: rank_epoch[to2 as usize],
+                                skel: false,
+                            },
+                        );
                     }
                 }
             }
-            Ev::LeafShareArrive => {
+            Ev::LeafShareArrive { to, re, skel } => {
+                if re != rank_epoch[to as usize] {
+                    rec.discarded_events += 1;
+                    return;
+                }
+                if skel {
+                    pending_skel[to as usize] -= 1;
+                } else {
+                    pending_leaf_in[to as usize] -= 1;
+                }
                 leaf_share_left -= 1;
                 if leaf_share_left == 0 {
                     #[cfg(debug_assertions)]
                     audit_all(&caches, "at traversal start");
                     traversal_start = sim.now();
+                    traversal_begun = true;
+                    if phase_trigger == Some(CrashPhase::Traversal) && !crash_fired {
+                        sim.post(Ev::Crash);
+                    }
                     // Seed every partition's traversal.
                     for p in 0..parts.len() as u32 {
-                        sim.post(Ev::PartRun { part: p });
+                        sim.post(Ev::PartRun { part: p, pe: part_epoch[p as usize] });
                     }
                 }
             }
-            Ev::PartRun { part } => {
+            Ev::Crash => {
+                if crash_fired {
+                    return;
+                }
+                crash_fired = true;
+                let c = crash.expect("crash event only posted when configured");
+                let cr = c.rank as usize;
+                rec.count += 1;
+                rec.crash_time_s = sim.now();
+                rec.phase_idx = if decomp_left > 0 {
+                    0
+                } else if build_left > 0 {
+                    1
+                } else if !traversal_begun {
+                    2
+                } else {
+                    3
+                };
+                down[cr] = true;
+                // Everything in flight to or from this rank is now void.
+                rank_epoch[cr] += 1;
+                for p in 0..parts.len() {
+                    if parts[p].rank == c.rank {
+                        reset_part::<V>(
+                            &mut parts[p],
+                            &mut part_epoch[p],
+                            &mut parts_done,
+                            &master,
+                        );
+                    }
+                }
+                sim.telemetry.count("fault.crash", 1);
+                // Survivors notice when the rank stops answering — the
+                // same timeout that drives fetch retries.
+                sim.post_after(retry_timeout, Ev::CrashDetected);
+            }
+            Ev::CrashDetected => {
+                let c = crash.expect("detection follows a configured crash");
+                let cr = c.rank as usize;
+                rec.detected_s = sim.now();
+                // The dead rank's owed deliveries, frozen since the
+                // crash (epoch discards stop the counters moving).
+                stuck = Stuck {
+                    decomp: pending_decomp[cr],
+                    build: pending_build[cr],
+                    share: pending_share_in[cr],
+                    skel: pending_skel[cr],
+                    leaf: pending_leaf_in[cr],
+                };
+                // Globally invalidate fills serialised before the crash.
+                cache_epoch_now += 1;
+                for cache in caches.iter() {
+                    cache.set_epoch(cache_epoch_now);
+                }
+                // Re-arm placeholders whose fetches died with the rank.
+                for cache in caches.iter() {
+                    rec.rearmed_keys += cache.on_owner_crash(c.rank) as u64;
+                }
+                if c.restart {
+                    sim.post_after(c.restart_delay_s, Ev::RecoverStep { stage: 0 });
+                } else {
+                    // ---- Re-shard onto the survivors ----
+                    let alive: Vec<u32> = (0..ranks).filter(|&r| !down[r as usize]).collect();
+                    let mut rr = 0usize;
+                    let mut resharded: Vec<usize> = Vec::new();
+                    for si in 0..n_subtrees {
+                        if owner[si] == c.rank {
+                            owner[si] = alive[rr % alive.len()];
+                            rr += 1;
+                            needs_graft[si] = true;
+                            resharded.push(si);
+                        }
+                    }
+                    rec.resharded_subtrees = resharded.len() as u64;
+                    for i in 0..caches_per_rank {
+                        caches[(c.rank * caches_per_rank + i) as usize].mark_dead();
+                    }
+                    // Adopt the dead rank's partitions (already reset at
+                    // the crash); their buckets re-load from the
+                    // checkpointed particles.
+                    let mut moved = 0usize;
+                    for p in 0..parts.len() {
+                        if parts[p].rank == c.rank {
+                            let new_rank = alive[moved % alive.len()];
+                            moved += 1;
+                            parts[p].rank = new_rank;
+                            parts[p].cache_idx =
+                                new_rank * caches_per_rank + (p as u32 % caches_per_rank);
+                            let bytes: u64 = parts[p]
+                                .buckets
+                                .iter()
+                                .map(|b| (b.particles.len() * PARTICLE_WIRE_BYTES) as u64)
+                                .sum::<u64>()
+                                + 8;
+                            sim.comm.messages += 1;
+                            sim.comm.bytes += bytes;
+                            rec.restored_bytes += bytes;
+                            if traversal_begun {
+                                sim.post(Ev::PartRun { part: p as u32, pe: part_epoch[p] });
+                            }
+                        }
+                    }
+                    rec.moved_partitions = moved as u64;
+                    if stuck.decomp > 0 {
+                        // Survivors redo the dead rank's share of the
+                        // sort; the build barrier then spawns on the new
+                        // owners and grafts ride the normal path.
+                        for i in 0..stuck.decomp {
+                            let r = alive[i % alive.len()];
+                            sim.spawn(
+                                r,
+                                Phase::Decomposition,
+                                decomp_task_cost,
+                                Ev::DecompDone { rank: c.rank, re: rank_epoch[cr] },
+                            );
+                        }
+                        rec.completed_s = sim.now();
+                    } else {
+                        // Read each lost subtree's checkpoint at its new
+                        // owner, rebuild, graft; owed build-barrier
+                        // deliveries are re-posted as rebuilds land.
+                        owed_build = stuck.build;
+                        graft_left = resharded.len();
+                        for &si in &resharded {
+                            let bytes = ckpt_subtree_bytes[si];
+                            sim.comm.messages += 1;
+                            sim.comm.bytes += bytes;
+                            rec.restored_bytes += bytes;
+                            sim.spawn(
+                                owner[si],
+                                Phase::Recovery,
+                                costs.serialize_per_byte * bytes as f64 + costs.insert_fixed,
+                                Ev::SubtreeRestored { si: si as u32 },
+                            );
+                        }
+                        if graft_left == 0 {
+                            rec.completed_s = sim.now();
+                        }
+                    }
+                    // Absorb the dead rank's stuck barrier shares so the
+                    // pipeline can release without it.
+                    for _ in 0..stuck.share {
+                        sim.post(Ev::ShareArrive { to: c.rank, re: rank_epoch[cr] });
+                    }
+                    for _ in 0..stuck.skel {
+                        sim.post(Ev::LeafShareArrive {
+                            to: c.rank,
+                            re: rank_epoch[cr],
+                            skel: true,
+                        });
+                    }
+                    for _ in 0..stuck.leaf {
+                        sim.post(Ev::LeafShareArrive {
+                            to: c.rank,
+                            re: rank_epoch[cr],
+                            skel: false,
+                        });
+                    }
+                }
+            }
+            Ev::RecoverStep { stage } => {
+                let c = crash.expect("recovery follows a configured crash");
+                let cr = c.rank as usize;
+                match stage {
+                    0 => {
+                        // The rank is back: read its checkpoint.
+                        rec.restarted = 1;
+                        let bytes = ckpt_rank_bytes[cr];
+                        sim.comm.messages += 1;
+                        sim.comm.bytes += bytes;
+                        rec.restored_bytes += bytes;
+                        sim.spawn(
+                            c.rank,
+                            Phase::Recovery,
+                            costs.serialize_per_byte * bytes as f64 + costs.insert_fixed,
+                            Ev::RecoverStep { stage: 1 },
+                        );
+                    }
+                    1 => {
+                        if stuck.decomp > 0 {
+                            // Crash hit the sort: redo the owed share
+                            // locally; the rest of the pipeline follows
+                            // from the barriers.
+                            down[cr] = false;
+                            for _ in 0..stuck.decomp {
+                                sim.spawn(
+                                    c.rank,
+                                    Phase::Decomposition,
+                                    decomp_task_cost,
+                                    Ev::DecompDone { rank: c.rank, re: rank_epoch[cr] },
+                                );
+                            }
+                            rec.completed_s = sim.now();
+                        } else {
+                            // All of this rank's subtrees rebuild from
+                            // the checkpoint (its memory is gone, even
+                            // for builds that had finished).
+                            if rec.phase_idx < 3 {
+                                down[cr] = false;
+                            }
+                            owed_build = stuck.build;
+                            let owned: Vec<usize> =
+                                (0..n_subtrees).filter(|&si| owner[si] == c.rank).collect();
+                            rec_left = owned.len();
+                            if rec_left == 0 {
+                                sim.post(Ev::RecoverStep { stage: 2 });
+                            } else {
+                                for si in owned {
+                                    sim.spawn(
+                                        c.rank,
+                                        Phase::TreeBuild,
+                                        subtree_build_cost[si],
+                                        Ev::SubtreeRebuilt { si: si as u32 },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    2 => {
+                        if stuck.share > 0 {
+                            // Survivors re-send the summaries the rank
+                            // lost; the share barrier then releases with
+                            // everyone alive.
+                            let payload =
+                                summaries.len() as u64 * costs.summary_bytes / ranks as u64;
+                            let alive: Vec<u32> =
+                                (0..ranks).filter(|&r| r != c.rank && !down[r as usize]).collect();
+                            for i in 0..stuck.share {
+                                let from = alive[i % alive.len()];
+                                sim.send(
+                                    from,
+                                    c.rank,
+                                    payload,
+                                    Ev::ShareArrive { to: c.rank, re: rank_epoch[cr] },
+                                );
+                            }
+                            rec.completed_s = sim.now();
+                        } else if stuck.skel + stuck.leaf > 0 || rec.phase_idx == 3 {
+                            // Redo the skeleton build before rejoining
+                            // the leaf-share barrier or traversal.
+                            sim.spawn(
+                                c.rank,
+                                Phase::ShareTopLevels,
+                                costs.insert_fixed + summaries.len() as f64 * 1e-7,
+                                Ev::RecoverStep { stage: 3 },
+                            );
+                        } else {
+                            // Crash hit decomposition or build: the
+                            // barriers already carry the redone work.
+                            rec.completed_s = sim.now();
+                        }
+                    }
+                    _ => {
+                        if stuck.skel + stuck.leaf > 0 {
+                            // Crash hit leaf sharing: absorb the redone
+                            // skeleton and re-send the lost leaf buckets
+                            // from their current owners.
+                            for _ in 0..stuck.skel {
+                                sim.post(Ev::LeafShareArrive {
+                                    to: c.rank,
+                                    re: rank_epoch[cr],
+                                    skel: true,
+                                });
+                            }
+                            let mut need = stuck.leaf;
+                            for &(si, part, bytes) in leaf_pairs.iter() {
+                                if need == 0 {
+                                    break;
+                                }
+                                let from = owner[si as usize];
+                                if parts[part as usize].rank == c.rank && from != c.rank {
+                                    need -= 1;
+                                    sim.send(
+                                        from,
+                                        c.rank,
+                                        bytes,
+                                        Ev::LeafShareArrive {
+                                            to: c.rank,
+                                            re: rank_epoch[cr],
+                                            skel: false,
+                                        },
+                                    );
+                                }
+                            }
+                            for _ in 0..need {
+                                sim.post(Ev::LeafShareArrive {
+                                    to: c.rank,
+                                    re: rank_epoch[cr],
+                                    skel: false,
+                                });
+                            }
+                            rec.completed_s = sim.now();
+                        } else {
+                            // Traversal-phase restart: re-initialise the
+                            // rank's caches from the rebuilt subtrees
+                            // (remote fills are gone; placeholders
+                            // re-fetch on demand) and relaunch its
+                            // partitions from their reset state.
+                            let owned: Vec<usize> =
+                                (0..n_subtrees).filter(|&si| owner[si] == c.rank).collect();
+                            for i in 0..caches_per_rank {
+                                let ci = (c.rank * caches_per_rank + i) as usize;
+                                let local: Vec<BuiltTree<V::Data>> = if i + 1 == caches_per_rank {
+                                    owned
+                                        .iter()
+                                        .map(|&si| {
+                                            recovered_trees[si].take().expect("subtree rebuilt")
+                                        })
+                                        .collect()
+                                } else {
+                                    owned
+                                        .iter()
+                                        .map(|&si| {
+                                            recovered_trees[si].clone().expect("subtree rebuilt")
+                                        })
+                                        .collect()
+                                };
+                                caches[ci].reinit(&summaries, local);
+                            }
+                            down[cr] = false;
+                            for p in 0..parts.len() {
+                                if parts[p].rank == c.rank {
+                                    sim.post(Ev::PartRun { part: p as u32, pe: part_epoch[p] });
+                                }
+                            }
+                            rec.completed_s = sim.now();
+                        }
+                    }
+                }
+            }
+            Ev::SubtreeRestored { si } => {
+                // Checkpoint read done at the new owner: rebuild there.
+                let s = si as usize;
+                sim.spawn(
+                    owner[s],
+                    Phase::TreeBuild,
+                    subtree_build_cost[s],
+                    Ev::SubtreeRebuilt { si },
+                );
+            }
+            Ev::SubtreeRebuilt { si } => {
+                let s = si as usize;
+                let c = crash.expect("rebuild follows a configured crash");
+                if c.restart {
+                    // Keep the tree for the cache re-init (only needed
+                    // when remote state was lost mid-traversal); satisfy
+                    // one owed build-barrier delivery per rebuild.
+                    if rec.phase_idx == 3 {
+                        recovered_trees[s] = Some(rebuild(s));
+                    }
+                    if owed_build > 0 {
+                        owed_build -= 1;
+                        sim.post(Ev::BuildDone {
+                            rank: c.rank,
+                            re: rank_epoch[c.rank as usize],
+                            si: u32::MAX,
+                        });
+                    }
+                    rec_left -= 1;
+                    if rec_left == 0 {
+                        sim.post(Ev::RecoverStep { stage: 2 });
+                    }
+                } else {
+                    let tree = rebuild(s);
+                    graft_subtree::<V>(
+                        sim,
+                        tree,
+                        owner[s],
+                        caches_per_rank,
+                        &caches,
+                        &parts,
+                        &part_epoch,
+                        costs.resume,
+                        &mut fill_errors,
+                    );
+                    needs_graft[s] = false;
+                    if owed_build > 0 {
+                        owed_build -= 1;
+                        sim.post(Ev::BuildDone {
+                            rank: c.rank,
+                            re: rank_epoch[c.rank as usize],
+                            si: u32::MAX,
+                        });
+                    }
+                    graft_left -= 1;
+                    if graft_left == 0 {
+                        rec.completed_s = sim.now();
+                    }
+                }
+            }
+            Ev::PartRun { part, pe } => {
+                if pe != part_epoch[part as usize] {
+                    rec.discarded_events += 1;
+                    return;
+                }
                 let ps = &mut parts[part as usize];
+                if down[ps.rank as usize] {
+                    return;
+                }
                 let cache = &caches[ps.cache_idx as usize];
                 if !ps.seeded {
                     ps.seeded = true;
@@ -638,20 +1518,32 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                 let mut batch = WorkCounts::default();
                 let mut fetches: Vec<PendingFetch<V::Data>> = Vec::new();
                 while let Some(item) = ps.stack.pop() {
-                    process_item(
-                        cache,
-                        visitor,
-                        &mut ps.buckets,
-                        item,
-                        &mut ps.stack,
-                        &mut fetches,
-                        &mut batch,
-                    );
+                    if dry {
+                        process_item_dry(
+                            cache,
+                            visitor,
+                            &mut ps.buckets,
+                            item,
+                            &mut ps.stack,
+                            &mut fetches,
+                            &mut batch,
+                        );
+                    } else {
+                        process_item(
+                            cache,
+                            visitor,
+                            &mut ps.buckets,
+                            item,
+                            &mut ps.stack,
+                            &mut fetches,
+                            &mut batch,
+                        );
+                    }
                     if ordered && !fetches.is_empty() {
                         break;
                     }
                 }
-                counts_total += batch;
+                ps.counts += batch;
                 let phase =
                     if ps.resumed_once { Phase::RemoteTraversal } else { Phase::LocalTraversal };
                 let fetch_list: Vec<(NodeKey, Vec<u32>)> =
@@ -664,10 +1556,14 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                     part_resource(part),
                     phase,
                     batch_cost,
-                    Ev::PartWorkDone { part, fetches: fetch_list },
+                    Ev::PartWorkDone { part, pe, fetches: fetch_list },
                 );
             }
-            Ev::PartWorkDone { part, fetches } => {
+            Ev::PartWorkDone { part, pe, fetches } => {
+                if pe != part_epoch[part as usize] {
+                    rec.discarded_events += 1;
+                    return;
+                }
                 let ps = &mut parts[part as usize];
                 let cache = &caches[ps.cache_idx as usize];
                 ps.in_flight -= 1;
@@ -694,6 +1590,13 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                             rerun = true;
                         }
                         RequestOutcome::SendFetch { home_rank } => {
+                            // After a re-shard the cached home rank may
+                            // be stale: route to the current owner.
+                            let home = if crash.is_some() {
+                                owner_of(&subtree_index, &owner, bits, key, home_rank)
+                            } else {
+                                home_rank
+                            };
                             ps.paused
                                 .entry(key)
                                 .or_default()
@@ -708,25 +1611,27 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                                 0.0,
                                 Some(key.raw()),
                             );
-                            send_faulty(
-                                sim,
-                                &mut injector,
-                                ps.rank,
-                                home_rank,
-                                costs.request_bytes,
-                                Ev::RequestArrive {
-                                    key,
-                                    home_rank,
-                                    to_cache: ps.cache_idx,
-                                    requester_rank: ps.rank,
-                                },
-                            );
+                            if !down[home as usize] {
+                                send_faulty(
+                                    sim,
+                                    &mut injector,
+                                    ps.rank,
+                                    home,
+                                    costs.request_bytes,
+                                    Ev::RequestArrive {
+                                        key,
+                                        home_rank: home,
+                                        to_cache: ps.cache_idx,
+                                        requester_rank: ps.rank,
+                                    },
+                                );
+                            }
                             if injector.is_some() {
                                 sim.post_after(
                                     retry_timeout,
                                     Ev::FetchTimeout {
                                         key,
-                                        home_rank,
+                                        home_rank: home,
                                         to_cache: ps.cache_idx,
                                         requester_rank: ps.rank,
                                         attempt: 1,
@@ -744,7 +1649,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                     }
                 }
                 if rerun {
-                    sim.post(Ev::PartRun { part });
+                    sim.post(Ev::PartRun { part, pe });
                 } else if ps.stack.is_empty()
                     && ps.outstanding == 0
                     && ps.in_flight == 0
@@ -758,7 +1663,26 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                 // Serve at the home rank: the authoritative copy lives in
                 // every cache instance of that rank (with PerThread they
                 // all graft the local trees), so its first cache serves.
+                if down[home as usize] {
+                    rec.dead_requests += 1;
+                    return;
+                }
                 let home_cache = (home * caches_per_rank) as usize;
+                if caches[home_cache].is_dead() {
+                    rec.dead_requests += 1;
+                    return;
+                }
+                if crash.is_some() {
+                    // A re-sharded subtree may not be grafted at its new
+                    // owner yet; drop and let the retry timer re-ask.
+                    match caches[home_cache].find(key) {
+                        Some(n) if !n.is_placeholder() => {}
+                        _ => {
+                            rec.dead_requests += 1;
+                            return;
+                        }
+                    }
+                }
                 match caches[home_cache].serialize_fragment(key, fetch_depth) {
                     Ok(bytes) => {
                         let cost = costs.serialize_per_byte * bytes.len() as f64
@@ -781,6 +1705,10 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                 }
             }
             Ev::FillServeDone { home_rank, to_cache, requester_rank, bytes } => {
+                if down[requester_rank as usize] {
+                    rec.discarded_events += 1;
+                    return;
+                }
                 let nbytes = bytes.len() as u64;
                 send_faulty(
                     sim,
@@ -793,6 +1721,10 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             }
             Ev::FillArrive { to_cache, bytes } => {
                 let rank = caches[to_cache as usize].rank;
+                if down[rank as usize] || caches[to_cache as usize].is_dead() {
+                    rec.discarded_events += 1;
+                    return;
+                }
                 let cost = costs.insert_fixed + costs.insert_per_byte * bytes.len() as f64;
                 match cache_model {
                     CacheModel::XWrite => sim.spawn_exclusive(
@@ -812,6 +1744,10 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             }
             Ev::InsertDone { to_cache, bytes } => {
                 let cache = &caches[to_cache as usize];
+                if down[cache.rank as usize] || cache.is_dead() {
+                    rec.discarded_events += 1;
+                    return;
+                }
                 match cache.insert_fragment(&bytes) {
                     Ok(outcome) => {
                         // A fill may materialise several keys at once (a
@@ -824,9 +1760,15 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                                 rank,
                                 Phase::TraversalResumption,
                                 costs.resume,
-                                Ev::Resumed { part, key },
+                                Ev::Resumed { part, pe: part_epoch[part as usize], key },
                             );
                         }
+                    }
+                    Err(CacheError::StaleEpoch { .. }) => {
+                        // A fill serialised before the crash: reject it
+                        // silently — the retry machinery re-fetches
+                        // under the new epoch.
+                        rec.stale_fills += 1;
                     }
                     Err(e) => {
                         // A bad fill degrades to a logged drop; the
@@ -838,7 +1780,11 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                     }
                 }
             }
-            Ev::Resumed { part, key } => {
+            Ev::Resumed { part, pe, key } => {
+                if pe != part_epoch[part as usize] {
+                    rec.discarded_events += 1;
+                    return;
+                }
                 let ps = &mut parts[part as usize];
                 let cache = &caches[ps.cache_idx as usize];
                 if let Some(items) = ps.paused.remove(&key) {
@@ -855,43 +1801,90 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                             .push(WorkItem { node: NodeHandle::new(node), buckets: item.buckets });
                     }
                     ps.resumed_once = true;
-                    sim.post(Ev::PartRun { part });
+                    sim.post(Ev::PartRun { part, pe });
                 }
             }
             Ev::FetchTimeout { key, home_rank, to_cache, requester_rank, attempt } => {
                 // Re-request only if the fill never landed (the fetch or
                 // the fill was dropped, or both are still delayed — a
                 // duplicate fill is idempotent, so over-asking is safe).
+                if down[requester_rank as usize] || caches[to_cache as usize].is_dead() {
+                    return;
+                }
                 let still_pending =
                     caches[to_cache as usize].find(key).is_some_and(|n| n.is_placeholder());
-                if still_pending && injector.is_some() {
-                    fetch_retries += 1;
-                    sim.telemetry.count("des.fetch_retries", 1);
-                    send_faulty(
-                        sim,
-                        &mut injector,
-                        requester_rank,
-                        home_rank,
-                        costs.request_bytes,
-                        Ev::RequestArrive { key, home_rank, to_cache, requester_rank },
-                    );
+                if !still_pending || injector.is_none() {
+                    return;
+                }
+                let home = if crash.is_some() {
+                    owner_of(&subtree_index, &owner, bits, key, home_rank)
+                } else {
+                    home_rank
+                };
+                if down[home as usize] {
+                    // The owner is down (crashed, not yet restarted or
+                    // re-sharded): keep the timer alive and try again.
                     sim.post_after(
                         retry_timeout,
                         Ev::FetchTimeout {
                             key,
-                            home_rank,
+                            home_rank: home,
                             to_cache,
                             requester_rank,
                             attempt: attempt + 1,
                         },
                     );
+                    return;
                 }
+                fetch_retries += 1;
+                sim.telemetry.count("des.fetch_retries", 1);
+                send_faulty(
+                    sim,
+                    &mut injector,
+                    requester_rank,
+                    home,
+                    costs.request_bytes,
+                    Ev::RequestArrive { key, home_rank: home, to_cache, requester_rank },
+                );
+                sim.post_after(
+                    retry_timeout,
+                    Ev::FetchTimeout {
+                        key,
+                        home_rank: home,
+                        to_cache,
+                        requester_rank,
+                        attempt: attempt + 1,
+                    },
+                );
             }
         });
 
         assert_eq!(parts_done, parts.len(), "all partitions must finish");
         #[cfg(debug_assertions)]
         audit_all(&caches, "after traversal");
+
+        // ---- Canonical visitor application (dry traversals) ----
+        // The simulation established timing, communication, and a fully
+        // materialised cache per partition; the physics is applied once,
+        // in depth-first order, so the result is bit-identical with or
+        // without crashes and message faults.
+        if dry {
+            for ps in &mut parts {
+                let cache = &caches[ps.cache_idx as usize];
+                let _ = traverse_local(cache, visitor, kind, &mut ps.buckets);
+            }
+        }
+
+        if rec.count > 0 {
+            let c = crash.expect("recovery stats only accumulate with a crash");
+            self.telemetry.span_at(
+                Track { rank: c.rank, worker: 0 },
+                "recovery",
+                rec.detected_s * 1e6,
+                (rec.completed_s - rec.detected_s).max(0.0) * 1e6,
+                None,
+            );
+        }
 
         // ---- Write-back and reporting ----
         for ps in &parts {
@@ -901,11 +1894,19 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                 }
             }
         }
+        let states: Vec<(NodeKey, V::State)> = parts
+            .iter()
+            .flat_map(|ps| ps.buckets.iter().map(|b| (b.leaf_key, b.state.clone())))
+            .collect();
         let mut cache_stats = CacheStatsSnapshot::default();
         for c in &caches {
             cache_stats.merge(&c.stats.snapshot());
         }
         let partition_costs: Vec<f64> = parts.iter().map(|p| p.cost).collect();
+        let mut counts_total = WorkCounts::default();
+        for ps in &parts {
+            counts_total += ps.counts;
+        }
         let fault_stats = injector.map(|f| f.stats).unwrap_or_default();
 
         // Assemble the registry first; the report's named fields read
@@ -915,6 +1916,11 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         metrics.absorb("cache", &cache_stats);
         metrics.absorb("counts", &counts_total);
         metrics.absorb("faults", &fault_stats);
+        // The same counters again under the stable `fault.*` prefix,
+        // alongside the engine-level fault handling totals.
+        metrics.absorb("fault", &fault_stats);
+        metrics.set_u64("fault.fetch_retries", fetch_retries);
+        metrics.set_u64("fault.fill_errors", fill_errors);
         metrics.absorb("phase_busy_s", &sim.ledger);
         metrics.set_f64("time.makespan_s", sim.makespan());
         metrics.set_f64("time.traversal_start_s", traversal_start);
@@ -924,7 +1930,15 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         metrics.set_u64("des.fill_errors", fill_errors);
         metrics.set_u64("des.n_shared_buckets", n_shared_buckets as u64);
         metrics.set_u64("des.n_partitions", partition_costs.len() as u64);
-        IterationReport {
+        if let Some(c) = crash {
+            metrics.absorb("recovery", &rec);
+            metrics.set_u64("fault.crash.count", rec.count);
+            metrics.set_u64("fault.crash.rank", c.rank as u64);
+            metrics.set_f64("fault.crash.time_s", rec.crash_time_s);
+            metrics.set_u64("fault.crash.phase_idx", rec.phase_idx);
+            metrics.set_u64("fault.crash.restarted", rec.restarted);
+        }
+        let report = IterationReport {
             makespan: metrics.get_f64("time.makespan_s"),
             traversal_start: metrics.get_f64("time.traversal_start_s"),
             phase_busy: sim.ledger.busy_per_phase(),
@@ -939,8 +1953,10 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             faults: fault_stats,
             fetch_retries: metrics.get_u64("des.fetch_retries"),
             fill_errors: metrics.get_u64("des.fill_errors"),
+            recovery: rec,
             metrics,
-        }
+        };
+        (report, states)
     }
 }
 

@@ -37,7 +37,7 @@ pub mod visitor;
 
 pub use config::{Configuration, DecompType, SfcCurve, TraversalKind};
 pub use decomp::{decompose, Decomposition, Partitioner, SubtreePiece};
-pub use des_engine::{sfc_balanced_assignment, DistributedEngine, IterationReport};
+pub use des_engine::{sfc_balanced_assignment, DistributedEngine, IterationReport, RecoveryStats};
 pub use framework::{Framework, StepReport};
 pub use threaded::{ThreadedEngine, ThreadedReport};
 pub use traversal::{CacheModel, TraversalStats, WorkCounts};

@@ -136,6 +136,41 @@ pub fn process_item<V: Visitor>(
     fetches: &mut Vec<PendingFetch<V::Data>>,
     counts: &mut WorkCounts,
 ) {
+    process_item_inner(cache, visitor, buckets, item, out, fetches, counts, true)
+}
+
+/// [`process_item`] without the visitor side effects: identical `open`
+/// decisions, identical counters and child/fetch generation, but no
+/// `node()`/`leaf()` application. The distributed engine runs crash
+/// recovery in this mode — the simulated timeline drives fetches and
+/// costs, and physics is applied afterwards by a canonical local replay
+/// over the fully-fetched cache, so a crash can never double-apply an
+/// interaction. Only valid for traversals whose `open` ignores bucket
+/// state (gravity, collision); state-dependent walks (k-NN) must apply
+/// as they go.
+pub fn process_item_dry<V: Visitor>(
+    cache: &CacheTree<V::Data>,
+    visitor: &V,
+    buckets: &mut [TargetBucket<V::State>],
+    item: WorkItem<V::Data>,
+    out: &mut Vec<WorkItem<V::Data>>,
+    fetches: &mut Vec<PendingFetch<V::Data>>,
+    counts: &mut WorkCounts,
+) {
+    process_item_inner(cache, visitor, buckets, item, out, fetches, counts, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_item_inner<V: Visitor>(
+    cache: &CacheTree<V::Data>,
+    visitor: &V,
+    buckets: &mut [TargetBucket<V::State>],
+    item: WorkItem<V::Data>,
+    out: &mut Vec<WorkItem<V::Data>>,
+    fetches: &mut Vec<PendingFetch<V::Data>>,
+    counts: &mut WorkCounts,
+    apply: bool,
+) {
     let node = item.node.get(cache);
     counts.nodes_visited += 1;
     let view = SpatialNodeView::of(node);
@@ -147,10 +182,14 @@ pub fn process_item<V: Visitor>(
                 let bucket = &mut buckets[b as usize];
                 if visitor.open(&view, bucket) {
                     counts.leaf_interactions += (node.particles.len() * bucket.len()) as u64;
-                    visitor.leaf(&view, bucket);
+                    if apply {
+                        visitor.leaf(&view, bucket);
+                    }
                 } else {
                     counts.node_interactions += bucket.len() as u64;
-                    visitor.node(&view, bucket);
+                    if apply {
+                        visitor.node(&view, bucket);
+                    }
                 }
             }
         }
@@ -163,7 +202,9 @@ pub fn process_item<V: Visitor>(
                     opened.push(b);
                 } else {
                     counts.node_interactions += bucket.len() as u64;
-                    visitor.node(&view, bucket);
+                    if apply {
+                        visitor.node(&view, bucket);
+                    }
                 }
             }
             if opened.is_empty() {

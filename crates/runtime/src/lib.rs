@@ -29,4 +29,7 @@ pub mod sim;
 pub use ledger::Ledger;
 pub use machine::MachineSpec;
 pub use phase::Phase;
-pub use sim::{CommStats, FaultAction, FaultConfig, FaultInjector, FaultStats, Sim, WorkerId};
+pub use sim::{
+    CommStats, CrashConfig, CrashPhase, CrashTrigger, FaultAction, FaultConfig, FaultConfigError,
+    FaultInjector, FaultStats, Sim, WorkerId,
+};

@@ -28,10 +28,16 @@ pub enum Phase {
     RemoteTraversal = 9,
     /// Everything else (post-traversal user work, integration, ...).
     Other = 10,
+    /// Writing per-rank particle/partition checkpoints to stable
+    /// storage at iteration start (fault tolerance).
+    Checkpoint = 11,
+    /// Crash recovery: reading checkpoints, rebuilding the dead rank's
+    /// subtrees, re-initialising its cache.
+    Recovery = 12,
 }
 
 /// Number of phase categories.
-pub const N_PHASES: usize = 11;
+pub const N_PHASES: usize = 13;
 
 impl Phase {
     /// All phases in index order.
@@ -47,6 +53,8 @@ impl Phase {
         Phase::TraversalResumption,
         Phase::RemoteTraversal,
         Phase::Other,
+        Phase::Checkpoint,
+        Phase::Recovery,
     ];
 
     /// Stable index (0..[`N_PHASES`]).
@@ -69,6 +77,8 @@ impl Phase {
             Phase::TraversalResumption => "traversal resumption",
             Phase::RemoteTraversal => "remote traversal",
             Phase::Other => "other",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Recovery => "recovery",
         }
     }
 }

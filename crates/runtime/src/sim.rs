@@ -275,6 +275,72 @@ impl<P> Sim<P> {
 // Deterministic fault injection.
 // ---------------------------------------------------------------------
 
+/// The pipeline stage a scheduled rank crash interrupts (the crash
+/// fires as the stage *begins*, so the rank's whole contribution to it
+/// is lost and must be re-derived during recovery).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// During decomposition (before the rank's sort finishes).
+    Decomposition,
+    /// During the local tree builds.
+    TreeBuild,
+    /// During summary/leaf sharing.
+    LeafSharing,
+    /// After traversal has started.
+    Traversal,
+}
+
+impl CrashPhase {
+    /// Stable index for metrics (`fault.crash.phase_idx`).
+    pub fn index(self) -> u32 {
+        match self {
+            CrashPhase::Decomposition => 0,
+            CrashPhase::TreeBuild => 1,
+            CrashPhase::LeafSharing => 2,
+            CrashPhase::Traversal => 3,
+        }
+    }
+}
+
+/// When the scheduled crash fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CrashTrigger {
+    /// At the virtual instant a pipeline stage begins.
+    AtPhase(CrashPhase),
+    /// At an absolute virtual time (seconds).
+    AtTime(f64),
+}
+
+/// One deterministic crash-stop failure: `rank` dies at the trigger
+/// point, loses all in-memory state (cache fills, traversal progress,
+/// built subtrees), and either restarts after `restart_delay_s`
+/// (recovering from its checkpoint) or stays dead forever, in which
+/// case the engine re-shards its subtrees and partitions across the
+/// survivors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashConfig {
+    /// The rank that crashes (must be a valid rank of a ≥2-rank machine).
+    pub rank: u32,
+    /// When it crashes.
+    pub trigger: CrashTrigger,
+    /// Whether the rank comes back.
+    pub restart: bool,
+    /// Reboot time before the restarted rank begins recovery (seconds
+    /// after the crash is detected).
+    pub restart_delay_s: f64,
+}
+
+impl Default for CrashConfig {
+    fn default() -> CrashConfig {
+        CrashConfig {
+            rank: 0,
+            trigger: CrashTrigger::AtPhase(CrashPhase::Traversal),
+            restart: true,
+            restart_delay_s: 5e-3,
+        }
+    }
+}
+
 /// Probabilities and magnitudes for deterministic message-fault
 /// injection. All decisions derive from `seed` through a splitmix64
 /// stream, so a given config replays the identical fault pattern every
@@ -299,6 +365,8 @@ pub struct FaultConfig {
     pub delay_s: f64,
     /// How long the engine waits for a fill before re-requesting.
     pub retry_timeout_s: f64,
+    /// Optional scheduled rank crash (crash-stop model).
+    pub crash: Option<CrashConfig>,
 }
 
 impl Default for FaultConfig {
@@ -310,9 +378,66 @@ impl Default for FaultConfig {
             delay_p: 0.0,
             delay_s: 0.0,
             retry_timeout_s: 2e-3,
+            crash: None,
         }
     }
 }
+
+/// Why a [`FaultConfig`] was rejected by [`FaultInjector::new`]. Every
+/// variant names the offending knob and value so CLI layers can print
+/// it without re-deriving the check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultConfigError {
+    /// A probability was NaN, negative, or above 1.
+    InvalidProbability {
+        /// Which knob (`drop_p`, `duplicate_p`, `delay_p`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The three probabilities do not partition a unit draw.
+    OverfullProbabilities {
+        /// Their sum (> 1).
+        sum: f64,
+    },
+    /// `drop_p = 1` would defeat every retry.
+    CertainDrop,
+    /// `retry_timeout_s` was NaN or not positive (the retry/crash
+    /// detection machinery needs a real timeout).
+    InvalidTimeout {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The crash schedule is unusable (negative time/delay, NaN).
+    InvalidCrash {
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultConfigError::InvalidProbability { name, value } => {
+                write!(f, "fault probability {name} = {value} is not in [0, 1]")
+            }
+            FaultConfigError::OverfullProbabilities { sum } => {
+                write!(f, "fault probabilities must sum to at most 1 (got {sum})")
+            }
+            FaultConfigError::CertainDrop => {
+                write!(f, "drop_p = 1 would defeat every retry")
+            }
+            FaultConfigError::InvalidTimeout { value } => {
+                write!(f, "retry_timeout_s = {value} must be positive")
+            }
+            FaultConfigError::InvalidCrash { reason } => {
+                write!(f, "invalid crash schedule: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
 
 /// What the injector decided for one message.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -349,6 +474,7 @@ impl MetricSource for FaultStats {
 /// The seeded decision stream. One [`FaultInjector::decide`] call per
 /// message, in a deterministic order, yields a deterministic fault
 /// pattern.
+#[derive(Debug)]
 pub struct FaultInjector {
     /// The configuration in force.
     pub config: FaultConfig,
@@ -358,19 +484,47 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
-    /// A fresh injector; panics on probabilities that do not partition
-    /// a unit draw or that would drop every message.
-    pub fn new(config: FaultConfig) -> FaultInjector {
-        assert!(
-            config.drop_p >= 0.0 && config.duplicate_p >= 0.0 && config.delay_p >= 0.0,
-            "fault probabilities must be non-negative"
-        );
-        assert!(
-            config.drop_p + config.duplicate_p + config.delay_p <= 1.0,
-            "fault probabilities must sum to at most 1"
-        );
-        assert!(config.drop_p < 1.0, "drop_p = 1 would defeat every retry");
-        FaultInjector { config, stats: FaultStats::default(), state: config.seed }
+    /// A fresh injector. Rejects (rather than panics on) every config a
+    /// user-facing knob could produce: NaN or out-of-range
+    /// probabilities, probabilities that do not partition a unit draw,
+    /// a certain drop that no retry could survive, a timeout the retry
+    /// machinery cannot arm, and unusable crash schedules.
+    pub fn new(config: FaultConfig) -> Result<FaultInjector, FaultConfigError> {
+        for (name, value) in [
+            ("drop_p", config.drop_p),
+            ("duplicate_p", config.duplicate_p),
+            ("delay_p", config.delay_p),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                // NaN fails the range test too.
+                return Err(FaultConfigError::InvalidProbability { name, value });
+            }
+        }
+        let sum = config.drop_p + config.duplicate_p + config.delay_p;
+        if sum > 1.0 {
+            return Err(FaultConfigError::OverfullProbabilities { sum });
+        }
+        if config.drop_p >= 1.0 {
+            return Err(FaultConfigError::CertainDrop);
+        }
+        if config.retry_timeout_s.is_nan() || config.retry_timeout_s <= 0.0 {
+            return Err(FaultConfigError::InvalidTimeout { value: config.retry_timeout_s });
+        }
+        if let Some(crash) = &config.crash {
+            if let CrashTrigger::AtTime(t) = crash.trigger {
+                if t.is_nan() || t < 0.0 {
+                    return Err(FaultConfigError::InvalidCrash {
+                        reason: "crash time must be a non-negative number of seconds",
+                    });
+                }
+            }
+            if crash.restart_delay_s.is_nan() || crash.restart_delay_s < 0.0 {
+                return Err(FaultConfigError::InvalidCrash {
+                    reason: "restart delay must be a non-negative number of seconds",
+                });
+            }
+        }
+        Ok(FaultInjector { config, stats: FaultStats::default(), state: config.seed })
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -548,8 +702,8 @@ mod tests {
             delay_s: 1e-3,
             ..FaultConfig::default()
         };
-        let mut a = FaultInjector::new(cfg);
-        let mut b = FaultInjector::new(cfg);
+        let mut a = FaultInjector::new(cfg).unwrap();
+        let mut b = FaultInjector::new(cfg).unwrap();
         let seq_a: Vec<FaultAction> = (0..256).map(|_| a.decide()).collect();
         let seq_b: Vec<FaultAction> = (0..256).map(|_| b.decide()).collect();
         assert_eq!(seq_a, seq_b, "same seed must replay the same faults");
@@ -560,15 +714,80 @@ mod tests {
         // Rough sanity: each fault kind actually fires at these rates.
         assert!(a.stats.dropped > 20 && a.stats.duplicated > 20 && a.stats.delayed > 20);
         // A different seed gives a different pattern.
-        let mut c = FaultInjector::new(FaultConfig { seed: 43, ..cfg });
+        let mut c = FaultInjector::new(FaultConfig { seed: 43, ..cfg }).unwrap();
         let seq_c: Vec<FaultAction> = (0..256).map(|_| c.decide()).collect();
         assert_ne!(seq_a, seq_c);
     }
 
     #[test]
-    #[should_panic(expected = "sum to at most 1")]
     fn fault_injector_rejects_overfull_probabilities() {
-        FaultInjector::new(FaultConfig { drop_p: 0.6, duplicate_p: 0.6, ..FaultConfig::default() });
+        let err = FaultInjector::new(FaultConfig {
+            drop_p: 0.6,
+            duplicate_p: 0.6,
+            ..FaultConfig::default()
+        })
+        .unwrap_err();
+        assert_eq!(err, FaultConfigError::OverfullProbabilities { sum: 1.2 });
+        assert!(err.to_string().contains("sum to at most 1"));
+    }
+
+    #[test]
+    fn fault_injector_rejects_nan_and_negative_probabilities() {
+        for bad in [f64::NAN, -0.1, 1.5] {
+            let err =
+                FaultInjector::new(FaultConfig { duplicate_p: bad, ..FaultConfig::default() })
+                    .unwrap_err();
+            match err {
+                FaultConfigError::InvalidProbability { name, value } => {
+                    assert_eq!(name, "duplicate_p");
+                    assert!(value.is_nan() == bad.is_nan() && (value == bad || bad.is_nan()));
+                }
+                other => panic!("expected InvalidProbability, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injector_rejects_certain_drop() {
+        let err =
+            FaultInjector::new(FaultConfig { drop_p: 1.0, ..FaultConfig::default() }).unwrap_err();
+        assert_eq!(err, FaultConfigError::CertainDrop);
+    }
+
+    #[test]
+    fn fault_injector_rejects_bad_timeouts() {
+        for bad in [0.0, -1.0, f64::NAN] {
+            let err =
+                FaultInjector::new(FaultConfig { retry_timeout_s: bad, ..FaultConfig::default() })
+                    .unwrap_err();
+            match err {
+                FaultConfigError::InvalidTimeout { .. } => {}
+                other => panic!("expected InvalidTimeout, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injector_rejects_bad_crash_schedules() {
+        let bad_time = FaultConfig {
+            crash: Some(CrashConfig {
+                trigger: CrashTrigger::AtTime(-1.0),
+                ..CrashConfig::default()
+            }),
+            ..FaultConfig::default()
+        };
+        assert!(matches!(
+            FaultInjector::new(bad_time).unwrap_err(),
+            FaultConfigError::InvalidCrash { .. }
+        ));
+        let bad_delay = FaultConfig {
+            crash: Some(CrashConfig { restart_delay_s: f64::NAN, ..CrashConfig::default() }),
+            ..FaultConfig::default()
+        };
+        assert!(matches!(
+            FaultInjector::new(bad_delay).unwrap_err(),
+            FaultConfigError::InvalidCrash { .. }
+        ));
     }
 
     #[test]

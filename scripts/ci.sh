@@ -25,4 +25,17 @@ echo "== fig9 smoke (--json) =="
 cargo run --release -q -p paratreet-bench --bin fig9_time_profile -- \
     --particles 2000 --procs 2 --bins 8 --json true > /dev/null
 
+echo "== chaos smoke (rank crash mid-traversal recovers) =="
+chaos_metrics=$(mktemp /tmp/paratreet-chaos-XXXXXX.json)
+trap 'rm -f "$chaos_metrics"' EXIT
+cargo run --release -q -- gravity --particles 3000 --engine machine --ranks 4 \
+    --crash-rank 1 --crash-phase traversal --crash-restart true \
+    --metrics-out "$chaos_metrics" > /dev/null
+grep -q '"recovery.count":1' "$chaos_metrics" ||
+    { echo "chaos smoke: no recovery recorded in $chaos_metrics"; exit 1; }
+grep -q '"fault.crash.count":1' "$chaos_metrics" ||
+    { echo "chaos smoke: crash not counted in $chaos_metrics"; exit 1; }
+grep -q '"recovery.restored_bytes":[1-9]' "$chaos_metrics" ||
+    { echo "chaos smoke: checkpoint restore read zero bytes"; exit 1; }
+
 echo "CI green."

@@ -21,7 +21,9 @@ use paratreet_apps::sph::{sph_framework, SphSimulation};
 use paratreet_geometry::Vec3;
 use paratreet_particles::gen::{self, DiskParams};
 use paratreet_particles::{io, Particle};
-use paratreet_runtime::{FaultConfig, FaultStats, MachineSpec};
+use paratreet_runtime::{
+    CrashConfig, CrashPhase, CrashTrigger, FaultConfig, FaultInjector, FaultStats, MachineSpec,
+};
 use paratreet_telemetry::{export, MetricsRegistry, Telemetry};
 use std::collections::HashMap;
 use std::process::exit;
@@ -66,6 +68,16 @@ FAULT INJECTION (machine engine only; seeded, deterministic):
   --fault-delay-s T    extra delay magnitude, seconds      [2e-3]
   --fault-seed S       fault stream seed                   [0x5EEDCAFE]
   --fault-timeout T    fetch retry timeout, seconds        [5e-3]
+
+CRASH-STOP FAULTS (machine engine only; deterministic):
+  --crash-rank R       rank R crash-stops (requires --ranks >= 2)
+  --crash-phase P      decomposition | tree-build | leaf-sharing |
+                       traversal — crash at that phase start [traversal]
+  --crash-time T       crash at virtual time T seconds (overrides
+                       --crash-phase)
+  --crash-restart B    true: restart from checkpoint; false: stay dead
+                       and re-shard onto survivors          [true]
+  --crash-restart-delay T  reboot delay after detection, s  [5e-3]
 
 OUTPUT:
   --output FILE        write final .ptrt snapshot
@@ -227,34 +239,62 @@ fn configuration(opts: &HashMap<String, String>) -> Configuration {
     }
 }
 
+/// Scheduled crash-stop knobs; `None` unless `--crash-rank` was given.
+fn crash_config(opts: &HashMap<String, String>) -> Option<CrashConfig> {
+    let rank = opts.get("crash-rank")?;
+    let rank: u32 = rank.parse().unwrap_or_else(|_| {
+        eprintln!("bad value for --crash-rank: {rank}");
+        exit(2);
+    });
+    let trigger = if opts.contains_key("crash-time") {
+        CrashTrigger::AtTime(get(opts, "crash-time", 0.0f64))
+    } else {
+        let phase = match get(opts, "crash-phase", "traversal".to_string()).as_str() {
+            "decomposition" => CrashPhase::Decomposition,
+            "tree-build" => CrashPhase::TreeBuild,
+            "leaf-sharing" => CrashPhase::LeafSharing,
+            "traversal" => CrashPhase::Traversal,
+            other => {
+                eprintln!("unknown crash phase {other}");
+                exit(2);
+            }
+        };
+        CrashTrigger::AtPhase(phase)
+    };
+    Some(CrashConfig {
+        rank,
+        trigger,
+        restart: get(opts, "crash-restart", true),
+        restart_delay_s: get(opts, "crash-restart-delay", 5e-3),
+    })
+}
+
 /// Fault-injection knobs for the machine engine; `None` when every
-/// probability is zero (a perfect network needs no retry machinery).
+/// probability is zero and no crash is scheduled (a perfect network
+/// needs no retry machinery). Every rejected configuration is reported
+/// through [`FaultConfigError`]'s rendering, not a panic.
 fn fault_config(opts: &HashMap<String, String>) -> Option<FaultConfig> {
     let drop_p = get(opts, "fault-drop", 0.0f64);
     let duplicate_p = get(opts, "fault-dup", 0.0f64);
     let delay_p = get(opts, "fault-delay", 0.0f64);
-    if drop_p == 0.0 && duplicate_p == 0.0 && delay_p == 0.0 {
+    let crash = crash_config(opts);
+    if drop_p == 0.0 && duplicate_p == 0.0 && delay_p == 0.0 && crash.is_none() {
         return None;
     }
-    if !(0.0..1.0).contains(&drop_p)
-        || !(0.0..=1.0).contains(&duplicate_p)
-        || !(0.0..=1.0).contains(&delay_p)
-        || drop_p + duplicate_p + delay_p > 1.0
-    {
-        eprintln!(
-            "fault probabilities must lie in [0, 1] and sum to at most 1, \
-             with --fault-drop < 1 (otherwise no fetch ever survives a retry)"
-        );
-        exit(2);
-    }
-    Some(FaultConfig {
+    let config = FaultConfig {
         seed: get(opts, "fault-seed", 0x5EED_CAFEu64),
         drop_p,
         duplicate_p,
         delay_p,
         delay_s: get(opts, "fault-delay-s", 2e-3),
         retry_timeout_s: get(opts, "fault-timeout", 5e-3),
-    })
+        crash,
+    };
+    if let Err(e) = FaultInjector::new(config) {
+        eprintln!("invalid fault configuration: {e}");
+        exit(2);
+    }
+    Some(config)
 }
 
 /// The telemetry handle for a run: enabled when `--trace-out` was
@@ -383,6 +423,16 @@ fn run_gravity(opts: &HashMap<String, String>) {
             )
             .with_telemetry(telemetry.clone());
             if let Some(f) = fault_config(opts) {
+                if let Some(c) = f.crash {
+                    if ranks < 2 || c.rank as usize >= ranks {
+                        eprintln!(
+                            "--crash-rank {} needs a machine of at least 2 ranks \
+                             with the crashed rank on it (got --ranks {ranks})",
+                            c.rank
+                        );
+                        exit(2);
+                    }
+                }
                 eng = eng.with_faults(f);
             }
             let rep = eng.run_iteration(particles);
@@ -400,6 +450,25 @@ fn run_gravity(opts: &HashMap<String, String>) {
                     rep.faults.delayed,
                     rep.fetch_retries,
                     rep.fill_errors
+                );
+            }
+            if rep.recovery.count > 0 {
+                let r = &rep.recovery;
+                println!(
+                    "crash recovered: detected at {:.3} ms, done at {:.3} ms ({}); \
+                     {} stale fills rejected, {} checkpoint bytes read",
+                    r.detected_s * 1e3,
+                    r.completed_s * 1e3,
+                    if r.restarted > 0 {
+                        "rank restarted from checkpoint".to_string()
+                    } else {
+                        format!(
+                            "{} subtrees re-sharded, {} partitions moved",
+                            r.resharded_subtrees, r.moved_partitions
+                        )
+                    },
+                    r.stale_fills,
+                    r.restored_bytes
                 );
             }
             write_telemetry(opts, &telemetry, Some(&rep.metrics));
