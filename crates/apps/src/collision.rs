@@ -455,6 +455,40 @@ mod tests {
     }
 
     #[test]
+    fn incremental_maintenance_survives_mergers() {
+        // The collision driver *removes* particles on merger, so the
+        // maintained tree's population changes under it; the maintainer
+        // must fall back to a rebuild instead of patching (or dying).
+        let mut ps = gen::keplerian_disk(300, 21, DiskParams::default());
+        for (i, j) in [(10usize, 11usize), (50, 51), (120, 121)] {
+            ps[i].radius = 0.2;
+            ps[j].pos = ps[i].pos + Vec3::new(0.03, 0.0, 0.0);
+            ps[j].vel = ps[i].vel;
+            ps[j].radius = 0.2;
+        }
+        let total_mass: f64 = ps.iter().map(|p| p.mass).sum();
+        let n0 = ps.len();
+        let mut config = Configuration {
+            tree_type: TreeType::LongestDim,
+            decomp_type: paratreet_core::DecompType::LongestDim,
+            bucket_size: 8,
+            n_subtrees: 8,
+            n_partitions: 8,
+            ..Default::default()
+        };
+        config.incremental.enabled = true;
+        let dt = orbital_period(2.0, ps[0].mass) / 100.0;
+        let mut sim = DiskSimulation::new(config, ps, dt);
+        for _ in 0..4 {
+            sim.step();
+        }
+        assert!(!sim.events.is_empty(), "engineered overlaps must merge");
+        assert_eq!(sim.framework.particles().len(), n0 - sim.events.len());
+        let mass_after: f64 = sim.framework.particles().iter().map(|p| p.mass).sum();
+        assert!((mass_after - total_mass).abs() < 1e-9 * total_mass, "mergers conserve mass");
+    }
+
+    #[test]
     fn disk_data_wire_roundtrip() {
         let ps = gen::keplerian_disk(50, 3, DiskParams::default());
         let d = DiskData::from_leaf(&ps, &BoundingBox::empty());

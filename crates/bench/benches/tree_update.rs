@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks for the incremental maintenance subsystem:
+//! one maintained `advance` under small drift vs. the decompose + build
+//! it replaces, on a clustered (multi-Plummer) distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paratreet_apps::gravity::CentroidData;
+use paratreet_core::{Configuration, TreeMaintainer};
+use paratreet_particles::{gen, Particle};
+use std::hint::black_box;
+
+fn bench_config() -> Configuration {
+    let mut config =
+        Configuration { bucket_size: 16, n_subtrees: 16, n_partitions: 32, ..Default::default() };
+    config.incremental.enabled = true;
+    config
+}
+
+/// Particles drifted by one small deterministic step (id-hashed
+/// direction, magnitude `eps`), as between two simulation iterations.
+fn drifted(particles: &[Particle], eps: f64) -> Vec<Particle> {
+    particles
+        .iter()
+        .map(|p| {
+            let mut p = *p;
+            let h = p.id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            p.pos.x += ((h & 0xFF) as f64 / 255.0 - 0.5) * eps;
+            p.pos.y += ((h >> 8 & 0xFF) as f64 / 255.0 - 0.5) * eps;
+            p.pos.z += ((h >> 16 & 0xFF) as f64 / 255.0 - 0.5) * eps;
+            p
+        })
+        .collect()
+}
+
+fn bench_tree_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_update");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let config = bench_config();
+        let particles = gen::clustered(n, 4, 7, 1.0, 1.0);
+        let moved = drifted(&particles, 2e-3);
+
+        group.bench_with_input(BenchmarkId::new("full_rebuild", n), &n, |b, _| {
+            b.iter(|| {
+                let (m, trees) = TreeMaintainer::<CentroidData>::seed(
+                    &config,
+                    black_box(particles.clone()),
+                    false,
+                );
+                black_box((m.n_subtrees(), trees.len()))
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("incremental_advance", n), &n, |b, _| {
+            let (mut m, _) =
+                TreeMaintainer::<CentroidData>::seed(&config, particles.clone(), false);
+            let mut flip = false;
+            b.iter(|| {
+                // Alternate between the two snapshots so every advance
+                // sees genuine motion instead of a warm no-op.
+                flip = !flip;
+                let ps = if flip { moved.clone() } else { particles.clone() };
+                let (trees, round) = m.advance(black_box(ps));
+                black_box((trees.len(), round.n_migrated))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_update);
+criterion_main!(benches);

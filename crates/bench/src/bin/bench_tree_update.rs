@@ -1,0 +1,222 @@
+//! Incremental tree maintenance vs. per-iteration full rebuilds.
+//!
+//! Runs a K-iteration gravity simulation twice per particle
+//! distribution — once rebuilding the tree from scratch every step,
+//! once maintaining it with the incremental update subsystem — on both
+//! the shared-memory framework (wall-clock) and the machine model
+//! (virtual time, with `Phase::TreeUpdate` replacing decomposition +
+//! build on maintained steps). Writes `BENCH_tree_update.json`.
+//!
+//! ```text
+//! cargo run --release -p paratreet-bench --bin bench_tree_update -- \
+//!     --particles 20000 --iterations 5 --ranks 4
+//! ```
+
+use paratreet_apps::collision::orbital_period;
+use paratreet_apps::gravity::{CentroidData, GravityVisitor};
+use paratreet_bench::{fmt_seconds, print_header, print_row, Args};
+use paratreet_core::{
+    CacheModel, Configuration, DistributedEngine, Framework, TraversalKind, TreeMaintainer,
+};
+use paratreet_geometry::Vec3;
+use paratreet_particles::gen::{self, DiskParams};
+use paratreet_particles::Particle;
+use paratreet_runtime::{MachineSpec, Phase};
+use paratreet_telemetry::Json;
+
+/// Accumulated cost of one K-iteration run.
+#[derive(Clone, Copy, Default)]
+struct RunCost {
+    /// Decomposition + tree build + leaf sharing + incremental update.
+    setup_s: f64,
+    /// Traversal time (unchanged by maintenance; sanity column).
+    traverse_s: f64,
+    /// Whole-run time: wall seconds (shared) or summed virtual
+    /// makespans (machine).
+    total_s: f64,
+    /// Buckets patched in place (incremental runs only).
+    patched: u64,
+    /// Subtree + full rebuilds triggered by drift (incremental only).
+    rebuilds: u64,
+}
+
+fn config(incremental: bool) -> Configuration {
+    let mut config =
+        Configuration { bucket_size: 16, n_subtrees: 16, n_partitions: 32, ..Default::default() };
+    config.incremental.enabled = incremental;
+    config
+}
+
+/// Leapfrog kick-drift between iterations (acc from the last traversal).
+fn drift(particles: &mut [Particle], dt: f64) {
+    for p in particles.iter_mut() {
+        p.vel += p.acc * dt;
+        p.pos += p.vel * dt;
+        p.acc = Vec3::ZERO;
+        p.potential = 0.0;
+    }
+}
+
+/// K gravity iterations on the shared-memory framework (wall-clock).
+fn shared_run(particles: Vec<Particle>, incremental: bool, iterations: usize, dt: f64) -> RunCost {
+    let visitor = GravityVisitor::default();
+    let mut fw: Framework<CentroidData> = Framework::new(config(incremental), particles);
+    let mut cost = RunCost::default();
+    let t0 = std::time::Instant::now();
+    for step in 0..iterations {
+        if step > 0 {
+            drift(fw.particles_mut(), dt);
+        }
+        let (_, report) = fw.step(|s| {
+            s.traverse(&visitor, TraversalKind::TopDown);
+        });
+        cost.setup_s += report.seconds_decompose
+            + report.seconds_build
+            + report.seconds_share
+            + report.seconds_update;
+        cost.traverse_s += report.seconds_traverse;
+        if let Some(u) = &report.update {
+            cost.patched = u.patched;
+            cost.rebuilds = u.subtree_rebuilds + u.full_rebuilds;
+        }
+    }
+    cost.total_s = t0.elapsed().as_secs_f64();
+    cost
+}
+
+/// K gravity iterations on the machine model (virtual time). Setup cost
+/// is the per-phase busy time of decomposition, build, leaf sharing,
+/// and incremental update, summed over the K simulated iterations.
+fn machine_run(
+    particles: Vec<Particle>,
+    incremental: bool,
+    iterations: usize,
+    dt: f64,
+    ranks: usize,
+) -> RunCost {
+    let visitor = GravityVisitor::default();
+    let engine = DistributedEngine::new(
+        MachineSpec::test(ranks, 2),
+        config(incremental),
+        CacheModel::WaitFree,
+        TraversalKind::TopDown,
+        &visitor,
+    );
+    let mut slot: Option<TreeMaintainer<CentroidData>> = None;
+    let mut cost = RunCost::default();
+    let mut ps = particles;
+    for step in 0..iterations {
+        if step > 0 {
+            drift(&mut ps, dt);
+        }
+        let rep = if incremental {
+            engine.run_maintained(&mut slot, ps)
+        } else {
+            engine.run_iteration(ps)
+        };
+        let busy = rep.ledger.busy_per_phase();
+        cost.setup_s += busy[Phase::Decomposition.index()]
+            + busy[Phase::TreeBuild.index()]
+            + busy[Phase::LeafSharing.index()]
+            + busy[Phase::TreeUpdate.index()];
+        cost.traverse_s += busy[Phase::LocalTraversal.index()];
+        cost.total_s += rep.makespan;
+        cost.patched = rep.metrics.get_u64("tree.update.patched");
+        cost.rebuilds = rep.metrics.get_u64("tree.update.subtree_rebuilds")
+            + rep.metrics.get_u64("tree.update.full_rebuilds");
+        ps = rep.particles;
+    }
+    cost
+}
+
+fn cost_json(c: &RunCost, incremental: bool) -> Json {
+    let mut o = Json::obj();
+    o.push("setup_s", Json::F64(c.setup_s));
+    o.push("traverse_s", Json::F64(c.traverse_s));
+    o.push("total_s", Json::F64(c.total_s));
+    if incremental {
+        o.push("buckets_patched", Json::U64(c.patched));
+        o.push("drift_rebuilds", Json::U64(c.rebuilds));
+    }
+    o
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("particles", 20_000);
+    let iterations = args.get_usize("iterations", 5);
+    let seed = args.get_u64("seed", 17);
+    let ranks = args.get_usize("ranks", 4);
+    let out = args.get_str("out", "BENCH_tree_update.json");
+
+    let star_mass = 1.0;
+    let distributions: Vec<(&str, Vec<Particle>, f64)> = vec![
+        ("uniform", gen::uniform_cube(n, seed, 1.0, 1.0), 1.0 / 128.0),
+        // The paper's clustered dataset: several Plummer spheres — the
+        // case the acceptance criterion targets.
+        ("clustered_plummer", gen::clustered(n, 4, seed, 1.0, 1.0), 1.0 / 128.0),
+        (
+            "disk",
+            gen::keplerian_disk(n, seed, DiskParams::default()),
+            orbital_period(2.0, star_mass) / 200.0,
+        ),
+    ];
+
+    let mut doc = Json::obj();
+    doc.push("bench", Json::Str("tree_update".to_string()));
+    doc.push("particles", Json::U64(n as u64));
+    doc.push("iterations", Json::U64(iterations as u64));
+    doc.push("ranks", Json::U64(ranks as u64));
+    doc.push("seed", Json::U64(seed));
+    let mut rows = Vec::new();
+
+    println!(
+        "tree maintenance: full rebuild vs incremental, {n} particles, {iterations} iterations\n"
+    );
+    print_header(&["dist", "engine", "mode", "setup", "traverse", "total", "patched"], 12);
+
+    for (name, particles, dt) in distributions {
+        let mut entry = Json::obj();
+        entry.push("name", Json::Str(name.to_string()));
+
+        for (engine, full, inc) in [
+            (
+                "shared",
+                shared_run(particles.clone(), false, iterations, dt),
+                shared_run(particles.clone(), true, iterations, dt),
+            ),
+            (
+                "machine",
+                machine_run(particles.clone(), false, iterations, dt, ranks),
+                machine_run(particles.clone(), true, iterations, dt, ranks),
+            ),
+        ] {
+            for (mode, c) in [("full", &full), ("incremental", &inc)] {
+                print_row(
+                    &[
+                        name.to_string(),
+                        engine.to_string(),
+                        mode.to_string(),
+                        fmt_seconds(c.setup_s),
+                        fmt_seconds(c.traverse_s),
+                        fmt_seconds(c.total_s),
+                        if c.patched > 0 { c.patched.to_string() } else { "-".to_string() },
+                    ],
+                    12,
+                );
+            }
+            let speedup = if inc.setup_s > 0.0 { full.setup_s / inc.setup_s } else { 0.0 };
+            println!("{:>12} {engine} setup speedup: {speedup:.2}x", "");
+            let mut e = Json::obj();
+            e.push("full", cost_json(&full, false));
+            e.push("incremental", cost_json(&inc, true));
+            e.push("setup_speedup", Json::F64(speedup));
+            entry.push(engine, e);
+        }
+        rows.push(entry);
+    }
+
+    doc.push("distributions", Json::Arr(rows));
+    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH json");
+    println!("\nwrote {out}");
+}

@@ -790,6 +790,116 @@ impl<D: Data> CacheTree<D> {
         }
     }
 
+    /// [`CacheTree::audit`] plus the invariants a *fresh* build gets for
+    /// free but incremental maintenance must actively preserve — run at
+    /// the incremental-update phase boundary in debug builds:
+    ///
+    /// 1. **Bucket-size bounds** — every leaf holds at most
+    ///    `bucket_size` particles unless its key has no room for deeper
+    ///    digits (the depth-cap escape hatch fresh builds also use), and
+    ///    its particle list length matches its `n_particles` summary,
+    /// 2. **Summary consistency** — every internal node's `n_particles`
+    ///    equals the sum over its children (placeholder summaries
+    ///    included: counts travel on the wire), every child's region box
+    ///    sits inside its parent's, every leaf contains its particles,
+    ///    and no internal node is childless (a patched-empty interior
+    ///    must be pruned, not left dangling),
+    /// 3. **No orphan placeholders** — every reachable placeholder is
+    ///    the canonical `resolved` entry for its key, so a fill can
+    ///    still replace it (a spliced-in subtree that re-hung a stale
+    ///    placeholder would strand requests forever).
+    pub fn audit_patched(&self, bucket_size: usize) -> Result<(), String> {
+        self.audit()?;
+        let book = self.book.lock();
+        let root = self.root.load(Ordering::Acquire);
+        if root.is_null() {
+            return Ok(());
+        }
+        let max_level = 63 / self.bits; // deepest level a key can encode
+        let mut errors: Vec<String> = Vec::new();
+        let mut stack: Vec<*const CacheNode<D>> = vec![root];
+        while let Some(p) = stack.pop() {
+            // SAFETY: reachable pointers target nodes owned by self.
+            let node = unsafe { &*p };
+            match node.kind {
+                NodeKind::Leaf => {
+                    if node.particles.len() != node.n_particles as usize {
+                        errors.push(format!(
+                            "leaf {} summarises {} particles but holds {}",
+                            node.key,
+                            node.n_particles,
+                            node.particles.len()
+                        ));
+                    }
+                    let at_depth_cap = node.key.level(self.bits) >= max_level;
+                    if node.particles.len() > bucket_size && !at_depth_cap {
+                        errors.push(format!(
+                            "leaf {} holds {} particles, over bucket size {bucket_size}",
+                            node.key,
+                            node.particles.len()
+                        ));
+                    }
+                    if let Some(p) = node.particles.iter().find(|p| !node.bbox.contains(p.pos)) {
+                        errors.push(format!(
+                            "leaf {} holds particle {} outside its region box",
+                            node.key, p.id
+                        ));
+                    }
+                }
+                NodeKind::Internal => {
+                    let mut n_children = 0u32;
+                    let mut sum = 0u32;
+                    for slot in 0..node.children.len() {
+                        let c = node.children[slot].load(Ordering::Acquire);
+                        if c.is_null() {
+                            continue;
+                        }
+                        n_children += 1;
+                        // SAFETY: child pointers target nodes owned by self.
+                        let child = unsafe { &*c };
+                        sum += child.n_particles;
+                        let contained =
+                            node.bbox.contains(child.bbox.lo) && node.bbox.contains(child.bbox.hi);
+                        if !child.bbox.is_empty() && !contained {
+                            errors.push(format!(
+                                "child {} sticks out of parent {}'s region box",
+                                child.key, node.key
+                            ));
+                        }
+                        stack.push(c);
+                    }
+                    if n_children == 0 {
+                        errors.push(format!("internal node {} has no children", node.key));
+                    } else if sum != node.n_particles {
+                        errors.push(format!(
+                            "internal node {} summarises {} particles but its children sum to {sum}",
+                            node.key, node.n_particles
+                        ));
+                    }
+                }
+                NodeKind::Placeholder => {
+                    let canonical = book
+                        .resolved
+                        .get(&node.key)
+                        .map(|canon| std::ptr::eq(canon.as_ptr(), p))
+                        .unwrap_or(false);
+                    if !canonical {
+                        errors.push(format!(
+                            "orphan placeholder {}: reachable but not the canonical entry",
+                            node.key
+                        ));
+                    }
+                }
+                NodeKind::Empty => {}
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors.join("; "))
+        }
+    }
+
     /// Number of nodes currently allocated (including superseded
     /// placeholders — the cache is no-delete).
     pub fn n_allocated(&self) -> usize {

@@ -83,6 +83,47 @@ pub enum TraversalKind {
     DualTree,
 }
 
+/// Incremental tree maintenance knobs. With `enabled`, the engines keep
+/// the global tree alive across iterations — patching buckets in place,
+/// re-sieving escapees, and re-accumulating `Data` along dirty paths —
+/// instead of rebuilding from scratch. The thresholds bound structural
+/// drift: a Subtree whose cumulative escapee fraction or depth skew
+/// crosses its limit is rebuilt alone; when the partition-cost imbalance
+/// of the maintained tree exceeds `imbalance_rebuild`, the whole tree is
+/// rebuilt and re-decomposed.
+#[derive(Clone, Copy, Debug)]
+pub struct IncrementalConfig {
+    /// Maintain the tree across iterations instead of rebuilding.
+    pub enabled: bool,
+    /// Rebuild a Subtree once this fraction of its particles has
+    /// escaped its leaves since the Subtree was last built.
+    pub escape_rebuild_fraction: f64,
+    /// Rebuild a Subtree when its depth exceeds its as-built depth by
+    /// this many levels (insertions digging ever-deeper pockets).
+    pub depth_skew_rebuild: u32,
+    /// Fall back to a whole-tree rebuild + re-decomposition when the
+    /// max/mean particle load across Partitions exceeds this factor.
+    pub imbalance_rebuild: f64,
+    /// Fractional padding applied to the universe box at seed time so
+    /// slowly drifting hull particles stay inside the maintained root
+    /// regions. Zero keeps the seed bit-identical to a fresh build (the
+    /// zero-motion identity), at the cost of more full-rebuild
+    /// fallbacks for expanding systems.
+    pub universe_pad: f64,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> IncrementalConfig {
+        IncrementalConfig {
+            enabled: false,
+            escape_rebuild_fraction: 0.25,
+            depth_skew_rebuild: 4,
+            imbalance_rebuild: 2.5,
+            universe_pad: 0.05,
+        }
+    }
+}
+
 /// Framework configuration.
 #[derive(Clone, Debug)]
 pub struct Configuration {
@@ -105,6 +146,9 @@ pub struct Configuration {
     pub seed: u64,
     /// Space-filling curve used by SFC decomposition.
     pub sfc: SfcCurve,
+    /// Incremental tree maintenance (off by default: full rebuild per
+    /// iteration, the paper's pipeline).
+    pub incremental: IncrementalConfig,
 }
 
 impl Default for Configuration {
@@ -119,6 +163,7 @@ impl Default for Configuration {
             iterations: 1,
             seed: 1,
             sfc: SfcCurve::Morton,
+            incremental: IncrementalConfig::default(),
         }
     }
 }

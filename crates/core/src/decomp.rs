@@ -326,14 +326,41 @@ fn build_planes(
 /// Runs the decomposition phase: computes the universe, assigns Morton
 /// keys, sorts into SFC order, finds both sets of splitters, and returns
 /// the Subtree pieces plus the Partition assignment function.
-pub fn decompose(mut particles: Vec<Particle>, config: &Configuration) -> Decomposition {
-    let tight = particles.bounding_box().padded(1e-9);
+pub fn decompose(particles: Vec<Particle>, config: &Configuration) -> Decomposition {
+    let universe = universe_for(&particles, config, 0.0);
+    decompose_within(particles, config, universe)
+}
+
+/// The universe box [`decompose`] would use for `particles`, inflated by
+/// `pad` × the largest extent on every side before cubing. `pad = 0`
+/// reproduces [`decompose`]'s box exactly; incremental maintenance seeds
+/// with a positive pad so slowly drifting hull particles stay inside the
+/// maintained root regions across iterations.
+pub fn universe_for(particles: &[Particle], config: &Configuration, pad: f64) -> BoundingBox {
+    let mut tight = particles.bounding_box().padded(1e-9);
+    if pad > 0.0 && !tight.is_empty() {
+        let extent = tight.hi - tight.lo;
+        let margin = pad * extent.x.max(extent.y).max(extent.z);
+        tight = tight.padded(margin);
+    }
     let universe = match config.tree_type {
         TreeType::Octree | TreeType::BinaryOct => tight.bounding_cube(),
         _ => tight,
     };
-    let universe =
-        if universe.is_empty() { BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0)) } else { universe };
+    if universe.is_empty() {
+        BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0))
+    } else {
+        universe
+    }
+}
+
+/// Like [`decompose`] but over an explicitly supplied universe box
+/// (see [`universe_for`]). The box must contain every particle.
+pub fn decompose_within(
+    mut particles: Vec<Particle>,
+    config: &Configuration,
+    universe: BoundingBox,
+) -> Decomposition {
     // Key particles along the configured curve. The Hilbert curve only
     // applies to SFC decomposition — octree decomposition derives its
     // splitters from Morton digit structure.

@@ -45,7 +45,8 @@
 //! particles to their pre-iteration values before re-running.
 
 use crate::config::{Configuration, TraversalKind};
-use crate::decomp::decompose;
+use crate::decomp::{decompose, Partitioner};
+use crate::maintain::{MaintainRound, TreeMaintainer};
 use crate::traversal::{
     process_item, process_item_dry, seed_items, traverse_local, CacheModel, PendingFetch,
     WorkCounts, WorkItem,
@@ -554,7 +555,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
 
     /// Runs one full iteration over `particles` and reports.
     pub fn run_iteration(&self, particles: Vec<Particle>) -> IterationReport {
-        self.run_inner(particles, None).0
+        self.run_inner(particles, None, None).0
     }
 
     /// Like [`DistributedEngine::run_iteration`], but also returns every
@@ -565,7 +566,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         &self,
         particles: Vec<Particle>,
     ) -> (IterationReport, Vec<(NodeKey, V::State)>) {
-        self.run_inner(particles, None)
+        self.run_inner(particles, None, None)
     }
 
     /// Like [`DistributedEngine::run_iteration`], but with an explicit
@@ -579,13 +580,47 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         particles: Vec<Particle>,
         assignment: Option<&[u32]>,
     ) -> IterationReport {
-        self.run_inner(particles, assignment).0
+        self.run_inner(particles, assignment, None).0
+    }
+
+    /// Like [`DistributedEngine::run_iteration`], but against a tree
+    /// maintained across calls: the first call seeds the
+    /// [`TreeMaintainer`] into `slot` and charges a normal
+    /// decomposition + build; every later call patches the maintained
+    /// tree and charges [`Phase::TreeUpdate`] tasks instead — a linear
+    /// classify/re-sieve sweep per rank, a per-Subtree patch task sized
+    /// by the structural work actually done, full
+    /// [`Phase::TreeBuild`] cost only for Subtrees the drift thresholds
+    /// rebuilt, and wire bytes for particles that migrated across rank
+    /// boundaries. The whole-tree fallback (and the seed) charge the
+    /// full pipeline. Composes with crash recovery: the checkpoint
+    /// captures the maintained trees, so a crashed rank's subtrees are
+    /// restored bit-identical to the maintained state and the update
+    /// sequence replays deterministically. Pass the same `slot` every
+    /// iteration; cumulative counters land under `tree.update.*`.
+    pub fn run_maintained(
+        &self,
+        slot: &mut Option<TreeMaintainer<V::Data>>,
+        particles: Vec<Particle>,
+    ) -> IterationReport {
+        self.run_inner(particles, None, Some(slot)).0
+    }
+
+    /// [`DistributedEngine::run_maintained`] plus every bucket's final
+    /// visitor state, for validation against the full-rebuild engines.
+    pub fn run_maintained_states(
+        &self,
+        slot: &mut Option<TreeMaintainer<V::Data>>,
+        particles: Vec<Particle>,
+    ) -> (IterationReport, Vec<(NodeKey, V::State)>) {
+        self.run_inner(particles, None, Some(slot))
     }
 
     fn run_inner(
         &self,
         particles: Vec<Particle>,
         assignment: Option<&[u32]>,
+        mut maintained: Option<&mut Option<TreeMaintainer<V::Data>>>,
     ) -> (IterationReport, Vec<(NodeKey, V::State)>) {
         let n_total = particles.len().max(2);
         let log_n = (n_total as f64).log2();
@@ -615,16 +650,60 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         config.n_partitions =
             config.n_partitions.max(by_machine.min(by_granularity).max(self.machine.nodes * 2));
 
-        // ---- Decomposition (centrally executed, per-rank charged) ----
-        let decomp = decompose(particles, &config);
-        let n_subtrees = decomp.subtrees.len();
+        // ---- Decomposition or incremental update (centrally executed,
+        // per-rank charged) ----
+        // Both paths end in the same shape: built Subtrees plus the
+        // partitioner that assigns particles to Partitions. `round` is
+        // `Some` only on an incremental advance (not the seed), and
+        // drives the Phase::TreeUpdate cost accounting below.
+        let (flat, partitioner, eff_n_partitions, round): (
+            Vec<BuiltTree<V::Data>>,
+            Partitioner,
+            usize,
+            Option<MaintainRound>,
+        ) = match maintained.as_deref_mut() {
+            None => {
+                let decomp = decompose(particles, &config);
+                let flat: Vec<BuiltTree<V::Data>> = decomp
+                    .subtrees
+                    .into_iter()
+                    .map(|piece| {
+                        let builder = TreeBuilder {
+                            root_key: piece.key,
+                            root_depth: piece.depth,
+                            parallel: false,
+                            ..TreeBuilder::new(config.tree_type)
+                        }
+                        .bucket_size(config.bucket_size);
+                        builder.build::<V::Data>(piece.particles, piece.bbox)
+                    })
+                    .collect();
+                (flat, decomp.partitioner, decomp.n_partitions, None)
+            }
+            Some(slot) => {
+                let (flat, round) = match slot.as_mut() {
+                    None => {
+                        let (m, flat) = TreeMaintainer::seed(&config, particles, false);
+                        *slot = Some(m);
+                        (flat, None)
+                    }
+                    Some(m) => {
+                        let (flat, r) = m.advance(particles);
+                        (flat, Some(r))
+                    }
+                };
+                let m = slot.as_ref().expect("seeded above");
+                (flat, m.partitioner().clone(), m.n_partitions(), round)
+            }
+        };
+        let n_subtrees = flat.len();
 
         // Subtrees to ranks: contiguous blocks in piece (SFC) order.
         let subtree_rank =
             |si: usize| -> u32 { (si as u64 * ranks as u64 / n_subtrees as u64) as u32 };
         // Partitions to ranks: contiguous id blocks by default (the SFC
         // placement), or the caller's measured-load assignment.
-        let n_partitions = decomp.n_partitions.max(1);
+        let n_partitions = eff_n_partitions.max(1);
         if let Some(a) = assignment {
             assert_eq!(a.len(), n_partitions, "assignment must cover every partition");
         }
@@ -635,27 +714,20 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             }
         };
 
-        // Checkpoint: clone the decomposition pieces before the builders
-        // consume them. This is the engine's stable storage — recovery
-        // rebuilds the dead rank's subtrees from exactly these bytes.
-        let checkpoint = if crash.is_some() { Some(decomp.subtrees.clone()) } else { None };
+        let trees: Vec<(u32, BuiltTree<V::Data>)> =
+            flat.into_iter().enumerate().map(|(si, t)| (subtree_rank(si), t)).collect();
 
-        // ---- Build local trees (real) ----
-        let trees: Vec<(u32, BuiltTree<V::Data>)> = decomp
-            .subtrees
-            .into_iter()
-            .enumerate()
-            .map(|(si, piece)| {
-                let builder = TreeBuilder {
-                    root_key: piece.key,
-                    root_depth: piece.depth,
-                    parallel: false,
-                    ..TreeBuilder::new(config.tree_type)
-                }
-                .bucket_size(config.bucket_size);
-                (subtree_rank(si), builder.build::<V::Data>(piece.particles, piece.bbox))
-            })
-            .collect();
+        // Checkpoint: clone the built trees — the engine's stable
+        // storage. Recovery restores a dead rank's subtrees from exactly
+        // these bytes; builds are deterministic, so this is
+        // bit-identical to rebuilding from the decomposition pieces, and
+        // in maintained mode it captures the incrementally patched tree
+        // so restart replays the update sequence deterministically.
+        let checkpoint: Option<Vec<BuiltTree<V::Data>>> = if crash.is_some() {
+            Some(trees.iter().map(|(_, t)| t.clone()).collect())
+        } else {
+            None
+        };
 
         let summaries: Vec<SubtreeSummary<V::Data>> = trees
             .iter()
@@ -674,19 +746,10 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         let subtree_index: HashMap<NodeKey, usize> =
             summaries.iter().enumerate().map(|(si, s)| (s.key, si)).collect();
 
-        // Rebuilds one subtree from the checkpoint (bit-identical to the
-        // original build: same particles, same builder parameters).
+        // Restores one subtree from the checkpoint (bit-identical to the
+        // tree that was built — or maintained — this iteration).
         let rebuild = |si: usize| -> BuiltTree<V::Data> {
-            let pieces = checkpoint.as_ref().expect("checkpoint exists when a crash is configured");
-            let piece = pieces[si].clone();
-            let builder = TreeBuilder {
-                root_key: piece.key,
-                root_depth: piece.depth,
-                parallel: false,
-                ..TreeBuilder::new(config.tree_type)
-            }
-            .bucket_size(config.bucket_size);
-            builder.build::<V::Data>(piece.particles, piece.bbox)
+            checkpoint.as_ref().expect("checkpoint exists when a crash is configured")[si].clone()
         };
 
         // ---- Master array + leaf sharing (bucket construction) ----
@@ -705,7 +768,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                 let range = node.bucket_range().expect("leaf");
                 let mut per_part: Vec<(u32, Vec<u32>)> = Vec::new();
                 for i in range {
-                    let part = decomp.partitioner.assign(&tree.particles[i]);
+                    let part = partitioner.assign(&tree.particles[i]);
                     match per_part.iter_mut().find(|(p, _)| *p == part) {
                         Some((_, v)) => v.push(offset + i as u32),
                         None => per_part.push((part, vec![offset + i as u32])),
@@ -750,11 +813,18 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         }
 
         // Debug builds sweep every cache's structural invariants at
-        // phase boundaries; release builds skip the O(cache) walk.
+        // phase boundaries; release builds skip the O(cache) walk. In
+        // maintained mode the extended audit also validates what a
+        // fresh build would guarantee by construction (bucket bounds,
+        // summary sums, orphan placeholders).
+        #[cfg(debug_assertions)]
+        let is_maintained = maintained.is_some();
         #[cfg(debug_assertions)]
         let audit_all = |caches: &[CacheTree<V::Data>], when: &str| {
             for (ci, c) in caches.iter().enumerate() {
-                if let Err(e) = c.audit() {
+                let res =
+                    if is_maintained { c.audit_patched(config.bucket_size) } else { c.audit() };
+                if let Err(e) = res {
                     panic!("cache {ci} audit failed {when}: {e}");
                 }
             }
@@ -817,10 +887,10 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         // Checkpoint sizes: per-subtree particle payloads plus a small
         // header, and one partition-assignment record per partition.
         let (ckpt_subtree_bytes, ckpt_rank_bytes) = match &checkpoint {
-            Some(pieces) => {
-                let sb: Vec<u64> = pieces
+            Some(trees) => {
+                let sb: Vec<u64> = trees
                     .iter()
-                    .map(|p| (p.particles.len() * PARTICLE_WIRE_BYTES + 32) as u64)
+                    .map(|t| (t.particles.len() * PARTICLE_WIRE_BYTES + 32) as u64)
                     .collect();
                 let mut rb = vec![0u64; ranks as usize];
                 for (si, b) in sb.iter().enumerate() {
@@ -867,22 +937,48 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             }
         }
 
+        // Incremental advance: particles that crossed Subtree boundaries
+        // moved between the owning ranks — charged as wire bytes plus a
+        // serialize task on the source rank (the update path's only
+        // communication beyond the unchanged summary share).
+        let incremental_update = round.as_ref().is_some_and(|r| !r.full_rebuild);
+        if let Some(r) = round.as_ref().filter(|r| !r.full_rebuild) {
+            for &(from_si, to_si, n) in &r.migrations {
+                let from = owner[from_si as usize];
+                let to = owner[to_si as usize];
+                if from == to {
+                    continue;
+                }
+                let bytes = n as u64 * PARTICLE_WIRE_BYTES as u64;
+                sim.comm.messages += 1;
+                sim.comm.bytes += bytes;
+                sim.spawn(
+                    from,
+                    Phase::TreeUpdate,
+                    costs.serialize_per_byte * bytes as f64 + costs.insert_fixed,
+                    Ev::CheckpointDone,
+                );
+            }
+        }
+
         // Phase 1: decomposition tasks — the per-rank sort parallelises
-        // over the rank's workers (rayon in the real engine).
+        // over the rank's workers (rayon in the real engine). On an
+        // incremental advance the sort is replaced by the maintainer's
+        // classify/resync sweep: linear in the rank's particles, charged
+        // to the incremental-update phase.
         let per_rank_particles = (n_total as f64 / ranks as f64).max(1.0);
         let decomp_tasks_per_rank = workers.min(8);
-        let decomp_task_cost =
-            costs.sort_per_particle_log * per_rank_particles * log_n / decomp_tasks_per_rank as f64;
+        let front_phase = if incremental_update { Phase::TreeUpdate } else { Phase::Decomposition };
+        let decomp_task_cost = if incremental_update {
+            costs.sort_per_particle_log * per_rank_particles / decomp_tasks_per_rank as f64
+        } else {
+            costs.sort_per_particle_log * per_rank_particles * log_n / decomp_tasks_per_rank as f64
+        };
         let mut pending_decomp = vec![0usize; ranks as usize];
         for r in 0..ranks {
             for _ in 0..decomp_tasks_per_rank {
                 pending_decomp[r as usize] += 1;
-                sim.spawn(
-                    r,
-                    Phase::Decomposition,
-                    decomp_task_cost,
-                    Ev::DecompDone { rank: r, re: 0 },
-                );
+                sim.spawn(r, front_phase, decomp_task_cost, Ev::DecompDone { rank: r, re: 0 });
             }
         }
 
@@ -943,6 +1039,26 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             })
             .collect();
 
+        // What each Subtree's *this-iteration* task costs. A full build
+        // (seed, fallback, and drift-rebuilt Subtrees) keeps the
+        // Phase::TreeBuild cost above — which recovery also charges when
+        // it restores from checkpoint. An incremental patch is sized by
+        // the structural work the maintainer actually did: touched
+        // nodes × log n for re-sieving and split/merge, plus a linear
+        // term for the dirty-path summary re-accumulation.
+        let subtree_task: Vec<(Phase, f64)> = (0..n_subtrees)
+            .map(|si| match round.as_ref() {
+                Some(r) if !r.full_rebuild && !r.rebuilt_subtrees.contains(&(si as u32)) => {
+                    let n_i = summaries[si].n_particles.max(1) as f64;
+                    let touched = r.per_subtree_work.get(si).copied().unwrap_or(0) as f64;
+                    let cost =
+                        costs.build_per_particle_log * (touched * n_i.log2().max(1.0) + 0.25 * n_i);
+                    (Phase::TreeUpdate, cost.max(1e-9))
+                }
+                _ => (Phase::TreeBuild, subtree_build_cost[si]),
+            })
+            .collect();
+
         sim.run(|sim, ev| match ev {
             Ev::CheckpointDone => {}
             Ev::DecompDone { rank, re } => {
@@ -956,16 +1072,17 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                     if phase_trigger == Some(CrashPhase::TreeBuild) && !crash_fired {
                         sim.post(Ev::Crash);
                     }
-                    // Phase 2: tree builds, one task per Subtree, on the
-                    // subtree's current owner.
-                    for (si, &cost) in subtree_build_cost.iter().enumerate() {
+                    // Phase 2: tree builds — or incremental patches —
+                    // one task per Subtree, on the subtree's current
+                    // owner.
+                    for (si, &(phase, cost)) in subtree_task.iter().enumerate() {
                         let r = owner[si];
                         let stamp = if needs_graft[si] { si as u32 } else { u32::MAX };
                         build_left += 1;
                         pending_build[r as usize] += 1;
                         sim.spawn(
                             r,
-                            Phase::TreeBuild,
+                            phase,
                             cost,
                             Ev::BuildDone { rank: r, re: rank_epoch[r as usize], si: stamp },
                         );
@@ -1930,6 +2047,11 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         metrics.set_u64("des.fill_errors", fill_errors);
         metrics.set_u64("des.n_shared_buckets", n_shared_buckets as u64);
         metrics.set_u64("des.n_partitions", partition_costs.len() as u64);
+        if let Some(m) = maintained.as_deref().and_then(|slot| slot.as_ref()) {
+            metrics.absorb("tree.update", m.totals());
+            metrics
+                .set_u64("tree.update.round_migrated", round.as_ref().map_or(0, |r| r.n_migrated));
+        }
         if let Some(c) = crash {
             metrics.absorb("recovery", &rec);
             metrics.set_u64("fault.crash.count", rec.count);

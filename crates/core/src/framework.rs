@@ -13,14 +13,15 @@
 //! traversal — the paper's race-freedom-by-construction.
 
 use crate::config::{Configuration, TraversalKind};
-use crate::decomp::decompose;
+use crate::decomp::{decompose, Partitioner};
+use crate::maintain::{TreeMaintainer, UpdateTotals};
 use crate::traversal::{traverse_local, TraversalStats, WorkCounts};
 use crate::visitor::{TargetBucket, Visitor};
 use paratreet_cache::{CacheTree, NodeKind, SubtreeSummary};
 use paratreet_geometry::{BoundingBox, NodeKey};
 use paratreet_particles::Particle;
 use paratreet_telemetry::{MetricsRegistry, Telemetry};
-use paratreet_tree::{Data, TreeBuilder};
+use paratreet_tree::{BuiltTree, Data, TreeBuilder};
 use rayon::prelude::*;
 
 /// A partition's share of target buckets: the global bucket indices and
@@ -59,6 +60,12 @@ pub struct StepReport {
     pub seconds_share: f64,
     /// Traversal seconds.
     pub seconds_traverse: f64,
+    /// Incremental tree-update seconds (zero when maintenance is off or
+    /// this step seeded the maintainer).
+    pub seconds_update: f64,
+    /// Cumulative incremental-maintenance counters, present once a
+    /// maintainer is live (`tree.update.*` in [`StepReport::metrics`]).
+    pub update: Option<UpdateTotals>,
 }
 
 impl StepReport {
@@ -76,6 +83,10 @@ impl StepReport {
         m.set_f64("time.build_s", self.seconds_build);
         m.set_f64("time.share_s", self.seconds_share);
         m.set_f64("time.traverse_s", self.seconds_traverse);
+        if let Some(update) = &self.update {
+            m.set_f64("time.update_s", self.seconds_update);
+            m.absorb("tree.update", update);
+        }
         m
     }
 }
@@ -97,13 +108,13 @@ impl<D: Data> Step<D> {
         let t0 = std::time::Instant::now();
         let decomp = telemetry.wall_span(0, "decomposition", None, || decompose(particles, config));
         let seconds_decompose = t0.elapsed().as_secs_f64();
+        let crate::decomp::Decomposition { universe, subtrees, partitioner, n_partitions } = decomp;
 
         // Parallel Subtree build: pieces are independent (the paper's
         // synchronization-free tree build).
         let t0 = std::time::Instant::now();
         let trees: Vec<_> = telemetry.wall_span(0, "tree build", None, || {
-            decomp
-                .subtrees
+            subtrees
                 .into_par_iter()
                 .map(|piece| {
                     let builder = TreeBuilder {
@@ -118,6 +129,24 @@ impl<D: Data> Step<D> {
         });
         let seconds_build = t0.elapsed().as_secs_f64();
 
+        let report = StepReport { seconds_decompose, seconds_build, ..Default::default() };
+        Step::from_trees(config, telemetry, trees, &partitioner, n_partitions, universe, report)
+    }
+
+    /// Finishes a step from already-built Subtrees: leaf sharing against
+    /// `partitioner`, then cache init. This is the common tail of the
+    /// full-rebuild path ([`Step::build`]) and the incremental path,
+    /// where the trees come from a [`TreeMaintainer`] instead of a fresh
+    /// decomposition — guaranteeing both pipelines share semantics.
+    fn from_trees(
+        config: &Configuration,
+        telemetry: &Telemetry,
+        trees: Vec<BuiltTree<D>>,
+        partitioner: &Partitioner,
+        n_partitions: usize,
+        universe: BoundingBox,
+        mut report: StepReport,
+    ) -> Step<D> {
         // Master array: subtree particle arrays concatenated in piece
         // order; leaf buckets are contiguous master ranges.
         let t0 = std::time::Instant::now();
@@ -135,7 +164,7 @@ impl<D: Data> Step<D> {
                     // the leaf-sharing step, with bucket splitting (Fig. 5).
                     let mut per_part: Vec<(u32, Vec<u32>)> = Vec::new();
                     for i in range {
-                        let part = decomp.partitioner.assign(&tree.particles[i]);
+                        let part = partitioner.assign(&tree.particles[i]);
                         let master_idx = offset + i as u32;
                         match per_part.iter_mut().find(|(p, _)| *p == part) {
                             Some((_, v)) => v.push(master_idx),
@@ -171,17 +200,12 @@ impl<D: Data> Step<D> {
         cache.telemetry = telemetry.clone();
         cache.init(&summaries, trees);
 
-        let report = StepReport {
-            n_subtrees,
-            n_partitions: decomp.n_partitions,
-            n_buckets: buckets.len(),
-            n_split_leaves,
-            seconds_decompose,
-            seconds_build,
-            seconds_share,
-            ..Default::default()
-        };
-        Step { cache, universe: decomp.universe, report, master, buckets }
+        report.n_subtrees = n_subtrees;
+        report.n_partitions = n_partitions;
+        report.n_buckets = buckets.len();
+        report.n_split_leaves = n_split_leaves;
+        report.seconds_share = seconds_share;
+        Step { cache, universe, report, master, buckets }
     }
 
     /// Runs one traversal of `kind` with `visitor` over every Partition
@@ -288,18 +312,15 @@ pub struct Framework<D: Data> {
     /// Span sink (wall clock); the default disabled handle costs nothing.
     pub telemetry: Telemetry,
     master: Vec<Particle>,
-    _marker: std::marker::PhantomData<D>,
+    /// The live maintained tree, once `config.incremental.enabled` has
+    /// seeded it (first step).
+    maintainer: Option<TreeMaintainer<D>>,
 }
 
 impl<D: Data> Framework<D> {
     /// A framework over `particles` with `config`.
     pub fn new(config: Configuration, particles: Vec<Particle>) -> Framework<D> {
-        Framework {
-            config,
-            telemetry: Telemetry::disabled(),
-            master: particles,
-            _marker: std::marker::PhantomData,
-        }
+        Framework { config, telemetry: Telemetry::disabled(), master: particles, maintainer: None }
     }
 
     /// Attaches a telemetry handle recording wall-clock phase spans.
@@ -324,9 +345,61 @@ impl<D: Data> Framework<D> {
     /// result and the step report.
     pub fn step<R>(&mut self, f: impl FnOnce(&mut Step<D>) -> R) -> (R, StepReport) {
         let particles = std::mem::take(&mut self.master);
-        let mut step = Step::build(&self.config, &self.telemetry, particles);
+        let mut step = if self.config.incremental.enabled {
+            self.step_incremental(particles)
+        } else {
+            Step::build(&self.config, &self.telemetry, particles)
+        };
         let r = f(&mut step);
         self.master = step.master;
         (r, step.report)
+    }
+
+    /// The incremental pipeline: seed a [`TreeMaintainer`] on the first
+    /// step (a normal decomposition + build), then patch the maintained
+    /// tree in place on every later step under the "incremental update"
+    /// phase. Both paths feed the shared [`Step::from_trees`] tail, so
+    /// traversal semantics are identical to a full rebuild.
+    fn step_incremental(&mut self, particles: Vec<Particle>) -> Step<D> {
+        let mut report = StepReport::default();
+        let trees = match self.maintainer.as_mut() {
+            None => {
+                // Seed = decompose + build once; charge it to build time
+                // like the full pipeline's dominant stage.
+                let t0 = std::time::Instant::now();
+                let (maintainer, trees) = self.telemetry.wall_span(0, "tree build", None, || {
+                    TreeMaintainer::seed(&self.config, particles, true)
+                });
+                report.seconds_build = t0.elapsed().as_secs_f64();
+                self.maintainer = Some(maintainer);
+                trees
+            }
+            Some(maintainer) => {
+                let t0 = std::time::Instant::now();
+                let (trees, _round) =
+                    self.telemetry
+                        .wall_span(0, "incremental update", None, || maintainer.advance(particles));
+                report.seconds_update = t0.elapsed().as_secs_f64();
+                trees
+            }
+        };
+        let maintainer = self.maintainer.as_ref().expect("seeded above");
+        report.update = Some(*maintainer.totals());
+        let step = Step::from_trees(
+            &self.config,
+            &self.telemetry,
+            trees,
+            maintainer.partitioner(),
+            maintainer.n_partitions(),
+            maintainer.universe(),
+            report,
+        );
+        // Patched trees must still satisfy every structural invariant a
+        // fresh build does — checked at the phase boundary in debug runs.
+        #[cfg(debug_assertions)]
+        step.cache
+            .audit_patched(self.config.bucket_size)
+            .expect("incremental maintenance broke a cache-tree invariant");
+        step
     }
 }

@@ -31,14 +31,18 @@ pub mod config;
 pub mod decomp;
 pub mod des_engine;
 pub mod framework;
+pub mod maintain;
 pub mod threaded;
 pub mod traversal;
 pub mod visitor;
 
-pub use config::{Configuration, DecompType, SfcCurve, TraversalKind};
-pub use decomp::{decompose, Decomposition, Partitioner, SubtreePiece};
+pub use config::{Configuration, DecompType, IncrementalConfig, SfcCurve, TraversalKind};
+pub use decomp::{
+    decompose, decompose_within, universe_for, Decomposition, Partitioner, SubtreePiece,
+};
 pub use des_engine::{sfc_balanced_assignment, DistributedEngine, IterationReport, RecoveryStats};
 pub use framework::{Framework, StepReport};
+pub use maintain::{MaintainRound, TreeMaintainer, UpdateTotals};
 pub use threaded::{ThreadedEngine, ThreadedReport};
 pub use traversal::{CacheModel, TraversalStats, WorkCounts};
 pub use visitor::{SpatialNodeView, TargetBucket, Visitor};

@@ -1,0 +1,561 @@
+//! Cross-iteration tree maintenance: the engine-facing half of the
+//! incremental update subsystem.
+//!
+//! A [`TreeMaintainer`] owns one [`UpdatableTree`] per Subtree plus the
+//! decomposition they were seeded from (universe, piece regions,
+//! partitioner). Each iteration, [`TreeMaintainer::advance`] runs the
+//! update cycle — resync, evict escapees, route them (within their
+//! Subtree, to a sibling Subtree, or out of the universe), repair — and
+//! hands back flattened [`BuiltTree`]s that drop into the unchanged
+//! leaf-sharing / cache / traversal pipeline.
+//!
+//! Structural drift is bounded by three policies (§ISSUE-5):
+//!
+//! * a Subtree whose cumulative escapee fraction since its last build
+//!   exceeds `escape_rebuild_fraction` is rebuilt alone,
+//! * a Subtree whose depth grew more than `depth_skew_rebuild` levels
+//!   past its as-built depth is rebuilt alone,
+//! * when the max/mean particle load across Partitions exceeds
+//!   `imbalance_rebuild`, the whole tree is rebuilt and re-decomposed
+//!   (fresh universe, pieces, and partitioner) — as is any step where a
+//!   particle leaves the universe box entirely.
+//!
+//! All decisions are deterministic functions of the particle state, so
+//! a crash-recovery replay that restores the maintained trees and
+//! re-runs the same inputs reproduces the same structure.
+
+use crate::config::{Configuration, DecompType, SfcCurve};
+use crate::decomp::{decompose_within, universe_for, Partitioner, SubtreePiece};
+use paratreet_geometry::{BoundingBox, NodeKey, Vec3};
+use paratreet_particles::{Particle, ParticleVec};
+use paratreet_telemetry::metrics::{MetricSource, MetricsRegistry};
+use paratreet_tree::{BuiltTree, Data, TreeBuilder, UpdatableTree, UpdateStats};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// Cumulative `tree.update.*` counters over the life of a maintainer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UpdateTotals {
+    /// Incremental advances performed (seeding not included).
+    pub steps: u64,
+    /// Particles whose position or mass changed across all advances.
+    pub moved: u64,
+    /// Particles patched in place (moved but stayed in their leaf).
+    pub patched: u64,
+    /// Particles that escaped their leaf bbox.
+    pub escaped: u64,
+    /// Escapees that crossed into a different Subtree.
+    pub migrated: u64,
+    /// Leaf splits performed by repair passes.
+    pub splits: u64,
+    /// Interior collapses performed by repair passes.
+    pub merges: u64,
+    /// Emptied regions pruned.
+    pub pruned: u64,
+    /// Nodes whose `Data` summary was re-accumulated.
+    pub refreshed: u64,
+    /// Single-Subtree rebuilds triggered by drift thresholds.
+    pub subtree_rebuilds: u64,
+    /// Whole-tree rebuild + re-decomposition fallbacks.
+    pub full_rebuilds: u64,
+    /// Max/mean partition load after the most recent advance.
+    pub last_imbalance: f64,
+}
+
+impl MetricSource for UpdateTotals {
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_u64(format!("{prefix}.steps"), self.steps);
+        registry.set_u64(format!("{prefix}.moved"), self.moved);
+        registry.set_u64(format!("{prefix}.patched"), self.patched);
+        registry.set_u64(format!("{prefix}.escaped"), self.escaped);
+        registry.set_u64(format!("{prefix}.migrated"), self.migrated);
+        registry.set_u64(format!("{prefix}.splits"), self.splits);
+        registry.set_u64(format!("{prefix}.merges"), self.merges);
+        registry.set_u64(format!("{prefix}.pruned"), self.pruned);
+        registry.set_u64(format!("{prefix}.refreshed"), self.refreshed);
+        registry.set_u64(format!("{prefix}.subtree_rebuilds"), self.subtree_rebuilds);
+        registry.set_u64(format!("{prefix}.full_rebuilds"), self.full_rebuilds);
+        registry.set_f64(format!("{prefix}.last_imbalance"), self.last_imbalance);
+    }
+}
+
+/// What one [`TreeMaintainer::advance`] did — consumed by the engines
+/// for telemetry and (in the DES engine) virtual-time cost charging.
+#[derive(Clone, Debug, Default)]
+pub struct MaintainRound {
+    /// Summed per-subtree update counters for this round.
+    pub stats: UpdateStats,
+    /// Escapees that crossed Subtree boundaries.
+    pub n_migrated: u64,
+    /// `(from_subtree, to_subtree, count)` migration edges, ascending.
+    pub migrations: Vec<(u32, u32, u32)>,
+    /// Per-subtree structural work units (evictions + insertions +
+    /// splits + merges + summary refreshes) — the DES engine's update
+    /// task cost driver.
+    pub per_subtree_work: Vec<u64>,
+    /// Subtrees rebuilt alone by drift thresholds this round.
+    pub rebuilt_subtrees: Vec<u32>,
+    /// The whole-tree fallback fired (universe escape or imbalance).
+    pub full_rebuild: bool,
+    /// Max/mean partition load measured this round.
+    pub imbalance: f64,
+}
+
+/// Per-Subtree structural-drift counters.
+#[derive(Clone, Copy, Debug)]
+struct Drift {
+    /// Escapees evicted from this Subtree since its last (re)build.
+    escaped: u64,
+    /// The Subtree's depth as of its last (re)build.
+    built_depth: u32,
+}
+
+/// Piece metadata retained after the builds consume the decomposition.
+#[derive(Clone, Copy, Debug)]
+struct PieceMeta {
+    key: NodeKey,
+    bbox: BoundingBox,
+    depth: u32,
+}
+
+/// Maintains the global tree across iterations for one engine. Seeded
+/// once with a full decompose + build; advanced once per iteration with
+/// the integrated particle state.
+pub struct TreeMaintainer<D: Data> {
+    config: Configuration,
+    universe: BoundingBox,
+    pieces: Vec<PieceMeta>,
+    trees: Vec<UpdatableTree<D>>,
+    partitioner: Partitioner,
+    n_partitions: usize,
+    drift: Vec<Drift>,
+    totals: UpdateTotals,
+    parallel: bool,
+}
+
+impl<D: Data> TreeMaintainer<D> {
+    /// Full decompose + build, retaining everything needed to maintain
+    /// the result. `config` must already carry any engine-raised
+    /// `n_subtrees` / `n_partitions` minimums. With
+    /// `incremental.universe_pad == 0` the returned trees are
+    /// bit-identical to a fresh [`crate::decompose`] + build pass.
+    pub fn seed(
+        config: &Configuration,
+        particles: Vec<Particle>,
+        parallel: bool,
+    ) -> (TreeMaintainer<D>, Vec<BuiltTree<D>>) {
+        let mut m = TreeMaintainer {
+            config: config.clone(),
+            universe: BoundingBox::empty(),
+            pieces: Vec::new(),
+            trees: Vec::new(),
+            partitioner: Partitioner::KeyRanges { splitters: Vec::new() },
+            n_partitions: config.n_partitions,
+            drift: Vec::new(),
+            totals: UpdateTotals::default(),
+            parallel,
+        };
+        let built = m.reseed(particles);
+        (m, built)
+    }
+
+    /// The Partition assignment for the maintained decomposition.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// Number of Partitions the maintained partitioner produces.
+    pub fn n_partitions(&self) -> usize {
+        self.n_partitions
+    }
+
+    /// Number of Subtrees (stable between full rebuilds).
+    pub fn n_subtrees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The maintained universe box.
+    pub fn universe(&self) -> BoundingBox {
+        self.universe
+    }
+
+    /// Cumulative `tree.update.*` counters.
+    pub fn totals(&self) -> &UpdateTotals {
+        &self.totals
+    }
+
+    /// Full decompose + build from scratch (seed and fallback path).
+    fn reseed(&mut self, particles: Vec<Particle>) -> Vec<BuiltTree<D>> {
+        let cfg = &self.config;
+        let universe = universe_for(&particles, cfg, cfg.incremental.universe_pad);
+        let decomp = decompose_within(particles, cfg, universe);
+        self.universe = decomp.universe;
+        self.partitioner = decomp.partitioner;
+        self.n_partitions = decomp.n_partitions;
+        self.pieces = decomp
+            .subtrees
+            .iter()
+            .map(|p| PieceMeta { key: p.key, bbox: p.bbox, depth: p.depth })
+            .collect();
+        let tree_type = cfg.tree_type;
+        let bucket_size = cfg.bucket_size;
+        let parallel = self.parallel;
+        let build_one = |piece: SubtreePiece| {
+            let builder = TreeBuilder {
+                tree_type,
+                bucket_size,
+                parallel,
+                root_key: piece.key,
+                root_depth: piece.depth,
+            };
+            let bbox = piece.bbox;
+            builder.build::<D>(piece.particles, bbox)
+        };
+        let built: Vec<BuiltTree<D>> = if parallel {
+            decomp.subtrees.into_par_iter().map(build_one).collect()
+        } else {
+            decomp.subtrees.into_iter().map(build_one).collect()
+        };
+        self.trees = built
+            .iter()
+            .zip(&self.pieces)
+            .map(|(t, p)| UpdatableTree::from_built(t, tree_type, bucket_size, p.depth))
+            .collect();
+        self.drift =
+            self.trees.iter().map(|t| Drift { escaped: 0, built_depth: t.max_depth() }).collect();
+        built
+    }
+
+    /// One incremental iteration. `master` is the integrated particle
+    /// state in the order the previous trees' buckets tiled it (i.e.
+    /// the concatenation of the returned trees' particle arrays).
+    /// Returns the flattened trees for this iteration plus what was
+    /// done to produce them. Falls back to a transparent whole-tree
+    /// rebuild when a particle leaves the universe or the partition
+    /// load imbalance crosses its threshold.
+    pub fn advance(&mut self, mut master: Vec<Particle>) -> (Vec<BuiltTree<D>>, MaintainRound) {
+        let inc = self.config.incremental;
+        self.totals.steps += 1;
+        let mut round = MaintainRound::default();
+
+        // Population change (e.g. collisional merges or accretion): the
+        // maintained bucket slices no longer tile the master array, so
+        // patching is meaningless — re-decompose over the new set.
+        let maintained: usize = self.trees.iter().map(|t| t.n_particles() as usize).sum();
+        if master.len() != maintained {
+            return self.fall_back(master, round);
+        }
+
+        // Universe escape: the maintained root regions no longer cover
+        // the particle set — re-decompose over a fresh (padded) box.
+        if master.iter().any(|p| !self.universe.contains(p.pos)) {
+            return self.fall_back(master, round);
+        }
+
+        // Refresh SFC keys in place (same keying rule as decompose) so
+        // the retained partitioner and leaf sharing stay meaningful.
+        if self.config.sfc == SfcCurve::Hilbert && self.config.decomp_type == DecompType::Sfc {
+            for p in master.iter_mut() {
+                p.key = paratreet_geometry::hilbert_key(p.pos, &self.universe);
+            }
+        } else {
+            master.assign_keys(&self.universe);
+        }
+
+        // Resync each Subtree from its slice of the master array.
+        let counts: Vec<usize> = self.trees.iter().map(|t| t.n_particles() as usize).collect();
+        let mut off = 0usize;
+        for (ti, t) in self.trees.iter_mut().enumerate() {
+            round.stats.n_moved += t.resync(&master[off..off + counts[ti]]);
+            off += counts[ti];
+        }
+        assert_eq!(off, master.len(), "advance: master does not match maintained population");
+        drop(master);
+
+        // Evict escapees and route each to the Subtree whose region now
+        // contains it (most stay home; boundary crossers migrate).
+        let n_trees = self.trees.len();
+        round.per_subtree_work = vec![0u64; n_trees];
+        let mut migrations: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        let mut homeless: BTreeMap<usize, Vec<Particle>> = BTreeMap::new();
+        for si in 0..n_trees {
+            let escaped = self.trees[si].evict_escapees();
+            round.stats.n_escaped += escaped.len() as u64;
+            self.drift[si].escaped += escaped.len() as u64;
+            round.per_subtree_work[si] += escaped.len() as u64;
+            for p in escaped {
+                let (dest, covered) = self.route(p.pos, si);
+                if dest != si {
+                    *migrations.entry((si as u32, dest as u32)).or_default() += 1;
+                    round.n_migrated += 1;
+                }
+                round.stats.n_inserted += 1;
+                round.per_subtree_work[dest] += 1;
+                if covered {
+                    self.trees[dest].insert(p);
+                } else {
+                    homeless.entry(dest).or_default().push(p);
+                }
+            }
+        }
+        round.migrations = migrations.into_iter().map(|((f, t), n)| (f, t, n)).collect();
+
+        // Escapees in a region no piece covers cannot be sieved (every
+        // leaf box must contain its particles): the adopting Subtree
+        // grows its region box over them and rebuilds.
+        for (dest, extra) in homeless {
+            self.rebuild_subtree(dest, extra);
+            round.rebuilt_subtrees.push(dest as u32);
+            self.totals.subtree_rebuilds += 1;
+        }
+
+        // Repair: split/merge/prune and re-accumulate dirty paths.
+        for (si, t) in self.trees.iter_mut().enumerate() {
+            let s = t.repair();
+            round.per_subtree_work[si] += s.n_splits + s.n_merges + s.n_refreshed;
+            round.stats += s;
+        }
+
+        // Per-Subtree drift rebuilds.
+        for si in 0..n_trees {
+            let n = self.trees[si].n_particles() as u64;
+            let frac = self.drift[si].escaped as f64 / n.max(1) as f64;
+            let skew = self.trees[si].max_depth().saturating_sub(self.drift[si].built_depth);
+            if frac > inc.escape_rebuild_fraction || skew > inc.depth_skew_rebuild {
+                self.rebuild_subtree(si, Vec::new());
+                round.rebuilt_subtrees.push(si as u32);
+                self.totals.subtree_rebuilds += 1;
+            }
+        }
+
+        // Flatten for the pipeline, then check partition balance over
+        // the flattened buckets.
+        let flats: Vec<BuiltTree<D>> = self.trees.iter().map(|t| t.flatten()).collect();
+        let mut loads = vec![0u64; self.n_partitions.max(1)];
+        let mut total = 0u64;
+        for f in &flats {
+            for p in &f.particles {
+                loads[self.partitioner.assign(p) as usize] += 1;
+                total += 1;
+            }
+        }
+        let mean = total as f64 / loads.len() as f64;
+        let imbalance = if mean > 0.0 { *loads.iter().max().unwrap() as f64 / mean } else { 1.0 };
+        round.imbalance = imbalance;
+        self.totals.last_imbalance = imbalance;
+        self.accumulate(&round);
+        if imbalance > inc.imbalance_rebuild {
+            let master: Vec<Particle> = flats.into_iter().flat_map(|f| f.particles).collect();
+            return self.fall_back(master, round);
+        }
+        (flats, round)
+    }
+
+    /// Whole-tree rebuild + re-decomposition fallback, transparent to
+    /// the caller (the returned trees slot into the pipeline as usual).
+    fn fall_back(
+        &mut self,
+        particles: Vec<Particle>,
+        mut round: MaintainRound,
+    ) -> (Vec<BuiltTree<D>>, MaintainRound) {
+        let built = self.reseed(particles);
+        round.full_rebuild = true;
+        round.rebuilt_subtrees.clear();
+        round.per_subtree_work = vec![0u64; built.len()];
+        self.totals.full_rebuilds += 1;
+        (built, round)
+    }
+
+    /// Folds a round's per-step counters into the cumulative totals.
+    fn accumulate(&mut self, round: &MaintainRound) {
+        let s = &round.stats;
+        self.totals.moved += s.n_moved;
+        self.totals.patched += s.n_moved.saturating_sub(s.n_escaped);
+        self.totals.escaped += s.n_escaped;
+        self.totals.migrated += round.n_migrated;
+        self.totals.splits += s.n_splits;
+        self.totals.merges += s.n_merges;
+        self.totals.pruned += s.n_pruned;
+        self.totals.refreshed += s.n_refreshed;
+    }
+
+    /// The Subtree whose region contains `pos`, preferring the source
+    /// Subtree on shared faces (avoids spurious boundary migrations).
+    /// Pieces tile the universe, so the nearest-region fallback only
+    /// guards float edge cases.
+    fn route(&self, pos: Vec3, src: usize) -> (usize, bool) {
+        if self.pieces[src].bbox.contains(pos) {
+            return (src, true);
+        }
+        for (i, piece) in self.pieces.iter().enumerate() {
+            if piece.bbox.contains(pos) {
+                return (i, true);
+            }
+        }
+        // The position fell into a region no piece covers (an octant
+        // that held no particles at decomposition time): the nearest
+        // piece adopts it, growing its region box.
+        let mut best = src;
+        let mut best_d = f64::INFINITY;
+        for (i, piece) in self.pieces.iter().enumerate() {
+            let d = piece.bbox.dist_sq_to(pos);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        (best, false)
+    }
+
+    /// Rebuilds one Subtree from its current particles (drift policy),
+    /// plus `outsiders` — escapees whose positions no piece covers; the
+    /// region box grows over them first so every leaf box still
+    /// contains its particles.
+    fn rebuild_subtree(&mut self, si: usize, outsiders: Vec<Particle>) {
+        for p in &outsiders {
+            self.pieces[si].bbox.grow(p.pos);
+        }
+        let piece = self.pieces[si];
+        let mut particles = self.trees[si].all_particles();
+        particles.extend(outsiders);
+        let builder = TreeBuilder {
+            tree_type: self.config.tree_type,
+            bucket_size: self.config.bucket_size,
+            parallel: self.parallel,
+            root_key: piece.key,
+            root_depth: piece.depth,
+        };
+        let built = builder.build::<D>(particles, piece.bbox);
+        self.trees[si] = UpdatableTree::from_built(
+            &built,
+            self.config.tree_type,
+            self.config.bucket_size,
+            piece.depth,
+        );
+        self.drift[si] = Drift { escaped: 0, built_depth: self.trees[si].max_depth() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IncrementalConfig;
+    use paratreet_particles::gen;
+    use paratreet_tree::CountData;
+
+    fn config() -> Configuration {
+        Configuration {
+            n_subtrees: 6,
+            n_partitions: 4,
+            bucket_size: 8,
+            incremental: IncrementalConfig { enabled: true, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn masters(trees: &[BuiltTree<CountData>]) -> Vec<Particle> {
+        trees.iter().flat_map(|t| t.particles.iter().copied()).collect()
+    }
+
+    #[test]
+    fn seed_then_zero_motion_advance_is_identical() {
+        let mut cfg = config();
+        cfg.incremental.universe_pad = 0.0;
+        let ps = gen::uniform_cube(800, 5, 1.0, 1.0);
+        let (mut m, seeded) = TreeMaintainer::<CountData>::seed(&cfg, ps, false);
+        let master = masters(&seeded);
+        let (trees, round) = m.advance(master.clone());
+        assert!(!round.full_rebuild);
+        assert_eq!(round.stats.n_moved, 0);
+        assert_eq!(round.stats.n_escaped, 0);
+        assert_eq!(trees.len(), seeded.len());
+        for (a, b) in trees.iter().zip(&seeded) {
+            assert_eq!(a.nodes.len(), b.nodes.len());
+            for (x, y) in a.nodes.iter().zip(&b.nodes) {
+                assert_eq!(x.key, y.key);
+                assert_eq!(x.shape, y.shape);
+                assert_eq!(x.data, y.data);
+            }
+            assert_eq!(a.particles, b.particles);
+        }
+    }
+
+    #[test]
+    fn motion_advance_conserves_and_validates() {
+        let cfg = config();
+        let ps = gen::clustered(1500, 3, 11, 1.0, 1.0);
+        let (mut m, seeded) = TreeMaintainer::<CountData>::seed(&cfg, ps, false);
+        let mut master = masters(&seeded);
+        let n0 = master.len();
+        let mut rounds_with_migration = 0;
+        for step in 0..4 {
+            // Drift everything along +x: particles cross leaf and
+            // Subtree boundaries; the universe pad absorbs the first
+            // steps, then the full-rebuild fallback re-decomposes.
+            let extent = m.universe().hi.x - m.universe().lo.x;
+            for p in master.iter_mut() {
+                p.pos.x += 0.015 * extent;
+            }
+            let (trees, round) = m.advance(master);
+            assert_eq!(
+                trees.iter().map(|t| t.particles.len()).sum::<usize>(),
+                n0,
+                "step {step} lost particles"
+            );
+            for t in &trees {
+                t.validate(cfg.bucket_size).unwrap();
+            }
+            if round.n_migrated > 0 {
+                rounds_with_migration += 1;
+            }
+            master = masters(&trees);
+        }
+        assert!(rounds_with_migration > 0, "contraction should migrate particles");
+        assert_eq!(m.totals().steps, 4);
+        assert!(m.totals().moved > 0);
+    }
+
+    #[test]
+    fn universe_escape_falls_back_to_full_rebuild() {
+        let mut cfg = config();
+        cfg.incremental.universe_pad = 0.0;
+        let ps = gen::uniform_cube(400, 7, 1.0, 1.0);
+        let (mut m, seeded) = TreeMaintainer::<CountData>::seed(&cfg, ps, false);
+        let mut master = masters(&seeded);
+        // Fling one particle far outside the box.
+        master[0].pos = master[0].pos + Vec3::splat(50.0);
+        let (trees, round) = m.advance(master);
+        assert!(round.full_rebuild);
+        assert_eq!(m.totals().full_rebuilds, 1);
+        assert_eq!(trees.iter().map(|t| t.particles.len()).sum::<usize>(), 400);
+        for t in &trees {
+            t.validate(cfg.bucket_size).unwrap();
+        }
+    }
+
+    #[test]
+    fn heavy_churn_triggers_subtree_rebuilds() {
+        let mut cfg = config();
+        cfg.incremental.escape_rebuild_fraction = 0.05;
+        let ps = gen::uniform_cube(1000, 13, 1.0, 1.0);
+        let (mut m, seeded) = TreeMaintainer::<CountData>::seed(&cfg, ps, false);
+        let mut master = masters(&seeded);
+        let mut rng_phase = 1.0f64;
+        for _ in 0..3 {
+            let c = m.universe().center();
+            for p in master.iter_mut() {
+                // Strong swirl: lots of leaf escapes, few universe exits.
+                let r = p.pos - c;
+                p.pos = c + Vec3::new(-r.y, r.x, r.z * 0.9) * (0.8 + 0.05 * rng_phase);
+            }
+            rng_phase = -rng_phase;
+            let (trees, _round) = m.advance(master);
+            master = masters(&trees);
+        }
+        assert!(
+            m.totals().subtree_rebuilds > 0 || m.totals().full_rebuilds > 0,
+            "heavy churn must trigger a rebuild policy: {:?}",
+            m.totals()
+        );
+    }
+}

@@ -27,7 +27,8 @@
 //!   in the rank's shared table until a fill re-enqueues it.
 
 use crate::config::{Configuration, TraversalKind};
-use crate::decomp::decompose;
+use crate::decomp::{decompose, Partitioner};
+use crate::maintain::TreeMaintainer;
 use crate::traversal::{process_item, seed_items, PendingFetch, WorkCounts, WorkItem};
 use crate::visitor::{TargetBucket, Visitor};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -171,8 +172,6 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
             self.telemetry.wall_span(0, "decomposition", None, || decompose(particles, &config));
         let n_subtrees = decomp.subtrees.len();
         let subtree_rank = |si: usize| -> u32 { (si * ranks / n_subtrees) as u32 };
-        let n_partitions = decomp.n_partitions.max(1);
-        let partition_rank = |pi: usize| -> u32 { (pi * ranks / n_partitions) as u32 };
 
         let trees: Vec<(u32, paratreet_tree::BuiltTree<V::Data>)> =
             self.telemetry.wall_span(0, "tree build", None, || {
@@ -191,6 +190,84 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
                     })
                     .collect()
             });
+        self.run_prepared(&config, trees, &decomp.partitioner, decomp.n_partitions, kind, started)
+    }
+
+    /// Runs one iteration against a tree maintained across calls: the
+    /// first call seeds the [`TreeMaintainer`] into `slot` (a normal
+    /// decomposition + build), every later call patches the maintained
+    /// tree in place under the "incremental update" phase and traverses
+    /// the flattened result through the exact machinery of
+    /// [`ThreadedEngine::run_iteration`]. Pass the same `slot` every
+    /// iteration; its tree-update counters land under `tree.update.*`
+    /// in the report's metrics.
+    pub fn run_maintained(
+        &self,
+        slot: &mut Option<TreeMaintainer<V::Data>>,
+        particles: Vec<Particle>,
+        kind: TraversalKind,
+    ) -> ThreadedReport {
+        let started = std::time::Instant::now();
+        let ranks = self.n_ranks;
+        let mut config = self.config.clone();
+        config.n_subtrees = config.n_subtrees.max(ranks * 4);
+        config.n_partitions = config.n_partitions.max(ranks * self.workers_per_rank * 2);
+        config.incremental.enabled = true;
+
+        let mut seconds_update = 0.0;
+        let flat = match slot.as_mut() {
+            None => {
+                let (maintainer, flat) = self.telemetry.wall_span(0, "tree build", None, || {
+                    TreeMaintainer::seed(&config, particles, true)
+                });
+                *slot = Some(maintainer);
+                flat
+            }
+            Some(maintainer) => {
+                let t0 = std::time::Instant::now();
+                let (flat, _round) =
+                    self.telemetry
+                        .wall_span(0, "incremental update", None, || maintainer.advance(particles));
+                seconds_update = t0.elapsed().as_secs_f64();
+                flat
+            }
+        };
+        let maintainer = slot.as_ref().expect("seeded above");
+        let n_subtrees = flat.len();
+        let trees: Vec<(u32, paratreet_tree::BuiltTree<V::Data>)> = flat
+            .into_iter()
+            .enumerate()
+            .map(|(si, t)| ((si * ranks / n_subtrees) as u32, t))
+            .collect();
+        let mut report = self.run_prepared(
+            &config,
+            trees,
+            maintainer.partitioner(),
+            maintainer.n_partitions(),
+            kind,
+            started,
+        );
+        report.metrics.set_f64("time.update_s", seconds_update);
+        report.metrics.absorb("tree.update", maintainer.totals());
+        report
+    }
+
+    /// The engine tail shared by the full-rebuild and maintained paths:
+    /// leaf sharing against `partitioner`, per-rank cache init, and the
+    /// real-threads traversal, starting from already-built Subtrees
+    /// tagged with their home ranks.
+    fn run_prepared(
+        &self,
+        config: &Configuration,
+        trees: Vec<(u32, paratreet_tree::BuiltTree<V::Data>)>,
+        partitioner: &Partitioner,
+        n_partitions: usize,
+        kind: TraversalKind,
+        started: std::time::Instant,
+    ) -> ThreadedReport {
+        let ranks = self.n_ranks;
+        let n_partitions = n_partitions.max(1);
+        let partition_rank = |pi: usize| -> u32 { (pi * ranks / n_partitions) as u32 };
         let summaries: Vec<SubtreeSummary<V::Data>> = trees
             .iter()
             .map(|(rank, t)| SubtreeSummary {
@@ -217,7 +294,7 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
                 let range = node.bucket_range().expect("leaf");
                 let mut per_part: Vec<(u32, Vec<u32>)> = Vec::new();
                 for i in range {
-                    let part = decomp.partitioner.assign(&tree.particles[i]);
+                    let part = partitioner.assign(&tree.particles[i]);
                     match per_part.iter_mut().find(|(p, _)| *p == part) {
                         Some((_, v)) => v.push(offset + i as u32),
                         None => per_part.push((part, vec![offset + i as u32])),

@@ -34,10 +34,14 @@ pub enum Phase {
     /// Crash recovery: reading checkpoints, rebuilding the dead rank's
     /// subtrees, re-initialising its cache.
     Recovery = 12,
+    /// Incremental tree maintenance: classifying moved particles,
+    /// patching buckets, re-sieving escapees, and re-accumulating
+    /// `Data` along dirty paths instead of a full rebuild.
+    TreeUpdate = 13,
 }
 
 /// Number of phase categories.
-pub const N_PHASES: usize = 13;
+pub const N_PHASES: usize = 14;
 
 impl Phase {
     /// All phases in index order.
@@ -55,6 +59,7 @@ impl Phase {
         Phase::Other,
         Phase::Checkpoint,
         Phase::Recovery,
+        Phase::TreeUpdate,
     ];
 
     /// Stable index (0..[`N_PHASES`]).
@@ -79,6 +84,7 @@ impl Phase {
             Phase::Other => "other",
             Phase::Checkpoint => "checkpoint",
             Phase::Recovery => "recovery",
+            Phase::TreeUpdate => "incremental update",
         }
     }
 }

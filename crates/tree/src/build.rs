@@ -204,7 +204,9 @@ impl TreeBuilder {
     /// `(child slot, group length, child bbox, child key)` in slice order.
     /// Empty octree octants are skipped entirely (no Empty nodes are
     /// materialised for them; `NO_NODE` marks them absent).
-    fn split(
+    /// Crate-visible so incremental maintenance splits overfull leaves
+    /// with exactly this rule.
+    pub(crate) fn split(
         &self,
         particles: &mut [Particle],
         bbox: &BoundingBox,

@@ -20,8 +20,10 @@ pub mod build;
 pub mod data;
 pub mod node;
 pub mod types;
+pub mod update;
 
 pub use build::TreeBuilder;
 pub use data::{CountData, Data};
 pub use node::{BuildNode, BuiltTree, NodeIdx, NodeShape};
 pub use types::TreeType;
+pub use update::{UpdatableTree, UpdateStats};

@@ -1,0 +1,766 @@
+//! Incremental tree maintenance: patch a built Subtree across iterations
+//! instead of rebuilding it from scratch.
+//!
+//! ParaTreeT pays the full decomposition + build + leaf-sharing pipeline
+//! every iteration even though particles move only slightly between
+//! timesteps. An [`UpdatableTree`] is the mutable twin of a
+//! [`BuiltTree`]: nodes live in a slab with a free list, leaves own
+//! their buckets directly, and the update cycle is
+//!
+//! 1. [`UpdatableTree::resync`] — copy the integrated particle state
+//!    back into the leaves (in DFS leaf order, the order
+//!    [`UpdatableTree::flatten`] emits), marking a leaf *dirty* only
+//!    when a position or mass actually changed,
+//! 2. [`UpdatableTree::evict_escapees`] — remove particles that left
+//!    their leaf's spatial footprint (the caller routes them: back into
+//!    this subtree, into a sibling Subtree, or to a full rebuild),
+//! 3. [`UpdatableTree::insert`] — sieve a particle from the subtree
+//!    root down to its new leaf, materialising missing children with
+//!    the same child-box/child-key rules the builder uses,
+//! 4. [`UpdatableTree::repair`] — one bottom-up pass that splits
+//!    overfull leaves (with the builder's own split rule), collapses
+//!    underfull interiors, prunes emptied regions, and re-accumulates
+//!    `Data` along dirty root paths only.
+//!
+//! [`UpdatableTree::flatten`] then reproduces the exact arena layout
+//! [`crate::TreeBuilder`] emits (pre-order, children in ascending slot
+//! order, buckets tiling the particle array in DFS order), so a
+//! maintained tree drops into the cache/traversal pipeline unchanged —
+//! and a zero-motion update round-trips bit-identically.
+
+use crate::build::TreeBuilder;
+use crate::node::{BuildNode, BuiltTree, NodeShape, NO_NODE};
+use crate::{Data, TreeType};
+use paratreet_geometry::{Axis, BoundingBox, NodeKey, Vec3};
+use paratreet_particles::Particle;
+
+/// Counters describing one update round of a single subtree. Summed by
+/// the engine layer into the `tree.update.*` metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Particles whose position or mass changed since the last sync.
+    pub n_moved: u64,
+    /// Particles that left their leaf's bbox and were evicted.
+    pub n_escaped: u64,
+    /// Particles sieved into a leaf of this subtree.
+    pub n_inserted: u64,
+    /// Overfull leaves split by the repair pass.
+    pub n_splits: u64,
+    /// Underfull interior nodes collapsed back into leaves.
+    pub n_merges: u64,
+    /// Emptied child regions pruned from their parents.
+    pub n_pruned: u64,
+    /// Nodes whose `Data` summary was re-accumulated.
+    pub n_refreshed: u64,
+}
+
+impl std::ops::AddAssign for UpdateStats {
+    fn add_assign(&mut self, o: UpdateStats) {
+        self.n_moved += o.n_moved;
+        self.n_escaped += o.n_escaped;
+        self.n_inserted += o.n_inserted;
+        self.n_splits += o.n_splits;
+        self.n_merges += o.n_merges;
+        self.n_pruned += o.n_pruned;
+        self.n_refreshed += o.n_refreshed;
+    }
+}
+
+/// Structural kind of a maintained node. Unlike [`NodeShape`], leaves
+/// own their bucket directly so membership edits are local.
+enum UpdateShape {
+    /// Interior node; `NO_NODE` marks absent children.
+    Internal { children: [u32; 8] },
+    /// Leaf owning its bucket.
+    Leaf { particles: Vec<Particle> },
+    /// A region with no particles.
+    Empty,
+}
+
+/// One slab node of an [`UpdatableTree`].
+struct UpdateNode<D> {
+    key: NodeKey,
+    bbox: BoundingBox,
+    shape: UpdateShape,
+    /// Depth below the subtree root (matches [`BuildNode::depth`]).
+    depth: u32,
+    data: D,
+    n_particles: u32,
+    /// Set when the bucket membership, particle state, or child set
+    /// changed since the last repair; cleared by [`UpdatableTree::repair`].
+    dirty: bool,
+}
+
+/// A mutable Subtree maintained across iterations. The root is always
+/// slab index 0; freed slots are recycled through a free list.
+pub struct UpdatableTree<D: Data> {
+    tree_type: TreeType,
+    bucket_size: usize,
+    root_key: NodeKey,
+    root_depth: u32,
+    max_local_depth: u32,
+    nodes: Vec<Option<UpdateNode<D>>>,
+    free: Vec<u32>,
+}
+
+impl<D: Data> UpdatableTree<D> {
+    /// Adopts a freshly built subtree. `root_depth` is the subtree
+    /// root's depth below the global root (it drives k-d axis cycling,
+    /// exactly as in [`TreeBuilder::root_depth`]).
+    pub fn from_built(
+        tree: &BuiltTree<D>,
+        tree_type: TreeType,
+        bucket_size: usize,
+        root_depth: u32,
+    ) -> UpdatableTree<D> {
+        let bits = tree_type.bits_per_level();
+        let root_key = tree.root().key;
+        let mut t = UpdatableTree {
+            tree_type,
+            bucket_size,
+            root_key,
+            root_depth,
+            // Same digit-capacity cap as the builder's `max_depth`.
+            max_local_depth: (63 - root_key.level(bits) * bits) / bits,
+            nodes: Vec::with_capacity(tree.nodes.len()),
+            free: Vec::new(),
+        };
+        t.adopt(tree, 0);
+        t
+    }
+
+    fn adopt(&mut self, tree: &BuiltTree<D>, i: u32) -> u32 {
+        let src = tree.node(i);
+        let slab = self.alloc(UpdateNode {
+            key: src.key,
+            bbox: src.bbox,
+            shape: UpdateShape::Empty,
+            depth: src.depth,
+            data: src.data.clone(),
+            n_particles: src.n_particles,
+            dirty: false,
+        });
+        let shape = match src.shape {
+            NodeShape::Leaf { .. } => UpdateShape::Leaf { particles: tree.bucket(i).to_vec() },
+            NodeShape::Empty => UpdateShape::Empty,
+            NodeShape::Internal => {
+                let mut children = [NO_NODE; 8];
+                for (slot, &c) in src.children.iter().enumerate() {
+                    if c != NO_NODE {
+                        children[slot] = self.adopt(tree, c);
+                    }
+                }
+                UpdateShape::Internal { children }
+            }
+        };
+        self.node_mut(slab).shape = shape;
+        slab
+    }
+
+    fn alloc(&mut self, n: UpdateNode<D>) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Some(n);
+                i
+            }
+            None => {
+                self.nodes.push(Some(n));
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn release(&mut self, i: u32) {
+        self.nodes[i as usize] = None;
+        self.free.push(i);
+    }
+
+    fn node(&self, i: u32) -> &UpdateNode<D> {
+        self.nodes[i as usize].as_ref().expect("live slab node")
+    }
+
+    fn node_mut(&mut self, i: u32) -> &mut UpdateNode<D> {
+        self.nodes[i as usize].as_mut().expect("live slab node")
+    }
+
+    /// The subtree root's spatial footprint (the Subtree piece's region).
+    pub fn root_bbox(&self) -> BoundingBox {
+        self.node(0).bbox
+    }
+
+    /// The subtree root's path key.
+    pub fn root_key(&self) -> NodeKey {
+        self.root_key
+    }
+
+    /// Total particles currently held.
+    pub fn n_particles(&self) -> u32 {
+        self.node(0).n_particles
+    }
+
+    /// Live node count.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Maximum node depth below the subtree root.
+    pub fn max_depth(&self) -> u32 {
+        self.nodes.iter().flatten().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Leaf slab indices in DFS (ascending child slot) order — the
+    /// order buckets tile the flattened particle array.
+    fn leaves_dfs(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![0u32];
+        while let Some(i) = stack.pop() {
+            match &self.node(i).shape {
+                UpdateShape::Leaf { .. } => out.push(i),
+                UpdateShape::Internal { children } => {
+                    for &c in children.iter().rev() {
+                        if c != NO_NODE {
+                            stack.push(c);
+                        }
+                    }
+                }
+                UpdateShape::Empty => {}
+            }
+        }
+        out
+    }
+
+    /// All particles in DFS bucket order (what [`Self::flatten`] emits).
+    pub fn all_particles(&self) -> Vec<Particle> {
+        let mut out = Vec::with_capacity(self.n_particles() as usize);
+        self.collect(0, &mut out);
+        out
+    }
+
+    fn collect(&self, i: u32, out: &mut Vec<Particle>) {
+        match &self.node(i).shape {
+            UpdateShape::Leaf { particles } => out.extend_from_slice(particles),
+            UpdateShape::Internal { children } => {
+                for &c in children.iter() {
+                    if c != NO_NODE {
+                        self.collect(c, out);
+                    }
+                }
+            }
+            UpdateShape::Empty => {}
+        }
+    }
+
+    /// Copies integrated particle state back into the leaves. `master`
+    /// must hold this subtree's particles in the order the last
+    /// [`Self::flatten`] emitted them. Returns the number of particles
+    /// whose position or mass changed; only their leaves go dirty, so a
+    /// zero-motion resync leaves every summary untouched.
+    pub fn resync(&mut self, master: &[Particle]) -> u64 {
+        let mut off = 0usize;
+        let mut moved = 0u64;
+        for li in self.leaves_dfs() {
+            let node = self.node_mut(li);
+            let UpdateShape::Leaf { particles } = &mut node.shape else { unreachable!() };
+            let slice = &master[off..off + particles.len()];
+            off += particles.len();
+            let mut dirty = node.dirty;
+            for (dst, src) in particles.iter_mut().zip(slice) {
+                if dst.pos != src.pos || dst.mass != src.mass {
+                    dirty = true;
+                    moved += 1;
+                }
+                *dst = *src;
+            }
+            node.dirty = dirty;
+        }
+        assert_eq!(off, master.len(), "resync: master slice does not match subtree population");
+        moved
+    }
+
+    /// Removes every particle that left its leaf's bbox and returns
+    /// them (in DFS leaf order). Only dirty leaves are scanned — clean
+    /// leaves cannot have movers. The caller re-routes each escapee via
+    /// [`Self::insert`] on whichever subtree now contains it.
+    pub fn evict_escapees(&mut self) -> Vec<Particle> {
+        let mut out = Vec::new();
+        for li in self.leaves_dfs() {
+            let node = self.node_mut(li);
+            if !node.dirty {
+                continue;
+            }
+            let bbox = node.bbox;
+            let UpdateShape::Leaf { particles } = &mut node.shape else { unreachable!() };
+            particles.retain(|p| {
+                if bbox.contains(p.pos) {
+                    true
+                } else {
+                    out.push(*p);
+                    false
+                }
+            });
+        }
+        out
+    }
+
+    /// Sieves one particle from the subtree root to its leaf, creating
+    /// a missing child (builder child-box/child-key rules) on the way.
+    pub fn insert(&mut self, p: Particle) {
+        let mut i = 0u32;
+        loop {
+            let children = match &self.node(i).shape {
+                UpdateShape::Empty => {
+                    let node = self.node_mut(i);
+                    node.shape = UpdateShape::Leaf { particles: vec![p] };
+                    node.dirty = true;
+                    return;
+                }
+                UpdateShape::Leaf { .. } => {
+                    let node = self.node_mut(i);
+                    let UpdateShape::Leaf { particles } = &mut node.shape else { unreachable!() };
+                    particles.push(p);
+                    node.dirty = true;
+                    return;
+                }
+                UpdateShape::Internal { children } => *children,
+            };
+            let (slot, child_bbox, child_key) = self.sieve_target(i, &children, p.pos);
+            match children[slot] {
+                NO_NODE => {
+                    let depth = self.node(i).depth + 1;
+                    let ci = self.alloc(UpdateNode {
+                        key: child_key,
+                        bbox: child_bbox,
+                        shape: UpdateShape::Leaf { particles: vec![p] },
+                        depth,
+                        data: D::default(),
+                        n_particles: 0,
+                        dirty: true,
+                    });
+                    let node = self.node_mut(i);
+                    let UpdateShape::Internal { children } = &mut node.shape else {
+                        unreachable!()
+                    };
+                    children[slot] = ci;
+                    node.dirty = true;
+                    return;
+                }
+                c => i = c,
+            }
+        }
+    }
+
+    /// Which child slot of interior node `i` the position sieves into,
+    /// plus that child's region box and key. Mirrors the builder's split
+    /// assignment: octants tie toward the high side, planes send
+    /// `pos < plane` low.
+    fn sieve_target(
+        &self,
+        i: u32,
+        children: &[u32; 8],
+        pos: Vec3,
+    ) -> (usize, BoundingBox, NodeKey) {
+        let node = self.node(i);
+        let bits = self.tree_type.bits_per_level();
+        if self.tree_type == TreeType::Octree {
+            let slot = node.bbox.octant_of(pos);
+            return (slot, node.bbox.octant(slot), node.key.child(slot, bits));
+        }
+        let (axis, plane) = self.split_plane(i, children);
+        let slot = if pos.component(axis.index()) < plane { 0 } else { 1 };
+        let (lo, hi) = node.bbox.split_at(axis, plane);
+        (slot, if slot == 0 { lo } else { hi }, node.key.child(slot, bits))
+    }
+
+    /// Recovers the split plane of a binary interior node. BinaryOct
+    /// always splits at the spatial midpoint; k-d planes are recovered
+    /// from a child's region box (the builder made child 0's high face —
+    /// equivalently child 1's low face — the plane).
+    fn split_plane(&self, i: u32, children: &[u32; 8]) -> (Axis, f64) {
+        let node = self.node(i);
+        let axis = match self.tree_type.cycling_axis(self.root_depth + node.depth) {
+            Some(a) => a,
+            None => node.bbox.longest_axis(),
+        };
+        if self.tree_type == TreeType::BinaryOct {
+            return (axis, node.bbox.center().component(axis.index()));
+        }
+        if children[0] != NO_NODE {
+            (axis, self.node(children[0]).bbox.hi.component(axis.index()))
+        } else if children[1] != NO_NODE {
+            (axis, self.node(children[1]).bbox.lo.component(axis.index()))
+        } else {
+            (axis, node.bbox.center().component(axis.index()))
+        }
+    }
+
+    /// One bottom-up repair pass: splits overfull leaves, prunes
+    /// emptied children, collapses underfull interiors, and
+    /// re-accumulates `Data` and particle counts along dirty root paths
+    /// only. Untouched subtrees are skipped entirely (and keep their
+    /// summaries bit-for-bit).
+    pub fn repair(&mut self) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        self.refresh(0, &mut stats);
+        stats
+    }
+
+    /// Returns whether anything beneath (or at) `i` changed.
+    fn refresh(&mut self, i: u32, stats: &mut UpdateStats) -> bool {
+        enum Kind {
+            Empty,
+            Leaf(usize),
+            Internal([u32; 8]),
+        }
+        let kind = match &self.node(i).shape {
+            UpdateShape::Empty => Kind::Empty,
+            UpdateShape::Leaf { particles } => Kind::Leaf(particles.len()),
+            UpdateShape::Internal { children } => Kind::Internal(*children),
+        };
+        match kind {
+            Kind::Empty => {
+                let node = self.node_mut(i);
+                let was = node.dirty;
+                node.dirty = false;
+                was
+            }
+            Kind::Leaf(len) => {
+                if !self.node(i).dirty {
+                    return false;
+                }
+                if len > self.bucket_size && self.node(i).depth < self.max_local_depth {
+                    self.split_leaf(i, stats);
+                    return self.refresh(i, stats);
+                }
+                // A leaf at the depth cap may stay oversize, exactly as
+                // the builder leaves it for coincident particles.
+                let (data, n) = {
+                    let node = self.node(i);
+                    let UpdateShape::Leaf { particles } = &node.shape else { unreachable!() };
+                    (D::from_leaf(particles, &node.bbox), particles.len() as u32)
+                };
+                let node = self.node_mut(i);
+                if n == 0 {
+                    node.shape = UpdateShape::Empty;
+                    node.data = D::default();
+                } else {
+                    node.data = data;
+                }
+                node.n_particles = n;
+                node.dirty = false;
+                stats.n_refreshed += 1;
+                true
+            }
+            Kind::Internal(mut children) => {
+                let mut any = self.node(i).dirty;
+                for &c in &children {
+                    if c != NO_NODE {
+                        any |= self.refresh(c, stats);
+                    }
+                }
+                if !any {
+                    return false;
+                }
+                for ch in children.iter_mut() {
+                    if *ch != NO_NODE && matches!(self.node(*ch).shape, UpdateShape::Empty) {
+                        self.release(*ch);
+                        *ch = NO_NODE;
+                        stats.n_pruned += 1;
+                    }
+                }
+                let total: u32 = children
+                    .iter()
+                    .filter(|&&c| c != NO_NODE)
+                    .map(|&c| self.node(c).n_particles)
+                    .sum();
+                if total == 0 {
+                    let node = self.node_mut(i);
+                    node.shape = UpdateShape::Empty;
+                    node.data = D::default();
+                    node.n_particles = 0;
+                    node.dirty = false;
+                } else if (total as usize) <= self.bucket_size {
+                    // Underfull interior: gather descendants (DFS slot
+                    // order) back into one bucket.
+                    let mut bucket = Vec::with_capacity(total as usize);
+                    for &c in &children {
+                        if c != NO_NODE {
+                            self.collect(c, &mut bucket);
+                            self.release_subtree(c);
+                        }
+                    }
+                    let bbox = self.node(i).bbox;
+                    let data = D::from_leaf(&bucket, &bbox);
+                    let node = self.node_mut(i);
+                    node.shape = UpdateShape::Leaf { particles: bucket };
+                    node.data = data;
+                    node.n_particles = total;
+                    node.dirty = false;
+                    stats.n_merges += 1;
+                } else {
+                    let mut data = D::default();
+                    for &c in &children {
+                        if c != NO_NODE {
+                            data.merge(&self.node(c).data);
+                        }
+                    }
+                    let node = self.node_mut(i);
+                    node.shape = UpdateShape::Internal { children };
+                    node.data = data;
+                    node.n_particles = total;
+                    node.dirty = false;
+                }
+                stats.n_refreshed += 1;
+                true
+            }
+        }
+    }
+
+    /// Splits an overfull leaf with the builder's own split rule, so
+    /// maintained structure matches what a fresh build would produce.
+    fn split_leaf(&mut self, i: u32, stats: &mut UpdateStats) {
+        let (mut particles, bbox, key, depth) = {
+            let node = self.node_mut(i);
+            let UpdateShape::Leaf { particles } = &mut node.shape else { unreachable!() };
+            (std::mem::take(particles), node.bbox, node.key, node.depth)
+        };
+        let builder = TreeBuilder {
+            tree_type: self.tree_type,
+            bucket_size: self.bucket_size,
+            parallel: false,
+            root_key: self.root_key,
+            root_depth: self.root_depth,
+        };
+        let groups = builder.split(&mut particles, &bbox, key, self.root_depth + depth);
+        let mut children = [NO_NODE; 8];
+        let mut rest = particles;
+        for (slot, len, child_bbox, child_key) in groups {
+            let tail = rest.split_off(len);
+            let bucket = std::mem::replace(&mut rest, tail);
+            let n = bucket.len() as u32;
+            children[slot] = self.alloc(UpdateNode {
+                key: child_key,
+                bbox: child_bbox,
+                shape: UpdateShape::Leaf { particles: bucket },
+                depth: depth + 1,
+                data: D::default(),
+                n_particles: n,
+                dirty: true,
+            });
+        }
+        debug_assert!(rest.is_empty());
+        let node = self.node_mut(i);
+        node.shape = UpdateShape::Internal { children };
+        node.dirty = true;
+        stats.n_splits += 1;
+    }
+
+    fn release_subtree(&mut self, i: u32) {
+        if let UpdateShape::Internal { children } = &self.node(i).shape {
+            let children = *children;
+            for c in children {
+                if c != NO_NODE {
+                    self.release_subtree(c);
+                }
+            }
+        }
+        self.release(i);
+    }
+
+    /// Emits the arena form for the cache/traversal pipeline,
+    /// reproducing [`TreeBuilder`]'s exact layout: pre-order with
+    /// children in ascending slot order and leaf buckets tiling the
+    /// particle array in DFS order. A zero-motion
+    /// resync→repair→flatten round trip is bit-identical to the
+    /// original build.
+    pub fn flatten(&self) -> BuiltTree<D> {
+        let mut nodes = Vec::with_capacity(self.n_nodes());
+        let mut particles = Vec::with_capacity(self.n_particles() as usize);
+        self.flatten_rec(0, &mut nodes, &mut particles);
+        BuiltTree { nodes, particles, bits_per_level: self.tree_type.bits_per_level() }
+    }
+
+    fn flatten_rec(&self, i: u32, out: &mut Vec<BuildNode<D>>, parts: &mut Vec<Particle>) -> u32 {
+        let n = self.node(i);
+        let idx = out.len();
+        out.push(BuildNode {
+            key: n.key,
+            bbox: n.bbox,
+            shape: NodeShape::Empty,
+            children: [NO_NODE; 8],
+            data: n.data.clone(),
+            n_particles: n.n_particles,
+            depth: n.depth,
+        });
+        match &n.shape {
+            UpdateShape::Leaf { particles } => {
+                let start = parts.len() as u32;
+                parts.extend_from_slice(particles);
+                out[idx].shape = NodeShape::Leaf { start, end: start + particles.len() as u32 };
+            }
+            UpdateShape::Internal { children } => {
+                out[idx].shape = NodeShape::Internal;
+                for (slot, &c) in children.iter().enumerate() {
+                    if c != NO_NODE {
+                        let ci = self.flatten_rec(c, out, parts);
+                        out[idx].children[slot] = ci;
+                    }
+                }
+            }
+            UpdateShape::Empty => {}
+        }
+        idx as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CountData;
+    use paratreet_particles::{gen, ParticleVec};
+
+    fn built(tree_type: TreeType, n: usize, bucket: usize) -> BuiltTree<CountData> {
+        let ps = gen::uniform_cube(n, 42, 1.0, 1.0);
+        let bbox = ps.bounding_box().padded(1e-9);
+        let bbox = if tree_type == TreeType::Octree { bbox.bounding_cube() } else { bbox };
+        TreeBuilder::new(tree_type).bucket_size(bucket).build(ps, bbox)
+    }
+
+    fn assert_arena_identical(a: &BuiltTree<CountData>, b: &BuiltTree<CountData>) {
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.shape, y.shape);
+            assert_eq!(x.children, y.children);
+            assert_eq!(x.n_particles, y.n_particles);
+            assert_eq!(x.depth, y.depth);
+            assert_eq!(x.data, y.data);
+            assert_eq!(x.bbox.lo, y.bbox.lo);
+            assert_eq!(x.bbox.hi, y.bbox.hi);
+        }
+        assert_eq!(a.particles, b.particles);
+    }
+
+    #[test]
+    fn adopt_flatten_round_trips_bit_identically() {
+        for tt in [TreeType::Octree, TreeType::KdTree, TreeType::BinaryOct, TreeType::LongestDim] {
+            let t = built(tt, 700, 8);
+            let u = UpdatableTree::from_built(&t, tt, 8, 0);
+            assert_arena_identical(&t, &u.flatten());
+        }
+    }
+
+    #[test]
+    fn zero_motion_update_is_bit_identical() {
+        let t = built(TreeType::Octree, 900, 8);
+        let mut u = UpdatableTree::from_built(&t, TreeType::Octree, 8, 0);
+        let mut master = t.particles.clone();
+        // Accumulator churn (forces written back) must not dirty anything.
+        for p in &mut master {
+            p.acc = Vec3::new(1.0, 2.0, 3.0);
+            p.potential = -4.0;
+        }
+        assert_eq!(u.resync(&master), 0);
+        let escaped = u.evict_escapees();
+        assert!(escaped.is_empty());
+        let stats = u.repair();
+        assert_eq!(stats, UpdateStats::default());
+        let flat = u.flatten();
+        assert_eq!(flat.particles, master);
+        assert_eq!(flat.nodes.len(), t.nodes.len());
+        for (x, y) in flat.nodes.iter().zip(&t.nodes) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.shape, y.shape);
+            assert_eq!(x.data, y.data);
+        }
+    }
+
+    #[test]
+    fn motion_update_keeps_tree_valid_and_conserves_particles() {
+        let t = built(TreeType::Octree, 1200, 8);
+        let universe = t.root().bbox;
+        let mut u = UpdatableTree::from_built(&t, TreeType::Octree, 8, 0);
+        let mut master = t.particles.clone();
+        // Swirl particles around the box centre; clamp inside the root.
+        let c = universe.center();
+        for (i, p) in master.iter_mut().enumerate() {
+            let r = p.pos - c;
+            let scale = if i % 3 == 0 { 0.9 } else { 1.04 };
+            p.pos = c + r * scale;
+            for a in 0..3 {
+                let lo = universe.lo.component(a);
+                let hi = universe.hi.component(a);
+                let v = p.pos.component(a).clamp(lo, hi);
+                match a {
+                    0 => p.pos.x = v,
+                    1 => p.pos.y = v,
+                    _ => p.pos.z = v,
+                }
+            }
+        }
+        let moved = u.resync(&master);
+        assert!(moved > 0);
+        let escaped = u.evict_escapees();
+        assert!(!escaped.is_empty(), "swirl should evict some particles");
+        for p in escaped {
+            assert!(universe.contains(p.pos));
+            u.insert(p);
+        }
+        let stats = u.repair();
+        assert!(stats.n_refreshed > 0);
+        let flat = u.flatten();
+        assert_eq!(flat.particles.len(), master.len());
+        flat.validate(8).unwrap();
+        // Every node's count doubles as CountData: still consistent.
+        for n in &flat.nodes {
+            assert_eq!(n.data.count, n.n_particles as u64);
+        }
+    }
+
+    #[test]
+    fn inserts_split_overfull_leaves() {
+        let ps = gen::uniform_cube(64, 7, 1.0, 1.0);
+        let bbox = ps.bounding_box().padded(1e-9).bounding_cube();
+        let t: BuiltTree<CountData> =
+            TreeBuilder::new(TreeType::Octree).bucket_size(8).build(ps, bbox);
+        let mut u = UpdatableTree::from_built(&t, TreeType::Octree, 8, 0);
+        let extra = gen::uniform_cube(64, 9, 1.0, 1.0);
+        let root = u.root_bbox();
+        for mut p in extra {
+            p.id += 10_000;
+            p.pos.x = p.pos.x.clamp(root.lo.x, root.hi.x);
+            p.pos.y = p.pos.y.clamp(root.lo.y, root.hi.y);
+            p.pos.z = p.pos.z.clamp(root.lo.z, root.hi.z);
+            u.insert(p);
+        }
+        let stats = u.repair();
+        assert!(stats.n_splits > 0, "doubling the population must split leaves");
+        let flat = u.flatten();
+        assert_eq!(flat.particles.len(), 128);
+        flat.validate(8).unwrap();
+    }
+
+    #[test]
+    fn evictions_merge_underfull_interiors() {
+        let t = built(TreeType::KdTree, 512, 8);
+        let mut u = UpdatableTree::from_built(&t, TreeType::KdTree, 8, 0);
+        // Move 7 of every 8 particles to one corner: most of the tree
+        // drains and interiors collapse.
+        let corner = t.root().bbox.lo;
+        let mut master = t.particles.clone();
+        for (i, p) in master.iter_mut().enumerate() {
+            if i % 8 != 0 {
+                p.pos = corner + Vec3::splat(1e-6 * (i as f64 + 1.0));
+            }
+        }
+        u.resync(&master);
+        let escaped = u.evict_escapees();
+        for p in escaped {
+            u.insert(p);
+        }
+        let stats = u.repair();
+        assert!(stats.n_merges + stats.n_pruned > 0, "drained regions must collapse");
+        let flat = u.flatten();
+        assert_eq!(flat.particles.len(), 512);
+        flat.validate(8).unwrap();
+    }
+}

@@ -38,4 +38,17 @@ grep -q '"fault.crash.count":1' "$chaos_metrics" ||
 grep -q '"recovery.restored_bytes":[1-9]' "$chaos_metrics" ||
     { echo "chaos smoke: checkpoint restore read zero bytes"; exit 1; }
 
+echo "== incremental smoke (multi-iteration maintained tree) =="
+inc_metrics=$(mktemp /tmp/paratreet-inc-XXXXXX.json)
+trap 'rm -f "$chaos_metrics" "$inc_metrics"' EXIT
+cargo run --release -q -- gravity --particles 3000 --engine machine --ranks 4 \
+    --iterations 3 --incremental true \
+    --metrics-out "$inc_metrics" > /dev/null
+grep -q '"tree.update.steps":[1-9]' "$inc_metrics" ||
+    { echo "incremental smoke: no maintained steps in $inc_metrics"; exit 1; }
+grep -q '"tree.update.patched":[1-9]' "$inc_metrics" ||
+    { echo "incremental smoke: no buckets patched in $inc_metrics"; exit 1; }
+grep -q '"tree.update.moved":[1-9]' "$inc_metrics" ||
+    { echo "incremental smoke: drift moved no particles in $inc_metrics"; exit 1; }
+
 echo "CI green."

@@ -61,6 +61,18 @@ ENGINE:
   --ranks N            ranks for threaded/machine engines  [2]
   --workers N          workers per rank                    [2]
 
+INCREMENTAL TREE MAINTENANCE (all engines):
+  --incremental B      maintain the tree across iterations instead
+                       of rebuilding from scratch          [false]
+  --inc-escape-frac F  escapee fraction that triggers a per-Subtree
+                       rebuild                             [0.25]
+  --inc-depth-skew N   depth skew (levels past ideal) that triggers
+                       a per-Subtree rebuild               [4]
+  --inc-imbalance R    partition-cost imbalance ratio that triggers
+                       a whole-tree rebuild + re-decomposition [2.5]
+  --inc-universe-pad F universe padding fraction kept as drift
+                       headroom (0 disables padding)       [0.05]
+
 FAULT INJECTION (machine engine only; seeded, deterministic):
   --fault-drop P       drop probability per message        [0]
   --fault-dup P        duplicate probability per message   [0]
@@ -227,7 +239,7 @@ fn write_outputs(opts: &HashMap<String, String>, particles: &[Particle]) {
 }
 
 fn configuration(opts: &HashMap<String, String>) -> Configuration {
-    Configuration {
+    let mut config = Configuration {
         tree_type: tree_type(&get(opts, "tree", "oct".to_string())),
         decomp_type: decomp_type(&get(opts, "decomp", "sfc".to_string())),
         bucket_size: get(opts, "bucket", 16usize),
@@ -236,7 +248,14 @@ fn configuration(opts: &HashMap<String, String>) -> Configuration {
         iterations: get(opts, "iterations", 1usize),
         seed: get(opts, "seed", 1u64),
         ..Default::default()
-    }
+    };
+    let inc = &mut config.incremental;
+    inc.enabled = get(opts, "incremental", inc.enabled);
+    inc.escape_rebuild_fraction = get(opts, "inc-escape-frac", inc.escape_rebuild_fraction);
+    inc.depth_skew_rebuild = get(opts, "inc-depth-skew", inc.depth_skew_rebuild);
+    inc.imbalance_rebuild = get(opts, "inc-imbalance", inc.imbalance_rebuild);
+    inc.universe_pad = get(opts, "inc-universe-pad", inc.universe_pad);
+    config
 }
 
 /// Scheduled crash-stop knobs; `None` unless `--crash-rank` was given.
@@ -400,10 +419,35 @@ fn run_gravity(opts: &HashMap<String, String>) {
         "threaded" => {
             let ranks = get(opts, "ranks", 2usize);
             let workers = get(opts, "workers", 2usize);
+            let incremental = config.incremental.enabled;
             let telemetry = telemetry_for(opts, false, wall_shards(ranks * workers + ranks));
             let eng = ThreadedEngine::new(config, ranks, workers, &visitor)
                 .with_telemetry(telemetry.clone());
-            let rep = eng.run_iteration(particles, kind);
+            let rep = if incremental {
+                // Maintained mode: the tree persists across iterations
+                // inside `slot`; each step drifts the particles and
+                // patches the tree instead of rebuilding it.
+                let mut slot = None;
+                let mut rep = eng.run_maintained(&mut slot, particles, kind);
+                for step in 1..iterations.max(1) {
+                    let mut ps = rep.particles;
+                    for p in ps.iter_mut() {
+                        p.vel += p.acc * dt;
+                        p.pos += p.vel * dt;
+                        p.acc = Vec3::ZERO;
+                        p.potential = 0.0;
+                    }
+                    rep = eng.run_maintained(&mut slot, ps, kind);
+                    println!(
+                        "step {step}: {} pp interactions, update {:.1} ms",
+                        rep.counts.leaf_interactions,
+                        rep.metrics.get_f64("time.update_s") * 1e3
+                    );
+                }
+                rep
+            } else {
+                eng.run_iteration(particles, kind)
+            };
             println!(
                 "threaded ({ranks}x{workers}): {} pp interactions, {} remote fills, {} fetches",
                 rep.counts.leaf_interactions, rep.remote_fills, rep.cache.requests_sent
@@ -413,6 +457,7 @@ fn run_gravity(opts: &HashMap<String, String>) {
         }
         "machine" => {
             let ranks = get(opts, "ranks", 2usize);
+            let incremental = config.incremental.enabled;
             let telemetry = telemetry_for(opts, true, 1);
             let mut eng = DistributedEngine::new(
                 MachineSpec::stampede2(ranks),
@@ -435,7 +480,32 @@ fn run_gravity(opts: &HashMap<String, String>) {
                 }
                 eng = eng.with_faults(f);
             }
-            let rep = eng.run_iteration(particles);
+            let rep = if incremental {
+                // Maintained mode on the simulated machine: later
+                // iterations charge Phase::TreeUpdate instead of full
+                // decomposition + build time.
+                let mut slot = None;
+                let mut rep = eng.run_maintained(&mut slot, particles);
+                for step in 1..iterations.max(1) {
+                    let mut ps = rep.particles;
+                    for p in ps.iter_mut() {
+                        p.vel += p.acc * dt;
+                        p.pos += p.vel * dt;
+                        p.acc = Vec3::ZERO;
+                        p.potential = 0.0;
+                    }
+                    rep = eng.run_maintained(&mut slot, ps);
+                    println!(
+                        "step {step}: makespan {:.3} ms, {} buckets patched, {} migrated",
+                        rep.makespan * 1e3,
+                        rep.metrics.get_u64("tree.update.patched"),
+                        rep.metrics.get_u64("tree.update.round_migrated")
+                    );
+                }
+                rep
+            } else {
+                eng.run_iteration(particles)
+            };
             println!(
                 "machine model ({ranks} nodes): makespan {:.3} ms, utilization {:.1}%, {} bytes on the wire",
                 rep.makespan * 1e3,
