@@ -7,102 +7,15 @@
 //! criteria that can change during the traversal" (§II-A-2).
 
 use paratreet_core::{SpatialNodeView, TargetBucket, Visitor};
-use paratreet_geometry::{BoundingBox, Vec3};
+use paratreet_geometry::BoundingBox;
 use paratreet_particles::Particle;
 use paratreet_tree::data::wire;
 use paratreet_tree::Data;
-use std::collections::BinaryHeap;
 
-/// One neighbour candidate.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Neighbor {
-    /// Squared distance to the query particle.
-    pub dist_sq: f64,
-    /// Neighbour's particle id.
-    pub id: u64,
-    /// Neighbour's position.
-    pub pos: Vec3,
-    /// Neighbour's mass.
-    pub mass: f64,
-    /// Neighbour's velocity (used by SPH pressure forces).
-    pub vel: Vec3,
-}
-
-/// Max-heap entry ordered by distance.
-#[derive(Clone, Copy, Debug)]
-struct HeapEntry(Neighbor);
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, o: &Self) -> bool {
-        self.0.dist_sq == o.0.dist_sq && self.0.id == o.0.id
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(o))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-        self.0.dist_sq.total_cmp(&o.0.dist_sq).then(self.0.id.cmp(&o.0.id))
-    }
-}
-
-/// A bounded max-heap holding the k best candidates seen so far.
-#[derive(Clone, Debug, Default)]
-pub struct KnnHeap {
-    k: usize,
-    heap: BinaryHeap<HeapEntry>,
-}
-
-impl KnnHeap {
-    /// An empty heap with capacity `k`.
-    pub fn new(k: usize) -> KnnHeap {
-        KnnHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
-    }
-
-    /// Offers a candidate; keeps only the k nearest.
-    #[inline]
-    pub fn offer(&mut self, n: Neighbor) {
-        if self.heap.len() < self.k {
-            self.heap.push(HeapEntry(n));
-        } else if let Some(top) = self.heap.peek() {
-            if n.dist_sq < top.0.dist_sq {
-                self.heap.pop();
-                self.heap.push(HeapEntry(n));
-            }
-        }
-    }
-
-    /// The current pruning bound: the k-th best squared distance, or
-    /// infinity while fewer than k candidates are known.
-    #[inline]
-    pub fn bound(&self) -> f64 {
-        if self.heap.len() < self.k {
-            f64::INFINITY
-        } else {
-            self.heap.peek().map_or(f64::INFINITY, |e| e.0.dist_sq)
-        }
-    }
-
-    /// Number of candidates held.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// True when no candidates are held.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
-    /// Drains into ascending-distance order.
-    pub fn into_sorted(self) -> Vec<Neighbor> {
-        let mut v: Vec<Neighbor> = self.heap.into_iter().map(|e| e.0).collect();
-        v.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then(a.id.cmp(&b.id)));
-        v
-    }
-}
+// The candidate types and the bounded heap moved to the shared
+// `tree::query` kernel module (the serving layer uses them too);
+// re-exported here so application code keeps its import paths.
+pub use paratreet_tree::query::{KnnHeap, Neighbor};
 
 /// Tree `Data` for kNN: the tight box of the subtree (for distance
 /// pruning) and the particle count.
@@ -247,6 +160,7 @@ pub fn knn_search(
 mod tests {
     use super::*;
     use paratreet_core::{Configuration, TraversalKind};
+    use paratreet_geometry::Vec3;
     use paratreet_particles::gen;
     use paratreet_tree::TreeType;
 

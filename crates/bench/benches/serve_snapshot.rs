@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks for the snapshot ring on the serving hot
+//! paths: uncontended pin/unpin (every worker batch pays this),
+//! publication (the writer's per-advance overhead beyond the tree
+//! work itself), and pin acquisition while a publisher storms the ring
+//! (the RCU retry path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paratreet_geometry::BoundingBox;
+use paratreet_particles::gen;
+use paratreet_serve::SnapshotRing;
+use paratreet_tree::{CountData, TreeBuilder, TreeType};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+
+fn built_forest(n: usize) -> (Vec<paratreet_tree::BuiltTree<CountData>>, BoundingBox) {
+    let ps = gen::clustered(n, 4, 11, 1.0, 1.0);
+    let universe = BoundingBox::around(ps.iter().map(|p| p.pos));
+    let tree = TreeBuilder::new(TreeType::Octree).bucket_size(16).build(ps, universe);
+    (vec![tree], universe)
+}
+
+fn bench_serve_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_snapshot");
+
+    // Reader fast path: pin + deref + unpin against a quiet ring.
+    let ring: Arc<SnapshotRing<CountData>> = SnapshotRing::new(8);
+    let (trees, universe) = built_forest(10_000);
+    ring.publish(trees, universe);
+    group.bench_function("pin_unpin_uncontended", |b| {
+        b.iter(|| {
+            let pin = ring.pin().unwrap();
+            black_box((pin.epoch(), pin.n_particles()))
+        })
+    });
+
+    // Writer overhead: one publication of an already-built forest
+    // (clone outside the ring, swap + retire inside).
+    for n in [1_000usize, 10_000] {
+        let (trees, universe) = built_forest(n);
+        let ring: Arc<SnapshotRing<CountData>> = SnapshotRing::new(8);
+        group.bench_with_input(BenchmarkId::new("publish", n), &n, |b, _| {
+            b.iter(|| black_box(ring.publish(trees.clone(), universe)))
+        });
+    }
+
+    // Reader under churn: pins taken while another thread publishes as
+    // fast as it can — exercises the epoch-validate/retry loop.
+    let ring: Arc<SnapshotRing<CountData>> = SnapshotRing::new(4);
+    let (trees, universe) = built_forest(1_000);
+    ring.publish(trees.clone(), universe);
+    let stop = Arc::new(AtomicBool::new(false));
+    let publisher = {
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Relaxed) {
+                ring.publish(trees.clone(), universe);
+            }
+        })
+    };
+    group.bench_function("pin_under_publish_storm", |b| {
+        b.iter(|| {
+            let pin = ring.pin().unwrap();
+            black_box(pin.epoch())
+        })
+    });
+    stop.store(true, Relaxed);
+    publisher.join().unwrap();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,200 @@
+//! Heavy-traffic query serving against a live maintained tree.
+//!
+//! Seeds a `TreeMaintainer` forest, spawns the single writer thread
+//! (drifting particles and publishing a new snapshot every advance),
+//! and drives ≥1000 simulated clients issuing a mixed kNN / ball /
+//! range / raycast stream — ≥1M queries total by default — through the
+//! `QueryService` reader pool. Reports sustained throughput plus
+//! end-to-end p50/p99/p999 latency per query class and writes
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p paratreet-bench --bin bench_serve -- \
+//!     --particles 20000 --clients 1000 --queries 1000 --threads 8
+//! ```
+
+use paratreet_bench::{fmt_seconds, print_header, print_row, Args};
+use paratreet_core::{Configuration, TreeMaintainer};
+use paratreet_particles::gen;
+use paratreet_particles::Particle;
+use paratreet_serve::{
+    run_load, AdmissionPolicy, LoadConfig, QueryClass, QueryService, ServeConfig, WriterConfig,
+};
+use paratreet_telemetry::{export, Json, MetricsRegistry};
+use paratreet_tree::CountData;
+use std::time::Duration;
+
+/// Deterministic small drift: id-hashed direction, fixed magnitude —
+/// enough churn that the maintainer patches buckets every advance, not
+/// enough to blow particles out of the padded universe.
+fn drift(particles: &mut [Particle], iteration: u64) {
+    for p in particles.iter_mut() {
+        let h = p.id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ iteration;
+        p.pos.x += ((h & 0xFF) as f64 / 255.0 - 0.5) * 2e-3;
+        p.pos.y += ((h >> 8 & 0xFF) as f64 / 255.0 - 0.5) * 2e-3;
+        p.pos.z += ((h >> 16 & 0xFF) as f64 / 255.0 - 0.5) * 2e-3;
+    }
+}
+
+/// The per-class latency summary pulled back out of the service
+/// metrics, nanoseconds.
+fn class_json(metrics: &MetricsRegistry, class: QueryClass, generated: u64) -> Json {
+    let key = |stat: &str| format!("serve.latency.{}.{stat}", class.label());
+    let mut o = Json::obj();
+    o.push("generated", Json::U64(generated));
+    o.push("completed", Json::U64(metrics.get_u64(&key("count"))));
+    o.push("p50_ns", Json::U64(metrics.get_u64(&key("p50"))));
+    o.push("p99_ns", Json::U64(metrics.get_u64(&key("p99"))));
+    o.push("p999_ns", Json::U64(metrics.get_u64(&key("p999"))));
+    o.push("mean_ns", Json::U64(metrics.get_u64(&key("mean"))));
+    o.push("max_ns", Json::U64(metrics.get_u64(&key("max"))));
+    o
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("particles", 20_000);
+    let clients = args.get_usize("clients", 1000);
+    let queries = args.get_usize("queries", 1000);
+    let threads = args.get_usize("threads", 8);
+    let batch = args.get_usize("batch", 64);
+    let k = args.get_usize("k", 8);
+    let seed = args.get_u64("seed", 42);
+    let workers = args.get_usize(
+        "workers",
+        (std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8))
+            .saturating_sub(2)
+            .max(2),
+    );
+    let queue = args.get_usize("queue", 512);
+    let ring = args.get_usize("ring", 8);
+    let shed = args.get_bool("shed", false);
+    // 0 = keep advancing until the load finishes (shutdown stops it).
+    let iterations = args.get_u64("iterations", 0);
+    let pace_ms = args.get_u64("writer-pace-ms", 0);
+    let out = args.get_str("out", "BENCH_serve.json");
+
+    let mut config = Configuration {
+        bucket_size: 16,
+        n_subtrees: 16,
+        n_partitions: 32,
+        seed,
+        ..Default::default()
+    };
+    config.incremental.enabled = true;
+
+    println!(
+        "serve: {n} particles, {clients} clients x {queries} queries \
+         ({} total), {workers} workers, {threads} drivers, batch {batch}\n",
+        clients * queries
+    );
+
+    let particles = gen::clustered(n, 4, seed, 1.0, 1.0);
+    let (maintainer, seed_trees) = TreeMaintainer::<CountData>::seed(&config, particles, true);
+    let universe = maintainer.universe();
+
+    let mut service: QueryService<CountData> = QueryService::new(ServeConfig {
+        workers,
+        queue_capacity: queue,
+        ring_capacity: ring,
+        admission: if shed { AdmissionPolicy::Shed } else { AdmissionPolicy::Defer },
+    });
+    service.spawn_writer(
+        maintainer,
+        seed_trees,
+        Box::new(drift),
+        WriterConfig {
+            iterations: if iterations == 0 { u64::MAX } else { iterations },
+            pace: (pace_ms > 0).then(|| Duration::from_millis(pace_ms)),
+        },
+    );
+
+    let load = LoadConfig {
+        clients,
+        queries_per_client: queries,
+        threads,
+        batch,
+        k,
+        seed,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&service, universe, &load);
+    let last_epoch = service.shutdown().unwrap_or(0);
+    let metrics = service.metrics();
+
+    print_header(&["class", "queries", "p50", "p99", "p999", "mean"], 12);
+    for class in QueryClass::ALL {
+        let key = |stat: &str| format!("serve.latency.{}.{stat}", class.label());
+        print_row(
+            &[
+                class.label().to_string(),
+                metrics.get_u64(&key("count")).to_string(),
+                fmt_seconds(metrics.get_u64(&key("p50")) as f64 * 1e-9),
+                fmt_seconds(metrics.get_u64(&key("p99")) as f64 * 1e-9),
+                fmt_seconds(metrics.get_u64(&key("p999")) as f64 * 1e-9),
+                fmt_seconds(metrics.get_u64(&key("mean")) as f64 * 1e-9),
+            ],
+            12,
+        );
+    }
+    println!(
+        "\n{} completed / {} submitted / {} shed in {} — {:.0} queries/s",
+        report.completed,
+        report.submitted,
+        report.shed,
+        fmt_seconds(report.elapsed_s),
+        report.throughput
+    );
+    println!(
+        "snapshots: epochs {}..{} answered queries; writer published {} \
+         (reclaimed {}, pin retries {}, writer stalls {}), last epoch {last_epoch}",
+        report.min_epoch,
+        report.max_epoch,
+        metrics.get_u64("serve.snapshots.published"),
+        metrics.get_u64("serve.snapshots.reclaimed"),
+        metrics.get_u64("serve.snapshots.pin_retries"),
+        metrics.get_u64("serve.snapshots.writer_stalls"),
+    );
+
+    let mut doc = Json::obj();
+    doc.push("bench", Json::Str("serve".to_string()));
+    doc.push("particles", Json::U64(n as u64));
+    doc.push("clients", Json::U64(clients as u64));
+    doc.push("queries_per_client", Json::U64(queries as u64));
+    doc.push("workers", Json::U64(workers as u64));
+    doc.push("driver_threads", Json::U64(threads as u64));
+    doc.push("batch", Json::U64(batch as u64));
+    doc.push("queue_capacity", Json::U64(queue as u64));
+    doc.push("ring_capacity", Json::U64(ring as u64));
+    doc.push("admission", Json::Str(if shed { "shed" } else { "defer" }.to_string()));
+    doc.push("seed", Json::U64(seed));
+    let mut totals = Json::obj();
+    totals.push("submitted", Json::U64(report.submitted));
+    totals.push("completed", Json::U64(report.completed));
+    totals.push("shed", Json::U64(report.shed));
+    totals.push("elapsed_s", Json::F64(report.elapsed_s));
+    totals.push("throughput_qps", Json::F64(report.throughput));
+    totals.push("checksum", Json::U64(report.checksum));
+    doc.push("totals", totals);
+    let mut classes = Json::obj();
+    for class in QueryClass::ALL {
+        classes.push(class.label(), class_json(&metrics, class, report.per_class[class.index()]));
+    }
+    doc.push("latency", classes);
+    let mut snaps = Json::obj();
+    snaps.push("min_epoch_answered", Json::U64(report.min_epoch));
+    snaps.push("max_epoch_answered", Json::U64(report.max_epoch));
+    snaps.push("last_epoch", Json::U64(last_epoch));
+    snaps.push("published", Json::U64(metrics.get_u64("serve.snapshots.published")));
+    snaps.push("reclaimed", Json::U64(metrics.get_u64("serve.snapshots.reclaimed")));
+    snaps.push("pin_retries", Json::U64(metrics.get_u64("serve.snapshots.pin_retries")));
+    snaps.push("writer_stalls", Json::U64(metrics.get_u64("serve.snapshots.writer_stalls")));
+    doc.push("snapshots", snaps);
+    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH json");
+    println!("wrote {out}");
+
+    if let Some(path) = args.get_opt("metrics-out") {
+        export::write_metrics(path, &metrics).expect("write metrics");
+        eprintln!("wrote metrics to {path}");
+    }
+}

@@ -103,8 +103,21 @@ pub struct Step<D: Data> {
     buckets: Vec<BucketMeta>,
 }
 
+/// Observer for every step's freshly built forest, called as
+/// `(epoch, trees, universe)` before leaf sharing consumes the trees.
+/// Epochs count steps from zero. This is the serving layer's
+/// publication point: a `paratreet-serve` snapshot ring subscribes
+/// here to expose a live simulation to external queries.
+pub type SnapshotHook<D> = Box<dyn FnMut(u64, &[BuiltTree<D>], BoundingBox) + Send>;
+
 impl<D: Data> Step<D> {
-    fn build(config: &Configuration, telemetry: &Telemetry, particles: Vec<Particle>) -> Step<D> {
+    fn build(
+        config: &Configuration,
+        telemetry: &Telemetry,
+        particles: Vec<Particle>,
+        epoch: u64,
+        hook: &mut Option<SnapshotHook<D>>,
+    ) -> Step<D> {
         let t0 = std::time::Instant::now();
         let decomp = telemetry.wall_span(0, "decomposition", None, || decompose(particles, config));
         let seconds_decompose = t0.elapsed().as_secs_f64();
@@ -129,6 +142,9 @@ impl<D: Data> Step<D> {
         });
         let seconds_build = t0.elapsed().as_secs_f64();
 
+        if let Some(h) = hook.as_mut() {
+            h(epoch, &trees, universe);
+        }
         let report = StepReport { seconds_decompose, seconds_build, ..Default::default() };
         Step::from_trees(config, telemetry, trees, &partitioner, n_partitions, universe, report)
     }
@@ -315,17 +331,41 @@ pub struct Framework<D: Data> {
     /// The live maintained tree, once `config.incremental.enabled` has
     /// seeded it (first step).
     maintainer: Option<TreeMaintainer<D>>,
+    /// Per-step forest observer (serving-layer publication point).
+    snapshot_hook: Option<SnapshotHook<D>>,
+    /// Steps run so far — the epoch the hook is stamped with.
+    steps_run: u64,
 }
 
 impl<D: Data> Framework<D> {
     /// A framework over `particles` with `config`.
     pub fn new(config: Configuration, particles: Vec<Particle>) -> Framework<D> {
-        Framework { config, telemetry: Telemetry::disabled(), master: particles, maintainer: None }
+        Framework {
+            config,
+            telemetry: Telemetry::disabled(),
+            master: particles,
+            maintainer: None,
+            snapshot_hook: None,
+            steps_run: 0,
+        }
     }
 
     /// Attaches a telemetry handle recording wall-clock phase spans.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a snapshot hook: called once per step with
+    /// `(epoch, trees, universe)` right after the forest is built (or
+    /// incrementally advanced), before leaf sharing consumes it. Both
+    /// pipelines fire it, so a query service subscribed here serves
+    /// exactly the forest each step traverses.
+    pub fn with_snapshot_hook(
+        mut self,
+        hook: impl FnMut(u64, &[BuiltTree<D>], BoundingBox) + Send + 'static,
+    ) -> Self {
+        self.snapshot_hook = Some(Box::new(hook));
         self
     }
 
@@ -345,11 +385,13 @@ impl<D: Data> Framework<D> {
     /// result and the step report.
     pub fn step<R>(&mut self, f: impl FnOnce(&mut Step<D>) -> R) -> (R, StepReport) {
         let particles = std::mem::take(&mut self.master);
+        let epoch = self.steps_run;
         let mut step = if self.config.incremental.enabled {
-            self.step_incremental(particles)
+            self.step_incremental(particles, epoch)
         } else {
-            Step::build(&self.config, &self.telemetry, particles)
+            Step::build(&self.config, &self.telemetry, particles, epoch, &mut self.snapshot_hook)
         };
+        self.steps_run += 1;
         let r = f(&mut step);
         self.master = step.master;
         (r, step.report)
@@ -360,7 +402,7 @@ impl<D: Data> Framework<D> {
     /// tree in place on every later step under the "incremental update"
     /// phase. Both paths feed the shared [`Step::from_trees`] tail, so
     /// traversal semantics are identical to a full rebuild.
-    fn step_incremental(&mut self, particles: Vec<Particle>) -> Step<D> {
+    fn step_incremental(&mut self, particles: Vec<Particle>, epoch: u64) -> Step<D> {
         let mut report = StepReport::default();
         let trees = match self.maintainer.as_mut() {
             None => {
@@ -384,6 +426,9 @@ impl<D: Data> Framework<D> {
             }
         };
         let maintainer = self.maintainer.as_ref().expect("seeded above");
+        if let Some(h) = self.snapshot_hook.as_mut() {
+            h(epoch, &trees, maintainer.universe());
+        }
         report.update = Some(*maintainer.totals());
         let step = Step::from_trees(
             &self.config,

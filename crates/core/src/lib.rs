@@ -41,7 +41,7 @@ pub use decomp::{
     decompose, decompose_within, universe_for, Decomposition, Partitioner, SubtreePiece,
 };
 pub use des_engine::{sfc_balanced_assignment, DistributedEngine, IterationReport, RecoveryStats};
-pub use framework::{Framework, StepReport};
+pub use framework::{Framework, SnapshotHook, StepReport};
 pub use maintain::{MaintainRound, TreeMaintainer, UpdateTotals};
 pub use threaded::{ThreadedEngine, ThreadedReport};
 pub use traversal::{CacheModel, TraversalStats, WorkCounts};

@@ -1,0 +1,35 @@
+//! Structured service errors — admission control speaks through these.
+
+use std::fmt;
+
+/// Why the service declined a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control shed the batch: the work queue was at
+    /// capacity under the `Shed` policy. Carries the observed depth
+    /// and the bound so clients can implement informed retry/backoff.
+    Overloaded {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// The queue's capacity.
+        capacity: usize,
+    },
+    /// No snapshot has been published yet; there is nothing to query.
+    NotReady,
+    /// The service is shutting down; no further work is accepted.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "overloaded: queue depth {depth} at capacity {capacity}")
+            }
+            ServeError::NotReady => write!(f, "no snapshot published yet"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

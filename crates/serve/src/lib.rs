@@ -1,0 +1,43 @@
+//! `paratreet-serve` — a concurrent spatial query service over live
+//! maintained trees (ISSUE 6; ROADMAP north-star item 3).
+//!
+//! The paper's framework builds a tree, traverses it, and moves on.
+//! This crate keeps the tree *alive*: a single writer thread advances
+//! it with the incremental maintenance subsystem
+//! ([`paratreet_core::TreeMaintainer`], PR 5) while a pool of reader
+//! threads answers kNN / ball / range / raycast query streams from
+//! simulated clients. The pieces:
+//!
+//! * [`snapshot`] — epoch-stamped RCU-style publication: the writer
+//!   swaps freshly flattened arenas into a fixed [`SnapshotRing`];
+//!   readers pin an epoch on entry and never observe a torn or freed
+//!   snapshot (pins gate slot reuse, `Arc`s gate memory lifetime).
+//! * [`request`] — the query/response vocabulary and the pure
+//!   [`execute_batch`] kernel, batched by entry subtree so queries
+//!   descending the same Subtree run back-to-back.
+//! * [`queue`] + [`error`] — bounded admission with a structured
+//!   [`ServeError::Overloaded`] (shed) or blocking backpressure
+//!   (defer).
+//! * [`service`] — [`QueryService`]: worker pool, writer thread,
+//!   per-class latency histograms (p50/p99/p999 through the telemetry
+//!   [`paratreet_telemetry::Histogram`]).
+//! * [`load`] — seeded open-loop load generation ([`run_load`]):
+//!   thousands of simulated clients over a few driver threads.
+//!
+//! Determinism: query *results* are a pure function of (snapshot,
+//! query) — replaying a request stream against a pinned epoch is
+//! bit-identical across runs. Under a live writer only the epoch each
+//! query lands on varies.
+
+pub mod error;
+pub mod load;
+pub mod queue;
+pub mod request;
+pub mod service;
+pub mod snapshot;
+
+pub use error::ServeError;
+pub use load::{run_load, LoadConfig, LoadReport};
+pub use request::{execute, execute_batch, Query, QueryClass, QueryResult, Request, Response};
+pub use service::{AdmissionPolicy, MotionModel, QueryService, ServeConfig, WriterConfig};
+pub use snapshot::{PinnedSnapshot, RingStats, SnapshotData, SnapshotRing};

@@ -1,0 +1,324 @@
+//! The query service: a single writer advancing the live tree, a
+//! reader pool answering query batches against pinned snapshots.
+//!
+//! Wiring (ISSUE 6 tentpole):
+//!
+//! ```text
+//!  clients --submit--> BoundedQueue --pop--> worker pool
+//!     |                    |                    |  pin()
+//!     |  Overloaded        |                 SnapshotRing <--publish-- writer
+//!     +<- (Shed policy)    +- blocks (Defer)     |                (TreeMaintainer)
+//! ```
+//!
+//! Latency is measured from `Request::submitted_at` to completion, so
+//! queue wait is charged to the service — the histograms' p99/p999 are
+//! end-to-end numbers, which is what admission control protects.
+
+use crate::error::ServeError;
+use crate::load::checksum_fold;
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{execute_batch, QueryClass, Request, Response};
+use crate::snapshot::{PinnedSnapshot, SnapshotRing};
+use crossbeam::channel::Sender;
+use paratreet_core::TreeMaintainer;
+use paratreet_geometry::BoundingBox;
+use paratreet_particles::Particle;
+use paratreet_telemetry::{Histogram, MetricsRegistry};
+use paratreet_tree::{BuiltTree, Data, QueryScratch};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What happens when the work queue is full at submission time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Reject the batch with [`ServeError::Overloaded`] (load shedding).
+    Shed,
+    /// Block the submitter until space frees (backpressure).
+    Defer,
+}
+
+/// Service sizing and policy.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Reader (worker) threads. Zero is allowed — nothing drains the
+    /// queue, which the overload tests use to exercise shedding
+    /// deterministically.
+    pub workers: usize,
+    /// Work queue capacity, in batches.
+    pub queue_capacity: usize,
+    /// Snapshot ring capacity — the snapshot-lag budget granted to the
+    /// slowest reader before the writer stalls.
+    pub ring_capacity: usize,
+    /// Full-queue behaviour.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            ring_capacity: 8,
+            admission: AdmissionPolicy::Shed,
+        }
+    }
+}
+
+/// How a spawned writer paces tree advances.
+#[derive(Clone, Copy, Debug)]
+pub struct WriterConfig {
+    /// Advances to run before the writer retires (the service keeps
+    /// answering against the last snapshot afterwards).
+    pub iterations: u64,
+    /// Optional sleep between advances (throttles publication churn).
+    pub pace: Option<Duration>,
+}
+
+/// The writer's motion model: integrates `particles` between advances
+/// (`iteration` counts from 1).
+pub type MotionModel = Box<dyn FnMut(&mut [Particle], u64) + Send>;
+
+/// One queued unit of work: a batch of requests and where to send the
+/// answers. `reply: None` is fire-and-forget (metrics only).
+struct WorkItem {
+    requests: Vec<Request>,
+    reply: Option<Sender<Vec<Response>>>,
+}
+
+/// State shared by submitters, workers, and the writer.
+struct Shared<D: Data> {
+    ring: Arc<SnapshotRing<D>>,
+    queue: BoundedQueue<WorkItem>,
+    /// Per-class end-to-end latency, nanoseconds
+    /// (indexed by [`QueryClass::index`]).
+    latency: [Histogram; 4],
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    /// Order-independent XOR fold of every completed result checksum —
+    /// lets end-to-end tests compare runs without collecting replies.
+    result_fold: AtomicU64,
+}
+
+/// The concurrent spatial query service (ISSUE 6 tentpole). Owns the
+/// worker pool and (optionally) the writer thread; dropping it shuts
+/// both down.
+pub struct QueryService<D: Data> {
+    shared: Arc<Shared<D>>,
+    admission: AdmissionPolicy,
+    workers: Vec<JoinHandle<()>>,
+    writer: Option<JoinHandle<u64>>,
+    stop_writer: Arc<AtomicBool>,
+}
+
+impl<D: Data> QueryService<D> {
+    /// Starts the worker pool. No snapshot exists yet: publish one (or
+    /// spawn a writer) before submitting.
+    pub fn new(config: ServeConfig) -> QueryService<D> {
+        let shared = Arc::new(Shared {
+            ring: SnapshotRing::new(config.ring_capacity),
+            queue: BoundedQueue::new(config.queue_capacity),
+            latency: [Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new()],
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            result_fold: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        QueryService {
+            shared,
+            admission: config.admission,
+            workers,
+            writer: None,
+            stop_writer: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The snapshot ring (for direct pinning, e.g. replay audits).
+    pub fn ring(&self) -> &Arc<SnapshotRing<D>> {
+        &self.shared.ring
+    }
+
+    /// Publishes a snapshot directly (no writer thread); returns its
+    /// epoch. This is also how an embedding simulation feeds the
+    /// service from a `Framework` snapshot hook.
+    pub fn publish(&self, trees: Vec<BuiltTree<D>>, universe: BoundingBox) -> u64 {
+        self.shared.ring.publish(trees, universe)
+    }
+
+    /// The epoch queries are currently answered against.
+    pub fn current_epoch(&self) -> Option<u64> {
+        self.shared.ring.head_epoch()
+    }
+
+    /// Pins the current snapshot (replay audits, ad-hoc queries).
+    pub fn pin(&self) -> Option<PinnedSnapshot<D>> {
+        self.shared.ring.pin()
+    }
+
+    /// Submits a batch. Answers arrive on `reply` (or nowhere, for
+    /// fire-and-forget). Fails fast with [`ServeError::NotReady`]
+    /// before the first snapshot, [`ServeError::Overloaded`] when the
+    /// queue is full under `Shed`, and [`ServeError::ShuttingDown`]
+    /// after shutdown.
+    pub fn submit(
+        &self,
+        requests: Vec<Request>,
+        reply: Option<Sender<Vec<Response>>>,
+    ) -> Result<(), ServeError> {
+        if self.shared.ring.head_epoch().is_none() {
+            return Err(ServeError::NotReady);
+        }
+        let n = requests.len() as u64;
+        let item = WorkItem { requests, reply };
+        let outcome = match self.admission {
+            AdmissionPolicy::Shed => self.shared.queue.try_push(item),
+            AdmissionPolicy::Defer => self.shared.queue.push_wait(item),
+        };
+        match outcome {
+            Ok(()) => {
+                self.shared.submitted.fetch_add(n, Relaxed);
+                Ok(())
+            }
+            Err(PushError::Full(_)) => {
+                self.shared.shed.fetch_add(n, Relaxed);
+                Err(ServeError::Overloaded {
+                    depth: self.shared.queue.len(),
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Spawns the single writer: seeds a master particle array from
+    /// `seed_trees`, publishes them as the first snapshot, then runs
+    /// `config.iterations` advances — `motion(particles, iteration)`
+    /// integrates between advances — publishing each result. Returns
+    /// immediately; the writer's final epoch comes back from
+    /// [`QueryService::shutdown`].
+    ///
+    /// # Panics
+    /// If a writer was already spawned.
+    pub fn spawn_writer(
+        &mut self,
+        mut maintainer: TreeMaintainer<D>,
+        seed_trees: Vec<BuiltTree<D>>,
+        mut motion: MotionModel,
+        config: WriterConfig,
+    ) {
+        assert!(self.writer.is_none(), "writer already spawned");
+        let ring = Arc::clone(&self.shared.ring);
+        let stop = Arc::clone(&self.stop_writer);
+        // Publish the seed synchronously so `submit` is ready the
+        // moment this returns.
+        let mut master: Vec<Particle> =
+            seed_trees.iter().flat_map(|t| t.particles.iter().copied()).collect();
+        ring.publish(seed_trees, maintainer.universe());
+        self.writer = Some(std::thread::spawn(move || {
+            let mut last_epoch = 0u64;
+            for iteration in 1..=config.iterations {
+                if stop.load(Relaxed) {
+                    break;
+                }
+                motion(&mut master, iteration);
+                let (trees, _round) = maintainer.advance(std::mem::take(&mut master));
+                master = trees.iter().flat_map(|t| t.particles.iter().copied()).collect();
+                last_epoch = ring.publish(trees, maintainer.universe());
+                if let Some(pace) = config.pace {
+                    std::thread::sleep(pace);
+                }
+            }
+            last_epoch
+        }));
+    }
+
+    /// True while the writer thread is still advancing.
+    pub fn writer_running(&self) -> bool {
+        self.writer.as_ref().is_some_and(|w| !w.is_finished())
+    }
+
+    /// Current service metrics under `serve.*` names: queue and
+    /// snapshot counters plus per-class latency summaries
+    /// (`serve.latency.<class>.{count,mean,p50,p99,p999,max}`, ns).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let s = &self.shared;
+        let mut m = MetricsRegistry::new();
+        m.set_u64("serve.queries.submitted", s.submitted.load(Relaxed));
+        m.set_u64("serve.queries.completed", s.completed.load(Relaxed));
+        m.set_u64("serve.queries.shed", s.shed.load(Relaxed));
+        m.set_u64("serve.batches", s.batches.load(Relaxed));
+        m.set_u64("serve.queue.depth", s.queue.len() as u64);
+        m.set_u64("serve.queue.capacity", s.queue.capacity() as u64);
+        m.set_u64("serve.epoch", s.ring.head_epoch().unwrap_or(0));
+        m.absorb("serve.snapshots", &s.ring.stats());
+        for class in QueryClass::ALL {
+            let snap = s.latency[class.index()].snapshot();
+            m.absorb(&format!("serve.latency.{}", class.label()), &snap);
+        }
+        m
+    }
+
+    /// The running XOR fold of completed result checksums.
+    pub fn result_fold(&self) -> u64 {
+        self.shared.result_fold.load(SeqCst)
+    }
+
+    /// Stops the writer (if any), drains and closes the queue, joins
+    /// the workers. Returns the writer's last published epoch.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) -> Option<u64> {
+        self.stop_writer.store(true, Relaxed);
+        let last = self.writer.take().map(|w| w.join().expect("writer panicked"));
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            w.join().expect("worker panicked");
+        }
+        last
+    }
+}
+
+impl<D: Data> Drop for QueryService<D> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A worker: pop a batch, pin the freshest snapshot, answer, account.
+fn worker_loop<D: Data>(shared: Arc<Shared<D>>) {
+    let mut scratch = QueryScratch::default();
+    while let Some(item) = shared.queue.pop() {
+        // `submit` refuses work before the first publish, so a pin is
+        // always available here.
+        let Some(pin) = shared.ring.pin() else { continue };
+        let responses = execute_batch(&pin, &item.requests, &mut scratch);
+        drop(pin); // release the slot before reply/accounting
+
+        let now = Instant::now();
+        for req in &item.requests {
+            let ns = now.saturating_duration_since(req.submitted_at).as_nanos() as u64;
+            shared.latency[req.query.class().index()].record(ns);
+        }
+        let mut fold = 0u64;
+        for resp in &responses {
+            fold ^= checksum_fold(resp);
+        }
+        shared.result_fold.fetch_xor(fold, SeqCst);
+        shared.batches.fetch_add(1, Relaxed);
+        shared.completed.fetch_add(item.requests.len() as u64, Relaxed);
+        if let Some(reply) = item.reply {
+            // The client may have gone away (load generator finished);
+            // that is not the worker's problem.
+            let _ = reply.send(responses);
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Concurrent latency histograms with a fixed logarithmic bucket layout.
+//!
+//! A [`Histogram`] is a lock-free array of atomic bucket counters that
+//! many threads record into concurrently; the serving layer keeps one
+//! per query class and records nanosecond latencies from every worker.
+//! The bucket layout is *fixed and deterministic* (HDR-style: exact
+//! buckets below 8, then 8 sub-buckets per power of two, covering the
+//! full `u64` domain in 496 buckets, ≤ 12.5 % relative width), so two
+//! histograms fed the same values always snapshot to byte-identical
+//! JSON regardless of thread interleaving — recording is loss-free and
+//! order-free.
+//!
+//! Percentiles ([`HistogramSnapshot::percentile`]) are read from the
+//! bucket upper bound, a deterministic conservative estimate of the
+//! true order statistic.
+
+use crate::json::Json;
+use crate::metrics::{MetricSource, MetricsRegistry};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket bits per power of two (8 sub-buckets → ≤ 1/8 bucket width).
+const SUB_BITS: u32 = 3;
+/// Number of sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets covering `0..=u64::MAX` (highest index + 1).
+pub const N_BUCKETS: usize =
+    (((64 - SUB_BITS as usize) << SUB_BITS as usize) | (SUB as usize - 1)) + 1;
+
+/// Bucket index for a recorded value (total order preserved).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        (((msb - SUB_BITS + 1) as usize) << SUB_BITS as usize) | ((v >> shift) & (SUB - 1)) as usize
+    }
+}
+
+/// Inclusive value range `[lo, hi]` covered by bucket `idx`.
+#[inline]
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB as usize {
+        (idx as u64, idx as u64)
+    } else {
+        let octave = (idx >> SUB_BITS as usize) as u32;
+        let sub = idx as u64 & (SUB - 1);
+        let shift = octave - 1;
+        let lo = (SUB + sub) << shift;
+        (lo, lo + ((1u64 << shift) - 1))
+    }
+}
+
+/// A concurrent fixed-layout log-bucket histogram. Recording is a
+/// single relaxed atomic increment per bucket plus count/sum/min/max
+/// maintenance — safe to share across any number of recording threads
+/// via `Arc` with no locking and no loss.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole nanoseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for percentile queries and export. Taken
+    /// while recorders are quiescent it is exact; taken live it is a
+    /// consistent-enough sample (each bucket is individually exact).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (wrapping only past `u64::MAX` total).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean recorded value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding that order statistic, clamped to the observed max.
+    /// Deterministic; 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(idx).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// Deterministic JSON: summary fields plus the sparse bucket list
+    /// (`[index, count]` pairs, ascending by index).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        obj.push("count", Json::U64(self.count));
+        obj.push("sum", Json::U64(self.sum));
+        obj.push("min", Json::U64(self.min().unwrap_or(0)));
+        obj.push("max", Json::U64(self.max().unwrap_or(0)));
+        obj.push("p50", Json::U64(self.p50()));
+        obj.push("p99", Json::U64(self.p99()));
+        obj.push("p999", Json::U64(self.p999()));
+        let mut arr = Vec::new();
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                arr.push(Json::Arr(vec![Json::U64(idx as u64), Json::U64(c)]));
+            }
+        }
+        obj.push("buckets", Json::Arr(arr));
+        obj
+    }
+}
+
+impl MetricSource for HistogramSnapshot {
+    /// Registers `{prefix}.{count,mean,p50,p99,p999,max}` — the summary
+    /// a metrics dump needs; full bucket detail goes through
+    /// [`HistogramSnapshot::to_json`].
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_u64(format!("{prefix}.count"), self.count);
+        registry.set_f64(format!("{prefix}.mean"), self.mean());
+        registry.set_u64(format!("{prefix}.p50"), self.p50());
+        registry.set_u64(format!("{prefix}.p99"), self.p99());
+        registry.set_u64(format!("{prefix}.p999"), self.p999());
+        registry.set_u64(format!("{prefix}.max"), self.max().unwrap_or(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_tiles_u64() {
+        let mut prev_hi: Option<u64> = None;
+        for idx in 0..N_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= hi, "bucket {idx}");
+            match prev_hi {
+                None => assert_eq!(lo, 0),
+                Some(p) => assert_eq!(lo, p.wrapping_add(1), "gap before bucket {idx}"),
+            }
+            prev_hi = Some(hi);
+            // Both edges map back to this bucket.
+            assert_eq!(bucket_of(lo), idx);
+            assert_eq!(bucket_of(hi), idx);
+        }
+        assert_eq!(prev_hi, Some(u64::MAX));
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_relative_width_is_bounded() {
+        for idx in SUB as usize..N_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            // Width ≤ lo/8: ≤ 12.5 % relative error from bucketing.
+            assert!(hi - lo + 1 <= (lo / SUB).max(1), "bucket {idx}: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn exact_percentiles_on_known_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), 500_500);
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(1000));
+        // Upper-bound estimates: within one bucket (≤ 12.5 %) above the
+        // true order statistic, never below it.
+        for (q, truth) in [(0.5, 500u64), (0.99, 990), (0.999, 999)] {
+            let est = s.percentile(q);
+            assert!(est >= truth, "p{q}: {est} < {truth}");
+            assert!(est <= truth + truth / 8 + 1, "p{q}: {est} too far above {truth}");
+        }
+        assert_eq!(s.percentile(1.0), 1000);
+        assert_eq!(
+            s.percentile(0.0),
+            s.buckets.iter().position(|&c| c > 0).map(|i| bucket_bounds(i).1).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p999(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_loss_free() {
+        let h = Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        // Deterministic value mix spanning many octaves.
+                        h.record((i.wrapping_mul(2654435761) >> (t % 7)) % 1_000_000);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let concurrent = h.snapshot();
+        assert_eq!(concurrent.count(), threads * per_thread);
+
+        // A serial histogram fed the same multiset agrees exactly.
+        let serial = Histogram::new();
+        for t in 0..threads {
+            for i in 0..per_thread {
+                serial.record((i.wrapping_mul(2654435761) >> (t % 7)) % 1_000_000);
+            }
+        }
+        assert_eq!(concurrent, serial.snapshot());
+        assert_eq!(concurrent.to_json().to_string(), serial.snapshot().to_json().to_string());
+    }
+
+    #[test]
+    fn metric_source_registers_summary() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let mut r = MetricsRegistry::new();
+        r.absorb("serve.latency.knn", &h.snapshot());
+        assert_eq!(r.get_u64("serve.latency.knn.count"), 4);
+        assert_eq!(r.get_f64("serve.latency.knn.mean"), 25.0);
+        assert!(r.get_u64("serve.latency.knn.p99") >= 40);
+        assert_eq!(r.get_u64("serve.latency.knn.max"), 40);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sparse() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(7);
+        h.record(1_000_000);
+        let j = h.snapshot().to_json().to_string();
+        assert_eq!(j, h.snapshot().to_json().to_string());
+        assert!(j.contains("\"count\":3"));
+        assert!(j.contains("\"buckets\":[[0,1],[7,1],"));
+    }
+}

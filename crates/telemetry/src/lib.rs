@@ -24,6 +24,7 @@
 
 pub mod chrome;
 pub mod export;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 #[cfg(feature = "recorder")]
@@ -31,6 +32,7 @@ pub mod recorder;
 pub mod span;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace};
+pub use hist::{Histogram, HistogramSnapshot};
 pub use json::Json;
 pub use metrics::{MetricSource, MetricValue, MetricsRegistry};
 pub use span::{ClockDomain, Span, Trace, Track};

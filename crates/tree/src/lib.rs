@@ -14,16 +14,21 @@
 //!   builds that reorder particles so every leaf owns a contiguous
 //!   bucket, then accumulate `Data` bottom-up,
 //! * [`node::BuiltTree`] — the arena the build produces, which the cache
-//!   layer grafts into the per-process global tree.
+//!   layer grafts into the per-process global tree,
+//! * [`query`] — traversal-agnostic point-query kernels (kNN / ball /
+//!   range / raycast) over a forest of built arenas, shared by the kNN
+//!   application and the `paratreet-serve` query service.
 
 pub mod build;
 pub mod data;
 pub mod node;
+pub mod query;
 pub mod types;
 pub mod update;
 
 pub use build::TreeBuilder;
 pub use data::{CountData, Data};
 pub use node::{BuildNode, BuiltTree, NodeIdx, NodeShape};
+pub use query::{KnnHeap, Neighbor, QueryScratch, RayHit};
 pub use types::TreeType;
 pub use update::{UpdatableTree, UpdateStats};

@@ -1,0 +1,555 @@
+//! Traversal-agnostic point-query kernels over built tree arenas.
+//!
+//! These are the query kernels the serving layer (`paratreet-serve`)
+//! answers external requests with, extracted from the kNN application
+//! so every consumer — the apps crate, the query service, the
+//! benchmarks — shares one implementation. They operate directly on a
+//! *forest* of [`BuiltTree`] arenas (the per-Subtree pieces a build or
+//! an incremental advance produces) with no cache, visitor, or engine
+//! machinery: a query descends the entry subtree first so its pruning
+//! bound tightens before the remaining subtrees are considered.
+//!
+//! Determinism: every kernel breaks distance ties by particle id and
+//! sorts its output canonically, so the same forest and query always
+//! produce bit-identical results — the property the serving layer's
+//! pinned-snapshot replay tests assert.
+
+use crate::node::{BuiltTree, NodeIdx};
+use crate::Data;
+use paratreet_geometry::{BoundingBox, Vec3};
+use std::collections::BinaryHeap;
+
+/// One neighbour candidate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Squared distance to the query point.
+    pub dist_sq: f64,
+    /// Neighbour's particle id.
+    pub id: u64,
+    /// Neighbour's position.
+    pub pos: Vec3,
+    /// Neighbour's mass.
+    pub mass: f64,
+    /// Neighbour's velocity (used by SPH pressure forces).
+    pub vel: Vec3,
+}
+
+/// Max-heap entry ordered by distance.
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry(Neighbor);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, o: &Self) -> bool {
+        self.0.dist_sq == o.0.dist_sq && self.0.id == o.0.id
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        self.0.dist_sq.total_cmp(&o.0.dist_sq).then(self.0.id.cmp(&o.0.id))
+    }
+}
+
+/// A bounded max-heap holding the k best candidates seen so far.
+#[derive(Clone, Debug, Default)]
+pub struct KnnHeap {
+    k: usize,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl KnnHeap {
+    /// An empty heap with capacity `k`.
+    pub fn new(k: usize) -> KnnHeap {
+        KnnHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers a candidate; keeps only the k nearest.
+    #[inline]
+    pub fn offer(&mut self, n: Neighbor) {
+        if self.heap.len() < self.k {
+            self.heap.push(HeapEntry(n));
+        } else if let Some(top) = self.heap.peek() {
+            if n.dist_sq < top.0.dist_sq {
+                self.heap.pop();
+                self.heap.push(HeapEntry(n));
+            }
+        }
+    }
+
+    /// The current pruning bound: the k-th best squared distance, or
+    /// infinity while fewer than k candidates are known.
+    #[inline]
+    pub fn bound(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map_or(f64::INFINITY, |e| e.0.dist_sq)
+        }
+    }
+
+    /// Number of candidates held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no candidates are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains into ascending-distance order (ties broken by id).
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self.heap.into_iter().map(|e| e.0).collect();
+        v.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then(a.id.cmp(&b.id)));
+        v
+    }
+}
+
+/// The first particle a ray meets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RayHit {
+    /// Distance along the (normalized) ray direction.
+    pub t: f64,
+    /// Squared perpendicular distance from the ray to the particle.
+    pub dist_sq: f64,
+    /// Particle id.
+    pub id: u64,
+    /// Particle position.
+    pub pos: Vec3,
+}
+
+/// Reusable traversal scratch: workers answering query streams keep one
+/// per thread so batched queries share the descent stack allocation.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    stack: Vec<NodeIdx>,
+}
+
+/// The subtree whose root region a point falls in (nearest root region
+/// when no region covers it — possible after incremental drift). This
+/// is the batching key the serving layer groups requests by: queries
+/// entering the same subtree share their first descent's cache
+/// footprint. Returns 0 for an empty forest.
+pub fn entry_subtree<D: Data>(trees: &[BuiltTree<D>], pos: Vec3) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, t) in trees.iter().enumerate() {
+        if t.nodes.is_empty() || t.root().n_particles == 0 {
+            continue;
+        }
+        let d = t.root().bbox.dist_sq_to(pos);
+        if d == 0.0 {
+            return i;
+        }
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Subtree visit order for a point query: the entry subtree first, then
+/// the rest by ascending root-region distance (ties by index).
+fn subtree_order<D: Data>(trees: &[BuiltTree<D>], pos: Vec3) -> Vec<usize> {
+    let mut order: Vec<(f64, usize)> = trees
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.nodes.is_empty() && t.root().n_particles > 0)
+        .map(|(i, t)| (t.root().bbox.dist_sq_to(pos), i))
+        .collect();
+    order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    order.into_iter().map(|(_, i)| i).collect()
+}
+
+/// The k nearest particles to `pos` across the forest, ascending by
+/// distance (ties by id). Unlike the simulation-internal kNN visitor,
+/// the query point is external: no particle is excluded.
+pub fn knn_query<D: Data>(trees: &[BuiltTree<D>], pos: Vec3, k: usize) -> Vec<Neighbor> {
+    knn_query_with(trees, pos, k, &mut QueryScratch::default())
+}
+
+/// [`knn_query`] with caller-owned scratch (batch amortization).
+pub fn knn_query_with<D: Data>(
+    trees: &[BuiltTree<D>],
+    pos: Vec3,
+    k: usize,
+    scratch: &mut QueryScratch,
+) -> Vec<Neighbor> {
+    let mut heap = KnnHeap::new(k);
+    if k == 0 {
+        return Vec::new();
+    }
+    for ti in subtree_order(trees, pos) {
+        let tree = &trees[ti];
+        if tree.root().bbox.dist_sq_to(pos) >= heap.bound() {
+            continue;
+        }
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(0);
+        while let Some(i) = stack.pop() {
+            let node = tree.node(i);
+            if node.n_particles == 0 || node.bbox.dist_sq_to(pos) >= heap.bound() {
+                continue;
+            }
+            if node.is_leaf() {
+                for p in tree.bucket(i) {
+                    let d2 = p.pos.dist_sq(pos);
+                    if d2 < heap.bound() {
+                        heap.offer(Neighbor {
+                            dist_sq: d2,
+                            id: p.id,
+                            pos: p.pos,
+                            mass: p.mass,
+                            vel: p.vel,
+                        });
+                    }
+                }
+                continue;
+            }
+            // Descend nearest child first: push in descending-distance
+            // order so the closest pops first and tightens the bound.
+            let mut kids: [(f64, NodeIdx); 8] = [(0.0, 0); 8];
+            let mut n_kids = 0;
+            for c in node.child_indices() {
+                let child = tree.node(c);
+                if child.n_particles > 0 {
+                    kids[n_kids] = (child.bbox.dist_sq_to(pos), c);
+                    n_kids += 1;
+                }
+            }
+            kids[..n_kids].sort_by(|a, b| b.0.total_cmp(&a.0).then(b.1.cmp(&a.1)));
+            for (_, c) in &kids[..n_kids] {
+                stack.push(*c);
+            }
+        }
+    }
+    heap.into_sorted()
+}
+
+/// Every particle within `radius` of `center`, ascending by distance
+/// (ties by id).
+pub fn ball_query<D: Data>(trees: &[BuiltTree<D>], center: Vec3, radius: f64) -> Vec<Neighbor> {
+    ball_query_with(trees, center, radius, &mut QueryScratch::default())
+}
+
+/// [`ball_query`] with caller-owned scratch (batch amortization).
+pub fn ball_query_with<D: Data>(
+    trees: &[BuiltTree<D>],
+    center: Vec3,
+    radius: f64,
+    scratch: &mut QueryScratch,
+) -> Vec<Neighbor> {
+    let r2 = radius * radius;
+    let mut out = Vec::new();
+    for tree in trees {
+        if tree.nodes.is_empty() || tree.root().n_particles == 0 {
+            continue;
+        }
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(0);
+        while let Some(i) = stack.pop() {
+            let node = tree.node(i);
+            if node.n_particles == 0 || node.bbox.dist_sq_to(center) > r2 {
+                continue;
+            }
+            if node.is_leaf() {
+                for p in tree.bucket(i) {
+                    let d2 = p.pos.dist_sq(center);
+                    if d2 <= r2 {
+                        out.push(Neighbor {
+                            dist_sq: d2,
+                            id: p.id,
+                            pos: p.pos,
+                            mass: p.mass,
+                            vel: p.vel,
+                        });
+                    }
+                }
+            } else {
+                for c in node.child_indices() {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq).then(a.id.cmp(&b.id)));
+    out
+}
+
+/// Ids of every particle inside `query` (closed-interval containment),
+/// ascending by id.
+pub fn range_query<D: Data>(trees: &[BuiltTree<D>], query: &BoundingBox) -> Vec<u64> {
+    range_query_with(trees, query, &mut QueryScratch::default())
+}
+
+/// [`range_query`] with caller-owned scratch (batch amortization).
+pub fn range_query_with<D: Data>(
+    trees: &[BuiltTree<D>],
+    query: &BoundingBox,
+    scratch: &mut QueryScratch,
+) -> Vec<u64> {
+    let mut out = Vec::new();
+    for tree in trees {
+        if tree.nodes.is_empty() || tree.root().n_particles == 0 {
+            continue;
+        }
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(0);
+        while let Some(i) = stack.pop() {
+            let node = tree.node(i);
+            if node.n_particles == 0 || !query.intersects(&node.bbox) {
+                continue;
+            }
+            if node.is_leaf() {
+                for p in tree.bucket(i) {
+                    if query.contains(p.pos) {
+                        out.push(p.id);
+                    }
+                }
+            } else {
+                for c in node.child_indices() {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Entry distance of a ray into `bbox` inflated by `radius`, or `None`
+/// when the ray misses it within `[0, t_max]`. `dir` must be normalized.
+fn ray_box_entry(
+    bbox: &BoundingBox,
+    origin: Vec3,
+    dir: Vec3,
+    radius: f64,
+    t_max: f64,
+) -> Option<f64> {
+    let mut t0 = 0.0f64;
+    let mut t1 = t_max;
+    for i in 0..3 {
+        let o = origin.component(i);
+        let d = dir.component(i);
+        let lo = bbox.lo.component(i) - radius;
+        let hi = bbox.hi.component(i) + radius;
+        if d == 0.0 {
+            if o < lo || o > hi {
+                return None;
+            }
+            continue;
+        }
+        let inv = 1.0 / d;
+        let (near, far) = if inv >= 0.0 {
+            ((lo - o) * inv, (hi - o) * inv)
+        } else {
+            ((hi - o) * inv, (lo - o) * inv)
+        };
+        t0 = t0.max(near);
+        t1 = t1.min(far);
+        if t0 > t1 {
+            return None;
+        }
+    }
+    Some(t0)
+}
+
+/// The first particle within perpendicular distance `radius` of the ray
+/// `origin + t * dir` for `t` in `[0, t_max]` — smallest `t`, ties by
+/// id. `dir` is normalized internally; a zero direction finds nothing.
+pub fn raycast<D: Data>(
+    trees: &[BuiltTree<D>],
+    origin: Vec3,
+    dir: Vec3,
+    radius: f64,
+    t_max: f64,
+) -> Option<RayHit> {
+    raycast_with(trees, origin, dir, radius, t_max, &mut QueryScratch::default())
+}
+
+/// [`raycast`] with caller-owned scratch (batch amortization).
+pub fn raycast_with<D: Data>(
+    trees: &[BuiltTree<D>],
+    origin: Vec3,
+    dir: Vec3,
+    radius: f64,
+    t_max: f64,
+    scratch: &mut QueryScratch,
+) -> Option<RayHit> {
+    if dir.norm_sq() == 0.0 {
+        return None;
+    }
+    let dir = dir.normalized();
+    let r2 = radius * radius;
+    let mut best: Option<RayHit> = None;
+    for tree in trees {
+        if tree.nodes.is_empty() || tree.root().n_particles == 0 {
+            continue;
+        }
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(0);
+        while let Some(i) = stack.pop() {
+            let node = tree.node(i);
+            if node.n_particles == 0 {
+                continue;
+            }
+            let cutoff = best.map_or(t_max, |h| h.t);
+            match ray_box_entry(&node.bbox, origin, dir, radius, t_max) {
+                Some(entry) if entry <= cutoff => {}
+                _ => continue,
+            }
+            if node.is_leaf() {
+                for p in tree.bucket(i) {
+                    let t = (p.pos - origin).dot(dir).clamp(0.0, t_max);
+                    let d2 = (origin + dir * t).dist_sq(p.pos);
+                    if d2 <= r2 {
+                        let hit = RayHit { t, dist_sq: d2, id: p.id, pos: p.pos };
+                        let better = match &best {
+                            None => true,
+                            Some(b) => t < b.t || (t == b.t && p.id < b.id),
+                        };
+                        if better {
+                            best = Some(hit);
+                        }
+                    }
+                }
+            } else {
+                for c in node.child_indices() {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountData, TreeBuilder, TreeType};
+    use paratreet_particles::{gen, Particle};
+
+    fn forest(n: usize, seed: u64) -> (Vec<BuiltTree<CountData>>, Vec<Particle>) {
+        let ps = gen::clustered(n, 3, seed, 1.0, 1.0);
+        // Split into two builds to exercise the forest paths.
+        let mid = ps.len() / 2;
+        let builder = TreeBuilder::new(TreeType::Octree).bucket_size(8);
+        let a = builder.build::<CountData>(
+            ps[..mid].to_vec(),
+            BoundingBox::around(ps[..mid].iter().map(|p| p.pos)),
+        );
+        let builder = TreeBuilder::new(TreeType::Octree).bucket_size(8);
+        let b = builder.build::<CountData>(
+            ps[mid..].to_vec(),
+            BoundingBox::around(ps[mid..].iter().map(|p| p.pos)),
+        );
+        (vec![a, b], ps)
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (trees, ps) = forest(400, 11);
+        for (qi, q) in ps.iter().step_by(37).enumerate() {
+            let pos = q.pos + Vec3::splat(1e-3 * (qi as f64 + 1.0));
+            let got = knn_query(&trees, pos, 6);
+            let mut brute: Vec<(f64, u64)> =
+                ps.iter().map(|p| (p.pos.dist_sq(pos), p.id)).collect();
+            brute.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let want: Vec<u64> = brute.iter().take(6).map(|(_, id)| *id).collect();
+            let got_ids: Vec<u64> = got.iter().map(|n| n.id).collect();
+            assert_eq!(got_ids, want, "query {qi}");
+            assert!(got.windows(2).all(|w| w[0].dist_sq <= w[1].dist_sq));
+        }
+    }
+
+    #[test]
+    fn ball_matches_brute_force() {
+        let (trees, ps) = forest(300, 5);
+        let center = ps[17].pos;
+        for radius in [0.05, 0.2, 0.7] {
+            let got = ball_query(&trees, center, radius);
+            let mut want: Vec<u64> = ps
+                .iter()
+                .filter(|p| p.pos.dist_sq(center) <= radius * radius)
+                .map(|p| p.id)
+                .collect();
+            want.sort_unstable();
+            let mut got_ids: Vec<u64> = got.iter().map(|n| n.id).collect();
+            got_ids.sort_unstable();
+            assert_eq!(got_ids, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let (trees, ps) = forest(300, 7);
+        let query = BoundingBox::cube(ps[3].pos, 0.3);
+        let got = range_query(&trees, &query);
+        let mut want: Vec<u64> =
+            ps.iter().filter(|p| query.contains(p.pos)).map(|p| p.id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!got.is_empty(), "query box around a particle finds at least it");
+    }
+
+    #[test]
+    fn raycast_matches_brute_force() {
+        let (trees, ps) = forest(300, 13);
+        let origin = Vec3::splat(-2.0);
+        for (i, aim) in ps.iter().step_by(41).enumerate() {
+            // The kernel normalizes internally; hand the brute force the
+            // identical normalized vector so results match bit-for-bit.
+            let dir = (aim.pos - origin).normalized();
+            let radius = 0.05;
+            let got = raycast(&trees, origin, aim.pos - origin, radius, 10.0);
+            let mut want: Option<RayHit> = None;
+            for p in &ps {
+                let t = (p.pos - origin).dot(dir).clamp(0.0, 10.0);
+                let d2 = (origin + dir * t).dist_sq(p.pos);
+                if d2 <= radius * radius {
+                    let better = match &want {
+                        None => true,
+                        Some(b) => t < b.t || (t == b.t && p.id < b.id),
+                    };
+                    if better {
+                        want = Some(RayHit { t, dist_sq: d2, id: p.id, pos: p.pos });
+                    }
+                }
+            }
+            assert_eq!(got, want, "ray {i}");
+        }
+    }
+
+    #[test]
+    fn queries_on_empty_forest_are_empty() {
+        let trees: Vec<BuiltTree<CountData>> = Vec::new();
+        assert!(knn_query(&trees, Vec3::ZERO, 4).is_empty());
+        assert!(ball_query(&trees, Vec3::ZERO, 1.0).is_empty());
+        assert!(range_query(&trees, &BoundingBox::cube(Vec3::ZERO, 1.0)).is_empty());
+        assert!(raycast(&trees, Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 0.1, 5.0).is_none());
+        assert_eq!(entry_subtree(&trees, Vec3::ZERO), 0);
+    }
+
+    #[test]
+    fn entry_subtree_picks_containing_root() {
+        let (trees, ps) = forest(200, 19);
+        for p in ps.iter().step_by(29) {
+            let e = entry_subtree(&trees, p.pos);
+            // The chosen root region must be at least as close as any other.
+            let d = trees[e].root().bbox.dist_sq_to(p.pos);
+            for t in &trees {
+                assert!(d <= t.root().bbox.dist_sq_to(p.pos) + 1e-12);
+            }
+        }
+    }
+}

@@ -51,4 +51,17 @@ grep -q '"tree.update.patched":[1-9]' "$inc_metrics" ||
 grep -q '"tree.update.moved":[1-9]' "$inc_metrics" ||
     { echo "incremental smoke: drift moved no particles in $inc_metrics"; exit 1; }
 
+echo "== serve smoke (live writer + reader pool, latency histograms) =="
+serve_metrics=$(mktemp /tmp/paratreet-serve-XXXXXX.json)
+trap 'rm -f "$chaos_metrics" "$inc_metrics" "$serve_metrics"' EXIT
+cargo run --release -q -- serve-bench --particles 3000 --clients 40 \
+    --queries 25 --serve-workers 2 --threads 2 \
+    --metrics-out "$serve_metrics" > /dev/null
+grep -q '"serve.queries.completed":1000' "$serve_metrics" ||
+    { echo "serve smoke: not every query completed in $serve_metrics"; exit 1; }
+grep -q '"serve.latency.knn.p99":[1-9]' "$serve_metrics" ||
+    { echo "serve smoke: no kNN p99 latency recorded in $serve_metrics"; exit 1; }
+grep -q '"serve.snapshots.published":[1-9]' "$serve_metrics" ||
+    { echo "serve smoke: writer published no snapshots in $serve_metrics"; exit 1; }
+
 echo "CI green."

@@ -37,6 +37,10 @@ APPS:
   gravity     Barnes-Hut N-body (leapfrog integration)
   sph         smoothed-particle hydrodynamics (kNN density + pressure)
   disk        planetesimal disk with collision detection (case study)
+  serve-bench concurrent query service over a live maintained tree:
+              a writer thread advances the forest while a reader pool
+              answers a mixed kNN/ball/range/raycast stream from
+              simulated clients against pinned snapshots
 
 WORKLOAD (default: generator):
   --particles N        particle count                      [10000]
@@ -72,6 +76,19 @@ INCREMENTAL TREE MAINTENANCE (all engines):
                        a whole-tree rebuild + re-decomposition [2.5]
   --inc-universe-pad F universe padding fraction kept as drift
                        headroom (0 disables padding)       [0.05]
+
+QUERY SERVING (serve-bench only):
+  --clients N          simulated clients                   [200]
+  --queries N          queries per client                  [50]
+  --serve-workers N    reader (worker) threads             [4]
+  --threads N          client driver threads               [4]
+  --batch N            queries per submitted batch         [32]
+  --queue N            work queue capacity, batches        [256]
+  --ring N             snapshot ring capacity              [8]
+  --admission KIND     defer (backpressure) | shed         [defer]
+  --writer-pace-ms T   sleep between writer advances, ms   [0]
+                       (--iterations 0 = advance until the load
+                       finishes; N = stop after N advances)
 
 FAULT INJECTION (machine engine only; seeded, deterministic):
   --fault-drop P       drop probability per message        [0]
@@ -616,12 +633,101 @@ fn run_disk(opts: &HashMap<String, String>) {
     write_outputs(opts, sim.framework.particles());
 }
 
+fn run_serve_bench(opts: &HashMap<String, String>) {
+    use paratreet_serve::{
+        run_load, AdmissionPolicy, LoadConfig, QueryClass, QueryService, ServeConfig, WriterConfig,
+    };
+    use paratreet_tree::CountData;
+
+    let particles = load_particles("serve-bench", opts);
+    let mut config = configuration(opts);
+    config.incremental.enabled = true;
+    let admission = match get(opts, "admission", "defer".to_string()).as_str() {
+        "defer" => AdmissionPolicy::Defer,
+        "shed" => AdmissionPolicy::Shed,
+        other => {
+            eprintln!("unknown admission policy {other} (defer | shed)");
+            exit(2);
+        }
+    };
+    let iterations = get(opts, "iterations", 0u64);
+    let pace_ms = get(opts, "writer-pace-ms", 0u64);
+
+    let (maintainer, seed_trees) =
+        paratreet::core_api::TreeMaintainer::<CountData>::seed(&config, particles, true);
+    let universe = maintainer.universe();
+
+    let mut service: QueryService<CountData> = QueryService::new(ServeConfig {
+        workers: get(opts, "serve-workers", 4usize),
+        queue_capacity: get(opts, "queue", 256usize),
+        ring_capacity: get(opts, "ring", 8usize),
+        admission,
+    });
+    service.spawn_writer(
+        maintainer,
+        seed_trees,
+        Box::new(|particles: &mut [Particle], iteration: u64| {
+            for p in particles.iter_mut() {
+                let h = p.id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ iteration;
+                p.pos.x += ((h & 0xFF) as f64 / 255.0 - 0.5) * 2e-3;
+                p.pos.y += ((h >> 8 & 0xFF) as f64 / 255.0 - 0.5) * 2e-3;
+                p.pos.z += ((h >> 16 & 0xFF) as f64 / 255.0 - 0.5) * 2e-3;
+            }
+        }),
+        WriterConfig {
+            iterations: if iterations == 0 { u64::MAX } else { iterations },
+            pace: (pace_ms > 0).then(|| std::time::Duration::from_millis(pace_ms)),
+        },
+    );
+
+    let load = LoadConfig {
+        clients: get(opts, "clients", 200usize),
+        queries_per_client: get(opts, "queries", 50usize),
+        threads: get(opts, "threads", 4usize),
+        batch: get(opts, "batch", 32usize),
+        k: get(opts, "k", 8usize),
+        seed: get(opts, "seed", 1u64),
+        ..LoadConfig::default()
+    };
+    let report = run_load(&service, universe, &load);
+    let last_epoch = service.shutdown().unwrap_or(0);
+    let metrics = service.metrics();
+
+    println!(
+        "{} completed / {} submitted / {} shed in {:.2}s — {:.0} queries/s; \
+         epochs {}..{} answered, writer published {} (last epoch {last_epoch})",
+        report.completed,
+        report.submitted,
+        report.shed,
+        report.elapsed_s,
+        report.throughput,
+        report.min_epoch,
+        report.max_epoch,
+        metrics.get_u64("serve.snapshots.published"),
+    );
+    for class in QueryClass::ALL {
+        let key = |stat: &str| format!("serve.latency.{}.{stat}", class.label());
+        println!(
+            "  {:>5}: {} queries, p50 {:.1}us p99 {:.1}us p999 {:.1}us",
+            class.label(),
+            metrics.get_u64(&key("count")),
+            metrics.get_u64(&key("p50")) as f64 * 1e-3,
+            metrics.get_u64(&key("p99")) as f64 * 1e-3,
+            metrics.get_u64(&key("p999")) as f64 * 1e-3,
+        );
+    }
+
+    let telemetry = telemetry_for(opts, false, wall_shards(0));
+    write_telemetry(opts, &telemetry, Some(&metrics));
+}
+
 fn main() {
     let (app, opts) = parse_args();
     match app.as_str() {
         "gravity" => run_gravity(&opts),
         "sph" => run_sph(&opts),
         "disk" => run_disk(&opts),
+        "serve-bench" => run_serve_bench(&opts),
         "help" | "-h" | "--help" => println!("{USAGE}"),
         other => {
             eprintln!("unknown app {other}\n{USAGE}");

@@ -14,5 +14,6 @@ pub use paratreet_cachesim as cachesim;
 pub use paratreet_geometry as geometry;
 pub use paratreet_particles as particles;
 pub use paratreet_runtime as runtime;
+pub use paratreet_serve as serve;
 pub use paratreet_telemetry as telemetry;
 pub use paratreet_tree as tree;
