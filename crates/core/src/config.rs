@@ -84,23 +84,29 @@ pub enum TraversalKind {
 }
 
 /// Incremental tree maintenance knobs. With `enabled`, the engines keep
-/// the global tree alive across iterations — patching buckets in place,
-/// re-sieving escapees, and re-accumulating `Data` along dirty paths —
-/// instead of rebuilding from scratch. The thresholds bound structural
-/// drift: a Subtree whose cumulative escapee fraction or depth skew
-/// crosses its limit is rebuilt alone; when the partition-cost imbalance
-/// of the maintained tree exceeds `imbalance_rebuild`, the whole tree is
-/// rebuilt and re-decomposed.
+/// the global tree alive across iterations — classifying all movers in
+/// one pass, applying escapees as sorted per-Subtree batches, and
+/// re-accumulating `Data` along dirty paths — instead of rebuilding
+/// from scratch. Structural drift is bounded by weight-balance
+/// invariants rather than ad-hoc churn counters: a median-split Subtree
+/// is rebuilt alone when some interior node's heaviest child exceeds
+/// `balance_alpha` of its weight or its depth exceeds the α-balance
+/// depth bound by `balance_depth_slack` levels; when the partition-cost
+/// imbalance of the maintained tree exceeds `imbalance_rebuild`, the
+/// whole tree is rebuilt and re-decomposed.
 #[derive(Clone, Copy, Debug)]
 pub struct IncrementalConfig {
     /// Maintain the tree across iterations instead of rebuilding.
     pub enabled: bool,
-    /// Rebuild a Subtree once this fraction of its particles has
-    /// escaped its leaves since the Subtree was last built.
-    pub escape_rebuild_fraction: f64,
-    /// Rebuild a Subtree when its depth exceeds its as-built depth by
-    /// this many levels (insertions digging ever-deeper pockets).
-    pub depth_skew_rebuild: u32,
+    /// BB[α] weight-balance factor: rebuild a median-split Subtree when
+    /// an interior node's heaviest child holds more than this fraction
+    /// of the node's particles. Position-determined trees (octree,
+    /// binary-oct) are exempt — their maintained structure already
+    /// equals a fresh build's, so a rebuild cannot improve them.
+    pub balance_alpha: f64,
+    /// Extra levels a median-split Subtree may exceed the α-balance
+    /// depth bound (`log(n/bucket) / log(1/α)`) before being rebuilt.
+    pub balance_depth_slack: u32,
     /// Fall back to a whole-tree rebuild + re-decomposition when the
     /// max/mean particle load across Partitions exceeds this factor.
     pub imbalance_rebuild: f64,
@@ -110,16 +116,21 @@ pub struct IncrementalConfig {
     /// zero-motion identity), at the cost of more full-rebuild
     /// fallbacks for expanding systems.
     pub universe_pad: f64,
+    /// Threads used for the batch classify/apply/flatten phases over
+    /// disjoint Subtrees (0 = one per available core, capped at the
+    /// Subtree count). The deterministic DES engine always runs with 1.
+    pub batch_threads: usize,
 }
 
 impl Default for IncrementalConfig {
     fn default() -> IncrementalConfig {
         IncrementalConfig {
             enabled: false,
-            escape_rebuild_fraction: 0.25,
-            depth_skew_rebuild: 4,
+            balance_alpha: 0.7,
+            balance_depth_slack: 2,
             imbalance_rebuild: 2.5,
             universe_pad: 0.05,
+            batch_threads: 0,
         }
     }
 }

@@ -65,9 +65,14 @@ use paratreet_runtime::{
 use paratreet_telemetry::{MetricSource, MetricsRegistry, Telemetry, Track};
 use paratreet_tree::{BuiltTree, TreeBuilder};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 pub use paratreet_cache::stats::CacheStatsSnapshot as CacheSnapshot;
+
+/// Fixed envelope per migration batch message (counts, subtree ids,
+/// epoch stamp). Escapees bound for the same destination rank share
+/// one such envelope instead of paying per-particle message overhead.
+const MIGRATION_BATCH_HEADER_BYTES: u64 = 32;
 
 /// Calibrated per-unit costs (seconds on the Stampede2 Skylake baseline).
 /// The absolute values set the scale; the *shapes* of the scaling curves
@@ -938,18 +943,24 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
         }
 
         // Incremental advance: particles that crossed Subtree boundaries
-        // moved between the owning ranks — charged as wire bytes plus a
-        // serialize task on the source rank (the update path's only
-        // communication beyond the unchanged summary share).
+        // moved between the owning ranks. The maintainer hands them over
+        // as per-destination batches, so the comm model charges one
+        // message per (source rank, destination rank) pair — all
+        // escapees travelling that edge share a single batch envelope —
+        // rather than one per subtree migration edge.
         let incremental_update = round.as_ref().is_some_and(|r| !r.full_rebuild);
         if let Some(r) = round.as_ref().filter(|r| !r.full_rebuild) {
+            let mut rank_batches: BTreeMap<(u32, u32), u64> = BTreeMap::new();
             for &(from_si, to_si, n) in &r.migrations {
                 let from = owner[from_si as usize];
                 let to = owner[to_si as usize];
                 if from == to {
                     continue;
                 }
-                let bytes = n as u64 * PARTICLE_WIRE_BYTES as u64;
+                *rank_batches.entry((from, to)).or_default() += n as u64;
+            }
+            for ((from, _to), n) in rank_batches {
+                let bytes = n * PARTICLE_WIRE_BYTES as u64 + MIGRATION_BATCH_HEADER_BYTES;
                 sim.comm.messages += 1;
                 sim.comm.bytes += bytes;
                 sim.spawn(
@@ -1040,19 +1051,20 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             .collect();
 
         // What each Subtree's *this-iteration* task costs. A full build
-        // (seed, fallback, and drift-rebuilt Subtrees) keeps the
+        // (seed, fallback, and rebalanced Subtrees) keeps the
         // Phase::TreeBuild cost above — which recovery also charges when
-        // it restores from checkpoint. An incremental patch is sized by
-        // the structural work the maintainer actually did: touched
-        // nodes × log n for re-sieving and split/merge, plus a linear
-        // term for the dirty-path summary re-accumulation.
+        // it restores from checkpoint. An incremental patch applies one
+        // sorted batch per Subtree, so the sieve work amortises: b
+        // touched particles share prefix paths, costing b·log(n/b)
+        // rather than b·log n, plus a linear term for the dirty-path
+        // summary re-accumulation.
         let subtree_task: Vec<(Phase, f64)> = (0..n_subtrees)
             .map(|si| match round.as_ref() {
                 Some(r) if !r.full_rebuild && !r.rebuilt_subtrees.contains(&(si as u32)) => {
                     let n_i = summaries[si].n_particles.max(1) as f64;
                     let touched = r.per_subtree_work.get(si).copied().unwrap_or(0) as f64;
-                    let cost =
-                        costs.build_per_particle_log * (touched * n_i.log2().max(1.0) + 0.25 * n_i);
+                    let amortized = (n_i / touched.max(1.0)).max(2.0).log2();
+                    let cost = costs.build_per_particle_log * (touched * amortized + 0.25 * n_i);
                     (Phase::TreeUpdate, cost.max(1e-9))
                 }
                 _ => (Phase::TreeBuild, subtree_build_cost[si]),
@@ -2051,6 +2063,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             metrics.absorb("tree.update", m.totals());
             metrics
                 .set_u64("tree.update.round_migrated", round.as_ref().map_or(0, |r| r.n_migrated));
+            metrics.set_u64("tree.update.round_batches", round.as_ref().map_or(0, |r| r.n_batches));
         }
         if let Some(c) = crash {
             metrics.absorb("recovery", &rec);

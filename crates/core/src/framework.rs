@@ -66,6 +66,11 @@ pub struct StepReport {
     /// Cumulative incremental-maintenance counters, present once a
     /// maintainer is live (`tree.update.*` in [`StepReport::metrics`]).
     pub update: Option<UpdateTotals>,
+    /// Non-empty per-Subtree insert batches applied by this step's
+    /// incremental advance (zero on seed/full-rebuild steps).
+    pub round_batches: u64,
+    /// Particles that crossed Subtree boundaries in this step's advance.
+    pub round_migrated: u64,
 }
 
 impl StepReport {
@@ -86,6 +91,8 @@ impl StepReport {
         if let Some(update) = &self.update {
             m.set_f64("time.update_s", self.seconds_update);
             m.absorb("tree.update", update);
+            m.set_u64("tree.update.round_batches", self.round_batches);
+            m.set_u64("tree.update.round_migrated", self.round_migrated);
         }
         m
     }
@@ -166,31 +173,45 @@ impl<D: Data> Step<D> {
         // Master array: subtree particle arrays concatenated in piece
         // order; leaf buckets are contiguous master ranges.
         let t0 = std::time::Instant::now();
-        let mut master = Vec::new();
+        let total: usize = trees.iter().map(|t| t.particles.len()).sum();
+        let mut master = Vec::with_capacity(total);
         let mut buckets: Vec<BucketMeta> = Vec::new();
         let mut n_split_leaves = 0usize;
         let share_span = telemetry.clone();
         share_span.wall_span(0, "leaf sharing", None, || {
+            // Grouping scratch, reused across leaves (inner index vectors
+            // move into BucketMeta; only the spine's capacity persists).
+            let mut per_part: Vec<(u32, Vec<u32>)> = Vec::new();
             for tree in &trees {
                 let offset = master.len() as u32;
-                for li in tree.leaf_indices() {
-                    let node = tree.node(li);
-                    let range = node.bucket_range().expect("leaf");
+                // The arena is pre-order, so a linear node scan visits
+                // leaves in DFS order without a traversal stack.
+                for node in &tree.nodes {
+                    let Some(range) = node.bucket_range() else { continue };
                     // Group the leaf's particles by Partition assignment —
                     // the leaf-sharing step, with bucket splitting (Fig. 5).
-                    let mut per_part: Vec<(u32, Vec<u32>)> = Vec::new();
+                    // Assignments run in SFC-contiguous streaks, so memoize
+                    // the previous particle's slot.
+                    let mut last_part = u32::MAX;
+                    let mut last_slot = usize::MAX;
                     for i in range {
                         let part = partitioner.assign(&tree.particles[i]);
-                        let master_idx = offset + i as u32;
-                        match per_part.iter_mut().find(|(p, _)| *p == part) {
-                            Some((_, v)) => v.push(master_idx),
-                            None => per_part.push((part, vec![master_idx])),
+                        if part != last_part {
+                            last_slot = match per_part.iter().position(|(p, _)| *p == part) {
+                                Some(s) => s,
+                                None => {
+                                    per_part.push((part, Vec::new()));
+                                    per_part.len() - 1
+                                }
+                            };
+                            last_part = part;
                         }
+                        per_part[last_slot].1.push(offset + i as u32);
                     }
                     if per_part.len() > 1 {
                         n_split_leaves += 1;
                     }
-                    for (partition, indices) in per_part {
+                    for (partition, indices) in per_part.drain(..) {
                         buckets.push(BucketMeta { leaf_key: node.key, partition, indices });
                     }
                 }
@@ -418,10 +439,12 @@ impl<D: Data> Framework<D> {
             }
             Some(maintainer) => {
                 let t0 = std::time::Instant::now();
-                let (trees, _round) =
+                let (trees, round) =
                     self.telemetry
                         .wall_span(0, "incremental update", None, || maintainer.advance(particles));
                 report.seconds_update = t0.elapsed().as_secs_f64();
+                report.round_batches = round.n_batches;
+                report.round_migrated = round.n_migrated;
                 trees
             }
         };

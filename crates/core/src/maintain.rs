@@ -4,32 +4,48 @@
 //! A [`TreeMaintainer`] owns one [`UpdatableTree`] per Subtree plus the
 //! decomposition they were seeded from (universe, piece regions,
 //! partitioner). Each iteration, [`TreeMaintainer::advance`] runs the
-//! update cycle — resync, evict escapees, route them (within their
-//! Subtree, to a sibling Subtree, or out of the universe), repair — and
-//! hands back flattened [`BuiltTree`]s that drop into the unchanged
-//! leaf-sharing / cache / traversal pipeline.
+//! *batch* update cycle over disjoint Subtrees:
 //!
-//! Structural drift is bounded by three policies (§ISSUE-5):
+//! 1. **Classify** — one pass per Subtree (in parallel) resyncs the
+//!    integrated particle state and evicts everything that left its
+//!    leaf's footprint.
+//! 2. **Route** — escapees are grouped by destination Subtree into
+//!    insert batches, each sorted by (SFC key, id) so application
+//!    order is a canonical function of the particle state.
+//! 3. **Apply** — each destination sieves its whole batch down in one
+//!    group pass and repairs (split/merge/prune + `Data`
+//!    re-accumulation along dirty paths), again in parallel over the
+//!    disjoint Subtree slabs.
+//! 4. **Rebalance** — weight-balance invariants, recomputed from the
+//!    current trees every round, decide rebuilds: a median-split
+//!    Subtree is rebuilt alone when an interior node violates the
+//!    BB[α] criterion or its depth exceeds the α-balance bound;
+//!    position-determined trees (octree, binary-oct) are never
+//!    structurally rebuilt, because maintenance already reproduces
+//!    exactly the structure a fresh build would.
+//! 5. **Flatten** — each Subtree emits the canonical pre-order arena
+//!    (in parallel), which drops into the unchanged leaf-sharing /
+//!    cache / traversal pipeline.
 //!
-//! * a Subtree whose cumulative escapee fraction since its last build
-//!   exceeds `escape_rebuild_fraction` is rebuilt alone,
-//! * a Subtree whose depth grew more than `depth_skew_rebuild` levels
-//!   past its as-built depth is rebuilt alone,
-//! * when the max/mean particle load across Partitions exceeds
-//!   `imbalance_rebuild`, the whole tree is rebuilt and re-decomposed
-//!   (fresh universe, pieces, and partitioner) — as is any step where a
-//!   particle leaves the universe box entirely.
+//! The whole tree is rebuilt and re-decomposed (fresh universe, pieces,
+//! partitioner) when a particle leaves the universe box, the population
+//! changes, or the max/mean Partition load exceeds
+//! `imbalance_rebuild`. A structural [`UpdateError`] (stale slab,
+//! population mismatch) is never fatal: the maintainer logs it and
+//! falls back to the same full rebuild.
 //!
-//! All decisions are deterministic functions of the particle state, so
-//! a crash-recovery replay that restores the maintained trees and
-//! re-runs the same inputs reproduces the same structure.
+//! All decisions are deterministic functions of the particle state —
+//! parallel phases collect results in Subtree index order, so thread
+//! count never changes the output — and a crash-recovery replay that
+//! restores the maintained trees and re-runs the same inputs
+//! reproduces the same structure.
 
 use crate::config::{Configuration, DecompType, SfcCurve};
 use crate::decomp::{decompose_within, universe_for, Partitioner, SubtreePiece};
 use paratreet_geometry::{BoundingBox, NodeKey, Vec3};
-use paratreet_particles::{Particle, ParticleVec};
+use paratreet_particles::Particle;
 use paratreet_telemetry::metrics::{MetricSource, MetricsRegistry};
-use paratreet_tree::{BuiltTree, Data, TreeBuilder, UpdatableTree, UpdateStats};
+use paratreet_tree::{BuiltTree, Data, TreeBuilder, UpdatableTree, UpdateError, UpdateStats};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 
@@ -46,6 +62,8 @@ pub struct UpdateTotals {
     pub escaped: u64,
     /// Escapees that crossed into a different Subtree.
     pub migrated: u64,
+    /// Non-empty per-Subtree insert batches applied.
+    pub batches: u64,
     /// Leaf splits performed by repair passes.
     pub splits: u64,
     /// Interior collapses performed by repair passes.
@@ -54,10 +72,13 @@ pub struct UpdateTotals {
     pub pruned: u64,
     /// Nodes whose `Data` summary was re-accumulated.
     pub refreshed: u64,
-    /// Single-Subtree rebuilds triggered by drift thresholds.
+    /// Single-Subtree rebuilds (weight-balance violations or uncovered
+    /// adoptions).
     pub subtree_rebuilds: u64,
     /// Whole-tree rebuild + re-decomposition fallbacks.
     pub full_rebuilds: u64,
+    /// Structural update errors recovered via full rebuild.
+    pub update_errors: u64,
     /// Max/mean partition load after the most recent advance.
     pub last_imbalance: f64,
 }
@@ -69,12 +90,14 @@ impl MetricSource for UpdateTotals {
         registry.set_u64(format!("{prefix}.patched"), self.patched);
         registry.set_u64(format!("{prefix}.escaped"), self.escaped);
         registry.set_u64(format!("{prefix}.migrated"), self.migrated);
+        registry.set_u64(format!("{prefix}.batches"), self.batches);
         registry.set_u64(format!("{prefix}.splits"), self.splits);
         registry.set_u64(format!("{prefix}.merges"), self.merges);
         registry.set_u64(format!("{prefix}.pruned"), self.pruned);
         registry.set_u64(format!("{prefix}.refreshed"), self.refreshed);
         registry.set_u64(format!("{prefix}.subtree_rebuilds"), self.subtree_rebuilds);
         registry.set_u64(format!("{prefix}.full_rebuilds"), self.full_rebuilds);
+        registry.set_u64(format!("{prefix}.update_errors"), self.update_errors);
         registry.set_f64(format!("{prefix}.last_imbalance"), self.last_imbalance);
     }
 }
@@ -87,27 +110,20 @@ pub struct MaintainRound {
     pub stats: UpdateStats,
     /// Escapees that crossed Subtree boundaries.
     pub n_migrated: u64,
+    /// Non-empty per-Subtree insert batches applied this round.
+    pub n_batches: u64,
     /// `(from_subtree, to_subtree, count)` migration edges, ascending.
     pub migrations: Vec<(u32, u32, u32)>,
     /// Per-subtree structural work units (evictions + insertions +
     /// splits + merges + summary refreshes) — the DES engine's update
     /// task cost driver.
     pub per_subtree_work: Vec<u64>,
-    /// Subtrees rebuilt alone by drift thresholds this round.
+    /// Subtrees rebuilt alone this round (weight balance or adoption).
     pub rebuilt_subtrees: Vec<u32>,
     /// The whole-tree fallback fired (universe escape or imbalance).
     pub full_rebuild: bool,
     /// Max/mean partition load measured this round.
     pub imbalance: f64,
-}
-
-/// Per-Subtree structural-drift counters.
-#[derive(Clone, Copy, Debug)]
-struct Drift {
-    /// Escapees evicted from this Subtree since its last (re)build.
-    escaped: u64,
-    /// The Subtree's depth as of its last (re)build.
-    built_depth: u32,
 }
 
 /// Piece metadata retained after the builds consume the decomposition.
@@ -116,6 +132,67 @@ struct PieceMeta {
     key: NodeKey,
     bbox: BoundingBox,
     depth: u32,
+}
+
+/// Max/mean particle load across Partitions. Degenerate inputs — no
+/// partitions at all (a rank owning zero Subtrees after a
+/// shrinking-population fallback) or zero total load — report perfect
+/// balance rather than panicking on an empty `max()`.
+pub(crate) fn partition_imbalance(loads: &[u64]) -> f64 {
+    let total: u64 = loads.iter().sum();
+    if loads.is_empty() || total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / loads.len() as f64;
+    *loads.iter().max().expect("non-empty loads") as f64 / mean
+}
+
+/// Runs `f(index, item, arg)` over the zipped items on up to `threads`
+/// scoped OS threads (the workspace `rayon` is a sequential shim, so
+/// real parallelism comes from `std::thread`). Items are chunked
+/// contiguously and results are returned in index order, so the output
+/// — and everything downstream — is independent of thread count.
+fn par_map_mut<T, U, R>(
+    threads: usize,
+    items: &mut [T],
+    args: Vec<U>,
+    f: impl Fn(usize, &mut T, U) -> R + Sync,
+) -> Vec<R>
+where
+    T: Send,
+    U: Send,
+    R: Send,
+{
+    debug_assert_eq!(items.len(), args.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter_mut().zip(args).enumerate().map(|(i, (t, a))| f(i, t, a)).collect();
+    }
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    let mut arg_chunks: Vec<Vec<U>> = Vec::new();
+    let mut rest = args;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        arg_chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    arg_chunks.push(rest);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        let mut base = 0usize;
+        for (items_chunk, args_chunk) in items.chunks_mut(chunk).zip(arg_chunks) {
+            let f = &f;
+            let start = base;
+            base += items_chunk.len();
+            handles.push(s.spawn(move || {
+                items_chunk
+                    .iter_mut()
+                    .zip(args_chunk)
+                    .enumerate()
+                    .map(|(k, (t, a))| f(start + k, t, a))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        handles.into_iter().flat_map(|h| h.join().expect("maintenance worker panicked")).collect()
+    })
 }
 
 /// Maintains the global tree across iterations for one engine. Seeded
@@ -128,9 +205,11 @@ pub struct TreeMaintainer<D: Data> {
     trees: Vec<UpdatableTree<D>>,
     partitioner: Partitioner,
     n_partitions: usize,
-    drift: Vec<Drift>,
     totals: UpdateTotals,
+    /// Rayon-style parallelism for the seed/rebuild builder paths.
     parallel: bool,
+    /// Scoped-thread count for the batch classify/apply/flatten phases.
+    threads: usize,
 }
 
 impl<D: Data> TreeMaintainer<D> {
@@ -139,11 +218,21 @@ impl<D: Data> TreeMaintainer<D> {
     /// `n_subtrees` / `n_partitions` minimums. With
     /// `incremental.universe_pad == 0` the returned trees are
     /// bit-identical to a fresh [`crate::decompose`] + build pass.
+    /// `parallel = false` (the deterministic DES engine) also pins the
+    /// batch phases to one thread.
     pub fn seed(
         config: &Configuration,
         particles: Vec<Particle>,
         parallel: bool,
     ) -> (TreeMaintainer<D>, Vec<BuiltTree<D>>) {
+        let threads = if parallel {
+            match config.incremental.batch_threads {
+                0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+                t => t,
+            }
+        } else {
+            1
+        };
         let mut m = TreeMaintainer {
             config: config.clone(),
             universe: BoundingBox::empty(),
@@ -151,9 +240,9 @@ impl<D: Data> TreeMaintainer<D> {
             trees: Vec::new(),
             partitioner: Partitioner::KeyRanges { splitters: Vec::new() },
             n_partitions: config.n_partitions,
-            drift: Vec::new(),
             totals: UpdateTotals::default(),
             parallel,
+            threads,
         };
         let built = m.reseed(particles);
         (m, built)
@@ -221,8 +310,6 @@ impl<D: Data> TreeMaintainer<D> {
             .zip(&self.pieces)
             .map(|(t, p)| UpdatableTree::from_built(t, tree_type, bucket_size, p.depth))
             .collect();
-        self.drift =
-            self.trees.iter().map(|t| Drift { escaped: 0, built_depth: t.max_depth() }).collect();
         built
     }
 
@@ -231,8 +318,9 @@ impl<D: Data> TreeMaintainer<D> {
     /// the concatenation of the returned trees' particle arrays).
     /// Returns the flattened trees for this iteration plus what was
     /// done to produce them. Falls back to a transparent whole-tree
-    /// rebuild when a particle leaves the universe or the partition
-    /// load imbalance crosses its threshold.
+    /// rebuild when a particle leaves the universe, the partition load
+    /// imbalance crosses its threshold, or the maintained structure
+    /// reports an [`UpdateError`].
     pub fn advance(&mut self, mut master: Vec<Particle>) -> (Vec<BuiltTree<D>>, MaintainRound) {
         let inc = self.config.incremental;
         self.totals.steps += 1;
@@ -246,109 +334,209 @@ impl<D: Data> TreeMaintainer<D> {
             return self.fall_back(master, round);
         }
 
-        // Universe escape: the maintained root regions no longer cover
-        // the particle set — re-decompose over a fresh (padded) box.
-        if master.iter().any(|p| !self.universe.contains(p.pos)) {
+        // One fused pass over the integrated state: detect universe
+        // escape (the maintained root regions no longer cover the
+        // particle set — re-decompose over a fresh padded box) and
+        // refresh SFC keys in place (same keying rule as decompose) so
+        // the retained partitioner, leaf sharing, and batch sort order
+        // stay meaningful.
+        let hilbert =
+            self.config.sfc == SfcCurve::Hilbert && self.config.decomp_type == DecompType::Sfc;
+        let mut escaped_universe = false;
+        for p in master.iter_mut() {
+            if !self.universe.contains(p.pos) {
+                // Keys are reassigned against the fresh universe inside
+                // the fallback's decompose, so stop refreshing here.
+                escaped_universe = true;
+                break;
+            }
+            p.key = if hilbert {
+                paratreet_geometry::hilbert_key(p.pos, &self.universe)
+            } else {
+                paratreet_geometry::morton_key(p.pos, &self.universe)
+            };
+        }
+        if escaped_universe {
             return self.fall_back(master, round);
         }
 
-        // Refresh SFC keys in place (same keying rule as decompose) so
-        // the retained partitioner and leaf sharing stay meaningful.
-        if self.config.sfc == SfcCurve::Hilbert && self.config.decomp_type == DecompType::Sfc {
-            for p in master.iter_mut() {
-                p.key = paratreet_geometry::hilbert_key(p.pos, &self.universe);
+        // `master` stays alive through the patch phases: if the
+        // maintained structure turns out to be inconsistent we recover
+        // by rebuilding from it instead of aborting the run.
+        match self.advance_patched(&master, &mut round) {
+            Ok((flats, loads)) => {
+                drop(master);
+                let imbalance = partition_imbalance(&loads);
+                round.imbalance = imbalance;
+                self.totals.last_imbalance = imbalance;
+                self.accumulate(&round);
+                if imbalance > inc.imbalance_rebuild {
+                    let master: Vec<Particle> =
+                        flats.into_iter().flat_map(|f| f.particles).collect();
+                    return self.fall_back(master, round);
+                }
+                (flats, round)
             }
-        } else {
-            master.assign_keys(&self.universe);
+            Err(e) => {
+                eprintln!("tree update error ({e}); falling back to a full rebuild");
+                self.totals.update_errors += 1;
+                self.fall_back(master, round)
+            }
         }
+    }
 
-        // Resync each Subtree from its slice of the master array.
-        let counts: Vec<usize> = self.trees.iter().map(|t| t.n_particles() as usize).collect();
-        let mut off = 0usize;
-        for (ti, t) in self.trees.iter_mut().enumerate() {
-            round.stats.n_moved += t.resync(&master[off..off + counts[ti]]);
-            off += counts[ti];
-        }
-        assert_eq!(off, master.len(), "advance: master does not match maintained population");
-        drop(master);
-
-        // Evict escapees and route each to the Subtree whose region now
-        // contains it (most stay home; boundary crossers migrate).
+    /// The batch patch phases (classify → route → apply → rebalance →
+    /// flatten). Any structural error aborts cleanly back to the
+    /// caller, which still owns the master particle state. Also returns
+    /// the per-Partition loads, counted while the flattened particles
+    /// are still warm in cache.
+    fn advance_patched(
+        &mut self,
+        master: &[Particle],
+        round: &mut MaintainRound,
+    ) -> Result<(Vec<BuiltTree<D>>, Vec<u64>), UpdateError> {
+        let inc = self.config.incremental;
         let n_trees = self.trees.len();
         round.per_subtree_work = vec![0u64; n_trees];
-        let mut migrations: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        // Phase 1 — classify: resync + evict in one pass per Subtree,
+        // in parallel over the disjoint slabs.
+        let counts: Vec<usize> = self.trees.iter().map(|t| t.n_particles() as usize).collect();
+        let mut slices: Vec<&[Particle]> = Vec::with_capacity(n_trees);
+        let mut off = 0usize;
+        for &c in &counts {
+            slices.push(&master[off..off + c]);
+            off += c;
+        }
+        debug_assert_eq!(off, master.len());
+        let classified =
+            par_map_mut(self.threads, &mut self.trees, slices, |_, t, s| t.classify(s));
+        let mut escapees_per_tree = Vec::with_capacity(n_trees);
+        for (si, c) in classified.into_iter().enumerate() {
+            let c = c?;
+            round.stats.n_moved += c.n_moved;
+            round.stats.n_escaped += c.escapees.len() as u64;
+            round.per_subtree_work[si] += c.escapees.len() as u64;
+            escapees_per_tree.push(c.escapees);
+        }
+        // Phase 2 — route: group escapees by the Subtree whose region
+        // now contains them (most stay home; boundary crossers
+        // migrate). Each destination batch is sorted by (SFC key, id)
+        // so its application order is a canonical function of the
+        // particle state, not of which leaves the escapees came from.
+        let mut batches: Vec<Vec<Particle>> = vec![Vec::new(); n_trees];
         let mut homeless: BTreeMap<usize, Vec<Particle>> = BTreeMap::new();
-        for si in 0..n_trees {
-            let escaped = self.trees[si].evict_escapees();
-            round.stats.n_escaped += escaped.len() as u64;
-            self.drift[si].escaped += escaped.len() as u64;
-            round.per_subtree_work[si] += escaped.len() as u64;
+        let mut migrations = vec![0u32; n_trees * n_trees];
+        for (si, escaped) in escapees_per_tree.into_iter().enumerate() {
             for p in escaped {
                 let (dest, covered) = self.route(p.pos, si);
                 if dest != si {
-                    *migrations.entry((si as u32, dest as u32)).or_default() += 1;
+                    migrations[si * n_trees + dest] += 1;
                     round.n_migrated += 1;
                 }
                 round.stats.n_inserted += 1;
                 round.per_subtree_work[dest] += 1;
                 if covered {
-                    self.trees[dest].insert(p);
+                    batches[dest].push(p);
                 } else {
+                    // A region no piece covers: the destination grows
+                    // its box over these and rebuilds (below).
                     homeless.entry(dest).or_default().push(p);
                 }
             }
         }
-        round.migrations = migrations.into_iter().map(|((f, t), n)| (f, t, n)).collect();
-
-        // Escapees in a region no piece covers cannot be sieved (every
-        // leaf box must contain its particles): the adopting Subtree
-        // grows its region box over them and rebuilds.
+        round.migrations = migrations
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| ((i / n_trees) as u32, (i % n_trees) as u32, n))
+            .collect();
+        for b in batches.iter_mut() {
+            // Unstable sort is deterministic here: (key, id) is a total
+            // order because ids are unique.
+            b.sort_unstable_by_key(|p| (p.key, p.id));
+        }
+        round.n_batches = batches.iter().filter(|b| !b.is_empty()).count() as u64;
+        self.totals.batches += round.n_batches;
+        // Phase 3 — apply: sieve each destination's batch down in one
+        // group pass, then repair, in parallel over disjoint Subtrees.
+        let alpha = inc.balance_alpha;
+        let applied = par_map_mut(self.threads, &mut self.trees, batches, |_, t, b| {
+            t.insert_batch(b)?;
+            t.repair(alpha)
+        });
+        let mut unbalanced = vec![false; n_trees];
+        for (si, rep) in applied.into_iter().enumerate() {
+            let rep = rep?;
+            round.per_subtree_work[si] +=
+                rep.stats.n_splits + rep.stats.n_merges + rep.stats.n_refreshed;
+            round.stats += rep.stats;
+            unbalanced[si] = rep.unbalanced;
+        }
+        // Escapees whose positions no piece covers cannot be sieved
+        // (every leaf box must contain its particles): the adopting
+        // Subtree grows its region box over them and rebuilds — after
+        // batch apply, so the rebuild captures this round's inserts.
         for (dest, extra) in homeless {
-            self.rebuild_subtree(dest, extra);
+            self.rebuild_subtree(dest, extra)?;
+            unbalanced[dest] = false;
             round.rebuilt_subtrees.push(dest as u32);
             self.totals.subtree_rebuilds += 1;
         }
 
-        // Repair: split/merge/prune and re-accumulate dirty paths.
-        for (si, t) in self.trees.iter_mut().enumerate() {
-            let s = t.repair();
-            round.per_subtree_work[si] += s.n_splits + s.n_merges + s.n_refreshed;
-            round.stats += s;
-        }
-
-        // Per-Subtree drift rebuilds.
-        for si in 0..n_trees {
-            let n = self.trees[si].n_particles() as u64;
-            let frac = self.drift[si].escaped as f64 / n.max(1) as f64;
-            let skew = self.trees[si].max_depth().saturating_sub(self.drift[si].built_depth);
-            if frac > inc.escape_rebuild_fraction || skew > inc.depth_skew_rebuild {
-                self.rebuild_subtree(si, Vec::new());
+        // Phase 4 — weight-balance rebuilds. Both criteria are
+        // recomputed from the current tree every round (never carried
+        // in as-built counters, which go stale after a large absorbed
+        // batch): the α child-weight check from this repair pass, and
+        // the α depth bound against the current population.
+        for (si, &unb) in unbalanced.iter().enumerate() {
+            if round.rebuilt_subtrees.contains(&(si as u32)) {
+                continue;
+            }
+            if unb || self.depth_unbalanced(si) {
+                self.rebuild_subtree(si, Vec::new())?;
                 round.rebuilt_subtrees.push(si as u32);
                 self.totals.subtree_rebuilds += 1;
             }
         }
 
-        // Flatten for the pipeline, then check partition balance over
-        // the flattened buckets.
-        let flats: Vec<BuiltTree<D>> = self.trees.iter().map(|t| t.flatten()).collect();
-        let mut loads = vec![0u64; self.n_partitions.max(1)];
-        let mut total = 0u64;
-        for f in &flats {
-            for p in &f.particles {
-                loads[self.partitioner.assign(p) as usize] += 1;
-                total += 1;
+        // Phase 5 — flatten for the pipeline, in parallel, counting
+        // Partition loads in the same pass (the flattened particles are
+        // still warm in cache).
+        let partitioner = &self.partitioner;
+        let n_partitions = self.n_partitions;
+        let flats = par_map_mut(self.threads, &mut self.trees, vec![(); n_trees], |_, t, ()| {
+            let flat = t.flatten()?;
+            let mut loads = vec![0u64; n_partitions];
+            for p in &flat.particles {
+                loads[partitioner.assign(p) as usize] += 1;
             }
+            Ok((flat, loads))
+        });
+        let mut out = Vec::with_capacity(n_trees);
+        let mut loads = vec![0u64; n_partitions];
+        for r in flats {
+            let (flat, l) = r?;
+            for (dst, v) in loads.iter_mut().zip(l) {
+                *dst += v;
+            }
+            out.push(flat);
         }
-        let mean = total as f64 / loads.len() as f64;
-        let imbalance = if mean > 0.0 { *loads.iter().max().unwrap() as f64 / mean } else { 1.0 };
-        round.imbalance = imbalance;
-        self.totals.last_imbalance = imbalance;
-        self.accumulate(&round);
-        if imbalance > inc.imbalance_rebuild {
-            let master: Vec<Particle> = flats.into_iter().flat_map(|f| f.particles).collect();
-            return self.fall_back(master, round);
+        Ok((out, loads))
+    }
+
+    /// Whether a median-split Subtree's depth exceeds the α-balance
+    /// bound `log(n/bucket) / log(1/α)` by more than the configured
+    /// slack. Position-determined trees never qualify: their depth
+    /// follows local density by construction.
+    fn depth_unbalanced(&self, si: usize) -> bool {
+        if !self.config.tree_type.is_median_split() {
+            return false;
         }
-        (flats, round)
+        let inc = self.config.incremental;
+        let n = self.trees[si].n_particles() as f64;
+        let bucket = self.config.bucket_size.max(1) as f64;
+        let ideal = (n / bucket).max(1.0).log2() / (1.0 / inc.balance_alpha).log2().max(1e-9);
+        (self.trees[si].max_depth() as f64) > ideal + inc.balance_depth_slack as f64
     }
 
     /// Whole-tree rebuild + re-decomposition fallback, transparent to
@@ -407,16 +595,16 @@ impl<D: Data> TreeMaintainer<D> {
         (best, false)
     }
 
-    /// Rebuilds one Subtree from its current particles (drift policy),
-    /// plus `outsiders` — escapees whose positions no piece covers; the
-    /// region box grows over them first so every leaf box still
-    /// contains its particles.
-    fn rebuild_subtree(&mut self, si: usize, outsiders: Vec<Particle>) {
+    /// Rebuilds one Subtree from its current particles (balance
+    /// policy), plus `outsiders` — escapees whose positions no piece
+    /// covers; the region box grows over them first so every leaf box
+    /// still contains its particles.
+    fn rebuild_subtree(&mut self, si: usize, outsiders: Vec<Particle>) -> Result<(), UpdateError> {
         for p in &outsiders {
             self.pieces[si].bbox.grow(p.pos);
         }
         let piece = self.pieces[si];
-        let mut particles = self.trees[si].all_particles();
+        let mut particles = self.trees[si].all_particles()?;
         particles.extend(outsiders);
         let builder = TreeBuilder {
             tree_type: self.config.tree_type,
@@ -432,7 +620,7 @@ impl<D: Data> TreeMaintainer<D> {
             self.config.bucket_size,
             piece.depth,
         );
-        self.drift[si] = Drift { escaped: 0, built_depth: self.trees[si].max_depth() };
+        Ok(())
     }
 }
 
@@ -441,7 +629,7 @@ mod tests {
     use super::*;
     use crate::config::IncrementalConfig;
     use paratreet_particles::gen;
-    use paratreet_tree::CountData;
+    use paratreet_tree::{CountData, TreeType};
 
     fn config() -> Configuration {
         Configuration {
@@ -468,6 +656,7 @@ mod tests {
         assert!(!round.full_rebuild);
         assert_eq!(round.stats.n_moved, 0);
         assert_eq!(round.stats.n_escaped, 0);
+        assert_eq!(round.n_batches, 0);
         assert_eq!(trees.len(), seeded.len());
         for (a, b) in trees.iter().zip(&seeded) {
             assert_eq!(a.nodes.len(), b.nodes.len());
@@ -488,6 +677,7 @@ mod tests {
         let mut master = masters(&seeded);
         let n0 = master.len();
         let mut rounds_with_migration = 0;
+        let mut rounds_with_batches = 0;
         for step in 0..4 {
             // Drift everything along +x: particles cross leaf and
             // Subtree boundaries; the universe pad absorbs the first
@@ -508,11 +698,16 @@ mod tests {
             if round.n_migrated > 0 {
                 rounds_with_migration += 1;
             }
+            if round.n_batches > 0 {
+                rounds_with_batches += 1;
+            }
             master = masters(&trees);
         }
-        assert!(rounds_with_migration > 0, "contraction should migrate particles");
+        assert!(rounds_with_migration > 0, "drift should migrate particles");
+        assert!(rounds_with_batches > 0, "drift should produce insert batches");
         assert_eq!(m.totals().steps, 4);
         assert!(m.totals().moved > 0);
+        assert!(m.totals().batches > 0);
     }
 
     #[test]
@@ -534,28 +729,181 @@ mod tests {
     }
 
     #[test]
-    fn heavy_churn_triggers_subtree_rebuilds() {
+    fn kd_corner_collapse_triggers_balance_rebuilds() {
         let mut cfg = config();
-        cfg.incremental.escape_rebuild_fraction = 0.05;
-        let ps = gen::uniform_cube(1000, 13, 1.0, 1.0);
+        cfg.tree_type = TreeType::KdTree;
+        let ps = gen::uniform_cube(2000, 13, 1.0, 1.0);
         let (mut m, seeded) = TreeMaintainer::<CountData>::seed(&cfg, ps, false);
         let mut master = masters(&seeded);
-        let mut rng_phase = 1.0f64;
         for _ in 0..3 {
+            // Contract hard toward the box centre: median planes frozen
+            // at build time drift badly out of balance.
             let c = m.universe().center();
             for p in master.iter_mut() {
-                // Strong swirl: lots of leaf escapes, few universe exits.
                 let r = p.pos - c;
-                p.pos = c + Vec3::new(-r.y, r.x, r.z * 0.9) * (0.8 + 0.05 * rng_phase);
+                p.pos = c + r * 0.55;
             }
-            rng_phase = -rng_phase;
             let (trees, _round) = m.advance(master);
             master = masters(&trees);
         }
         assert!(
             m.totals().subtree_rebuilds > 0 || m.totals().full_rebuilds > 0,
-            "heavy churn must trigger a rebuild policy: {:?}",
+            "median-split drift must trip the weight-balance policy: {:?}",
             m.totals()
         );
+    }
+
+    #[test]
+    fn octree_churn_never_structurally_rebuilds() {
+        // Octree structure is position-determined, so no amount of
+        // in-universe churn should trigger a structural rebuild — this
+        // is exactly what eliminates the old escape-fraction cascades
+        // on the disk distribution.
+        let cfg = config();
+        let ps = gen::uniform_cube(1500, 13, 1.0, 1.0);
+        let (mut m, seeded) = TreeMaintainer::<CountData>::seed(&cfg, ps, false);
+        let mut master = masters(&seeded);
+        for step in 0..4 {
+            let c = m.universe().center();
+            let uni = m.universe();
+            for (i, p) in master.iter_mut().enumerate() {
+                let r = p.pos - c;
+                let s = if (i + step) % 2 == 0 { 0.93 } else { 1.05 };
+                p.pos = c + r * s;
+                p.pos.x = p.pos.x.clamp(uni.lo.x, uni.hi.x);
+                p.pos.y = p.pos.y.clamp(uni.lo.y, uni.hi.y);
+                p.pos.z = p.pos.z.clamp(uni.lo.z, uni.hi.z);
+            }
+            let (trees, round) = m.advance(master);
+            assert!(!round.full_rebuild, "in-universe churn must not full-rebuild");
+            master = masters(&trees);
+        }
+        assert_eq!(
+            m.totals().subtree_rebuilds,
+            0,
+            "position-determined octree must never rebuild for balance: {:?}",
+            m.totals()
+        );
+        assert!(m.totals().escaped > 0, "churn should evict particles");
+        assert!(m.totals().batches > 0, "evictions should form batches");
+    }
+
+    #[test]
+    fn absorbed_batch_does_not_trigger_spurious_rebuild_next_round() {
+        // Regression: the old drift counters kept a stale as-built
+        // depth after a large absorbed insert batch, firing the skew
+        // trigger on the *next* (motionless) round. Balance criteria
+        // are now recomputed from the current tree each round.
+        let cfg = config();
+        let ps = gen::uniform_cube(1200, 17, 1.0, 1.0);
+        let (mut m, seeded) = TreeMaintainer::<CountData>::seed(&cfg, ps, false);
+        let mut master = masters(&seeded);
+        // Cram a third of the particles into one small off-centre blob:
+        // one Subtree absorbs a large batch and deepens locally.
+        let uni = m.universe();
+        let blob = uni.lo + (uni.hi - uni.lo) * 0.25;
+        for (i, p) in master.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                let j = (i / 3) as f64;
+                p.pos = blob
+                    + Vec3::new(
+                        (j * 0.37).fract() * 1e-3,
+                        (j * 0.59).fract() * 1e-3,
+                        (j * 0.73).fract() * 1e-3,
+                    );
+            }
+        }
+        let (trees, first) = m.advance(master);
+        assert!(first.stats.n_inserted > 0, "blob must produce inserts");
+        if first.full_rebuild {
+            return; // imbalance fallback is legitimate for this blob
+        }
+        // Second, motionless advance: nothing may rebuild.
+        let master = masters(&trees);
+        let (_trees, second) = m.advance(master);
+        assert!(!second.full_rebuild, "zero motion must not full-rebuild");
+        assert!(
+            second.rebuilt_subtrees.is_empty(),
+            "zero motion after an absorbed batch must not rebuild: {:?}",
+            second.rebuilt_subtrees
+        );
+        assert_eq!(second.stats.n_moved, 0);
+    }
+
+    #[test]
+    fn partition_imbalance_handles_degenerate_loads() {
+        // Regression: an empty load vector (a rank owning zero
+        // Subtrees after a shrinking-population fallback) panicked on
+        // `max().unwrap()`.
+        assert_eq!(partition_imbalance(&[]), 1.0);
+        assert_eq!(partition_imbalance(&[0, 0, 0]), 1.0);
+        assert_eq!(partition_imbalance(&[4, 4, 4, 4]), 1.0);
+        assert_eq!(partition_imbalance(&[8, 0]), 2.0);
+    }
+
+    #[test]
+    fn shrinking_population_falls_back_then_advances_cleanly() {
+        let cfg = config();
+        let ps = gen::uniform_cube(600, 23, 1.0, 1.0);
+        let (mut m, seeded) = TreeMaintainer::<CountData>::seed(&cfg, ps, false);
+        let mut master = masters(&seeded);
+        // Population shrinks (collisional merger): full fallback.
+        master.truncate(500);
+        let (trees, round) = m.advance(master);
+        assert!(round.full_rebuild);
+        assert_eq!(trees.iter().map(|t| t.particles.len()).sum::<usize>(), 500);
+        // The next zero-motion advance over the re-decomposed forest
+        // must succeed and report perfect balance handling.
+        let master = masters(&trees);
+        let (_trees, round) = m.advance(master);
+        assert!(!round.full_rebuild);
+        assert!(round.imbalance >= 1.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let drift = |master: &mut Vec<Particle>, uni: BoundingBox| {
+            let c = uni.center();
+            for (i, p) in master.iter_mut().enumerate() {
+                let r = p.pos - c;
+                let s = if i % 2 == 0 { 0.95 } else { 1.03 };
+                p.pos = c + r * s;
+                p.pos.x = p.pos.x.clamp(uni.lo.x, uni.hi.x);
+                p.pos.y = p.pos.y.clamp(uni.lo.y, uni.hi.y);
+                p.pos.z = p.pos.z.clamp(uni.lo.z, uni.hi.z);
+            }
+        };
+        let run = |threads: usize| {
+            let mut cfg = config();
+            cfg.incremental.batch_threads = threads;
+            let ps = gen::uniform_cube(1000, 29, 1.0, 1.0);
+            let (mut m, seeded) = TreeMaintainer::<CountData>::seed(&cfg, ps, true);
+            let mut master = masters(&seeded);
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                drift(&mut master, m.universe());
+                let (trees, round) = m.advance(master);
+                out.push((trees, round.n_batches, round.stats));
+                master = masters(&out.last().unwrap().0);
+            }
+            out
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(8);
+        for (x, y) in a.iter().zip(&b).chain(a.iter().zip(&c)) {
+            assert_eq!(x.1, y.1, "batch counts must match across thread counts");
+            assert_eq!(x.2, y.2, "stats must match across thread counts");
+            assert_eq!(x.0.len(), y.0.len());
+            for (ta, tb) in x.0.iter().zip(&y.0) {
+                assert_eq!(ta.particles, tb.particles);
+                assert_eq!(ta.nodes.len(), tb.nodes.len());
+                for (na, nb) in ta.nodes.iter().zip(&tb.nodes) {
+                    assert_eq!(na.key, nb.key);
+                    assert_eq!(na.shape, nb.shape);
+                    assert_eq!(na.data, nb.data);
+                }
+            }
+        }
     }
 }

@@ -215,6 +215,8 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
         config.incremental.enabled = true;
 
         let mut seconds_update = 0.0;
+        let mut round_batches = 0u64;
+        let mut round_migrated = 0u64;
         let flat = match slot.as_mut() {
             None => {
                 let (maintainer, flat) = self.telemetry.wall_span(0, "tree build", None, || {
@@ -225,10 +227,12 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
             }
             Some(maintainer) => {
                 let t0 = std::time::Instant::now();
-                let (flat, _round) =
-                    self.telemetry
-                        .wall_span(0, "incremental update", None, || maintainer.advance(particles));
+                let (flat, round) = self
+                    .telemetry
+                    .wall_span(0, "incremental update", None, || maintainer.advance(particles));
                 seconds_update = t0.elapsed().as_secs_f64();
+                round_batches = round.n_batches;
+                round_migrated = round.n_migrated;
                 flat
             }
         };
@@ -249,6 +253,8 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
         );
         report.metrics.set_f64("time.update_s", seconds_update);
         report.metrics.absorb("tree.update", maintainer.totals());
+        report.metrics.set_u64("tree.update.round_batches", round_batches);
+        report.metrics.set_u64("tree.update.round_migrated", round_migrated);
         report
     }
 

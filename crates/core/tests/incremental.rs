@@ -392,6 +392,62 @@ proptest! {
     // inside each incremental step, so structural violations (overfull
     // buckets, broken summaries, orphan placeholders) panic rather
     // than pass silently.
+    // Batch apply is deterministic across worker counts: the same
+    // random drift maintained with 1, 2, and 8 batch threads yields
+    // bit-identical flattened trees, batch counts, and update stats at
+    // every step.
+    #[test]
+    fn thread_sweep_is_bit_identical(
+        seed in 0u64..1_000,
+        n in 100usize..600,
+        drift in 0.0f64..0.2,
+        steps in 1usize..4,
+    ) {
+        let run = |threads: usize| {
+            let mut cfg = config(true, 0.05);
+            cfg.incremental.batch_threads = threads;
+            let ps = gen::uniform_cube(n, seed, 1.0, 1.0);
+            let (mut m, seeded) = TreeMaintainer::<MonoData>::seed(&cfg, ps, true);
+            let mut master: Vec<Particle> =
+                seeded.iter().flat_map(|t| t.particles.iter().copied()).collect();
+            let mut out = Vec::new();
+            for step in 0..steps {
+                let uni = m.universe();
+                for (i, p) in master.iter_mut().enumerate() {
+                    let h = (seed ^ (i as u64) ^ (step as u64) << 32)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    p.pos.x = (p.pos.x + ((h >> 1 & 0xFFFF) as f64 / 65_535.0 - 0.5) * drift)
+                        .clamp(uni.lo.x, uni.hi.x);
+                    p.pos.y = (p.pos.y + ((h >> 17 & 0xFFFF) as f64 / 65_535.0 - 0.5) * drift)
+                        .clamp(uni.lo.y, uni.hi.y);
+                    p.pos.z = (p.pos.z + ((h >> 33 & 0xFFFF) as f64 / 65_535.0 - 0.5) * drift)
+                        .clamp(uni.lo.z, uni.hi.z);
+                }
+                let (trees, round) = m.advance(master);
+                master = trees.iter().flat_map(|t| t.particles.iter().copied()).collect();
+                out.push((trees, round.n_batches, round.stats));
+            }
+            out
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(8);
+        for (x, y) in a.iter().zip(&b).chain(a.iter().zip(&c)) {
+            prop_assert_eq!(x.1, y.1, "batch counts diverged across thread counts");
+            prop_assert_eq!(&x.2, &y.2, "update stats diverged across thread counts");
+            prop_assert_eq!(x.0.len(), y.0.len());
+            for (ta, tb) in x.0.iter().zip(&y.0) {
+                prop_assert_eq!(&ta.particles, &tb.particles);
+                prop_assert_eq!(ta.nodes.len(), tb.nodes.len());
+                for (na, nb) in ta.nodes.iter().zip(&tb.nodes) {
+                    prop_assert_eq!(na.key, nb.key);
+                    prop_assert_eq!(&na.shape, &nb.shape);
+                    prop_assert_eq!(&na.data, &nb.data);
+                }
+            }
+        }
+    }
+
     #[test]
     fn maintained_tree_preserves_invariants_under_drift(
         seed in 0u64..1_000,

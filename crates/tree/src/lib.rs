@@ -31,4 +31,4 @@ pub use data::{CountData, Data};
 pub use node::{BuildNode, BuiltTree, NodeIdx, NodeShape};
 pub use query::{KnnHeap, Neighbor, QueryScratch, RayHit};
 pub use types::TreeType;
-pub use update::{UpdatableTree, UpdateStats};
+pub use update::{Classified, RepairReport, UpdatableTree, UpdateError, UpdateStats};

@@ -65,6 +65,16 @@ impl TreeType {
         }
     }
 
+    /// Whether internal nodes split at the *particle median* (frozen at
+    /// build time) rather than at a position-determined plane. Only
+    /// median-split trees can drift out of balance as particles move —
+    /// octree/binary-oct structure is a pure function of positions, so
+    /// a rebuild reproduces the maintained shape exactly.
+    #[inline]
+    pub fn is_median_split(self) -> bool {
+        matches!(self, TreeType::KdTree | TreeType::LongestDim)
+    }
+
     /// Human-readable name used by harness output.
     pub fn name(self) -> &'static str {
         match self {

@@ -1,0 +1,140 @@
+//! Property-based invariants for batch tree updates.
+//!
+//! The batch-apply contract: applying one grouped escapee batch must
+//! produce *exactly* the tree that applying the same particles one at a
+//! time (in the same order) produces — structure, particle order, and
+//! accumulated `Data` all bit-identical — for every tree type, bucket
+//! size, and drift pattern. And with zero motion, a maintained tree must
+//! flatten back to the fresh builder's arena unchanged.
+
+use paratreet_geometry::Vec3;
+use paratreet_particles::{Particle, ParticleVec};
+use paratreet_tree::update::UpdatableTree;
+use paratreet_tree::{BuiltTree, CountData, TreeBuilder, TreeType};
+use proptest::prelude::*;
+
+fn arb_particles() -> impl Strategy<Value = Vec<Particle>> {
+    prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0), 8..250).prop_map(
+        |pts| {
+            pts.into_iter()
+                .enumerate()
+                .map(|(i, (x, y, z))| Particle::point_mass(i as u64, 1.0, Vec3::new(x, y, z)))
+                .collect()
+        },
+    )
+}
+
+fn arb_tree_type() -> impl Strategy<Value = TreeType> {
+    prop_oneof![
+        Just(TreeType::Octree),
+        Just(TreeType::KdTree),
+        Just(TreeType::LongestDim),
+        Just(TreeType::BinaryOct)
+    ]
+}
+
+fn build(ps: Vec<Particle>, tree_type: TreeType, bucket: usize) -> BuiltTree<CountData> {
+    let bbox = ps.bounding_box().padded(1e-9);
+    let bbox = if matches!(tree_type, TreeType::Octree | TreeType::BinaryOct) {
+        bbox.bounding_cube()
+    } else {
+        bbox
+    };
+    TreeBuilder::new(tree_type).bucket_size(bucket).build::<CountData>(ps, bbox)
+}
+
+/// Deterministic per-particle drift, clamped to stay inside `t`'s root
+/// box so every escapee remains insertable into the same tree.
+fn drifted(master: &[Particle], lo: Vec3, hi: Vec3, seed: u64, scale: f64) -> Vec<Particle> {
+    let extent = hi - lo;
+    master
+        .iter()
+        .map(|p| {
+            let mut p = *p;
+            let h = (seed ^ p.id).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let d = Vec3::new(
+                ((h >> 1 & 0xFFFF) as f64 / 65_535.0 - 0.5) * scale * extent.x,
+                ((h >> 17 & 0xFFFF) as f64 / 65_535.0 - 0.5) * scale * extent.y,
+                ((h >> 33 & 0xFFFF) as f64 / 65_535.0 - 0.5) * scale * extent.z,
+            );
+            p.pos += d;
+            p.pos.x = p.pos.x.clamp(lo.x, hi.x);
+            p.pos.y = p.pos.y.clamp(lo.y, hi.y);
+            p.pos.z = p.pos.z.clamp(lo.z, hi.z);
+            p
+        })
+        .collect()
+}
+
+fn assert_trees_identical(a: &BuiltTree<CountData>, b: &BuiltTree<CountData>) {
+    assert_eq!(a.nodes.len(), b.nodes.len());
+    for (x, y) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(x.key, y.key);
+        assert_eq!(x.shape, y.shape);
+        assert_eq!(x.children, y.children);
+        assert_eq!(x.n_particles, y.n_particles);
+        assert_eq!(&x.data, &y.data);
+    }
+    assert_eq!(&a.particles, &b.particles);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Batch apply ≡ sequential apply: classify the same drifted master
+    // twice, then insert the escapees as one grouped batch on one tree
+    // and one at a time (same order) on the other. After repair, both
+    // must flatten to bit-identical arenas.
+    #[test]
+    fn batch_apply_equals_sequential_under_drift(
+        ps in arb_particles(),
+        tree_type in arb_tree_type(),
+        bucket in 1usize..16,
+        seed in 0u64..1_000,
+        scale in 0.0f64..0.4,
+    ) {
+        let built = build(ps, tree_type, bucket);
+        let (lo, hi) = (built.root().bbox.lo, built.root().bbox.hi);
+        let master = drifted(&built.particles, lo, hi, seed, scale);
+
+        let mut batched = UpdatableTree::from_built(&built, tree_type, bucket, 0);
+        let mut sequential = UpdatableTree::from_built(&built, tree_type, bucket, 0);
+
+        let ca = batched.classify(&master).unwrap();
+        let cb = sequential.classify(&master).unwrap();
+        prop_assert_eq!(ca.escapees.len(), cb.escapees.len());
+
+        // Canonical application order (the maintainer sorts batches by
+        // (key, id); ids are unique so id alone is a total order here).
+        let mut batch = ca.escapees;
+        batch.sort_unstable_by_key(|p| p.id);
+        let mut ordered = cb.escapees;
+        ordered.sort_unstable_by_key(|p| p.id);
+
+        batched.insert_batch(batch).unwrap();
+        for p in ordered {
+            sequential.insert(p).unwrap();
+        }
+        batched.repair(0.7).unwrap();
+        sequential.repair(0.7).unwrap();
+
+        assert_trees_identical(&batched.flatten().unwrap(), &sequential.flatten().unwrap());
+    }
+
+    // Zero motion: classify against an unchanged master, repair, and
+    // flatten — the result must be the fresh builder's arena, exactly.
+    #[test]
+    fn zero_motion_flatten_is_bit_identical_to_fresh_build(
+        ps in arb_particles(),
+        tree_type in arb_tree_type(),
+        bucket in 1usize..16,
+    ) {
+        let built = build(ps, tree_type, bucket);
+        let mut t = UpdatableTree::from_built(&built, tree_type, bucket, 0);
+        let c = t.classify(&built.particles.clone()).unwrap();
+        prop_assert_eq!(c.n_moved, 0);
+        prop_assert_eq!(c.escapees.len(), 0);
+        t.repair(0.7).unwrap();
+        assert_trees_identical(&t.flatten().unwrap(), &built);
+    }
+}

@@ -51,9 +51,27 @@ grep -q '"tree.update.patched":[1-9]' "$inc_metrics" ||
 grep -q '"tree.update.moved":[1-9]' "$inc_metrics" ||
     { echo "incremental smoke: drift moved no particles in $inc_metrics"; exit 1; }
 
+echo "== incremental disk smoke (batched escapees, no drift rebuilds) =="
+disk_metrics=$(mktemp /tmp/paratreet-disk-XXXXXX.json)
+trap 'rm -f "$chaos_metrics" "$inc_metrics" "$disk_metrics"' EXIT
+cargo run --release -q -- gravity --particles 3000 --engine machine --ranks 4 \
+    --iterations 4 --incremental true --dist disk \
+    --metrics-out "$disk_metrics" > /dev/null
+grep -q '"tree.update.batches":[1-9]' "$disk_metrics" ||
+    { echo "disk smoke: no grouped insert batches applied in $disk_metrics"; exit 1; }
+# The disk-churn regression: orbital shear once forced dozens of drift
+# rebuilds per run. Batched sieve-down absorbs the escapees instead, so
+# a short maintained disk run must trigger no rebuilds at all.
+grep -q '"tree.update.full_rebuilds":0' "$disk_metrics" ||
+    { echo "disk smoke: maintained disk run fell back to full rebuilds"; exit 1; }
+grep -q '"tree.update.subtree_rebuilds":0' "$disk_metrics" ||
+    { echo "disk smoke: drift rebuilds not bounded in $disk_metrics"; exit 1; }
+grep -q '"tree.update.update_errors":0' "$disk_metrics" ||
+    { echo "disk smoke: structured update errors recorded in $disk_metrics"; exit 1; }
+
 echo "== serve smoke (live writer + reader pool, latency histograms) =="
 serve_metrics=$(mktemp /tmp/paratreet-serve-XXXXXX.json)
-trap 'rm -f "$chaos_metrics" "$inc_metrics" "$serve_metrics"' EXIT
+trap 'rm -f "$chaos_metrics" "$inc_metrics" "$disk_metrics" "$serve_metrics"' EXIT
 cargo run --release -q -- serve-bench --particles 3000 --clients 40 \
     --queries 25 --serve-workers 2 --threads 2 \
     --metrics-out "$serve_metrics" > /dev/null

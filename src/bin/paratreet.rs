@@ -68,14 +68,17 @@ ENGINE:
 INCREMENTAL TREE MAINTENANCE (all engines):
   --incremental B      maintain the tree across iterations instead
                        of rebuilding from scratch          [false]
-  --inc-escape-frac F  escapee fraction that triggers a per-Subtree
-                       rebuild                             [0.25]
-  --inc-depth-skew N   depth skew (levels past ideal) that triggers
-                       a per-Subtree rebuild               [4]
+  --inc-alpha F        BB[α] weight-balance factor: rebuild a
+                       median-split Subtree when a child outweighs
+                       α of its parent                     [0.7]
+  --inc-depth-slack N  levels past the α-balance depth bound before
+                       a per-Subtree rebuild               [2]
   --inc-imbalance R    partition-cost imbalance ratio that triggers
                        a whole-tree rebuild + re-decomposition [2.5]
   --inc-universe-pad F universe padding fraction kept as drift
                        headroom (0 disables padding)       [0.05]
+  --inc-threads N      threads for the batch update phases
+                       (0 = one per core)                  [0]
 
 QUERY SERVING (serve-bench only):
   --clients N          simulated clients                   [200]
@@ -268,10 +271,11 @@ fn configuration(opts: &HashMap<String, String>) -> Configuration {
     };
     let inc = &mut config.incremental;
     inc.enabled = get(opts, "incremental", inc.enabled);
-    inc.escape_rebuild_fraction = get(opts, "inc-escape-frac", inc.escape_rebuild_fraction);
-    inc.depth_skew_rebuild = get(opts, "inc-depth-skew", inc.depth_skew_rebuild);
+    inc.balance_alpha = get(opts, "inc-alpha", inc.balance_alpha);
+    inc.balance_depth_slack = get(opts, "inc-depth-slack", inc.balance_depth_slack);
     inc.imbalance_rebuild = get(opts, "inc-imbalance", inc.imbalance_rebuild);
     inc.universe_pad = get(opts, "inc-universe-pad", inc.universe_pad);
+    inc.batch_threads = get(opts, "inc-threads", inc.batch_threads);
     config
 }
 
