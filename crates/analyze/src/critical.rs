@@ -1,0 +1,168 @@
+//! Greedy critical-path extraction.
+//!
+//! The traces carry explicit causal links only for request spans; for
+//! phase spans (DES and engine traces) the dependency structure is
+//! implicit in time. The classic Projections-style approximation walks
+//! *backwards from the last-finishing span*: whatever ran last bounds
+//! the makespan, and whatever finished latest before it started is,
+//! on a work-conserving schedule, what it was waiting on. Iterating
+//! that rule yields a chain from the makespan back to t=0 whose spans
+//! are the load-bearing work — shrink any of them and the end moves.
+//!
+//! Every choice is made through the total order `(end, start, rank,
+//! worker, name)`, so the same trace always yields the same chain.
+
+use crate::trace::{SpanRec, TraceData};
+
+/// The extracted chain, chronological.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CriticalPath {
+    /// Indices into `trace.spans`, chronological (earliest first).
+    pub steps: Vec<usize>,
+    /// Sum of step durations (µs) — the path's work.
+    pub work_us: f64,
+    /// Chain extent: last step end − first step start (µs).
+    pub extent_us: f64,
+    /// Extent not covered by any step (µs, ≥ 0) — wait/idle on the path.
+    pub gap_us: f64,
+    /// Work per span name along the path, descending by time.
+    pub by_name: Vec<(String, f64)>,
+}
+
+/// The deterministic tie-break: later end wins, then later start, then
+/// track and name order.
+fn better(a: &SpanRec, b: &SpanRec) -> bool {
+    (a.end_us(), a.start_us, a.rank, a.worker, &a.name)
+        > (b.end_us(), b.start_us, b.rank, b.worker, &b.name)
+}
+
+/// Extracts the critical path of a trace. Empty traces yield an empty
+/// path.
+pub fn critical_path(trace: &TraceData) -> CriticalPath {
+    let spans = &trace.spans;
+    if spans.is_empty() {
+        return CriticalPath::default();
+    }
+    let mut used = vec![false; spans.len()];
+    // Anchor: the last-finishing span.
+    let mut cur =
+        (0..spans.len()).fold(0, |best, i| if better(&spans[i], &spans[best]) { i } else { best });
+    used[cur] = true;
+    let mut chain = vec![cur];
+    loop {
+        let cur_start = spans[cur].start_us;
+        // Preferred predecessor: latest-ending span that finished by the
+        // time the current one started (the completed wait). Fallback:
+        // latest-ending span that *started* earlier (overlapping work,
+        // e.g. the parent of a nested stage).
+        let pick = |pred: &dyn Fn(&SpanRec) -> bool| -> Option<usize> {
+            let mut best: Option<usize> = None;
+            for (i, s) in spans.iter().enumerate() {
+                if used[i] || !pred(s) {
+                    continue;
+                }
+                if best.is_none_or(|b| better(s, &spans[b])) {
+                    best = Some(i);
+                }
+            }
+            best
+        };
+        let next = pick(&|s: &SpanRec| s.end_us() <= cur_start)
+            .or_else(|| pick(&|s: &SpanRec| s.start_us < cur_start));
+        match next {
+            Some(i) => {
+                used[i] = true;
+                chain.push(i);
+                cur = i;
+            }
+            None => break,
+        }
+    }
+    chain.reverse();
+    let work_us: f64 = chain.iter().map(|&i| spans[i].dur_us).sum();
+    let extent_us = spans[*chain.last().unwrap()].end_us() - spans[chain[0]].start_us;
+    let mut by_name: Vec<(String, f64)> = Vec::new();
+    for &i in &chain {
+        let s = &spans[i];
+        match by_name.iter_mut().find(|(n, _)| *n == s.name) {
+            Some((_, t)) => *t += s.dur_us,
+            None => by_name.push((s.name.clone(), s.dur_us)),
+        }
+    }
+    by_name.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    CriticalPath {
+        gap_us: (extent_us - work_us).max(0.0),
+        steps: chain,
+        work_us,
+        extent_us,
+        by_name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceData;
+
+    fn span(name: &str, start: f64, dur: f64, worker: u64) -> SpanRec {
+        SpanRec {
+            name: name.to_string(),
+            start_us: start,
+            dur_us: dur,
+            rank: 0,
+            worker,
+            key: None,
+            id: None,
+            parent: None,
+            request: None,
+        }
+    }
+
+    #[test]
+    fn walks_back_through_latest_ending_predecessors() {
+        // Worker 0: decomp [0,4), build [4,10). Worker 1: decomp [0,3),
+        // build [3,6), traverse [10,20). The path must be
+        // w0.decomp → w0.build → w1.traverse: traverse waited on the
+        // *slow* build, and that build on the slow decomposition.
+        let trace = TraceData {
+            clock: "virtual".into(),
+            spans: vec![
+                span("decomp", 0.0, 4.0, 0),
+                span("decomp", 0.0, 3.0, 1),
+                span("build", 4.0, 6.0, 0),
+                span("build", 3.0, 3.0, 1),
+                span("traverse", 10.0, 10.0, 1),
+            ],
+            counters: vec![],
+        };
+        let cp = critical_path(&trace);
+        let names: Vec<(&str, u64)> = cp
+            .steps
+            .iter()
+            .map(|&i| (trace.spans[i].name.as_str(), trace.spans[i].worker))
+            .collect();
+        assert_eq!(names, vec![("decomp", 0), ("build", 0), ("traverse", 1)]);
+        assert!((cp.work_us - 20.0).abs() < 1e-9);
+        assert!((cp.extent_us - 20.0).abs() < 1e-9);
+        assert!(cp.gap_us.abs() < 1e-9);
+        assert_eq!(cp.by_name[0], ("traverse".to_string(), 10.0));
+    }
+
+    #[test]
+    fn gaps_and_determinism() {
+        // A lone late span after an idle gap: path walks through the
+        // gap and reports it.
+        let trace = TraceData {
+            clock: "wall".into(),
+            spans: vec![span("a", 0.0, 2.0, 0), span("b", 5.0, 5.0, 0)],
+            counters: vec![],
+        };
+        let a = critical_path(&trace);
+        let b = critical_path(&trace);
+        assert_eq!(a, b);
+        assert_eq!(a.steps.len(), 2);
+        assert!((a.work_us - 7.0).abs() < 1e-9);
+        assert!((a.gap_us - 3.0).abs() < 1e-9);
+        assert!(critical_path(&TraceData::default()).steps.is_empty());
+    }
+}

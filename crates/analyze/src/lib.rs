@@ -1,0 +1,39 @@
+//! Post-mortem analysis over the workspace's observability artifacts.
+//!
+//! `paratreet-analyze` ingests the three files every engine and the
+//! query service can export — a Chrome trace (`--trace-out`), a flat
+//! metrics dump (`--metrics-out`), and a flight-recorder time series
+//! (`--timeseries-out`) — and turns them into the paper's performance
+//! views without re-running anything:
+//!
+//! * [`profile`] — per-track utilization profiles (the Fig. 9 time
+//!   profile analog: busy fraction per time slice per worker track)
+//!   and grain-size histograms per span name (Fig. 11's grain story).
+//! * [`critical`] — greedy critical-path extraction: walk back from
+//!   the last-finishing span through latest-ending predecessors, which
+//!   on a DES trace recovers the phase chain that bounds the makespan.
+//! * [`requests`] — causal request chains re-assembled from span
+//!   links, and p999 exemplar resolution: the metrics dump names one
+//!   concrete tail request, this module finds its complete
+//!   queued→admitted→pinned→executed→responded span tree.
+//! * [`report`] — the assembled [`report::Analysis`]: a human-readable
+//!   report, a deterministic JSON form (same inputs, same bytes), and
+//!   the `--check` assertions CI leans on.
+//!
+//! Everything is a pure function of the input bytes: spans are
+//! re-sorted into a total order on load, every map is ordered, and all
+//! floats go through the shortest-round-trip writer — so analyzing the
+//! same artifacts twice yields byte-identical output, and analyzing
+//! two same-seed DES runs does too.
+
+pub mod critical;
+pub mod profile;
+pub mod report;
+pub mod requests;
+pub mod trace;
+
+pub use critical::{critical_path, CriticalPath};
+pub use profile::{grain_sizes, utilization, GrainRow, TrackProfile, Utilization};
+pub use report::{analyze, Analysis};
+pub use requests::{request_chains, resolve_exemplar, RequestChain, STAGE_NAMES};
+pub use trace::{parse_trace, SpanRec, TraceData};

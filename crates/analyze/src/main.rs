@@ -1,0 +1,100 @@
+//! `paratreet-analyze`: the workspace's critical-path profiler.
+//!
+//! ```text
+//! paratreet-analyze --trace trace.json [--metrics metrics.json]
+//!                   [--timeseries flight.json] [--bins N]
+//!                   [--json-out report.json] [--check]
+//! ```
+//!
+//! Ingests the observability artifacts the engines and the query
+//! service export, prints a human-readable report (utilization per
+//! worker track, critical path, grain sizes, request chains, latency
+//! breakdown, flight-recorder summary), optionally writes the
+//! deterministic JSON form, and with `--check` exits non-zero unless
+//! the artifacts pass the CI invariants (nonzero critical path, a
+//! busy utilization row per track, a resolvable p999 exemplar when
+//! latency histograms carry traffic).
+
+use paratreet_analyze::{analyze, parse_trace};
+use paratreet_telemetry::json::{parse, Json};
+use std::process::ExitCode;
+
+struct Args {
+    trace: Option<String>,
+    metrics: Option<String>,
+    timeseries: Option<String>,
+    bins: usize,
+    json_out: Option<String>,
+    check: bool,
+}
+
+const USAGE: &str = "usage: paratreet-analyze --trace FILE [--metrics FILE] \
+                     [--timeseries FILE] [--bins N] [--json-out FILE] [--check]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        trace: None,
+        metrics: None,
+        timeseries: None,
+        bins: 40,
+        json_out: None,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--metrics" => args.metrics = Some(value("--metrics")?),
+            "--timeseries" => args.timeseries = Some(value("--timeseries")?),
+            "--bins" => args.bins = value("--bins")?.parse().map_err(|e| format!("--bins: {e}"))?,
+            "--json-out" => args.json_out = Some(value("--json-out")?),
+            "--check" => args.check = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if args.trace.is_none() && args.metrics.is_none() && args.timeseries.is_none() {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+fn read_json(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let trace = match &args.trace {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(parse_trace(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let metrics = args.metrics.as_deref().map(read_json).transpose()?;
+    let series = args.timeseries.as_deref().map(read_json).transpose()?;
+    let analysis = analyze(trace, metrics.as_ref(), series.as_ref(), args.bins)?;
+    print!("{}", analysis.render());
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, format!("{}\n", analysis.to_json()))
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    if args.check {
+        analysis.check()?;
+        println!("\ncheck: ok");
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

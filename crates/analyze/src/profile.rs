@@ -1,0 +1,216 @@
+//! Per-track utilization profiles and grain-size histograms.
+//!
+//! The utilization profile is the Fig. 9 analog: slice the trace's
+//! extent into equal bins and report, per worker track, the fraction
+//! of each slice the track was busy. Busy time is the *union* of the
+//! track's span intervals — request spans nest (a root "request" span
+//! covers its stage children), and a union counts the covered wall
+//! time once instead of double-counting parents over children.
+
+use crate::trace::{SpanRec, TraceData};
+
+/// One worker track's utilization row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrackProfile {
+    /// Rank of the track.
+    pub rank: u64,
+    /// Worker of the track.
+    pub worker: u64,
+    /// Spans recorded on the track.
+    pub n_spans: usize,
+    /// Union busy time (µs) over the trace extent.
+    pub busy_us: f64,
+    /// `busy_us / extent`, 0 when the extent is empty.
+    pub busy_frac: f64,
+    /// Busy fraction per time slice, `bins` entries over the extent.
+    pub bins: Vec<f64>,
+}
+
+/// The full profile: the shared time window plus one row per track.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Utilization {
+    /// Window start (µs).
+    pub t0_us: f64,
+    /// Window end (µs).
+    pub t1_us: f64,
+    /// One row per `(rank, worker)` track, ascending.
+    pub tracks: Vec<TrackProfile>,
+}
+
+/// Merges a track's span intervals into a disjoint ascending union.
+fn merged_intervals(spans: &[&SpanRec]) -> Vec<(f64, f64)> {
+    let mut ivs: Vec<(f64, f64)> = spans.iter().map(|s| (s.start_us, s.end_us())).collect();
+    ivs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (lo, hi) in ivs {
+        match out.last_mut() {
+            Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+/// Computes the per-track utilization profile with `n_bins` slices
+/// over the trace's full extent.
+pub fn utilization(trace: &TraceData, n_bins: usize) -> Utilization {
+    let Some((t0, t1)) = trace.extent_us() else {
+        return Utilization::default();
+    };
+    let extent = (t1 - t0).max(0.0);
+    let n_bins = n_bins.max(1);
+    let width = extent / n_bins as f64;
+    let tracks = trace
+        .tracks()
+        .into_iter()
+        .map(|(rank, worker)| {
+            let spans: Vec<&SpanRec> =
+                trace.spans.iter().filter(|s| s.rank == rank && s.worker == worker).collect();
+            let union = merged_intervals(&spans);
+            let busy_us: f64 = union.iter().map(|(lo, hi)| hi - lo).sum();
+            let mut bins = vec![0.0f64; n_bins];
+            if width > 0.0 {
+                for &(lo, hi) in &union {
+                    let first = (((lo - t0) / width).floor() as usize).min(n_bins - 1);
+                    let last = (((hi - t0) / width).ceil() as usize).clamp(1, n_bins);
+                    for (b, bin) in bins.iter_mut().enumerate().take(last).skip(first) {
+                        let b_lo = t0 + b as f64 * width;
+                        let b_hi = b_lo + width;
+                        let overlap = (hi.min(b_hi) - lo.max(b_lo)).max(0.0);
+                        *bin += overlap / width;
+                    }
+                }
+            }
+            TrackProfile {
+                rank,
+                worker,
+                n_spans: spans.len(),
+                busy_us,
+                busy_frac: if extent > 0.0 { busy_us / extent } else { 0.0 },
+                bins,
+            }
+        })
+        .collect();
+    Utilization { t0_us: t0, t1_us: t1, tracks }
+}
+
+/// One span name's grain-size row (durations in µs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GrainRow {
+    /// Span name.
+    pub name: String,
+    /// Occurrences.
+    pub count: usize,
+    /// Total duration.
+    pub total_us: f64,
+    /// Mean duration.
+    pub mean_us: f64,
+    /// Median duration (nearest-rank).
+    pub p50_us: f64,
+    /// 99th percentile duration (nearest-rank).
+    pub p99_us: f64,
+    /// Longest occurrence.
+    pub max_us: f64,
+}
+
+/// Exact nearest-rank percentile over an ascending slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Grain-size histogram per span name, sorted descending by total time
+/// (name breaks ties) — the "where did the time go, and in what size
+/// pieces" table.
+pub fn grain_sizes(trace: &TraceData) -> Vec<GrainRow> {
+    let mut by_name: Vec<(String, Vec<f64>)> = Vec::new();
+    for s in &trace.spans {
+        match by_name.iter_mut().find(|(n, _)| *n == s.name) {
+            Some((_, durs)) => durs.push(s.dur_us),
+            None => by_name.push((s.name.clone(), vec![s.dur_us])),
+        }
+    }
+    let mut rows: Vec<GrainRow> = by_name
+        .into_iter()
+        .map(|(name, mut durs)| {
+            durs.sort_by(f64::total_cmp);
+            let total: f64 = durs.iter().sum();
+            GrainRow {
+                count: durs.len(),
+                mean_us: total / durs.len() as f64,
+                p50_us: percentile(&durs, 0.50),
+                p99_us: percentile(&durs, 0.99),
+                max_us: *durs.last().unwrap(),
+                total_us: total,
+                name,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total_us.total_cmp(&a.total_us).then(a.name.cmp(&b.name)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, start: f64, dur: f64, worker: u64) -> SpanRec {
+        SpanRec {
+            name: name.to_string(),
+            start_us: start,
+            dur_us: dur,
+            rank: 0,
+            worker,
+            key: None,
+            id: None,
+            parent: None,
+            request: None,
+        }
+    }
+
+    #[test]
+    fn nested_spans_count_once_in_utilization() {
+        // Worker 0: a parent [0,10) with a nested child [2,6) — union
+        // busy is 10, not 14. Worker 1: busy [5,10) only.
+        let trace = TraceData {
+            clock: "wall".into(),
+            spans: vec![
+                span("request", 0.0, 10.0, 0),
+                span("executed", 2.0, 4.0, 0),
+                span("request", 5.0, 5.0, 1),
+            ],
+            counters: vec![],
+        };
+        let util = utilization(&trace, 2);
+        assert_eq!((util.t0_us, util.t1_us), (0.0, 10.0));
+        assert_eq!(util.tracks.len(), 2);
+        let w0 = &util.tracks[0];
+        assert_eq!((w0.rank, w0.worker, w0.n_spans), (0, 0, 2));
+        assert!((w0.busy_us - 10.0).abs() < 1e-9);
+        assert!((w0.busy_frac - 1.0).abs() < 1e-9);
+        assert!((w0.bins[0] - 1.0).abs() < 1e-9 && (w0.bins[1] - 1.0).abs() < 1e-9);
+        let w1 = &util.tracks[1];
+        assert!((w1.busy_frac - 0.5).abs() < 1e-9);
+        assert!(w1.bins[0].abs() < 1e-9 && (w1.bins[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grain_rows_rank_names_by_total_time() {
+        let trace = TraceData {
+            clock: "wall".into(),
+            spans: vec![span("a", 0.0, 1.0, 0), span("a", 1.0, 3.0, 0), span("b", 0.0, 10.0, 1)],
+            counters: vec![],
+        };
+        let rows = grain_sizes(&trace);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "b");
+        assert_eq!(rows[1].name, "a");
+        assert_eq!(rows[1].count, 2);
+        assert!((rows[1].mean_us - 2.0).abs() < 1e-9);
+        assert_eq!(rows[1].p50_us, 1.0);
+        assert_eq!(rows[1].max_us, 3.0);
+    }
+}

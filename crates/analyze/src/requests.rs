@@ -1,0 +1,169 @@
+//! Causal request chains and p999 exemplar resolution.
+//!
+//! The query service emits, per traced request, a root `request` span
+//! (carrying its own causal `id` and the `request` id) plus one child
+//! span per stage, each linked back via `parent`. This module inverts
+//! those links: group children under roots, order stages, and — given
+//! a metrics dump — resolve the `serve.latency.<class>.p999_exemplar`
+//! back to the concrete request's complete span chain, which is how a
+//! tail-latency number turns into a story about *where* the time went.
+
+use crate::trace::TraceData;
+use paratreet_telemetry::Json;
+
+/// The stage spans a complete request chain carries, in pipeline order.
+pub const STAGE_NAMES: [&str; 5] = ["admitted", "queued", "pinned", "executed", "responded"];
+
+/// One re-assembled request: the root span and its stage children.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestChain {
+    /// The request id (`client << 32 | seq`).
+    pub request: u64,
+    /// Index of the root `request` span in `trace.spans`.
+    pub root: usize,
+    /// Indices of the stage children, pipeline order (missing stages
+    /// are skipped — [`RequestChain::is_complete`] checks for all 5).
+    pub stages: Vec<usize>,
+}
+
+impl RequestChain {
+    /// True when every stage of [`STAGE_NAMES`] is present.
+    pub fn is_complete(&self, trace: &TraceData) -> bool {
+        STAGE_NAMES.iter().all(|name| self.stages.iter().any(|&i| trace.spans[i].name == *name))
+    }
+
+    /// Total latency (µs): the root span's duration.
+    pub fn total_us(&self, trace: &TraceData) -> f64 {
+        trace.spans[self.root].dur_us
+    }
+}
+
+fn build_chain(trace: &TraceData, root: usize) -> RequestChain {
+    let root_id = trace.spans[root].id;
+    let mut stages: Vec<usize> = trace
+        .spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.parent.is_some() && s.parent == root_id)
+        .map(|(i, _)| i)
+        .collect();
+    // Pipeline order, then time for duplicates.
+    let stage_rank = |i: usize| {
+        let name = trace.spans[i].name.as_str();
+        STAGE_NAMES.iter().position(|s| *s == name).unwrap_or(STAGE_NAMES.len())
+    };
+    stages.sort_by(|&a, &b| {
+        stage_rank(a)
+            .cmp(&stage_rank(b))
+            .then(trace.spans[a].start_us.total_cmp(&trace.spans[b].start_us))
+    });
+    RequestChain { request: trace.spans[root].request.unwrap_or(0), root, stages }
+}
+
+/// Re-assembles every traced request in the trace, ascending by
+/// request id (then by root span id, for the degenerate case of a
+/// client reusing ids).
+pub fn request_chains(trace: &TraceData) -> Vec<RequestChain> {
+    let mut chains: Vec<RequestChain> = trace
+        .spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.name == "request" && s.id.is_some())
+        .map(|(i, _)| build_chain(trace, i))
+        .collect();
+    chains.sort_by_key(|c| (c.request, trace.spans[c.root].id));
+    chains
+}
+
+/// Resolves the p999 exemplar recorded under
+/// `serve.latency.<class>.p999_exemplar.*` in a metrics dump to its
+/// span chain. Returns `None` when the class recorded no exemplar
+/// (span id 0) or the trace does not contain the span.
+pub fn resolve_exemplar(trace: &TraceData, metrics: &Json, class: &str) -> Option<RequestChain> {
+    let get = |leaf: &str| {
+        metrics
+            .get(&format!("serve.latency.{class}.p999_exemplar.{leaf}"))
+            .and_then(Json::as_f64)
+            .map(|v| v as u64)
+    };
+    let span_id = get("span")?;
+    let request = get("request")?;
+    if span_id == 0 {
+        return None;
+    }
+    let root =
+        trace.spans.iter().position(|s| s.id == Some(span_id) && s.request == Some(request))?;
+    Some(build_chain(trace, root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanRec;
+    use paratreet_telemetry::json::parse;
+
+    fn span(
+        name: &str,
+        start: f64,
+        dur: f64,
+        id: Option<u64>,
+        parent: Option<u64>,
+        request: u64,
+    ) -> SpanRec {
+        SpanRec {
+            name: name.to_string(),
+            start_us: start,
+            dur_us: dur,
+            rank: 0,
+            worker: 0,
+            key: None,
+            id,
+            parent,
+            request: Some(request),
+        }
+    }
+
+    fn serve_trace() -> TraceData {
+        let mut spans = vec![span("request", 0.0, 100.0, Some(10), None, 7)];
+        for (i, stage) in STAGE_NAMES.iter().enumerate() {
+            spans.push(span(stage, i as f64 * 20.0, 20.0, Some(11 + i as u64), Some(10), 7));
+        }
+        // A second, incomplete request (no "responded" span).
+        spans.push(span("request", 50.0, 10.0, Some(20), None, 9));
+        spans.push(span("queued", 51.0, 2.0, Some(21), Some(20), 9));
+        TraceData { clock: "wall".into(), spans, counters: vec![] }
+    }
+
+    #[test]
+    fn chains_group_stages_under_roots() {
+        let trace = serve_trace();
+        let chains = request_chains(&trace);
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].request, 7);
+        assert!(chains[0].is_complete(&trace));
+        assert_eq!(chains[0].total_us(&trace), 100.0);
+        let names: Vec<&str> =
+            chains[0].stages.iter().map(|&i| trace.spans[i].name.as_str()).collect();
+        assert_eq!(names, STAGE_NAMES.to_vec());
+        assert!(!chains[1].is_complete(&trace), "missing stages must be detected");
+    }
+
+    #[test]
+    fn exemplar_resolves_to_its_chain() {
+        let trace = serve_trace();
+        let metrics = parse(concat!(
+            r#"{"serve.latency.knn.p999_exemplar.value":100000,"#,
+            r#""serve.latency.knn.p999_exemplar.request":7,"#,
+            r#""serve.latency.knn.p999_exemplar.span":10,"#,
+            r#""serve.latency.ball.p999_exemplar.value":0,"#,
+            r#""serve.latency.ball.p999_exemplar.request":0,"#,
+            r#""serve.latency.ball.p999_exemplar.span":0}"#
+        ))
+        .unwrap();
+        let chain = resolve_exemplar(&trace, &metrics, "knn").expect("resolvable");
+        assert_eq!(chain.request, 7);
+        assert!(chain.is_complete(&trace));
+        assert!(resolve_exemplar(&trace, &metrics, "ball").is_none(), "empty exemplar");
+        assert!(resolve_exemplar(&trace, &metrics, "ray").is_none(), "absent keys");
+    }
+}

@@ -1,0 +1,189 @@
+//! Chrome trace ingestion: the inverse of `paratreet_telemetry::chrome`.
+
+use paratreet_telemetry::json::{parse, Json};
+
+/// One duration event out of a Chrome trace, flattened: the optional
+/// `args` attributes (`key`, and the causal link `id`/`parent`/
+/// `request`) ride as plain fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRec {
+    /// Span name (phase or request stage).
+    pub name: String,
+    /// Start, microseconds in the trace's clock domain.
+    pub start_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Rank (Chrome `pid`).
+    pub rank: u64,
+    /// Worker (Chrome `tid`).
+    pub worker: u64,
+    /// Domain key (subtree / node), when the span carried one.
+    pub key: Option<u64>,
+    /// This span's own causal id.
+    pub id: Option<u64>,
+    /// The id of the span that caused this one.
+    pub parent: Option<u64>,
+    /// The request this span belongs to.
+    pub request: Option<u64>,
+}
+
+impl SpanRec {
+    /// End timestamp, microseconds.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.dur_us
+    }
+}
+
+/// A parsed trace: duration events in a deterministic total order plus
+/// the document's clock label and counters.
+#[derive(Clone, Debug, Default)]
+pub struct TraceData {
+    /// `"wall"` or `"virtual"` (from `otherData.clock`).
+    pub clock: String,
+    /// Duration events, sorted by `(start, end, rank, worker, name, id)`.
+    pub spans: Vec<SpanRec>,
+    /// Named counters (from `otherData.counters`), sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TraceData {
+    /// Distinct `(rank, worker)` tracks, ascending.
+    pub fn tracks(&self) -> Vec<(u64, u64)> {
+        let mut tracks: Vec<(u64, u64)> = self.spans.iter().map(|s| (s.rank, s.worker)).collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        tracks
+    }
+
+    /// `[min start, max end]` over all spans, or `None` when empty.
+    pub fn extent_us(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.spans {
+            lo = lo.min(s.start_us);
+            hi = hi.max(s.end_us());
+        }
+        (hi >= lo).then_some((lo, hi))
+    }
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    match v.get(key) {
+        Some(Json::U64(u)) => Some(*u),
+        Some(Json::F64(f)) if *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+/// Parses a Chrome trace-event JSON document into [`TraceData`].
+/// Metadata events (`"ph":"M"`) are skipped; anything that is not a
+/// complete event is an error, matching what the workspace emits.
+pub fn parse_trace(text: &str) -> Result<TraceData, String> {
+    let doc = parse(text)?;
+    let events =
+        doc.get("traceEvents").and_then(Json::as_arr).ok_or("missing traceEvents array")?;
+    let mut spans = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = match ev.get("ph") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => return Err(format!("event {i}: missing ph")),
+        };
+        if ph != "X" {
+            continue;
+        }
+        let name = match ev.get("name") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err(format!("event {i}: duration event without a name")),
+        };
+        let start_us =
+            ev.get("ts").and_then(Json::as_f64).ok_or(format!("event {i}: missing ts"))?;
+        let dur_us =
+            ev.get("dur").and_then(Json::as_f64).ok_or(format!("event {i}: missing dur"))?;
+        let rank = get_u64(ev, "pid").ok_or(format!("event {i}: missing pid"))?;
+        let worker = get_u64(ev, "tid").ok_or(format!("event {i}: missing tid"))?;
+        let (key, id, parent, request) = match ev.get("args") {
+            Some(args) => (
+                get_u64(args, "key"),
+                get_u64(args, "id"),
+                get_u64(args, "parent"),
+                get_u64(args, "request"),
+            ),
+            None => (None, None, None, None),
+        };
+        spans.push(SpanRec { name, start_us, dur_us, rank, worker, key, id, parent, request });
+    }
+    // Re-impose a total order so the analysis is independent of event
+    // order in the file (the emitter already sorts, but be safe).
+    spans.sort_by(|a, b| {
+        a.start_us
+            .total_cmp(&b.start_us)
+            .then(a.dur_us.total_cmp(&b.dur_us))
+            .then(a.rank.cmp(&b.rank))
+            .then(a.worker.cmp(&b.worker))
+            .then(a.name.cmp(&b.name))
+            .then(a.id.cmp(&b.id))
+    });
+
+    let clock = match doc.get("otherData").and_then(|o| o.get("clock")) {
+        Some(Json::Str(s)) => s.clone(),
+        _ => "wall".to_string(),
+    };
+    let mut counters = Vec::new();
+    if let Some(Json::Obj(fields)) = doc.get("otherData").and_then(|o| o.get("counters")) {
+        for (k, v) in fields {
+            if let Json::U64(u) = v {
+                counters.push((k.clone(), *u));
+            }
+        }
+    }
+    counters.sort();
+    Ok(TraceData { clock, spans, counters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_what_the_emitter_writes() {
+        use paratreet_telemetry::{chrome_trace_json, ClockDomain, Span, SpanLink, Trace, Track};
+        let mut trace = Trace { clock: ClockDomain::Virtual, ..Default::default() };
+        trace.counters.insert("faults", 3);
+        trace.spans.push(Span {
+            name: "tree build",
+            start_us: 10.0,
+            dur_us: 5.0,
+            track: Track { rank: 1, worker: 2 },
+            key: Some(7),
+            link: SpanLink { id: Some(4), parent: Some(3), request: Some(99) },
+        });
+        trace.spans.push(Span {
+            name: "decomposition",
+            start_us: 0.0,
+            dur_us: 10.0,
+            track: Track { rank: 0, worker: 0 },
+            key: None,
+            link: SpanLink::NONE,
+        });
+        let parsed = parse_trace(&chrome_trace_json(&trace)).unwrap();
+        assert_eq!(parsed.clock, "virtual");
+        assert_eq!(parsed.counters, vec![("faults".to_string(), 3)]);
+        assert_eq!(parsed.spans.len(), 2);
+        assert_eq!(parsed.spans[0].name, "decomposition");
+        let b = &parsed.spans[1];
+        assert_eq!(
+            (b.name.as_str(), b.start_us, b.dur_us, b.rank, b.worker),
+            ("tree build", 10.0, 5.0, 1, 2)
+        );
+        assert_eq!((b.key, b.id, b.parent, b.request), (Some(7), Some(4), Some(3), Some(99)));
+        assert_eq!(parsed.tracks(), vec![(0, 0), (1, 2)]);
+        assert_eq!(parsed.extent_us(), Some((0.0, 15.0)));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_trace("not json").is_err());
+        assert!(parse_trace("{}").is_err());
+        assert!(parse_trace(r#"{"traceEvents":[{"ph":"X","ts":1}]}"#).is_err());
+    }
+}

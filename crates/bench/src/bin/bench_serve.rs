@@ -20,7 +20,7 @@ use paratreet_particles::Particle;
 use paratreet_serve::{
     run_load, AdmissionPolicy, LoadConfig, QueryClass, QueryService, ServeConfig, WriterConfig,
 };
-use paratreet_telemetry::{export, Json, MetricsRegistry};
+use paratreet_telemetry::{export, FlightRecorder, Json, MetricsRegistry, Telemetry};
 use paratreet_tree::CountData;
 use std::time::Duration;
 
@@ -48,6 +48,14 @@ fn class_json(metrics: &MetricsRegistry, class: QueryClass, generated: u64) -> J
     o.push("p999_ns", Json::U64(metrics.get_u64(&key("p999"))));
     o.push("mean_ns", Json::U64(metrics.get_u64(&key("mean"))));
     o.push("max_ns", Json::U64(metrics.get_u64(&key("max"))));
+    // Component breakdown: where the end-to-end time went.
+    o.push("queue_wait_mean_ns", Json::U64(metrics.get_u64(&key("queue_wait.mean"))));
+    o.push("pin_wait_mean_ns", Json::U64(metrics.get_u64(&key("pin_wait.mean"))));
+    o.push("exec_mean_ns", Json::U64(metrics.get_u64(&key("exec.mean"))));
+    // The p999 exemplar: the concrete request id + span a profiler can
+    // resolve in the matching `--trace-out` trace.
+    o.push("p999_exemplar_request", Json::U64(metrics.get_u64(&key("p999_exemplar.request"))));
+    o.push("p999_exemplar_span", Json::U64(metrics.get_u64(&key("p999_exemplar.span"))));
     o
 }
 
@@ -93,12 +101,36 @@ fn main() {
     let (maintainer, seed_trees) = TreeMaintainer::<CountData>::seed(&config, particles, true);
     let universe = maintainer.universe();
 
-    let mut service: QueryService<CountData> = QueryService::new(ServeConfig {
-        workers,
-        queue_capacity: queue,
-        ring_capacity: ring,
-        admission: if shed { AdmissionPolicy::Shed } else { AdmissionPolicy::Defer },
-    });
+    // Observability taps, attached before the service spawns so the
+    // workers trace requests while they run: `--trace-out` arms span
+    // recording (and with it the p999 exemplars), `--timeseries-out`
+    // arms the flight-recorder sampler thread.
+    let trace_out = args.get_opt("trace-out").map(str::to_string);
+    let series_out = args.get_opt("timeseries-out").map(str::to_string);
+    let telemetry = if trace_out.is_some() {
+        Telemetry::wall(workers + threads + 4)
+    } else {
+        Telemetry::disabled()
+    };
+    let flight = if series_out.is_some() {
+        FlightRecorder::wall(paratreet_serve::service::FLIGHT_SERIES, 65_536)
+    } else {
+        FlightRecorder::disabled()
+    };
+
+    let mut service: QueryService<CountData> = QueryService::with_telemetry(
+        ServeConfig {
+            workers,
+            queue_capacity: queue,
+            ring_capacity: ring,
+            admission: if shed { AdmissionPolicy::Shed } else { AdmissionPolicy::Defer },
+        },
+        telemetry.clone(),
+    );
+    if flight.is_enabled() {
+        let interval = Duration::from_millis(args.get_u64("sample-ms", 5));
+        service.spawn_flight_sampler(flight.clone(), interval);
+    }
     service.spawn_writer(
         maintainer,
         seed_trees,
@@ -196,5 +228,13 @@ fn main() {
     if let Some(path) = args.get_opt("metrics-out") {
         export::write_metrics(path, &metrics).expect("write metrics");
         eprintln!("wrote metrics to {path}");
+    }
+    if let Some(path) = &trace_out {
+        export::write_chrome_trace(path, &telemetry.drain()).expect("write trace");
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = &series_out {
+        export::write_timeseries(path, &flight.snapshot()).expect("write timeseries");
+        eprintln!("wrote flight-recorder series to {path}");
     }
 }

@@ -62,7 +62,7 @@ use paratreet_runtime::{
     CrashConfig, CrashPhase, CrashTrigger, FaultAction, FaultConfig, FaultInjector, FaultStats,
     Ledger, MachineSpec, Phase, Sim,
 };
-use paratreet_telemetry::{MetricSource, MetricsRegistry, Telemetry, Track};
+use paratreet_telemetry::{FlightRecorder, MetricSource, MetricsRegistry, Telemetry, Track};
 use paratreet_tree::{BuiltTree, TreeBuilder};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
@@ -497,6 +497,21 @@ fn graft_subtree<V: Visitor>(
     }
 }
 
+/// Columns the distributed engine's flight recorder samples at each
+/// phase boundary (one row at traversal start, one at iteration end).
+/// `stage` is 0 for setup complete (decompose + build + sharing) and 1
+/// for the finished iteration; timestamps are virtual microseconds, so
+/// a given workload and seed produce a byte-identical series.
+pub const DES_FLIGHT_SERIES: &[&str] = &[
+    "stage",
+    "busy_s",
+    "busy_frac",
+    "comm_messages",
+    "comm_bytes",
+    "fetch_retries",
+    "update_migrated",
+];
+
 /// The distributed engine. See module docs.
 pub struct DistributedEngine<'v, V: Visitor> {
     /// Machine to simulate.
@@ -519,6 +534,9 @@ pub struct DistributedEngine<'v, V: Visitor> {
     /// its `(rank, worker)` track; the default disabled handle records
     /// nothing.
     pub telemetry: Telemetry,
+    /// Flight-recorder sink sampled at phase boundaries
+    /// ([`DES_FLIGHT_SERIES`] rows, virtual time); disabled by default.
+    pub flight: FlightRecorder,
     visitor: &'v V,
 }
 
@@ -540,6 +558,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             kind,
             faults: None,
             telemetry: Telemetry::disabled(),
+            flight: FlightRecorder::disabled(),
             visitor,
         }
     }
@@ -555,6 +574,14 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
     /// so a given workload and seed produce a byte-identical trace.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a flight recorder; rows are stamped in virtual time (use
+    /// [`FlightRecorder::virtual_time`]), so a given workload and seed
+    /// produce a byte-identical series.
+    pub fn with_flight_recorder(mut self, flight: FlightRecorder) -> Self {
+        self.flight = flight;
         self
     }
 
@@ -1071,6 +1098,7 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             })
             .collect();
 
+        let flight = self.flight.clone();
         sim.run(|sim, ev| match ev {
             Ev::CheckpointDone => {}
             Ev::DecompDone { rank, re } => {
@@ -1222,6 +1250,24 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
                     audit_all(&caches, "at traversal start");
                     traversal_start = sim.now();
                     traversal_begun = true;
+                    if flight.is_enabled() {
+                        // Stage-0 row: setup (decompose + build + both
+                        // sharing rounds) is complete. Virtual time and
+                        // deterministic sim state only, so the series
+                        // stays byte-identical for a given seed.
+                        flight.sample_at(
+                            sim.now() * 1e6,
+                            &[
+                                0.0,
+                                sim.ledger.total_busy(),
+                                sim.utilization(),
+                                sim.comm.messages as f64,
+                                sim.comm.bytes as f64,
+                                fetch_retries as f64,
+                                0.0,
+                            ],
+                        );
+                    }
                     if phase_trigger == Some(CrashPhase::Traversal) && !crash_fired {
                         sim.post(Ev::Crash);
                     }
@@ -2037,6 +2083,23 @@ impl<'v, V: Visitor> DistributedEngine<'v, V> {
             counts_total += ps.counts;
         }
         let fault_stats = injector.map(|f| f.stats).unwrap_or_default();
+
+        if self.flight.is_enabled() {
+            // Stage-1 row: the iteration is over. Stamped at the
+            // (virtual) makespan from deterministic sim state.
+            self.flight.sample_at(
+                sim.makespan() * 1e6,
+                &[
+                    1.0,
+                    sim.ledger.total_busy(),
+                    sim.utilization(),
+                    sim.comm.messages as f64,
+                    sim.comm.bytes as f64,
+                    fetch_retries as f64,
+                    round.as_ref().map_or(0, |r| r.n_migrated) as f64,
+                ],
+            );
+        }
 
         // Assemble the registry first; the report's named fields read
         // back from it, so the two can never disagree.

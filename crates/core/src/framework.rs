@@ -20,7 +20,7 @@ use crate::visitor::{TargetBucket, Visitor};
 use paratreet_cache::{CacheTree, NodeKind, SubtreeSummary};
 use paratreet_geometry::{BoundingBox, NodeKey};
 use paratreet_particles::Particle;
-use paratreet_telemetry::{MetricsRegistry, Telemetry};
+use paratreet_telemetry::{FlightRecorder, MetricsRegistry, Telemetry};
 use paratreet_tree::{BuiltTree, Data, TreeBuilder};
 use rayon::prelude::*;
 
@@ -343,11 +343,21 @@ impl<D: Data> Step<D> {
 
 /// The shared-memory ParaTreeT engine: owns the particle set and the
 /// configuration, and runs steps.
+/// Columns the shared-memory engine's flight recorder samples at each
+/// phase boundary (one row after setup, one after traversal, per step).
+/// `stage` is 0 for setup (decompose + build or incremental update) and
+/// 1 for leaf sharing + traversal.
+pub const FLIGHT_SERIES: &[&str] =
+    &["epoch", "stage", "seconds", "n_subtrees", "n_buckets", "update_migrated"];
+
 pub struct Framework<D: Data> {
     /// Run configuration.
     pub config: Configuration,
     /// Span sink (wall clock); the default disabled handle costs nothing.
     pub telemetry: Telemetry,
+    /// Flight-recorder sink sampled at phase boundaries
+    /// ([`FLIGHT_SERIES`] rows, wall clock); disabled by default.
+    pub flight: FlightRecorder,
     master: Vec<Particle>,
     /// The live maintained tree, once `config.incremental.enabled` has
     /// seeded it (first step).
@@ -364,6 +374,7 @@ impl<D: Data> Framework<D> {
         Framework {
             config,
             telemetry: Telemetry::disabled(),
+            flight: FlightRecorder::disabled(),
             master: particles,
             maintainer: None,
             snapshot_hook: None,
@@ -374,6 +385,13 @@ impl<D: Data> Framework<D> {
     /// Attaches a telemetry handle recording wall-clock phase spans.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a flight recorder sampled at every phase boundary
+    /// (one [`FLIGHT_SERIES`] row after setup, one after traversal).
+    pub fn with_flight_recorder(mut self, flight: FlightRecorder) -> Self {
+        self.flight = flight;
         self
     }
 
@@ -413,7 +431,29 @@ impl<D: Data> Framework<D> {
             Step::build(&self.config, &self.telemetry, particles, epoch, &mut self.snapshot_hook)
         };
         self.steps_run += 1;
+        if self.flight.is_enabled() {
+            let rep = &step.report;
+            self.flight.sample(&[
+                epoch as f64,
+                0.0,
+                rep.seconds_decompose + rep.seconds_build + rep.seconds_update,
+                rep.n_subtrees as f64,
+                rep.n_buckets as f64,
+                rep.round_migrated as f64,
+            ]);
+        }
         let r = f(&mut step);
+        if self.flight.is_enabled() {
+            let rep = &step.report;
+            self.flight.sample(&[
+                epoch as f64,
+                1.0,
+                rep.seconds_share + rep.seconds_traverse,
+                rep.n_subtrees as f64,
+                rep.n_buckets as f64,
+                rep.round_migrated as f64,
+            ]);
+        }
         self.master = step.master;
         (r, step.report)
     }

@@ -40,7 +40,9 @@ pub use config::{Configuration, DecompType, IncrementalConfig, SfcCurve, Travers
 pub use decomp::{
     decompose, decompose_within, universe_for, Decomposition, Partitioner, SubtreePiece,
 };
-pub use des_engine::{sfc_balanced_assignment, DistributedEngine, IterationReport, RecoveryStats};
+pub use des_engine::{
+    sfc_balanced_assignment, DistributedEngine, IterationReport, RecoveryStats, DES_FLIGHT_SERIES,
+};
 pub use framework::{Framework, SnapshotHook, StepReport};
 pub use maintain::{MaintainRound, TreeMaintainer, UpdateTotals};
 pub use threaded::{ThreadedEngine, ThreadedReport};

@@ -36,7 +36,7 @@ use paratreet_cache::stats::CacheStatsSnapshot;
 use paratreet_cache::{CacheTree, NodeHandle, RequestOutcome, SubtreeSummary};
 use paratreet_geometry::{BoundingBox, NodeKey};
 use paratreet_particles::Particle;
-use paratreet_telemetry::{MetricsRegistry, Telemetry};
+use paratreet_telemetry::{FlightRecorder, MetricsRegistry, Telemetry};
 use paratreet_tree::TreeBuilder;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -129,6 +129,12 @@ pub struct ThreadedEngine<'v, V: Visitor> {
     /// phases, every partition run, and — through the per-rank caches —
     /// fill serving and cache insertion, one track per real thread.
     pub telemetry: Telemetry,
+    /// Flight-recorder sink sampled at phase boundaries (the same
+    /// [`crate::framework::FLIGHT_SERIES`] rows as the shared-memory
+    /// engine, wall clock); disabled by default.
+    pub flight: FlightRecorder,
+    /// Iterations completed — the `epoch` column of flight rows.
+    iterations: std::sync::atomic::AtomicU64,
     visitor: &'v V,
 }
 
@@ -145,8 +151,18 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
             n_ranks: n_ranks.max(1),
             workers_per_rank: workers_per_rank.max(1),
             telemetry: Telemetry::disabled(),
+            flight: FlightRecorder::disabled(),
+            iterations: std::sync::atomic::AtomicU64::new(0),
             visitor,
         }
+    }
+
+    /// Attaches a flight recorder sampled at phase boundaries (one
+    /// setup row per iteration from the callers, one traversal row at
+    /// iteration end).
+    pub fn with_flight_recorder(mut self, flight: FlightRecorder) -> Self {
+        self.flight = flight;
+        self
     }
 
     /// Attaches a telemetry handle (use [`Telemetry::wall`], sized to
@@ -190,6 +206,17 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
                     })
                     .collect()
             });
+        if self.flight.is_enabled() {
+            let epoch = self.iterations.load(Ordering::Relaxed);
+            self.flight.sample(&[
+                epoch as f64,
+                0.0,
+                started.elapsed().as_secs_f64(),
+                trees.len() as f64,
+                0.0,
+                0.0,
+            ]);
+        }
         self.run_prepared(&config, trees, &decomp.partitioner, decomp.n_partitions, kind, started)
     }
 
@@ -238,6 +265,17 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
         };
         let maintainer = slot.as_ref().expect("seeded above");
         let n_subtrees = flat.len();
+        if self.flight.is_enabled() {
+            let epoch = self.iterations.load(Ordering::Relaxed);
+            self.flight.sample(&[
+                epoch as f64,
+                0.0,
+                started.elapsed().as_secs_f64(),
+                n_subtrees as f64,
+                0.0,
+                round_migrated as f64,
+            ]);
+        }
         let trees: Vec<(u32, paratreet_tree::BuiltTree<V::Data>)> = flat
             .into_iter()
             .enumerate()
@@ -273,6 +311,7 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
     ) -> ThreadedReport {
         let ranks = self.n_ranks;
         let n_partitions = n_partitions.max(1);
+        let n_subtrees = trees.len();
         let partition_rank = |pi: usize| -> u32 { (pi * ranks / n_partitions) as u32 };
         let summaries: Vec<SubtreeSummary<V::Data>> = trees
             .iter()
@@ -312,6 +351,7 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
             }
             master.extend_from_slice(&tree.particles);
         }
+        let n_buckets = seeds.len();
 
         // ---- Per-rank caches ----
         let bits = config.tree_type.bits_per_level();
@@ -521,6 +561,17 @@ impl<'v, V: Visitor> ThreadedEngine<'v, V> {
         metrics.absorb("counts", &counts);
         metrics.set_u64("net.remote_fills", remote_fills);
         metrics.set_f64("time.iteration_s", started.elapsed().as_secs_f64());
+        let epoch = self.iterations.fetch_add(1, Ordering::Relaxed);
+        if self.flight.is_enabled() {
+            self.flight.sample(&[
+                epoch as f64,
+                1.0,
+                started.elapsed().as_secs_f64(),
+                n_subtrees as f64,
+                n_buckets as f64,
+                0.0,
+            ]);
+        }
         ThreadedReport { particles: master, counts, cache: cache_stats, remote_fills, metrics }
     }
 }

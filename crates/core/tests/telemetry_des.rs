@@ -7,11 +7,13 @@
 
 use paratreet_core::{
     CacheModel, Configuration, DistributedEngine, IterationReport, SpatialNodeView, TargetBucket,
-    TraversalKind, Visitor,
+    TraversalKind, Visitor, DES_FLIGHT_SERIES,
 };
 use paratreet_particles::gen;
 use paratreet_runtime::MachineSpec;
-use paratreet_telemetry::{chrome_trace_json, validate_chrome_trace, Telemetry, Trace};
+use paratreet_telemetry::{
+    chrome_trace_json, validate_chrome_trace, FlightRecorder, Telemetry, Trace,
+};
 use paratreet_tree::CountData;
 
 /// Minimal mass-count visitor: descends until buckets, so multi-rank
@@ -50,6 +52,23 @@ fn run_traced() -> (IterationReport, Trace) {
     let telemetry = engine.telemetry.clone();
     let rep = engine.run_iteration(particles);
     (rep, telemetry.drain())
+}
+
+fn run_flight() -> String {
+    let particles = gen::uniform_cube(3_000, 42, 1.0, 1.0);
+    let visitor = CountVisitor;
+    let machine = MachineSpec::test(RANKS, WORKERS);
+    let engine = DistributedEngine::new(
+        machine,
+        Configuration { bucket_size: 8, ..Default::default() },
+        CacheModel::WaitFree,
+        TraversalKind::TopDown,
+        &visitor,
+    )
+    .with_flight_recorder(FlightRecorder::virtual_time(DES_FLIGHT_SERIES, 64));
+    let flight = engine.flight.clone();
+    engine.run_iteration(particles);
+    flight.snapshot().to_json().to_string()
 }
 
 #[test]
@@ -96,4 +115,17 @@ fn trace_validates_and_covers_every_worker() {
     assert_eq!(rep.metrics.get_f64("time.makespan_s"), rep.makespan);
     assert!(rep.metrics.get_u64("counts.nodes_visited") > 0);
     assert!(rep.cache.requests_sent > 0, "multi-rank run must fetch remotely");
+}
+
+#[test]
+fn same_seed_yields_byte_identical_flight_series() {
+    let a = run_flight();
+    let b = run_flight();
+    assert_eq!(a, b, "virtual-time flight series must be byte-identical across runs");
+    assert!(a.contains("\"clock\":\"virtual\""), "series is stamped in virtual time: {a}");
+    // Two phase-boundary rows: stage 0 at traversal start, stage 1 at
+    // the makespan, each with the full DES_FLIGHT_SERIES width.
+    let rows = a.matches('[').count();
+    assert!(rows >= 3, "expected at least two sample rows in {a}");
+    assert!(a.contains("\"busy_frac\""), "series names the sampled columns: {a}");
 }

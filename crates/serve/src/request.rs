@@ -188,6 +188,12 @@ impl Request {
     pub fn new(client: u32, seq: u32, query: Query) -> Request {
         Request { client, seq, query, submitted_at: Instant::now() }
     }
+
+    /// The request id used in span links and histogram exemplars:
+    /// `client << 32 | seq`, unique per request in a run.
+    pub fn id(&self) -> u64 {
+        ((self.client as u64) << 32) | self.seq as u64
+    }
 }
 
 /// One answered request.
@@ -231,6 +237,23 @@ pub fn execute_batch<D: Data>(
     requests: &[Request],
     scratch: &mut QueryScratch,
 ) -> Vec<Response> {
+    execute_batch_observed(snapshot, requests, scratch, None)
+}
+
+/// Per-request execution observer: called after each request in a batch
+/// runs, with `(request index, entry subtree, started, finished)`.
+/// Request tracing hooks in here; `None` keeps the pure clock-free path.
+pub type ExecObserver<'a> = &'a mut dyn FnMut(usize, usize, Instant, Instant);
+
+/// [`execute_batch`] with an optional per-request observer. The answers
+/// are identical with or without one — the observer only *watches* the
+/// same entry-subtree-grouped execution order.
+pub fn execute_batch_observed<D: Data>(
+    snapshot: &SnapshotData<D>,
+    requests: &[Request],
+    scratch: &mut QueryScratch,
+    mut observer: Option<ExecObserver<'_>>,
+) -> Vec<Response> {
     let trees = &snapshot.trees;
     let mut order: Vec<(usize, usize)> = requests
         .iter()
@@ -240,14 +263,14 @@ pub fn execute_batch<D: Data>(
     order.sort();
     order
         .into_iter()
-        .map(|(_, i)| {
+        .map(|(subtree, i)| {
             let r = &requests[i];
-            Response {
-                client: r.client,
-                seq: r.seq,
-                epoch: snapshot.epoch,
-                result: execute(trees, &r.query, scratch),
+            let started = observer.is_some().then(Instant::now);
+            let result = execute(trees, &r.query, scratch);
+            if let (Some(obs), Some(t0)) = (observer.as_mut(), started) {
+                obs(i, subtree, t0, Instant::now());
             }
+            Response { client: r.client, seq: r.seq, epoch: snapshot.epoch, result }
         })
         .collect()
 }

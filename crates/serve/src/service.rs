@@ -17,13 +17,13 @@
 use crate::error::ServeError;
 use crate::load::checksum_fold;
 use crate::queue::{BoundedQueue, PushError};
-use crate::request::{execute_batch, QueryClass, Request, Response};
+use crate::request::{execute_batch, execute_batch_observed, QueryClass, Request, Response};
 use crate::snapshot::{PinnedSnapshot, SnapshotRing};
 use crossbeam::channel::Sender;
 use paratreet_core::TreeMaintainer;
 use paratreet_geometry::BoundingBox;
 use paratreet_particles::Particle;
-use paratreet_telemetry::{Histogram, MetricsRegistry};
+use paratreet_telemetry::{FlightRecorder, Histogram, MetricsRegistry, SpanLink, Telemetry, Track};
 use paratreet_tree::{BuiltTree, Data, QueryScratch};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::Arc;
@@ -85,15 +85,49 @@ pub type MotionModel = Box<dyn FnMut(&mut [Particle], u64) + Send>;
 struct WorkItem {
     requests: Vec<Request>,
     reply: Option<Sender<Vec<Response>>>,
+    /// When the batch entered [`QueryService::submit`] — the boundary
+    /// between client-side batch formation and queue wait.
+    submitted_to_queue: Instant,
+}
+
+/// The per-class latency histograms: the end-to-end total plus its
+/// stage components, all nanoseconds. `total` keeps exemplars so
+/// `serve.latency.<class>.p999` links to a concrete traced request.
+struct LatencySet {
+    /// Submit → accounted (the number admission control protects).
+    total: Histogram,
+    /// Submit → popped by a worker (batch formation + queue wait;
+    /// under [`AdmissionPolicy::Defer`] this includes the backpressure
+    /// block).
+    queue_wait: Histogram,
+    /// Popped → snapshot pinned (snapshot contention).
+    pin_wait: Histogram,
+    /// Pinned → batch executed (service time, whole batch).
+    exec: Histogram,
+}
+
+impl LatencySet {
+    fn new() -> LatencySet {
+        LatencySet {
+            total: Histogram::with_exemplars(),
+            queue_wait: Histogram::new(),
+            pin_wait: Histogram::new(),
+            exec: Histogram::new(),
+        }
+    }
 }
 
 /// State shared by submitters, workers, and the writer.
 struct Shared<D: Data> {
     ring: Arc<SnapshotRing<D>>,
     queue: BoundedQueue<WorkItem>,
-    /// Per-class end-to-end latency, nanoseconds
-    /// (indexed by [`QueryClass::index`]).
-    latency: [Histogram; 4],
+    /// Per-class latency (indexed by [`QueryClass::index`]).
+    latency: [LatencySet; 4],
+    /// Request tracing sink: disabled by default, attached via
+    /// [`QueryService::with_telemetry`]. When enabled, workers emit a
+    /// linked span chain (request → admitted/queued/pinned/executed/
+    /// responded) for every request.
+    telemetry: Telemetry,
     submitted: AtomicU64,
     completed: AtomicU64,
     shed: AtomicU64,
@@ -112,16 +146,40 @@ pub struct QueryService<D: Data> {
     workers: Vec<JoinHandle<()>>,
     writer: Option<JoinHandle<u64>>,
     stop_writer: Arc<AtomicBool>,
+    sampler: Option<JoinHandle<()>>,
+    stop_sampler: Arc<AtomicBool>,
 }
+
+/// The columns [`QueryService::spawn_flight_sampler`] records, in row
+/// order. `qps` is the completed-query rate over the last interval.
+pub const FLIGHT_SERIES: &[&str] = &[
+    "queue_depth",
+    "qps",
+    "completed",
+    "shed",
+    "epochs_published",
+    "pin_retries",
+    "writer_stalls",
+];
 
 impl<D: Data> QueryService<D> {
     /// Starts the worker pool. No snapshot exists yet: publish one (or
     /// spawn a writer) before submitting.
     pub fn new(config: ServeConfig) -> QueryService<D> {
+        QueryService::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// [`QueryService::new`] with request tracing attached: when
+    /// `telemetry` is enabled, every completed request leaves a causal
+    /// span chain (root `request` span + admitted/queued/pinned/
+    /// executed/responded children) on its worker's track, and latency
+    /// exemplars carry the root span id.
+    pub fn with_telemetry(config: ServeConfig, telemetry: Telemetry) -> QueryService<D> {
         let shared = Arc::new(Shared {
             ring: SnapshotRing::new(config.ring_capacity),
             queue: BoundedQueue::new(config.queue_capacity),
-            latency: [Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new()],
+            latency: [LatencySet::new(), LatencySet::new(), LatencySet::new(), LatencySet::new()],
+            telemetry,
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -140,7 +198,49 @@ impl<D: Data> QueryService<D> {
             workers,
             writer: None,
             stop_writer: Arc::new(AtomicBool::new(false)),
+            sampler: None,
+            stop_sampler: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Spawns the flight-recorder sampler: every `interval` it pushes
+    /// one [`FLIGHT_SERIES`] row (queue depth, q/s, completed, shed,
+    /// epochs published, pin retries, writer stalls) into `recorder`,
+    /// plus a final row at shutdown. No-op wiring when the recorder is
+    /// disabled — the thread still runs but samples vanish.
+    ///
+    /// # Panics
+    /// If a sampler was already spawned.
+    pub fn spawn_flight_sampler(&mut self, recorder: FlightRecorder, interval: Duration) {
+        assert!(self.sampler.is_none(), "flight sampler already spawned");
+        let shared = Arc::clone(&self.shared);
+        let stop = Arc::clone(&self.stop_sampler);
+        self.sampler = Some(std::thread::spawn(move || {
+            let mut last = Instant::now();
+            let mut last_completed = shared.completed.load(Relaxed);
+            loop {
+                let stopping = stop.load(Relaxed);
+                let completed = shared.completed.load(Relaxed);
+                let dt = last.elapsed().as_secs_f64();
+                let qps = if dt > 0.0 { (completed - last_completed) as f64 / dt } else { 0.0 };
+                last = Instant::now();
+                last_completed = completed;
+                let ring = shared.ring.stats();
+                recorder.sample(&[
+                    shared.queue.len() as f64,
+                    qps,
+                    completed as f64,
+                    shared.shed.load(Relaxed) as f64,
+                    ring.published as f64,
+                    ring.pin_retries as f64,
+                    ring.writer_stalls as f64,
+                ]);
+                if stopping {
+                    return;
+                }
+                std::thread::sleep(interval);
+            }
+        }));
     }
 
     /// The snapshot ring (for direct pinning, e.g. replay audits).
@@ -179,7 +279,7 @@ impl<D: Data> QueryService<D> {
             return Err(ServeError::NotReady);
         }
         let n = requests.len() as u64;
-        let item = WorkItem { requests, reply };
+        let item = WorkItem { requests, reply, submitted_to_queue: Instant::now() };
         let outcome = match self.admission {
             AdmissionPolicy::Shed => self.shared.queue.try_push(item),
             AdmissionPolicy::Defer => self.shared.queue.push_wait(item),
@@ -249,7 +349,12 @@ impl<D: Data> QueryService<D> {
 
     /// Current service metrics under `serve.*` names: queue and
     /// snapshot counters plus per-class latency summaries
-    /// (`serve.latency.<class>.{count,mean,p50,p99,p999,max}`, ns).
+    /// (`serve.latency.<class>.{count,mean,p50,p99,p999,max}`, ns) with
+    /// their stage components
+    /// (`serve.latency.<class>.{queue_wait,pin_wait,exec}.*`) and p999
+    /// exemplars (`serve.latency.<class>.p999_exemplar.*`). Every key is
+    /// present on every run — classes with no traffic export zero-count
+    /// snapshots, so the schema is stable for downstream tooling.
     pub fn metrics(&self) -> MetricsRegistry {
         let s = &self.shared;
         let mut m = MetricsRegistry::new();
@@ -262,8 +367,12 @@ impl<D: Data> QueryService<D> {
         m.set_u64("serve.epoch", s.ring.head_epoch().unwrap_or(0));
         m.absorb("serve.snapshots", &s.ring.stats());
         for class in QueryClass::ALL {
-            let snap = s.latency[class.index()].snapshot();
-            m.absorb(&format!("serve.latency.{}", class.label()), &snap);
+            let lat = &s.latency[class.index()];
+            let prefix = format!("serve.latency.{}", class.label());
+            m.absorb(&prefix, &lat.total.snapshot());
+            m.absorb(&format!("{prefix}.queue_wait"), &lat.queue_wait.snapshot());
+            m.absorb(&format!("{prefix}.pin_wait"), &lat.pin_wait.snapshot());
+            m.absorb(&format!("{prefix}.exec"), &lat.exec.snapshot());
         }
         m
     }
@@ -283,6 +392,12 @@ impl<D: Data> QueryService<D> {
         for w in self.workers.drain(..) {
             w.join().expect("worker panicked");
         }
+        // Stop the sampler last so its final row reflects the drained
+        // end state.
+        self.stop_sampler.store(true, Relaxed);
+        if let Some(s) = self.sampler.take() {
+            s.join().expect("flight sampler panicked");
+        }
         last
     }
 }
@@ -294,19 +409,109 @@ impl<D: Data> Drop for QueryService<D> {
 }
 
 /// A worker: pop a batch, pin the freshest snapshot, answer, account.
+/// With tracing enabled, every stage is timestamped and every request
+/// leaves a linked span chain on this worker's track.
 fn worker_loop<D: Data>(shared: Arc<Shared<D>>) {
     let mut scratch = QueryScratch::default();
+    let tel = shared.telemetry.clone();
+    let traced = tel.is_enabled();
+    // Per-request `(entry subtree, exec start, exec end)` slots, filled
+    // by the execution observer when tracing.
+    let mut exec_obs: Vec<Option<(usize, Instant, Instant)>> = Vec::new();
     while let Some(item) = shared.queue.pop() {
+        let popped = Instant::now();
         // `submit` refuses work before the first publish, so a pin is
         // always available here.
         let Some(pin) = shared.ring.pin() else { continue };
-        let responses = execute_batch(&pin, &item.requests, &mut scratch);
+        let pinned = Instant::now();
+        let responses = if traced {
+            exec_obs.clear();
+            exec_obs.resize(item.requests.len(), None);
+            let mut observe = |i: usize, subtree: usize, t0: Instant, t1: Instant| {
+                exec_obs[i] = Some((subtree, t0, t1))
+            };
+            execute_batch_observed(&pin, &item.requests, &mut scratch, Some(&mut observe))
+        } else {
+            execute_batch(&pin, &item.requests, &mut scratch)
+        };
         drop(pin); // release the slot before reply/accounting
 
+        let executed = Instant::now();
         let now = Instant::now();
-        for req in &item.requests {
-            let ns = now.saturating_duration_since(req.submitted_at).as_nanos() as u64;
-            shared.latency[req.query.class().index()].record(ns);
+        let track = Track { rank: 0, worker: tel.thread_slot() };
+        for (i, req) in item.requests.iter().enumerate() {
+            let total = now.saturating_duration_since(req.submitted_at);
+            let queue_wait = popped.saturating_duration_since(req.submitted_at);
+            let pin_wait = pinned.saturating_duration_since(popped);
+            let exec = executed.saturating_duration_since(pinned);
+            let lat = &shared.latency[req.query.class().index()];
+            let rid = req.id();
+            let mut root_span = 0u64;
+            if traced {
+                // Root span plus one child per stage, all linked by id —
+                // the queued→admitted→pinned→executed→responded chain
+                // `paratreet-analyze` rebuilds per request.
+                root_span = tel.next_span_id();
+                let submitted = tel.us_of(req.submitted_at);
+                let entered = tel.us_of(item.submitted_to_queue);
+                let popped_us = tel.us_of(popped);
+                let pinned_us = tel.us_of(pinned);
+                let executed_us = tel.us_of(executed);
+                let now_us = tel.us_of(now);
+                let root = SpanLink { id: Some(root_span), parent: None, request: Some(rid) };
+                let child = |id: u64| SpanLink {
+                    id: Some(id),
+                    parent: Some(root_span),
+                    request: Some(rid),
+                };
+                tel.span_linked(track, "request", submitted, now_us - submitted, None, root);
+                tel.span_linked(
+                    track,
+                    "admitted",
+                    submitted,
+                    entered - submitted,
+                    None,
+                    child(tel.next_span_id()),
+                );
+                tel.span_linked(
+                    track,
+                    "queued",
+                    entered,
+                    popped_us - entered,
+                    None,
+                    child(tel.next_span_id()),
+                );
+                tel.span_linked(
+                    track,
+                    "pinned",
+                    popped_us,
+                    pinned_us - popped_us,
+                    None,
+                    child(tel.next_span_id()),
+                );
+                if let Some((subtree, t0, t1)) = exec_obs[i] {
+                    tel.span_linked(
+                        track,
+                        "executed",
+                        tel.us_of(t0),
+                        tel.us_of(t1) - tel.us_of(t0),
+                        Some(subtree as u64),
+                        child(tel.next_span_id()),
+                    );
+                }
+                tel.span_linked(
+                    track,
+                    "responded",
+                    executed_us,
+                    now_us - executed_us,
+                    None,
+                    child(tel.next_span_id()),
+                );
+            }
+            lat.total.record_traced(total.as_nanos() as u64, rid, root_span);
+            lat.queue_wait.record(queue_wait.as_nanos() as u64);
+            lat.pin_wait.record(pin_wait.as_nanos() as u64);
+            lat.exec.record(exec.as_nanos() as u64);
         }
         let mut fold = 0u64;
         for resp in &responses {

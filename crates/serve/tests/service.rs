@@ -213,3 +213,122 @@ fn framework_snapshot_hook_feeds_a_ring() {
     fw.step(|_| {});
     assert_eq!(ring2.head_epoch(), Some(0));
 }
+
+/// Satellite: the metrics schema is stable — every
+/// `serve.latency.<class>` key (total, stage components, p999 exemplar)
+/// is exported even for classes that received no traffic.
+#[test]
+fn metrics_schema_is_stable_with_zero_traffic() {
+    let service: QueryService<CountData> =
+        QueryService::new(ServeConfig { workers: 0, ..ServeConfig::default() });
+    let m = service.metrics();
+    for class in ["knn", "ball", "range", "ray"] {
+        for stat in ["count", "mean", "p50", "p99", "p999", "max"] {
+            assert!(
+                m.contains(&format!("serve.latency.{class}.{stat}")),
+                "missing serve.latency.{class}.{stat}"
+            );
+            for component in ["queue_wait", "pin_wait", "exec"] {
+                assert!(
+                    m.contains(&format!("serve.latency.{class}.{component}.{stat}")),
+                    "missing serve.latency.{class}.{component}.{stat}"
+                );
+            }
+        }
+        for field in ["value", "request", "span"] {
+            assert!(
+                m.contains(&format!("serve.latency.{class}.p999_exemplar.{field}")),
+                "missing serve.latency.{class}.p999_exemplar.{field}"
+            );
+        }
+        assert_eq!(m.get_u64(&format!("serve.latency.{class}.count")), 0);
+    }
+}
+
+/// Tentpole acceptance: with tracing attached, a p999 exemplar read off
+/// the metrics resolves to a complete queued→admitted→pinned→executed→
+/// responded span chain for a real request, and the stage component
+/// histograms cover every completed query.
+#[test]
+fn traced_requests_leave_complete_span_chains() {
+    use paratreet_telemetry::Telemetry;
+
+    let cfg = config();
+    let particles = gen::clustered(2000, 3, 21, 1.0, 1.0);
+    let (maintainer, seed_trees) = TreeMaintainer::<CountData>::seed(&cfg, particles, false);
+    let universe = maintainer.universe();
+
+    let telemetry = Telemetry::wall(4);
+    let mut service: QueryService<CountData> = QueryService::with_telemetry(
+        ServeConfig { workers: 2, ..ServeConfig::default() },
+        telemetry.clone(),
+    );
+    service.publish(seed_trees, universe);
+
+    let load = LoadConfig {
+        clients: 30,
+        queries_per_client: 10,
+        threads: 2,
+        batch: 8,
+        k: 4,
+        seed: 5,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&service, universe, &load);
+    assert_eq!(report.completed, 300);
+    service.shutdown();
+
+    let m = service.metrics();
+    let trace = telemetry.drain();
+
+    // Every completed query recorded a total and all three components.
+    let mut totals = 0u64;
+    for class in ["knn", "ball", "range", "ray"] {
+        let count = m.get_u64(&format!("serve.latency.{class}.count"));
+        totals += count;
+        for component in ["queue_wait", "pin_wait", "exec"] {
+            assert_eq!(
+                m.get_u64(&format!("serve.latency.{class}.{component}.count")),
+                count,
+                "{class}.{component} covers every query"
+            );
+        }
+    }
+    assert_eq!(totals, 300);
+
+    // Pick a class with traffic and resolve its p999 exemplar.
+    let class = ["knn", "ball", "range", "ray"]
+        .into_iter()
+        .find(|c| m.get_u64(&format!("serve.latency.{c}.count")) > 0)
+        .unwrap();
+    let rid = m.get_u64(&format!("serve.latency.{class}.p999_exemplar.request"));
+    let sid = m.get_u64(&format!("serve.latency.{class}.p999_exemplar.span"));
+    assert!(sid > 0, "exemplar carries the root span id");
+
+    let root = trace
+        .spans
+        .iter()
+        .find(|s| s.link.id == Some(sid))
+        .expect("exemplar span id resolves in the trace");
+    assert_eq!(root.name, "request");
+    assert_eq!(root.link.request, Some(rid));
+
+    let children: Vec<&str> =
+        trace.spans.iter().filter(|s| s.link.parent == Some(sid)).map(|s| s.name).collect();
+    for stage in ["queued", "admitted", "pinned", "executed", "responded"] {
+        assert!(children.contains(&stage), "chain missing {stage}: {children:?}");
+    }
+    // Stage spans nest inside the root (small slack for clock reads).
+    for s in trace.spans.iter().filter(|s| s.link.parent == Some(sid)) {
+        assert!(s.start_us + 1.0 >= root.start_us, "{} starts before root", s.name);
+        assert!(
+            s.start_us + s.dur_us <= root.start_us + root.dur_us + 1.0,
+            "{} ends after root",
+            s.name
+        );
+        assert_eq!(s.link.request, Some(rid));
+    }
+    // Every request left a chain, not just the exemplar.
+    let roots = trace.spans.iter().filter(|s| s.name == "request").count();
+    assert_eq!(roots, 300);
+}

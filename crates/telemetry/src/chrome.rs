@@ -51,9 +51,24 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         ev.push("dur", Json::F64(span.dur_us));
         ev.push("pid", Json::U64(span.track.rank as u64));
         ev.push("tid", Json::U64(span.track.worker as u64));
-        if let Some(key) = span.key {
+        // Optional attributes ride in `args`, each emitted only when
+        // present — spans without keys or causal links serialise exactly
+        // as they did before links existed (golden bytes preserved).
+        let link = span.link;
+        if span.key.is_some() || link != crate::span::SpanLink::NONE {
             let mut args = Json::obj();
-            args.push("key", Json::U64(key));
+            if let Some(key) = span.key {
+                args.push("key", Json::U64(key));
+            }
+            if let Some(id) = link.id {
+                args.push("id", Json::U64(id));
+            }
+            if let Some(parent) = link.parent {
+                args.push("parent", Json::U64(parent));
+            }
+            if let Some(request) = link.request {
+                args.push("request", Json::U64(request));
+            }
             ev.push("args", args);
         }
         events.push(ev);
@@ -121,7 +136,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::span::{ClockDomain, Span, Track};
+    use crate::span::{ClockDomain, Span, SpanLink, Track};
 
     fn demo_trace() -> Trace {
         let mut t = Trace { clock: ClockDomain::Virtual, ..Trace::default() };
@@ -131,6 +146,7 @@ mod tests {
             start_us: 5.0,
             dur_us: 2.5,
             key: None,
+            link: SpanLink::NONE,
         });
         t.spans.push(Span {
             track: Track { rank: 0, worker: 0 },
@@ -138,6 +154,7 @@ mod tests {
             start_us: 0.0,
             dur_us: 4.0,
             key: Some(9),
+            link: SpanLink::NONE,
         });
         t.counters.insert("fills", 3);
         t
@@ -168,6 +185,22 @@ mod tests {
             r#"],"displayTimeUnit":"ms","otherData":{"clock":"virtual","tool":"paratreet-telemetry","counters":{"fills":3}}}"#,
         );
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn linked_spans_emit_causal_args() {
+        let mut t = Trace { clock: ClockDomain::Wall, ..Trace::default() };
+        t.spans.push(Span {
+            track: Track { rank: 0, worker: 2 },
+            name: "queued",
+            start_us: 1.0,
+            dur_us: 3.0,
+            key: None,
+            link: SpanLink { id: Some(11), parent: Some(10), request: Some(0x2_0000_0001) },
+        });
+        let text = chrome_trace_json(&t);
+        assert!(text.contains(r#""args":{"id":11,"parent":10,"request":8589934593}"#), "{text}");
+        assert_eq!(validate_chrome_trace(&text), Ok(1));
     }
 
     #[test]

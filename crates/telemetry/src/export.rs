@@ -3,6 +3,7 @@
 use crate::chrome::chrome_trace_json;
 use crate::metrics::MetricsRegistry;
 use crate::span::Trace;
+use crate::timeseries::TimeSeries;
 use std::io;
 use std::path::Path;
 
@@ -18,6 +19,15 @@ pub fn write_metrics(path: impl AsRef<Path>, metrics: &MetricsRegistry) -> io::R
     let path = path.as_ref();
     let csv = path.extension().is_some_and(|e| e.eq_ignore_ascii_case("csv"));
     let body = if csv { metrics.to_csv() } else { format!("{}\n", metrics.to_json()) };
+    std::fs::write(path, body)
+}
+
+/// Writes a flight-recorder window; `.csv` paths get a header plus one
+/// row per sample, every other extension the deterministic JSON form.
+pub fn write_timeseries(path: impl AsRef<Path>, series: &TimeSeries) -> io::Result<()> {
+    let path = path.as_ref();
+    let csv = path.extension().is_some_and(|e| e.eq_ignore_ascii_case("csv"));
+    let body = if csv { series.to_csv() } else { format!("{}\n", series.to_json()) };
     std::fs::write(path, body)
 }
 
@@ -45,6 +55,21 @@ mod tests {
         write_chrome_trace(&trace_path, &Trace::default()).unwrap();
         let text = std::fs::read_to_string(&trace_path).unwrap();
         assert!(validate_chrome_trace(&text).is_ok());
+
+        let ts = TimeSeries {
+            clock: crate::span::ClockDomain::Wall,
+            names: vec!["x"],
+            rows: vec![(1.0, vec![2.0])],
+        };
+        let ts_json = dir.join("ts.json");
+        write_timeseries(&ts_json, &ts).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&ts_json).unwrap(),
+            "{\"clock\":\"wall\",\"series\":[\"x\"],\"samples\":[[1,2]]}\n"
+        );
+        let ts_csv = dir.join("ts.csv");
+        write_timeseries(&ts_csv, &ts).unwrap();
+        assert_eq!(std::fs::read_to_string(&ts_csv).unwrap(), "t_us,x\n1,2\n");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

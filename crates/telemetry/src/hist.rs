@@ -52,6 +52,31 @@ fn bucket_bounds(idx: usize) -> (u64, u64) {
     }
 }
 
+/// One captured exemplar: a concrete traced request that landed in a
+/// bucket, so a percentile read off that bucket links back to a real
+/// request's span chain in the trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded value (e.g. latency in nanoseconds).
+    pub value: u64,
+    /// The request id (`client << 32 | seq` in `serve`).
+    pub request: u64,
+    /// The request's root span id in the trace (0 when tracing is off).
+    pub span: u64,
+}
+
+/// Last-written exemplar slot for one bucket. `tag` is `request + 1`
+/// (0 = empty); the three fields are independently relaxed atomics, so
+/// a concurrent pair of writers can tear value/request across two real
+/// requests — acceptable for exemplars, every stored field is a value
+/// some real request produced.
+#[derive(Debug)]
+struct ExemplarSlot {
+    tag: AtomicU64,
+    value: AtomicU64,
+    span: AtomicU64,
+}
+
 /// A concurrent fixed-layout log-bucket histogram. Recording is a
 /// single relaxed atomic increment per bucket plus count/sum/min/max
 /// maintenance — safe to share across any number of recording threads
@@ -63,6 +88,9 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Per-bucket exemplar slots, allocated only by
+    /// [`Histogram::with_exemplars`].
+    exemplars: Option<Vec<ExemplarSlot>>,
 }
 
 impl Default for Histogram {
@@ -80,13 +108,50 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplars: None,
         }
+    }
+
+    /// An empty histogram that additionally keeps one exemplar per
+    /// bucket (last write wins), populated by
+    /// [`Histogram::record_traced`]. Costs three relaxed stores per
+    /// traced record.
+    pub fn with_exemplars() -> Histogram {
+        let mut h = Histogram::new();
+        h.exemplars = Some(
+            (0..N_BUCKETS)
+                .map(|_| ExemplarSlot {
+                    tag: AtomicU64::new(0),
+                    value: AtomicU64::new(0),
+                    span: AtomicU64::new(0),
+                })
+                .collect(),
+        );
+        h
     }
 
     /// Records one value.
     #[inline]
     pub fn record(&self, v: u64) {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records one value and, when this histogram keeps exemplars,
+    /// remembers `(request, span)` as the bucket's exemplar.
+    #[inline]
+    pub fn record_traced(&self, v: u64, request: u64, span: u64) {
+        let idx = bucket_of(v);
+        if let Some(slots) = &self.exemplars {
+            let slot = &slots[idx];
+            slot.value.store(v, Ordering::Relaxed);
+            slot.span.store(span, Ordering::Relaxed);
+            slot.tag.store(request.wrapping_add(1).max(1), Ordering::Relaxed);
+        }
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
@@ -108,12 +173,32 @@ impl Histogram {
     /// while recorders are quiescent it is exact; taken live it is a
     /// consistent-enough sample (each bucket is individually exact).
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let exemplars = self.exemplars.as_ref().map(|slots| {
+            slots
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, slot)| {
+                    let tag = slot.tag.load(Ordering::Relaxed);
+                    (tag != 0).then(|| {
+                        (
+                            idx,
+                            Exemplar {
+                                value: slot.value.load(Ordering::Relaxed),
+                                request: tag.wrapping_sub(1),
+                                span: slot.span.load(Ordering::Relaxed),
+                            },
+                        )
+                    })
+                })
+                .collect()
+        });
         HistogramSnapshot {
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
             min: self.min.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
+            exemplars,
         }
     }
 }
@@ -126,6 +211,9 @@ pub struct HistogramSnapshot {
     sum: u64,
     min: u64,
     max: u64,
+    /// Sparse `(bucket index, exemplar)` pairs, ascending by index.
+    /// `None` when the source histogram does not keep exemplars.
+    exemplars: Option<Vec<(usize, Exemplar)>>,
 }
 
 impl HistogramSnapshot {
@@ -162,18 +250,52 @@ impl HistogramSnapshot {
     /// holding that order statistic, clamped to the observed max.
     /// Deterministic; 0 when empty.
     pub fn percentile(&self, q: f64) -> u64 {
+        match self.percentile_bucket(q) {
+            Some(idx) => bucket_bounds(idx).1.min(self.max),
+            None => {
+                if self.count == 0 {
+                    0
+                } else {
+                    self.max
+                }
+            }
+        }
+    }
+
+    /// The bucket index holding the `q`-quantile order statistic.
+    fn percentile_bucket(&self, q: f64) -> Option<usize> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_bounds(idx).1.min(self.max);
+                return Some(idx);
             }
         }
-        self.max
+        None
+    }
+
+    /// Whether the source histogram keeps exemplars at all.
+    pub fn has_exemplars(&self) -> bool {
+        self.exemplars.is_some()
+    }
+
+    /// The exemplar backing the `q`-quantile: the one captured in the
+    /// quantile's bucket, falling back to the nearest populated bucket
+    /// below then above (a racing snapshot can see a bucket count before
+    /// its exemplar write). `None` when empty or exemplars are off.
+    pub fn percentile_exemplar(&self, q: f64) -> Option<Exemplar> {
+        let exemplars = self.exemplars.as_ref()?;
+        let target = self.percentile_bucket(q)?;
+        exemplars
+            .iter()
+            .rev()
+            .find(|(idx, _)| *idx <= target)
+            .or_else(|| exemplars.iter().find(|(idx, _)| *idx > target))
+            .map(|&(_, ex)| ex)
     }
 
     /// Median.
@@ -209,6 +331,18 @@ impl HistogramSnapshot {
             }
         }
         obj.push("buckets", Json::Arr(arr));
+        if let Some(exemplars) = &self.exemplars {
+            let mut arr = Vec::new();
+            for &(idx, ex) in exemplars {
+                arr.push(Json::Arr(vec![
+                    Json::U64(idx as u64),
+                    Json::U64(ex.value),
+                    Json::U64(ex.request),
+                    Json::U64(ex.span),
+                ]));
+            }
+            obj.push("exemplars", Json::Arr(arr));
+        }
         obj
     }
 }
@@ -216,7 +350,9 @@ impl HistogramSnapshot {
 impl MetricSource for HistogramSnapshot {
     /// Registers `{prefix}.{count,mean,p50,p99,p999,max}` — the summary
     /// a metrics dump needs; full bucket detail goes through
-    /// [`HistogramSnapshot::to_json`].
+    /// [`HistogramSnapshot::to_json`]. Exemplar-keeping histograms also
+    /// register `{prefix}.p999_exemplar.{value,request,span}` (always
+    /// present, 0 when nothing was traced — schema-stable for tooling).
     fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
         registry.set_u64(format!("{prefix}.count"), self.count);
         registry.set_f64(format!("{prefix}.mean"), self.mean());
@@ -224,6 +360,12 @@ impl MetricSource for HistogramSnapshot {
         registry.set_u64(format!("{prefix}.p99"), self.p99());
         registry.set_u64(format!("{prefix}.p999"), self.p999());
         registry.set_u64(format!("{prefix}.max"), self.max().unwrap_or(0));
+        if self.has_exemplars() {
+            let ex = self.percentile_exemplar(0.999).unwrap_or_default();
+            registry.set_u64(format!("{prefix}.p999_exemplar.value"), ex.value);
+            registry.set_u64(format!("{prefix}.p999_exemplar.request"), ex.request);
+            registry.set_u64(format!("{prefix}.p999_exemplar.span"), ex.span);
+        }
     }
 }
 
@@ -341,6 +483,44 @@ mod tests {
         assert_eq!(r.get_f64("serve.latency.knn.mean"), 25.0);
         assert!(r.get_u64("serve.latency.knn.p99") >= 40);
         assert_eq!(r.get_u64("serve.latency.knn.max"), 40);
+    }
+
+    #[test]
+    fn exemplars_link_percentiles_to_requests() {
+        let h = Histogram::with_exemplars();
+        for seq in 0..100u64 {
+            // Request ids `client 1, seq N`; value grows with seq, so the
+            // tail bucket's exemplar is one of the slowest requests.
+            h.record_traced((seq + 1) * 100, (1 << 32) | seq, 1000 + seq);
+        }
+        let s = h.snapshot();
+        assert!(s.has_exemplars());
+        let ex = s.percentile_exemplar(0.999).expect("tail exemplar");
+        assert_eq!(ex.request >> 32, 1);
+        assert!(ex.value >= s.p50(), "tail exemplar {ex:?} below median");
+        assert_eq!(ex.span, 1000 + (ex.request & 0xffff_ffff));
+        // Registry export carries the schema-stable exemplar keys.
+        let mut r = MetricsRegistry::new();
+        r.absorb("serve.latency.knn", &s);
+        assert_eq!(r.get_u64("serve.latency.knn.p999_exemplar.request"), ex.request);
+        assert_eq!(r.get_u64("serve.latency.knn.p999_exemplar.value"), ex.value);
+        // JSON form lists sparse exemplars.
+        assert!(s.to_json().to_string().contains("\"exemplars\":[["));
+    }
+
+    #[test]
+    fn empty_exemplar_histogram_is_schema_stable() {
+        let s = Histogram::with_exemplars().snapshot();
+        assert!(s.has_exemplars());
+        assert_eq!(s.percentile_exemplar(0.999), None);
+        let mut r = MetricsRegistry::new();
+        r.absorb("serve.latency.ray", &s);
+        assert!(r.contains("serve.latency.ray.p999_exemplar.request"));
+        assert_eq!(r.get_u64("serve.latency.ray.p999_exemplar.value"), 0);
+        // Plain histograms do not grow exemplar keys.
+        let mut r2 = MetricsRegistry::new();
+        r2.absorb("x", &Histogram::new().snapshot());
+        assert!(!r2.contains("x.p999_exemplar.request"));
     }
 
     #[test]

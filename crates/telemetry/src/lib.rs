@@ -30,12 +30,14 @@ pub mod metrics;
 #[cfg(feature = "recorder")]
 pub mod recorder;
 pub mod span;
+pub mod timeseries;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace};
-pub use hist::{Histogram, HistogramSnapshot};
+pub use hist::{Exemplar, Histogram, HistogramSnapshot};
 pub use json::Json;
 pub use metrics::{MetricSource, MetricValue, MetricsRegistry};
-pub use span::{ClockDomain, Span, Trace, Track};
+pub use span::{ClockDomain, Span, SpanLink, Trace, Track};
+pub use timeseries::{FlightRecorder, TimeSeries};
 
 #[cfg(feature = "recorder")]
 use recorder::{Recorder, ShardedRecorder};
@@ -113,12 +115,84 @@ impl Telemetry {
     ) {
         #[cfg(feature = "recorder")]
         if let Some(r) = &self.inner {
-            r.record_span(Span { track, name, start_us, dur_us, key });
+            r.record_span(Span { track, name, start_us, dur_us, key, link: SpanLink::NONE });
         }
         #[cfg(not(feature = "recorder"))]
         {
             let _ = (track, name, start_us, dur_us, key);
         }
+    }
+
+    /// Records a completed span with explicit timestamps *and* causal
+    /// context (span id / parent / request). This is the request-tracing
+    /// path: `serve` stamps every stage of a request's life with the
+    /// request id and a parent link to the per-request root span.
+    #[inline]
+    pub fn span_linked(
+        &self,
+        track: Track,
+        name: &'static str,
+        start_us: f64,
+        dur_us: f64,
+        key: Option<u64>,
+        link: SpanLink,
+    ) {
+        #[cfg(feature = "recorder")]
+        if let Some(r) = &self.inner {
+            r.record_span(Span { track, name, start_us, dur_us, key, link });
+        }
+        #[cfg(not(feature = "recorder"))]
+        {
+            let _ = (track, name, start_us, dur_us, key, link);
+        }
+    }
+
+    /// A fresh span id for linking (unique within this handle's
+    /// recorder, never 0). Returns 0 on a disabled handle — callers
+    /// should gate tracing on [`Telemetry::is_enabled`] anyway.
+    #[inline]
+    pub fn next_span_id(&self) -> u64 {
+        #[cfg(feature = "recorder")]
+        if let Some(r) = &self.inner {
+            return r.next_span_id();
+        }
+        0
+    }
+
+    /// Microseconds since the recorder was created (wall clock).
+    /// Returns 0.0 on a disabled handle.
+    #[inline]
+    pub fn now_us(&self) -> f64 {
+        #[cfg(feature = "recorder")]
+        if let Some(r) = &self.inner {
+            return r.now_us();
+        }
+        0.0
+    }
+
+    /// Converts an [`std::time::Instant`] captured elsewhere (e.g. a
+    /// request's submit time on a client thread) to microseconds on this
+    /// recorder's clock, saturating at 0 for instants before the
+    /// recorder epoch. Returns 0.0 on a disabled handle.
+    #[inline]
+    pub fn us_of(&self, t: std::time::Instant) -> f64 {
+        #[cfg(feature = "recorder")]
+        if let Some(r) = &self.inner {
+            return t.saturating_duration_since(r.epoch()).as_secs_f64() * 1e6;
+        }
+        let _ = t;
+        0.0
+    }
+
+    /// The calling thread's dense worker slot on this recorder (0 on a
+    /// disabled handle). Used as the `worker` half of a [`Track`].
+    #[inline]
+    pub fn thread_slot(&self) -> u32 {
+        #[cfg(feature = "recorder")]
+        if let Some(r) = &self.inner {
+            return r.thread_slot() as u32;
+        }
+        0
     }
 
     /// Runs `f`, recording a wall-clock span around it on the calling
@@ -139,7 +213,7 @@ impl Telemetry {
             let out = f();
             let dur_us = r.now_us() - start_us;
             let track = Track { rank, worker: r.thread_slot() as u32 };
-            r.record_span(Span { track, name, start_us, dur_us, key });
+            r.record_span(Span { track, name, start_us, dur_us, key, link: SpanLink::NONE });
             return out;
         }
         #[cfg(not(feature = "recorder"))]

@@ -16,7 +16,7 @@
 use crate::span::{ClockDomain, Span, Trace};
 use std::collections::BTreeMap;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -66,6 +66,9 @@ pub struct ShardedRecorder {
     /// Wall-clock epoch for `now_us`.
     epoch: Instant,
     clock: ClockDomain,
+    /// Hands out span ids for request tracing (1, 2, …; 0 is reserved
+    /// as "no id" so disabled handles can return it).
+    next_span_id: AtomicU64,
 }
 
 impl ShardedRecorder {
@@ -81,7 +84,18 @@ impl ShardedRecorder {
             overflow: Mutex::new(Vec::new()),
             epoch: Instant::now(),
             clock,
+            next_span_id: AtomicU64::new(1),
         }
+    }
+
+    /// A fresh span id, unique within this recorder (never 0).
+    pub fn next_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The wall-clock instant `now_us` measures from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
     }
 
     /// The calling thread's dense slot for this recorder, assigned on
@@ -193,7 +207,14 @@ mod tests {
     use crate::span::Track;
 
     fn span(t: f64) -> Span {
-        Span { track: Track { rank: 0, worker: 0 }, name: "x", start_us: t, dur_us: 1.0, key: None }
+        Span {
+            track: Track { rank: 0, worker: 0 },
+            name: "x",
+            start_us: t,
+            dur_us: 1.0,
+            key: None,
+            link: crate::span::SpanLink::NONE,
+        }
     }
 
     #[test]

@@ -36,6 +36,28 @@ pub struct Track {
     pub worker: u32,
 }
 
+/// Causal context a span can carry: its own id, its parent span's id,
+/// and the request it belongs to. All optional — engine phase spans
+/// carry none, so traces without request tracing serialise exactly as
+/// before. Request-tracing code (the `serve` crate) allocates ids via
+/// [`crate::Telemetry::next_span_id`] and links stage spans under a
+/// per-request root so `paratreet-analyze` can rebuild the chain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SpanLink {
+    /// This span's id, unique within one recorder's lifetime.
+    pub id: Option<u64>,
+    /// The id of the span this one is causally nested under.
+    pub parent: Option<u64>,
+    /// The request id (`client << 32 | seq` in `serve`) this span
+    /// belongs to.
+    pub request: Option<u64>,
+}
+
+impl SpanLink {
+    /// No causal context: the default for engine phase spans.
+    pub const NONE: SpanLink = SpanLink { id: None, parent: None, request: None };
+}
+
 /// One completed span: a named busy interval on one track, optionally
 /// carrying a key attribute (node key, partition id).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,6 +72,8 @@ pub struct Span {
     pub dur_us: f64,
     /// Optional attribute: the node key or partition a span worked on.
     pub key: Option<u64>,
+    /// Causal context (span id / parent / request), if any.
+    pub link: SpanLink,
 }
 
 /// Everything one recorder captured: spans plus merged counter totals.
@@ -74,6 +98,7 @@ impl Trace {
                 .then_with(|| a.track.cmp(&b.track))
                 .then_with(|| a.name.cmp(b.name))
                 .then_with(|| a.dur_us.total_cmp(&b.dur_us))
+                .then_with(|| a.link.cmp(&b.link))
         });
     }
 

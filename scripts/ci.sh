@@ -82,4 +82,25 @@ grep -q '"serve.latency.knn.p99":[1-9]' "$serve_metrics" ||
 grep -q '"serve.snapshots.published":[1-9]' "$serve_metrics" ||
     { echo "serve smoke: writer published no snapshots in $serve_metrics"; exit 1; }
 
+echo "== analyze smoke (traced serve run -> paratreet-analyze --check) =="
+obs_dir=$(mktemp -d /tmp/paratreet-obs-XXXXXX)
+trap 'rm -f "$chaos_metrics" "$inc_metrics" "$disk_metrics" "$serve_metrics"; rm -rf "$obs_dir"' EXIT
+cargo run --release -q -- serve-bench --particles 3000 --clients 40 \
+    --queries 25 --serve-workers 2 --threads 2 \
+    --trace-out "$obs_dir/trace.json" --metrics-out "$obs_dir/metrics.json" \
+    --timeseries-out "$obs_dir/flight.json" > /dev/null
+# --check enforces the observability invariants: a nonzero critical
+# path, a busy utilization row for every worker track, and a p999
+# exemplar that resolves to a complete request span chain.
+cargo run --release -q -p paratreet-analyze --bin paratreet-analyze -- \
+    --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.json" \
+    --timeseries "$obs_dir/flight.json" --check \
+    --json-out "$obs_dir/report.json" > "$obs_dir/report.txt"
+grep -q 'critical path' "$obs_dir/report.txt" ||
+    { echo "analyze smoke: no critical path section"; exit 1; }
+grep -q '"utilization"' "$obs_dir/report.json" ||
+    { echo "analyze smoke: no utilization profile in the JSON report"; exit 1; }
+grep -q '"complete":true' "$obs_dir/report.json" ||
+    { echo "analyze smoke: p999 exemplar chain incomplete"; exit 1; }
+
 echo "CI green."

@@ -24,7 +24,7 @@ use paratreet_particles::{io, Particle};
 use paratreet_runtime::{
     CrashConfig, CrashPhase, CrashTrigger, FaultConfig, FaultInjector, FaultStats, MachineSpec,
 };
-use paratreet_telemetry::{export, MetricsRegistry, Telemetry};
+use paratreet_telemetry::{export, FlightRecorder, MetricsRegistry, Telemetry};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -118,6 +118,10 @@ OUTPUT:
                        ui.perfetto.dev; one track per rank/worker)
   --metrics-out FILE   dump the metrics registry (.csv extension
                        selects CSV, anything else JSON)
+  --timeseries-out FILE  write the flight-recorder time series
+                       (.csv extension selects CSV, else JSON);
+                       feed all three files to paratreet-analyze
+  --sample-ms T        serve-bench flight sampling interval, ms [5]
 ";
 
 fn parse_args() -> (String, HashMap<String, String>) {
@@ -390,6 +394,45 @@ fn wall_shards(extra_threads: usize) -> usize {
     extra_threads + std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8) + 1
 }
 
+/// The flight-recorder handle for a run: enabled when
+/// `--timeseries-out` was given (virtual clock for the machine engine,
+/// wall clock otherwise), disabled — and therefore free — otherwise.
+fn flight_for(
+    opts: &HashMap<String, String>,
+    virtual_clock: bool,
+    series: &[&'static str],
+    capacity: usize,
+) -> FlightRecorder {
+    if !opts.contains_key("timeseries-out") {
+        return FlightRecorder::disabled();
+    }
+    let f = if virtual_clock {
+        FlightRecorder::virtual_time(series, capacity)
+    } else {
+        FlightRecorder::wall(series, capacity)
+    };
+    if !f.is_enabled() {
+        eprintln!(
+            "warning: --timeseries-out given but the telemetry feature is compiled out; \
+             the series will be empty (rebuild without --no-default-features)"
+        );
+    }
+    f
+}
+
+/// Writes the flight-recorder window to `--timeseries-out`, when given.
+fn write_flight(opts: &HashMap<String, String>, flight: &FlightRecorder) {
+    if let Some(path) = opts.get("timeseries-out") {
+        match export::write_timeseries(path, &flight.snapshot()) {
+            Ok(()) => println!("wrote flight-recorder series to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
 fn run_gravity(opts: &HashMap<String, String>) {
     let mut particles = load_particles("gravity", opts);
     for p in &mut particles {
@@ -407,8 +450,15 @@ fn run_gravity(opts: &HashMap<String, String>) {
     match engine.as_str() {
         "shared" => {
             let telemetry = telemetry_for(opts, false, wall_shards(0));
-            let mut fw: Framework<CentroidData> =
-                Framework::new(config, particles).with_telemetry(telemetry.clone());
+            let flight = flight_for(
+                opts,
+                false,
+                paratreet::core_api::framework::FLIGHT_SERIES,
+                (iterations + 1) * 2 + 8,
+            );
+            let mut fw: Framework<CentroidData> = Framework::new(config, particles)
+                .with_telemetry(telemetry.clone())
+                .with_flight_recorder(flight.clone());
             fw.step(|s| {
                 s.traverse(&visitor, kind);
             });
@@ -435,6 +485,7 @@ fn run_gravity(opts: &HashMap<String, String>) {
                 last_metrics = report.metrics();
             }
             write_telemetry(opts, &telemetry, Some(&last_metrics));
+            write_flight(opts, &flight);
             write_outputs(opts, fw.particles());
         }
         "threaded" => {
@@ -442,8 +493,15 @@ fn run_gravity(opts: &HashMap<String, String>) {
             let workers = get(opts, "workers", 2usize);
             let incremental = config.incremental.enabled;
             let telemetry = telemetry_for(opts, false, wall_shards(ranks * workers + ranks));
+            let flight = flight_for(
+                opts,
+                false,
+                paratreet::core_api::framework::FLIGHT_SERIES,
+                (iterations + 1) * 2 + 8,
+            );
             let eng = ThreadedEngine::new(config, ranks, workers, &visitor)
-                .with_telemetry(telemetry.clone());
+                .with_telemetry(telemetry.clone())
+                .with_flight_recorder(flight.clone());
             let rep = if incremental {
                 // Maintained mode: the tree persists across iterations
                 // inside `slot`; each step drifts the particles and
@@ -474,12 +532,19 @@ fn run_gravity(opts: &HashMap<String, String>) {
                 rep.counts.leaf_interactions, rep.remote_fills, rep.cache.requests_sent
             );
             write_telemetry(opts, &telemetry, Some(&rep.metrics));
+            write_flight(opts, &flight);
             write_outputs(opts, &rep.particles);
         }
         "machine" => {
             let ranks = get(opts, "ranks", 2usize);
             let incremental = config.incremental.enabled;
             let telemetry = telemetry_for(opts, true, 1);
+            let flight = flight_for(
+                opts,
+                true,
+                paratreet::core_api::DES_FLIGHT_SERIES,
+                (iterations + 1) * 2 + 8,
+            );
             let mut eng = DistributedEngine::new(
                 MachineSpec::stampede2(ranks),
                 config,
@@ -487,7 +552,8 @@ fn run_gravity(opts: &HashMap<String, String>) {
                 kind,
                 &visitor,
             )
-            .with_telemetry(telemetry.clone());
+            .with_telemetry(telemetry.clone())
+            .with_flight_recorder(flight.clone());
             if let Some(f) = fault_config(opts) {
                 if let Some(c) = f.crash {
                     if ranks < 2 || c.rank as usize >= ranks {
@@ -563,6 +629,7 @@ fn run_gravity(opts: &HashMap<String, String>) {
                 );
             }
             write_telemetry(opts, &telemetry, Some(&rep.metrics));
+            write_flight(opts, &flight);
             write_outputs(opts, &rep.particles);
         }
         other => {
@@ -577,8 +644,15 @@ fn run_sph(opts: &HashMap<String, String>) {
     let config = configuration(opts);
     let iterations = config.iterations;
     let telemetry = telemetry_for(opts, false, wall_shards(0));
+    let flight = flight_for(
+        opts,
+        false,
+        paratreet::core_api::framework::FLIGHT_SERIES,
+        (iterations + 1) * 2 + 8,
+    );
     let mut fw = sph_framework(config, particles);
     fw.telemetry = telemetry.clone();
+    fw.flight = flight.clone();
     let sph = SphSimulation { k: get(opts, "k", 32usize), ..Default::default() };
     let dt = get(opts, "dt", 1e-3);
     let mut metrics = MetricsRegistry::new();
@@ -600,6 +674,7 @@ fn run_sph(opts: &HashMap<String, String>) {
         metrics.set_u64("sph.steps", (step + 1) as u64);
     }
     write_telemetry(opts, &telemetry, Some(&metrics));
+    write_flight(opts, &flight);
     write_outputs(opts, fw.particles());
 }
 
@@ -616,8 +691,15 @@ fn run_disk(opts: &HashMap<String, String>) {
     let star_mass = particles.first().map(|p| p.mass).unwrap_or(1.0);
     let dt = get(opts, "dt", orbital_period(2.0, star_mass) / 50.0);
     let telemetry = telemetry_for(opts, false, wall_shards(0));
+    let flight = flight_for(
+        opts,
+        false,
+        paratreet::core_api::framework::FLIGHT_SERIES,
+        (iterations + 1) * 2 + 8,
+    );
     let mut sim = DiskSimulation::new(config, particles, dt);
     sim.framework.telemetry = telemetry.clone();
+    sim.framework.flight = flight.clone();
     for step in 0..iterations {
         let events = sim.step();
         if !events.is_empty() {
@@ -634,6 +716,7 @@ fn run_disk(opts: &HashMap<String, String>) {
     metrics.set_u64("disk.steps", iterations as u64);
     metrics.set_u64("disk.bodies_remaining", sim.framework.particles().len() as u64);
     write_telemetry(opts, &telemetry, Some(&metrics));
+    write_flight(opts, &flight);
     write_outputs(opts, sim.framework.particles());
 }
 
@@ -661,12 +744,26 @@ fn run_serve_bench(opts: &HashMap<String, String>) {
         paratreet::core_api::TreeMaintainer::<CountData>::seed(&config, particles, true);
     let universe = maintainer.universe();
 
-    let mut service: QueryService<CountData> = QueryService::new(ServeConfig {
-        workers: get(opts, "serve-workers", 4usize),
-        queue_capacity: get(opts, "queue", 256usize),
-        ring_capacity: get(opts, "ring", 8usize),
-        admission,
-    });
+    // Attach observability *before* the service spawns: workers trace
+    // each request's span chain into `telemetry` as it runs, and the
+    // sampler thread records FLIGHT_SERIES rows while the load is live.
+    let serve_workers = get(opts, "serve-workers", 4usize);
+    let client_threads = get(opts, "threads", 4usize);
+    let telemetry = telemetry_for(opts, false, wall_shards(serve_workers + client_threads + 2));
+    let flight = flight_for(opts, false, paratreet_serve::service::FLIGHT_SERIES, 65_536);
+    let mut service: QueryService<CountData> = QueryService::with_telemetry(
+        ServeConfig {
+            workers: serve_workers,
+            queue_capacity: get(opts, "queue", 256usize),
+            ring_capacity: get(opts, "ring", 8usize),
+            admission,
+        },
+        telemetry.clone(),
+    );
+    if flight.is_enabled() {
+        let interval = std::time::Duration::from_millis(get(opts, "sample-ms", 5u64));
+        service.spawn_flight_sampler(flight.clone(), interval);
+    }
     service.spawn_writer(
         maintainer,
         seed_trees,
@@ -687,7 +784,7 @@ fn run_serve_bench(opts: &HashMap<String, String>) {
     let load = LoadConfig {
         clients: get(opts, "clients", 200usize),
         queries_per_client: get(opts, "queries", 50usize),
-        threads: get(opts, "threads", 4usize),
+        threads: client_threads,
         batch: get(opts, "batch", 32usize),
         k: get(opts, "k", 8usize),
         seed: get(opts, "seed", 1u64),
@@ -721,8 +818,8 @@ fn run_serve_bench(opts: &HashMap<String, String>) {
         );
     }
 
-    let telemetry = telemetry_for(opts, false, wall_shards(0));
     write_telemetry(opts, &telemetry, Some(&metrics));
+    write_flight(opts, &flight);
 }
 
 fn main() {
