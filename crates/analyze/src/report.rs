@@ -28,6 +28,12 @@ pub struct LatencyRow {
     pub pin_wait_mean_ns: f64,
     /// Mean kernel execution time (ns).
     pub exec_mean_ns: f64,
+    /// Requests answered `DeadlineExceeded` after expiring in queue
+    /// (0 when the dump predates the overload counters or the run was
+    /// clean).
+    pub deadline_exceeded: u64,
+    /// Requests answered at a reduced fidelity level (0 likewise).
+    pub degraded: u64,
 }
 
 /// A resolved p999 exemplar: the class, its chain, and completeness.
@@ -160,6 +166,12 @@ fn latency_rows(metrics: &Json) -> Vec<LatencyRow> {
                     .unwrap_or(0.0),
                 pin_wait_mean_ns: f(format!("serve.latency.{class}.pin_wait.mean")).unwrap_or(0.0),
                 exec_mean_ns: f(format!("serve.latency.{class}.exec.mean")).unwrap_or(0.0),
+                // Overload counters are absent in pre-ISSUE-9 dumps and
+                // zero on clean runs; both read as 0 so `--check` and
+                // old artifacts keep working.
+                deadline_exceeded: f(format!("serve.latency.{class}.deadline_exceeded"))
+                    .unwrap_or(0.0) as u64,
+                degraded: f(format!("serve.latency.{class}.degraded")).unwrap_or(0.0) as u64,
             })
         })
         .collect()
@@ -335,6 +347,8 @@ impl Analysis {
                     row.push("queue_wait_mean_ns", Json::F64(l.queue_wait_mean_ns));
                     row.push("pin_wait_mean_ns", Json::F64(l.pin_wait_mean_ns));
                     row.push("exec_mean_ns", Json::F64(l.exec_mean_ns));
+                    row.push("deadline_exceeded", Json::U64(l.deadline_exceeded));
+                    row.push("degraded", Json::U64(l.degraded));
                     row
                 })
                 .collect();
@@ -454,19 +468,22 @@ impl Analysis {
         if !self.latency.is_empty() {
             let _ = writeln!(
                 out,
-                "\nlatency (ns): class, count, mean, p999, queue_wait, pin_wait, exec"
+                "\nlatency (ns): class, count, mean, p999, queue_wait, pin_wait, exec, \
+                 deadline_exceeded, degraded"
             );
             for l in &self.latency {
                 let _ = writeln!(
                     out,
-                    "  {:<6} {:>8} {:>12.0} {:>12} {:>12.0} {:>12.0} {:>12.0}",
+                    "  {:<6} {:>8} {:>12.0} {:>12} {:>12.0} {:>12.0} {:>12.0} {:>8} {:>8}",
                     l.class,
                     l.count,
                     l.mean_ns,
                     l.p999_ns,
                     l.queue_wait_mean_ns,
                     l.pin_wait_mean_ns,
-                    l.exec_mean_ns
+                    l.exec_mean_ns,
+                    l.deadline_exceeded,
+                    l.degraded
                 );
             }
         }
@@ -494,7 +511,7 @@ impl Analysis {
     pub fn check(&self) -> Result<(), String> {
         let trace = self.trace.as_ref().ok_or("check: no trace was ingested")?;
         let cp = self.critical.as_ref().ok_or("check: no critical path")?;
-        if !(cp.work_us > 0.0) {
+        if cp.work_us.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("check: critical path has zero work".into());
         }
         let util = self.utilization.as_ref().ok_or("check: no utilization profile")?;
@@ -507,7 +524,7 @@ impl Analysis {
                 .iter()
                 .find(|tp| tp.rank == rank && tp.worker == worker)
                 .ok_or(format!("check: no utilization row for rank {rank} worker {worker}"))?;
-            if !(row.busy_us > 0.0) {
+            if row.busy_us.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return Err(format!(
                     "check: rank {rank} worker {worker} has a zero-busy utilization row"
                 ));

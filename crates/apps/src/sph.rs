@@ -246,7 +246,7 @@ mod tests {
         let mut fw = sph_framework(config, ps);
         let sph = SphSimulation { k: 32, ..Default::default() };
         let stats = sph.step(&mut fw);
-        let volume = (2.0 * half) as f64;
+        let volume = 2.0 * half;
         let expected = 1.0 / (volume * volume * volume); // total mass 1
                                                          // Interior particles (away from the free boundary) carry the
                                                          // expected density.

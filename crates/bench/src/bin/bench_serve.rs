@@ -18,7 +18,8 @@ use paratreet_core::{Configuration, TreeMaintainer};
 use paratreet_particles::gen;
 use paratreet_particles::Particle;
 use paratreet_serve::{
-    run_load, AdmissionPolicy, LoadConfig, QueryClass, QueryService, ServeConfig, WriterConfig,
+    run_load, AdmissionPolicy, DegradeConfig, LoadConfig, QueryClass, QueryService, ServeConfig,
+    WriterConfig,
 };
 use paratreet_telemetry::{export, FlightRecorder, Json, MetricsRegistry, Telemetry};
 use paratreet_tree::CountData;
@@ -77,6 +78,21 @@ fn main() {
     let queue = args.get_usize("queue", 512);
     let ring = args.get_usize("ring", 8);
     let shed = args.get_bool("shed", false);
+    // `--admission defer|shed|cost` supersedes the legacy `--shed` flag.
+    let admission_label =
+        args.get_str("admission", if shed { "shed" } else { "defer" }).to_lowercase();
+    let admission = match admission_label.as_str() {
+        "shed" => AdmissionPolicy::Shed,
+        "cost" => AdmissionPolicy::CostAware,
+        _ => AdmissionPolicy::Defer,
+    };
+    // 0 = no per-request deadline / no backlog bound.
+    let deadline_ms = args.get_u64("deadline-ms", 0);
+    let max_backlog_ms = args.get_u64("max-backlog-ms", 0);
+    let retries = args.get_u64("retries", 3) as u32;
+    let degrade_on = args.get_bool("degrade", false);
+    // Inter-batch pacing per driver thread, µs (0 = blast).
+    let pace_us = args.get_u64("pace-us", 0);
     // 0 = keep advancing until the load finishes (shutdown stops it).
     let iterations = args.get_u64("iterations", 0);
     let pace_ms = args.get_u64("writer-pace-ms", 0);
@@ -123,7 +139,10 @@ fn main() {
             workers,
             queue_capacity: queue,
             ring_capacity: ring,
-            admission: if shed { AdmissionPolicy::Shed } else { AdmissionPolicy::Defer },
+            admission,
+            max_backlog: (max_backlog_ms > 0).then(|| Duration::from_millis(max_backlog_ms)),
+            degrade: if degrade_on { DegradeConfig::default() } else { DegradeConfig::disabled() },
+            ..ServeConfig::default()
         },
         telemetry.clone(),
     );
@@ -148,10 +167,15 @@ fn main() {
         batch,
         k,
         seed,
+        deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        max_retries: retries,
+        pace: (pace_us > 0).then(|| Duration::from_micros(pace_us)),
         ..LoadConfig::default()
     };
     let report = run_load(&service, universe, &load);
-    let last_epoch = service.shutdown().unwrap_or(0);
+    let health = service.health();
+    let shutdown = service.shutdown();
+    let last_epoch = shutdown.last_epoch.unwrap_or(0);
     let metrics = service.metrics();
 
     print_header(&["class", "queries", "p50", "p99", "p999", "mean"], 12);
@@ -169,6 +193,8 @@ fn main() {
             12,
         );
     }
+    let issued = (clients * queries) as u64;
+    let in_deadline = metrics.get_u64("serve.queries.completed_in_deadline");
     println!(
         "\n{} completed / {} submitted / {} shed in {} — {:.0} queries/s",
         report.completed,
@@ -177,6 +203,41 @@ fn main() {
         fmt_seconds(report.elapsed_s),
         report.throughput
     );
+    if report.deadline_exceeded + report.retries + report.degraded + report.partial + report.failed
+        > 0
+    {
+        println!(
+            "overload: {} expired in queue, {} submit retries ({} abandoned), \
+             {} degraded, {} partial, {} failed",
+            report.deadline_exceeded,
+            report.retries,
+            report.abandoned,
+            report.degraded,
+            report.partial,
+            report.failed,
+        );
+    }
+    if deadline_ms > 0 {
+        println!(
+            "deadline {}ms [{}]: {}/{} in deadline — completion fraction {:.4}",
+            deadline_ms,
+            admission_label,
+            in_deadline,
+            issued,
+            in_deadline as f64 / issued.max(1) as f64,
+        );
+    }
+    if health.worker_panics + health.worker_respawns > 0 || health.stale_serving {
+        println!(
+            "health: writer {}, {}/{} workers alive, {} panics, {} respawns{}",
+            health.writer.label(),
+            health.workers_alive,
+            health.workers_configured,
+            health.worker_panics,
+            health.worker_respawns,
+            if health.stale_serving { " — STALE-SERVING" } else { "" },
+        );
+    }
     println!(
         "snapshots: epochs {}..{} answered queries; writer published {} \
          (reclaimed {}, pin retries {}, writer stalls {}), last epoch {last_epoch}",
@@ -198,16 +259,32 @@ fn main() {
     doc.push("batch", Json::U64(batch as u64));
     doc.push("queue_capacity", Json::U64(queue as u64));
     doc.push("ring_capacity", Json::U64(ring as u64));
-    doc.push("admission", Json::Str(if shed { "shed" } else { "defer" }.to_string()));
+    doc.push("admission", Json::Str(admission_label.clone()));
+    doc.push("deadline_ms", Json::U64(deadline_ms));
     doc.push("seed", Json::U64(seed));
     let mut totals = Json::obj();
     totals.push("submitted", Json::U64(report.submitted));
     totals.push("completed", Json::U64(report.completed));
     totals.push("shed", Json::U64(report.shed));
+    totals.push("retries", Json::U64(report.retries));
+    totals.push("abandoned", Json::U64(report.abandoned));
+    totals.push("deadline_exceeded", Json::U64(report.deadline_exceeded));
+    totals.push("failed", Json::U64(report.failed));
+    totals.push("degraded", Json::U64(report.degraded));
+    totals.push("partial", Json::U64(report.partial));
+    totals.push("completed_in_deadline", Json::U64(in_deadline));
+    totals.push("in_deadline_fraction", Json::F64(in_deadline as f64 / issued.max(1) as f64));
     totals.push("elapsed_s", Json::F64(report.elapsed_s));
     totals.push("throughput_qps", Json::F64(report.throughput));
     totals.push("checksum", Json::U64(report.checksum));
     doc.push("totals", totals);
+    let mut health_json = Json::obj();
+    health_json.push("writer", Json::Str(health.writer.label().to_string()));
+    health_json.push("workers_alive", Json::U64(health.workers_alive as u64));
+    health_json.push("worker_panics", Json::U64(health.worker_panics));
+    health_json.push("worker_respawns", Json::U64(health.worker_respawns));
+    health_json.push("stale_serving", Json::U64(health.stale_serving as u64));
+    doc.push("health", health_json);
     let mut classes = Json::obj();
     for class in QueryClass::ALL {
         classes.push(class.label(), class_json(&metrics, class, report.per_class[class.index()]));

@@ -92,7 +92,7 @@ fn main() {
 
     // Collisions vs orbital period (the paper's dotted curve).
     println!("\ncollisions vs orbital period (years at impact radius):");
-    let mut period_bins = vec![0u64; 12];
+    let mut period_bins = [0u64; 12];
     let p_lo = orbital_period(params.r_in * 0.9, params.star_mass);
     let p_hi = orbital_period(params.r_out * 1.1, params.star_mass);
     for ev in &sim.events {

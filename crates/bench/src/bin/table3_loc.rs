@@ -79,19 +79,16 @@ fn main() {
         count_lines(&section(&gravity, &["pub fn grav_exact", "pub fn grav_approx"]));
 
     println!("TABLE III: line counts of user code in the gravity application\n");
-    println!("{:<34} {:>10}  {}", "Role (this repo)", "Lines", "Paper equivalent");
+    println!("{:<34} {:>10}  Paper equivalent", "Role (this repo)", "Lines");
     println!("{}", "-".repeat(78));
+    println!("{:<34} {data_lines:>10}  CentroidData.h: 50 lines", "CentroidData (Data impl)");
     println!(
-        "{:<34} {:>10}  {}",
-        "CentroidData (Data impl)", data_lines, "CentroidData.h: 50 lines"
+        "{:<34} {visitor_lines:>10}  GravityVisitor.h: 45 lines",
+        "GravityVisitor (Visitor impl)"
     );
     println!(
-        "{:<34} {:>10}  {}",
-        "GravityVisitor (Visitor impl)", visitor_lines, "GravityVisitor.h: 45 lines"
-    );
-    println!(
-        "{:<34} {:>10}  {}",
-        "Numeric kernels (gravExact/Approx)", kernel_lines, "(counted in the 135 total)"
+        "{:<34} {kernel_lines:>10}  (counted in the 135 total)",
+        "Numeric kernels (gravExact/Approx)"
     );
 
     // Driver: the quickstart example is the paper's GravityMain.
@@ -112,10 +109,7 @@ fn main() {
 
     let user_total = data_lines + visitor_lines + kernel_lines;
     println!("{}", "-".repeat(78));
-    println!(
-        "{:<34} {:>10}  {}",
-        "gravity app total (excl. examples)", user_total, "paper: 135 lines"
-    );
+    println!("{:<34} {user_total:>10}  paper: 135 lines", "gravity app total (excl. examples)");
     println!("{:<34} {example_total:>10}", "all example drivers");
     println!();
     println!("For comparison, ChaNGa's Barnes-Hut-specific code is ~4,500 lines;");

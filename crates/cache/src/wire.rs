@@ -268,6 +268,7 @@ mod tests {
     }
 
     /// Hand-builds: root(internal) -> [leaf(2 particles), internal -> [leaf(1)]]
+    #[allow(clippy::vec_box)] // mirrors the cache's boxed-node storage
     fn sample_tree() -> Vec<Box<CacheNode<CountData>>> {
         let b = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
         let mk_leaf = |key: NodeKey, ids: &[u64]| {

@@ -187,12 +187,14 @@ fn racing_requests_and_fills_account_for_every_waiter() {
             for t in 0..8u64 {
                 let away_ref = &away;
                 let ready_ref = &ready;
-                s.spawn(move || match away_ref.request(ph, round * 100 + t) {
-                    paratreet_cache::RequestOutcome::Ready(n) => {
+                s.spawn(move || {
+                    // Non-Ready means parked; a fill must hand it back.
+                    if let paratreet_cache::RequestOutcome::Ready(n) =
+                        away_ref.request(ph, round * 100 + t)
+                    {
                         assert!(!n.is_placeholder());
                         ready_ref.fetch_add(1, Ordering::Relaxed);
                     }
-                    _ => {} // parked; a fill must hand it back
                 });
             }
             for _ in 0..2 {

@@ -51,7 +51,7 @@ fn make_world(n: usize) -> (CacheTree<CountData>, CacheTree<CountData>) {
 }
 
 /// All placeholder children directly under `node`, biggest first.
-fn placeholder_children<'a>(node: &'a CacheNode<CountData>) -> Vec<&'a CacheNode<CountData>> {
+fn placeholder_children(node: &CacheNode<CountData>) -> Vec<&CacheNode<CountData>> {
     let mut out: Vec<_> =
         node.children_iter(8).filter(|c| c.kind == NodeKind::Placeholder).collect();
     out.sort_by_key(|c| std::cmp::Reverse(c.n_particles));

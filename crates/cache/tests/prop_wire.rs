@@ -12,6 +12,7 @@ use std::sync::atomic::Ordering;
 
 /// Builds a random small tree of boxed cache nodes from a recursive
 /// shape description; returns all nodes (root first).
+#[allow(clippy::vec_box)] // mirrors the cache's boxed-node storage
 fn build_tree(shape: &Shape, key: NodeKey, nodes: &mut Vec<Box<CacheNode<CountData>>>) -> usize {
     let b = BoundingBox::new(Vec3::ZERO, Vec3::splat(1.0));
     match shape {

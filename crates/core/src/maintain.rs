@@ -718,7 +718,7 @@ mod tests {
         let (mut m, seeded) = TreeMaintainer::<CountData>::seed(&cfg, ps, false);
         let mut master = masters(&seeded);
         // Fling one particle far outside the box.
-        master[0].pos = master[0].pos + Vec3::splat(50.0);
+        master[0].pos += Vec3::splat(50.0);
         let (trees, round) = m.advance(master);
         assert!(round.full_rebuild);
         assert_eq!(m.totals().full_rebuilds, 1);

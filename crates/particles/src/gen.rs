@@ -342,7 +342,7 @@ mod tests {
         assert_eq!(ps[1].mass, 1.0e-3); // planet
         for p in &ps[2..] {
             let r = (p.pos.x * p.pos.x + p.pos.y * p.pos.y).sqrt();
-            assert!(r >= 2.0 && r <= 4.4, "radius {r} outside disk");
+            assert!((2.0..=4.4).contains(&r), "radius {r} outside disk");
             assert!(p.pos.z.abs() < 1.0, "disk should be thin");
             // Specific angular momentum points along +z (prograde).
             assert!(p.pos.cross(p.vel).z > 0.0);

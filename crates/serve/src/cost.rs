@@ -1,0 +1,179 @@
+//! The admission cost model: a lock-light EWMA of per-query service
+//! time, keyed by query class × entry-subtree population bucket.
+//!
+//! Workers feed it the same per-request execution durations that go
+//! into the `serve.latency.<class>.exec` component histograms; `submit`
+//! reads it to predict how long the queued backlog plus a candidate
+//! batch will take, and sheds when that prediction cannot fit the
+//! batch's deadline (or the configured backlog bound). Every cell is a
+//! single `AtomicU64` holding `f64` bits — observation is a relaxed
+//! load/blend/store with no locks; a racing pair of observers can lose
+//! one blend, which moves the estimate by at most one EWMA step and is
+//! irrelevant to an admission decision.
+//!
+//! Population buckets are `log2(entry-subtree particle count)`: query
+//! cost for all four kernels grows with the population of the Subtree
+//! the descent enters (deeper arenas, more buckets touched), so the
+//! bucket index is a cheap, monotone cost feature that both the
+//! observer (which knows the executed subtree) and the predictor
+//! (which resolves `entry_subtree` against the pinned head snapshot)
+//! can compute identically.
+
+use crate::request::QueryClass;
+use paratreet_telemetry::metrics::{MetricSource, MetricsRegistry};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Population buckets: `log2(population)` clamped to this many cells
+/// (2^23 ≈ 8M particles per Subtree saturates the top bucket).
+pub const POP_BUCKETS: usize = 24;
+
+/// EWMA blend factor per observation.
+const ALPHA: f64 = 0.2;
+
+/// The prior estimate used before any observation lands: a few µs per
+/// query, the right order of magnitude for every kernel on warm
+/// arenas. Predictions fall back class-wide, then to this.
+pub const DEFAULT_COST_NS: f64 = 4_000.0;
+
+/// The population bucket for an entry subtree holding `population`
+/// particles.
+#[inline]
+pub fn pop_bucket(population: usize) -> usize {
+    ((usize::BITS - population.leading_zeros()) as usize).min(POP_BUCKETS - 1)
+}
+
+/// One EWMA cell: `f64` bits in an atomic, 0.0 = never observed.
+fn blend(cell: &AtomicU64, ns: f64) {
+    let prev = f64::from_bits(cell.load(Relaxed));
+    let next = if prev == 0.0 { ns } else { prev + ALPHA * (ns - prev) };
+    cell.store(next.to_bits(), Relaxed);
+}
+
+fn read(cell: &AtomicU64) -> f64 {
+    f64::from_bits(cell.load(Relaxed))
+}
+
+/// Per-(class × population bucket) EWMA service-time model.
+#[derive(Debug, Default)]
+pub struct CostModel {
+    /// `cells[class][bucket]`, f64 ns bits; 0 = no observation yet.
+    cells: [[AtomicU64; POP_BUCKETS]; 4],
+    /// Class-wide fallback EWMA, fed by every observation.
+    class_wide: [AtomicU64; 4],
+    /// Observations absorbed (all cells).
+    observations: AtomicU64,
+}
+
+impl CostModel {
+    /// An empty model (predicts [`DEFAULT_COST_NS`] everywhere).
+    pub fn new() -> CostModel {
+        CostModel::default()
+    }
+
+    /// Absorbs one observed per-query execution time.
+    pub fn observe(&self, class: QueryClass, population: usize, ns: u64) {
+        let ns = ns as f64;
+        blend(&self.cells[class.index()][pop_bucket(population)], ns);
+        blend(&self.class_wide[class.index()], ns);
+        self.observations.fetch_add(1, Relaxed);
+    }
+
+    /// Predicted per-query service time in nanoseconds: the cell
+    /// estimate, falling back to the class-wide estimate, falling back
+    /// to [`DEFAULT_COST_NS`].
+    pub fn predict(&self, class: QueryClass, population: usize) -> f64 {
+        let cell = read(&self.cells[class.index()][pop_bucket(population)]);
+        if cell > 0.0 {
+            return cell;
+        }
+        let wide = read(&self.class_wide[class.index()]);
+        if wide > 0.0 {
+            return wide;
+        }
+        DEFAULT_COST_NS
+    }
+
+    /// Observations absorbed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations.load(Relaxed)
+    }
+}
+
+impl MetricSource for CostModel {
+    /// Registers `{prefix}.observations` and the class-wide estimates
+    /// `{prefix}.<class>.est_ns` (0 before the first observation) —
+    /// schema-stable: every key is present on every run.
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_u64(format!("{prefix}.observations"), self.observations());
+        for class in QueryClass::ALL {
+            registry.set_f64(
+                format!("{prefix}.{}.est_ns", class.label()),
+                read(&self.class_wide[class.index()]),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_bucket_is_monotone_and_clamped() {
+        let mut prev = 0;
+        for pop in [0usize, 1, 2, 3, 7, 8, 100, 1 << 10, 1 << 20, usize::MAX] {
+            let b = pop_bucket(pop);
+            assert!(b >= prev, "bucket not monotone at population {pop}");
+            assert!(b < POP_BUCKETS);
+            prev = b;
+        }
+        assert_eq!(pop_bucket(0), 0);
+        assert_ne!(pop_bucket(100), pop_bucket(1 << 20));
+        assert_eq!(pop_bucket(usize::MAX), POP_BUCKETS - 1);
+    }
+
+    #[test]
+    fn predict_falls_back_cell_to_class_to_default() {
+        let m = CostModel::new();
+        assert_eq!(m.predict(QueryClass::Knn, 100), DEFAULT_COST_NS);
+        // One observation in a different bucket: class-wide fallback.
+        m.observe(QueryClass::Knn, 1 << 20, 10_000);
+        assert_eq!(m.predict(QueryClass::Knn, 100), 10_000.0);
+        // The observed bucket answers exactly.
+        assert_eq!(m.predict(QueryClass::Knn, 1 << 20), 10_000.0);
+        // Other classes are untouched.
+        assert_eq!(m.predict(QueryClass::Ray, 1 << 20), DEFAULT_COST_NS);
+    }
+
+    #[test]
+    fn ewma_converges_toward_recent_observations() {
+        let m = CostModel::new();
+        for _ in 0..50 {
+            m.observe(QueryClass::Ball, 500, 2_000);
+        }
+        let settled = m.predict(QueryClass::Ball, 500);
+        assert!((settled - 2_000.0).abs() < 1.0, "settled at {settled}");
+        // A burst of slower queries pulls the estimate up but not all
+        // the way in one step.
+        m.observe(QueryClass::Ball, 500, 20_000);
+        let moved = m.predict(QueryClass::Ball, 500);
+        assert!(moved > settled && moved < 20_000.0, "one EWMA step: {moved}");
+        assert_eq!(m.observations(), 51);
+    }
+
+    #[test]
+    fn metric_source_is_schema_stable() {
+        let m = CostModel::new();
+        let mut r = MetricsRegistry::new();
+        r.absorb("serve.cost", &m);
+        for class in ["knn", "ball", "range", "ray"] {
+            assert!(r.contains(&format!("serve.cost.{class}.est_ns")));
+        }
+        assert_eq!(r.get_u64("serve.cost.observations"), 0);
+        m.observe(QueryClass::Knn, 64, 5_000);
+        let mut r = MetricsRegistry::new();
+        r.absorb("serve.cost", &m);
+        assert_eq!(r.get_f64("serve.cost.knn.est_ns"), 5_000.0);
+        assert_eq!(r.get_u64("serve.cost.observations"), 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! The graceful-degradation ladder: under sustained pressure the
+//! service steps through fidelity levels instead of falling over, and
+//! every degraded answer says so.
+//!
+//! Levels are 0 (full fidelity) through [`DegradeConfig::max_level`].
+//! Each level carries three per-class knobs:
+//!
+//! * **kNN `k` clamp** — a level caps the neighbour count; clients
+//!   asking for more get the `cap` nearest (the cheapest prefix of the
+//!   answer they wanted).
+//! * **ball radius scale** — a level shrinks ball-query radii, the
+//!   serving analog of raising a Barnes-Hut opening angle: the answer
+//!   covers a coarser (smaller) region for less work. When serving a
+//!   gravity-class workload through an embedding simulation the same
+//!   ladder slot is where an opening-angle boost belongs.
+//! * **range cap + partial cursor** — range scans are truncated at a
+//!   result-count cap and the response carries a resume cursor (the
+//!   last id returned, the dobonomodo S10 pipeline-executor shape):
+//!   ids are returned ascending, so the client resubmits the same box
+//!   with `resume_after` set to page through the rest.
+//!
+//! Every clamp that could change an answer marks the response
+//! `degraded` (and `partial` for truncation), so results are never
+//! silently wrong. The supervisor drives the ladder from the same
+//! pressure counters the flight-recorder series samples (queue-depth
+//! fraction, shed + deadline-miss deltas) through
+//! [`PressureTracker::tick`], with hysteresis so one spike does not
+//! flap the level.
+
+/// Ladder shape and pressure thresholds. `Copy` so [`crate::ServeConfig`]
+/// stays a plain value.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradeConfig {
+    /// Master switch; `false` pins the service at level 0.
+    pub enabled: bool,
+    /// Queue-depth fraction at or above which a supervisor tick counts
+    /// as pressure.
+    pub high_watermark: f64,
+    /// Queue-depth fraction at or below which a tick counts as calm
+    /// (between the watermarks neither counter advances).
+    pub low_watermark: f64,
+    /// Consecutive pressured ticks before stepping one level up.
+    pub step_up_ticks: u32,
+    /// Consecutive calm ticks before stepping one level down
+    /// (deliberately larger: recover slower than you degrade).
+    pub step_down_ticks: u32,
+    /// Highest level the ladder reaches (≤ 3).
+    pub max_level: u8,
+    /// Per-level kNN `k` cap (`usize::MAX` = no clamp). Index = level.
+    pub knn_k_cap: [usize; 4],
+    /// Per-level ball radius scale (1.0 = no change). Index = level.
+    pub ball_radius_scale: [f64; 4],
+    /// Per-level range result cap (`usize::MAX` = no truncation).
+    pub range_cap: [usize; 4],
+}
+
+impl Default for DegradeConfig {
+    fn default() -> DegradeConfig {
+        DegradeConfig {
+            enabled: true,
+            high_watermark: 0.75,
+            low_watermark: 0.25,
+            step_up_ticks: 2,
+            step_down_ticks: 10,
+            max_level: 3,
+            knn_k_cap: [usize::MAX, 64, 16, 8],
+            ball_radius_scale: [1.0, 1.0, 0.5, 0.25],
+            range_cap: [usize::MAX, 4096, 1024, 256],
+        }
+    }
+}
+
+impl DegradeConfig {
+    /// The ladder with degradation disabled (always level 0).
+    pub fn disabled() -> DegradeConfig {
+        DegradeConfig { enabled: false, ..DegradeConfig::default() }
+    }
+
+    /// The kNN cap at `level`.
+    pub fn k_cap(&self, level: u8) -> usize {
+        self.knn_k_cap[(level as usize).min(3)]
+    }
+
+    /// The ball radius scale at `level`.
+    pub fn radius_scale(&self, level: u8) -> f64 {
+        self.ball_radius_scale[(level as usize).min(3)]
+    }
+
+    /// The range result cap at `level`.
+    pub fn result_cap(&self, level: u8) -> usize {
+        self.range_cap[(level as usize).min(3)]
+    }
+}
+
+/// Hysteresis state for the supervisor's pressure loop. Pure — every
+/// transition is a deterministic function of the tick inputs, which is
+/// what makes the ladder unit-testable without threads.
+#[derive(Debug, Default)]
+pub struct PressureTracker {
+    pressured: u32,
+    calm: u32,
+    level: u8,
+    transitions: u64,
+}
+
+impl PressureTracker {
+    /// A tracker at level 0.
+    pub fn new() -> PressureTracker {
+        PressureTracker::default()
+    }
+
+    /// Current level.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Level changes so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// One supervisor tick: `depth_frac` is queue depth over capacity,
+    /// `misses` is the shed + deadline-exceeded delta since the last
+    /// tick. Returns `Some(new_level)` when the level changed.
+    pub fn tick(&mut self, cfg: &DegradeConfig, depth_frac: f64, misses: u64) -> Option<u8> {
+        if !cfg.enabled {
+            return None;
+        }
+        let pressured = depth_frac >= cfg.high_watermark || misses > 0;
+        let calm = depth_frac <= cfg.low_watermark && misses == 0;
+        if pressured {
+            self.calm = 0;
+            self.pressured += 1;
+            if self.pressured >= cfg.step_up_ticks && self.level < cfg.max_level.min(3) {
+                self.pressured = 0;
+                self.level += 1;
+                self.transitions += 1;
+                return Some(self.level);
+            }
+        } else if calm {
+            self.pressured = 0;
+            self.calm += 1;
+            if self.calm >= cfg.step_down_ticks && self.level > 0 {
+                self.calm = 0;
+                self.level -= 1;
+                self.transitions += 1;
+                return Some(self.level);
+            }
+        } else {
+            // Between the watermarks: hold position.
+            self.pressured = 0;
+            self.calm = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DegradeConfig {
+        DegradeConfig { step_up_ticks: 2, step_down_ticks: 3, ..DegradeConfig::default() }
+    }
+
+    #[test]
+    fn ladder_steps_up_under_sustained_pressure_only() {
+        let cfg = cfg();
+        let mut t = PressureTracker::new();
+        // One spike does not step.
+        assert_eq!(t.tick(&cfg, 0.9, 0), None);
+        assert_eq!(t.level(), 0);
+        // A calm tick resets the streak.
+        assert_eq!(t.tick(&cfg, 0.0, 0), None);
+        assert_eq!(t.tick(&cfg, 0.9, 0), None);
+        // Two consecutive pressured ticks step to 1.
+        assert_eq!(t.tick(&cfg, 0.9, 0), Some(1));
+        // Misses alone count as pressure, regardless of depth.
+        assert_eq!(t.tick(&cfg, 0.0, 5), None);
+        assert_eq!(t.tick(&cfg, 0.0, 5), Some(2));
+        assert_eq!(t.transitions(), 2);
+    }
+
+    #[test]
+    fn ladder_recovers_slowly_and_clamps_at_bounds() {
+        let cfg = cfg();
+        let mut t = PressureTracker::new();
+        for _ in 0..20 {
+            t.tick(&cfg, 1.0, 10);
+        }
+        assert_eq!(t.level(), 3, "ladder tops out at max_level");
+        // Recovery needs step_down_ticks consecutive calm ticks per level.
+        assert_eq!(t.tick(&cfg, 0.1, 0), None);
+        assert_eq!(t.tick(&cfg, 0.1, 0), None);
+        assert_eq!(t.tick(&cfg, 0.1, 0), Some(2));
+        // Mid-band ticks hold position.
+        assert_eq!(t.tick(&cfg, 0.5, 0), None);
+        assert_eq!(t.level(), 2);
+        for _ in 0..20 {
+            t.tick(&cfg, 0.0, 0);
+        }
+        assert_eq!(t.level(), 0, "ladder bottoms out at 0");
+    }
+
+    #[test]
+    fn disabled_ladder_never_moves() {
+        let cfg = DegradeConfig::disabled();
+        let mut t = PressureTracker::new();
+        for _ in 0..50 {
+            assert_eq!(t.tick(&cfg, 1.0, 100), None);
+        }
+        assert_eq!(t.level(), 0);
+    }
+
+    #[test]
+    fn level_knobs_read_defaults() {
+        let cfg = DegradeConfig::default();
+        assert_eq!(cfg.k_cap(0), usize::MAX);
+        assert_eq!(cfg.k_cap(3), 8);
+        assert_eq!(cfg.radius_scale(0), 1.0);
+        assert!(cfg.radius_scale(3) < 1.0);
+        assert_eq!(cfg.result_cap(2), 1024);
+    }
+}

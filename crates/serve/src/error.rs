@@ -1,23 +1,65 @@
-//! Structured service errors — admission control speaks through these.
+//! Structured service errors — admission control, deadlines, and the
+//! supervision layer all speak through these. No path in the service
+//! answers a client with a panic: every way a request can fail is a
+//! [`ServeError`] variant a client can match on.
 
 use std::fmt;
 
-/// Why the service declined a submission.
+/// Why the service declined — or failed — a submission or a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeError {
     /// Admission control shed the batch: the work queue was at
-    /// capacity under the `Shed` policy. Carries the observed depth
-    /// and the bound so clients can implement informed retry/backoff.
+    /// capacity under the depth policy (the `Shed` fallback knob, or
+    /// the hard cap behind cost-based admission). Carries the observed
+    /// depth and the bound so clients can implement informed
+    /// retry/backoff.
     Overloaded {
         /// Queue depth at rejection time.
         depth: usize,
         /// The queue's capacity.
         capacity: usize,
     },
+    /// Cost-based admission shed the batch: the predicted completion
+    /// time (queued backlog plus this batch's predicted service time)
+    /// exceeds the batch's deadline budget — or, with no deadline, the
+    /// configured backlog-time bound. Retrying immediately cannot
+    /// help; the deadline will not move.
+    OverBudget {
+        /// Predicted nanoseconds until this batch would complete.
+        predicted_ns: u64,
+        /// The budget it had to fit in (deadline remainder or the
+        /// backlog bound), nanoseconds.
+        budget_ns: u64,
+    },
+    /// The request's deadline expired while it waited in the queue;
+    /// it was dropped at pop time instead of being executed uselessly.
+    /// Carries how late it already was when a worker saw it.
+    DeadlineExceeded {
+        /// Nanoseconds past the deadline at pop time.
+        late_ns: u64,
+    },
+    /// The worker executing this request's batch panicked. The panic
+    /// was isolated (caught at the batch boundary) and the worker
+    /// respawned; the request itself was not answered and may be
+    /// safely retried.
+    WorkerPanicked,
     /// No snapshot has been published yet; there is nothing to query.
     NotReady,
     /// The service is shutting down; no further work is accepted.
     ShuttingDown,
+}
+
+impl ServeError {
+    /// True for errors a client may reasonably retry after backoff
+    /// (transient pressure or startup), false for errors retrying
+    /// cannot fix ([`ServeError::OverBudget`]: the deadline will not
+    /// move; [`ServeError::ShuttingDown`]: the service is going away).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Overloaded { .. } | ServeError::NotReady | ServeError::WorkerPanicked
+        )
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -26,6 +68,14 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded { depth, capacity } => {
                 write!(f, "overloaded: queue depth {depth} at capacity {capacity}")
             }
+            ServeError::OverBudget { predicted_ns, budget_ns } => write!(
+                f,
+                "over budget: predicted completion in {predicted_ns}ns exceeds budget {budget_ns}ns"
+            ),
+            ServeError::DeadlineExceeded { late_ns } => {
+                write!(f, "deadline exceeded: {late_ns}ns late at pop time")
+            }
+            ServeError::WorkerPanicked => write!(f, "worker panicked executing this batch"),
             ServeError::NotReady => write!(f, "no snapshot published yet"),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
         }

@@ -7,6 +7,13 @@
 //! produce bit-identical result checksums — the replay property — while
 //! runs against a live writer legitimately differ only in which epoch
 //! answered each query.
+//!
+//! Overload is *measured*, never fatal: retryable submit failures
+//! (`Overloaded`, `NotReady`) back off with deterministic seeded
+//! jitter and retry a bounded number of times; non-retryable ones
+//! (`OverBudget` — the deadline will not move) are charged as sheds
+//! immediately. Error *responses* (deadline expiry in queue, a
+//! panicked worker) are tallied per kind in the [`LoadReport`].
 
 use crate::request::{Query, QueryClass, Request, Response};
 use crate::service::QueryService;
@@ -14,15 +21,21 @@ use crate::ServeError;
 use paratreet_geometry::{BoundingBox, Vec3};
 use paratreet_tree::Data;
 use rand::{Rng, SeedableRng, StdRng};
+use std::time::Duration;
 
-/// Folds one response into the order-independent run checksum: the
-/// XOR over responses of a per-response mix of client, sequence
-/// number, and result checksum. Epochs are deliberately excluded —
-/// they vary under a live writer; the *results per request* are what
-/// replays compare.
+/// Folds one response into the order-independent run checksum: the XOR
+/// over responses of a per-response mix of client, sequence number, and
+/// result checksum. Epochs are deliberately excluded — they vary under
+/// a live writer; the *results per request* are what replays compare.
+/// Non-full-fidelity responses (errors, degraded, partial) contribute 0
+/// so the fold stays comparable across clean, degraded, and chaos runs.
 pub fn checksum_fold(resp: &Response) -> u64 {
+    if !resp.is_full_fidelity() {
+        return 0;
+    }
+    let Ok(result) = &resp.result else { return 0 };
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for v in [resp.client as u64, resp.seq as u64, resp.result.checksum()] {
+    for v in [resp.client as u64, resp.seq as u64, result.checksum()] {
         h = (h ^ v).wrapping_mul(0x100_0000_01b3);
     }
     h
@@ -41,11 +54,28 @@ pub struct LoadConfig {
     pub batch: usize,
     /// Neighbour count for kNN queries.
     pub k: usize,
-    /// Stream seed: same seed, same query streams.
+    /// Stream seed: same seed, same query streams (and same retry
+    /// jitter).
     pub seed: u64,
     /// Relative class weights, [`QueryClass::ALL`] order
     /// (knn, ball, range, ray).
     pub mix: [u32; 4],
+    /// Per-request completion deadline (`None` = no deadlines).
+    pub deadline: Option<Duration>,
+    /// Retry attempts after a retryable submit failure before the
+    /// batch is abandoned. 0 = shed immediately, the pre-ISSUE-9
+    /// behaviour.
+    pub max_retries: u32,
+    /// Base backoff before a retry; attempt `a` sleeps
+    /// `backoff × 2^a × jitter` with jitter drawn in `[0.5, 1.5)` from
+    /// a seeded stream, so two same-seed runs back off identically.
+    pub retry_backoff: Duration,
+    /// Inter-batch gap per driver thread (`None` = submit as fast as
+    /// possible). Paced load offers the same arrival timeline to every
+    /// admission policy, which is what makes shed-vs-cost in-deadline
+    /// fractions comparable: an unpaced driver finishes early exactly
+    /// when admission sheds fast, cutting the slower arm's run short.
+    pub pace: Option<Duration>,
 }
 
 impl Default for LoadConfig {
@@ -58,6 +88,10 @@ impl Default for LoadConfig {
             k: 8,
             seed: 42,
             mix: [4, 3, 2, 1],
+            deadline: None,
+            max_retries: 3,
+            retry_backoff: Duration::from_micros(200),
+            pace: None,
         }
     }
 }
@@ -67,21 +101,34 @@ impl Default for LoadConfig {
 pub struct LoadReport {
     /// Queries accepted by the service.
     pub submitted: u64,
-    /// Queries whose responses came back.
+    /// Queries answered with an `Ok` result.
     pub completed: u64,
-    /// Queries shed by admission control.
+    /// Queries shed by admission control (all reasons, after retries).
     pub shed: u64,
+    /// Submit retry attempts performed.
+    pub retries: u64,
+    /// Queries abandoned after exhausting retries.
+    pub abandoned: u64,
+    /// Queries answered `Err(DeadlineExceeded)` — expired in queue.
+    pub deadline_exceeded: u64,
+    /// Queries answered with any other structured error (e.g.
+    /// `WorkerPanicked`).
+    pub failed: u64,
+    /// `Ok` answers marked degraded by the ladder.
+    pub degraded: u64,
+    /// `Ok` answers carrying a partial resume cursor.
+    pub partial: u64,
     /// Queries generated per class ([`QueryClass::ALL`] order).
     pub per_class: [u64; 4],
     /// Wall seconds from first submit to last response.
     pub elapsed_s: f64,
     /// Completed queries per second.
     pub throughput: f64,
-    /// Lowest snapshot epoch observed in a response.
+    /// Lowest snapshot epoch observed in an `Ok` response.
     pub min_epoch: u64,
-    /// Highest snapshot epoch observed in a response.
+    /// Highest snapshot epoch observed in an `Ok` response.
     pub max_epoch: u64,
-    /// Order-independent XOR of response checksums (see
+    /// Order-independent XOR of full-fidelity response checksums (see
     /// [`checksum_fold`]).
     pub checksum: u64,
 }
@@ -115,6 +162,7 @@ pub fn random_query(rng: &mut StdRng, universe: &BoundingBox, k: usize, mix: &[u
         }
         QueryClass::Range => Query::Range {
             bbox: BoundingBox::cube(point(rng), extent * rng.random_range(0.02..0.08)),
+            resume_after: None,
         },
         QueryClass::Ray => {
             let origin = point(rng);
@@ -125,8 +173,10 @@ pub fn random_query(rng: &mut StdRng, universe: &BoundingBox, k: usize, mix: &[u
 }
 
 /// Drives `config.clients` simulated clients against `service` and
-/// blocks until every accepted query is answered. Sheds are counted,
-/// not retried (the service's own `serve.queries.shed` agrees).
+/// blocks until every accepted query is answered. Submit failures are
+/// retried (retryable kinds, bounded) or charged to the report —
+/// overload experiments measure behaviour instead of crashing the
+/// driver.
 pub fn run_load<D: Data>(
     service: &QueryService<D>,
     universe: BoundingBox,
@@ -150,6 +200,12 @@ pub fn run_load<D: Data>(
         report.submitted += p.submitted;
         report.completed += p.completed;
         report.shed += p.shed;
+        report.retries += p.retries;
+        report.abandoned += p.abandoned;
+        report.deadline_exceeded += p.deadline_exceeded;
+        report.failed += p.failed;
+        report.degraded += p.degraded;
+        report.partial += p.partial;
         for i in 0..4 {
             report.per_class[i] += p.per_class[i];
         }
@@ -179,13 +235,30 @@ fn drive_clients<D: Data>(
     let mut accepted_batches = 0u64;
     let mut received_batches = 0u64;
     let batch_len = config.batch.max(1);
+    // The retry jitter stream is seeded independently of the query
+    // streams, so backing off never perturbs what queries are issued.
+    let mut retry_rng = StdRng::seed_from_u64(
+        config.seed ^ 0xA076_1D64_78BD_642F ^ (thread_index as u64).wrapping_mul(0x9E37_79B9),
+    );
 
     let absorb = |report: &mut LoadReport, responses: Vec<Response>| {
         for resp in &responses {
-            report.completed += 1;
-            report.min_epoch = report.min_epoch.min(resp.epoch);
-            report.max_epoch = report.max_epoch.max(resp.epoch);
-            report.checksum ^= checksum_fold(resp);
+            match &resp.result {
+                Ok(_) => {
+                    report.completed += 1;
+                    report.min_epoch = report.min_epoch.min(resp.epoch);
+                    report.max_epoch = report.max_epoch.max(resp.epoch);
+                    if resp.degraded {
+                        report.degraded += 1;
+                    }
+                    if resp.partial.is_some() {
+                        report.partial += 1;
+                    }
+                    report.checksum ^= checksum_fold(resp);
+                }
+                Err(ServeError::DeadlineExceeded { .. }) => report.deadline_exceeded += 1,
+                Err(_) => report.failed += 1,
+            }
         }
     };
 
@@ -198,9 +271,21 @@ fn drive_clients<D: Data>(
         for seq in 0..config.queries_per_client {
             let query = random_query(&mut rng, universe, config.k, &config.mix);
             report.per_class[query.class().index()] += 1;
-            pending.push(Request::new(client as u32, seq as u32, query));
+            let request = match config.deadline {
+                Some(d) => Request::with_deadline(client as u32, seq as u32, query, d),
+                None => Request::new(client as u32, seq as u32, query),
+            };
+            pending.push(request);
             if pending.len() == batch_len {
-                submit_batch(service, &mut pending, &tx, &mut report, &mut accepted_batches);
+                submit_batch(
+                    service,
+                    &mut pending,
+                    &tx,
+                    &mut report,
+                    &mut accepted_batches,
+                    config,
+                    &mut retry_rng,
+                );
                 // Keep memory bounded: absorb whatever already came back.
                 while let Ok(responses) = rx.try_recv() {
                     received_batches += 1;
@@ -209,7 +294,15 @@ fn drive_clients<D: Data>(
             }
         }
         if !pending.is_empty() {
-            submit_batch(service, &mut pending, &tx, &mut report, &mut accepted_batches);
+            submit_batch(
+                service,
+                &mut pending,
+                &tx,
+                &mut report,
+                &mut accepted_batches,
+                config,
+                &mut retry_rng,
+            );
         }
         client += threads;
     }
@@ -223,22 +316,50 @@ fn drive_clients<D: Data>(
     report
 }
 
-/// Submits one batch, charging sheds to the report.
+/// Submits one batch, retrying retryable failures with bounded,
+/// deterministically jittered backoff and charging the rest to the
+/// report. No failure path panics.
 fn submit_batch<D: Data>(
     service: &QueryService<D>,
     pending: &mut Vec<Request>,
     tx: &crossbeam::channel::Sender<Vec<Response>>,
     report: &mut LoadReport,
     accepted_batches: &mut u64,
+    config: &LoadConfig,
+    retry_rng: &mut StdRng,
 ) {
     let batch = std::mem::take(pending);
     let n = batch.len() as u64;
-    match service.submit(batch, Some(tx.clone())) {
-        Ok(()) => {
-            report.submitted += n;
-            *accepted_batches += 1;
+    let mut attempt = 0u32;
+    loop {
+        // `submit` consumes the batch and returns nothing on failure;
+        // requests are `Copy`, so clone per attempt.
+        match service.submit(batch.clone(), Some(tx.clone())) {
+            Ok(()) => {
+                report.submitted += n;
+                *accepted_batches += 1;
+                break;
+            }
+            Err(e) if e.is_retryable() && attempt < config.max_retries => {
+                attempt += 1;
+                report.retries += 1;
+                // Seeded jitter in [0.5, 1.5), doubling per attempt.
+                let jitter = 0.5 + retry_rng.random_range(0.0..1.0);
+                let backoff =
+                    config.retry_backoff.mul_f64(jitter * (1u64 << (attempt - 1).min(16)) as f64);
+                std::thread::sleep(backoff);
+            }
+            Err(e) => {
+                report.shed += n;
+                if e.is_retryable() {
+                    // Retries exhausted on a transient failure.
+                    report.abandoned += n;
+                }
+                break;
+            }
         }
-        Err(ServeError::Overloaded { .. }) => report.shed += n,
-        Err(e) => panic!("unexpected submit failure: {e}"),
+    }
+    if let Some(pace) = config.pace {
+        std::thread::sleep(pace);
     }
 }

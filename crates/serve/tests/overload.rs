@@ -1,0 +1,330 @@
+//! Overload-resilience tests (ISSUE 9): deterministic cost-based
+//! admission, deadline expiry in queue, same-seed overload replay, and
+//! the chaos criteria — a worker panic mid-load and a writer kill must
+//! leave the service answering, with unaffected answers bit-identical
+//! to a clean same-seed run.
+
+use paratreet_core::{Configuration, TreeMaintainer};
+use paratreet_particles::{gen, Particle};
+use paratreet_serve::{
+    run_load, AdmissionPolicy, FailPoints, LoadConfig, Query, QueryService, Request, Response,
+    ServeConfig, ServeError, WriterConfig, WriterState,
+};
+use paratreet_tree::CountData;
+use rand::{SeedableRng, StdRng};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn config() -> Configuration {
+    let mut config =
+        Configuration { n_subtrees: 6, n_partitions: 4, bucket_size: 16, ..Default::default() };
+    config.incremental.enabled = true;
+    config
+}
+
+/// Deterministic small drift, same shape as the service tests.
+fn drift(particles: &mut [Particle], iteration: u64) {
+    for p in particles.iter_mut() {
+        let h = p.id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ iteration;
+        p.pos.x += ((h & 0xFF) as f64 / 255.0 - 0.5) * 2e-3;
+        p.pos.y += ((h >> 8 & 0xFF) as f64 / 255.0 - 0.5) * 2e-3;
+        p.pos.z += ((h >> 16 & 0xFF) as f64 / 255.0 - 0.5) * 2e-3;
+    }
+}
+
+/// Cost-based admission with zero workers is a pure function of the
+/// default cost estimate: nothing drains, nothing is observed, so the
+/// exact accept/shed boundary is computable — and identical across
+/// runs.
+#[test]
+fn cost_admission_sheds_deterministically_at_the_backlog_bound() {
+    let run = || {
+        let cfg = config();
+        let particles = gen::uniform_cube(500, 3, 1.0, 1.0);
+        let (maintainer, seed_trees) = TreeMaintainer::<CountData>::seed(&cfg, particles, false);
+        let universe = maintainer.universe();
+        let service: QueryService<CountData> = QueryService::new(ServeConfig {
+            workers: 0,
+            queue_capacity: 512,
+            ring_capacity: 4,
+            admission: AdmissionPolicy::CostAware,
+            max_backlog: Some(Duration::from_millis(1)),
+            ..ServeConfig::default()
+        });
+        service.publish(seed_trees, universe);
+
+        let mut accepted = 0u64;
+        let mut over_budget = 0u64;
+        for i in 0..300u32 {
+            let batch = vec![Request::new(i, 0, Query::Knn { pos: universe.center(), k: 4 })];
+            match service.submit(batch, None) {
+                Ok(()) => accepted += 1,
+                Err(ServeError::OverBudget { predicted_ns, budget_ns }) => {
+                    assert!(predicted_ns > budget_ns);
+                    over_budget += 1;
+                }
+                other => panic!("batch {i}: unexpected {other:?}"),
+            }
+        }
+        let m = service.metrics();
+        assert_eq!(m.get_u64("serve.queries.submitted"), accepted);
+        assert_eq!(m.get_u64("serve.shed.predicted"), over_budget);
+        assert_eq!(m.get_u64("serve.shed.depth"), 0, "cost model shed before the queue filled");
+        (accepted, over_budget)
+    };
+    let (accepted, over_budget) = run();
+    // 1ms backlog bound / 4µs default estimate = 250 batches fit.
+    assert_eq!(accepted, 250);
+    assert_eq!(over_budget, 50);
+    assert_eq!(run(), (accepted, over_budget), "same seed, same admission decisions");
+}
+
+/// A request whose deadline passed while it sat in the queue is
+/// answered with a structured `DeadlineExceeded`, never executed; live
+/// requests in the same batch still get full answers.
+#[test]
+fn expired_in_queue_requests_get_structured_errors() {
+    let cfg = config();
+    let particles = gen::uniform_cube(500, 3, 1.0, 1.0);
+    let (maintainer, seed_trees) = TreeMaintainer::<CountData>::seed(&cfg, particles, false);
+    let universe = maintainer.universe();
+    let mut service: QueryService<CountData> = QueryService::new(ServeConfig {
+        workers: 1,
+        admission: AdmissionPolicy::Defer,
+        ..ServeConfig::default()
+    });
+    service.publish(seed_trees, universe);
+
+    let query = Query::Knn { pos: universe.center(), k: 4 };
+    let batch = vec![
+        // Already expired at submission: the pop-time check must catch it.
+        Request::with_deadline(0, 0, query, Duration::ZERO),
+        Request::with_deadline(0, 1, query, Duration::from_secs(60)),
+    ];
+    let (tx, rx) = crossbeam::channel::unbounded::<Vec<Response>>();
+    service.submit(batch, Some(tx)).unwrap();
+    let responses = rx.recv().expect("batch answered");
+    assert_eq!(responses.len(), 2);
+    let by_seq: BTreeMap<u32, &Response> = responses.iter().map(|r| (r.seq, r)).collect();
+    match &by_seq[&0].result {
+        Err(ServeError::DeadlineExceeded { .. }) => {}
+        other => panic!("expired request: expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(!by_seq[&0].is_full_fidelity());
+    assert!(by_seq[&1].result.is_ok(), "live request in the same batch still answered");
+
+    let report = service.shutdown();
+    assert!(report.is_clean(), "{report:?}");
+    let m = service.metrics();
+    assert_eq!(m.get_u64("serve.deadline_exceeded"), 1);
+    assert_eq!(m.get_u64("serve.latency.knn.deadline_exceeded"), 1);
+    assert_eq!(m.get_u64("serve.queries.completed"), 1);
+}
+
+/// Sustained overload replays deterministically: two same-seed load
+/// runs against identically-configured over-budget services report
+/// identical shed counts, and two all-expired-deadline runs report
+/// identical deadline counts.
+#[test]
+fn same_seed_overload_runs_report_identical_counts() {
+    // Arm 1: every batch is over budget (1ns bound vs 4µs estimate) —
+    // everything sheds at admission, nothing needs draining.
+    let shed_run = || {
+        let cfg = config();
+        let particles = gen::uniform_cube(400, 11, 1.0, 1.0);
+        let (maintainer, seed_trees) = TreeMaintainer::<CountData>::seed(&cfg, particles, false);
+        let universe = maintainer.universe();
+        let service: QueryService<CountData> = QueryService::new(ServeConfig {
+            workers: 0,
+            admission: AdmissionPolicy::CostAware,
+            max_backlog: Some(Duration::from_nanos(1)),
+            ..ServeConfig::default()
+        });
+        service.publish(seed_trees, universe);
+        let load = LoadConfig {
+            clients: 60,
+            queries_per_client: 10,
+            threads: 3,
+            batch: 8,
+            k: 4,
+            seed: 31,
+            ..LoadConfig::default()
+        };
+        let r = run_load(&service, universe, &load);
+        (r.submitted, r.shed, r.retries, r.abandoned, r.per_class, r.checksum)
+    };
+    let a = shed_run();
+    assert_eq!(a.0, 0, "nothing fits a 1ns backlog bound");
+    assert_eq!(a.1, 600, "every query shed");
+    assert_eq!(a.2, 0, "OverBudget is not retryable");
+    assert_eq!(a, shed_run(), "same seed, same shed counts");
+
+    // Arm 2: every request expires in queue (zero deadline) — answered,
+    // but as structured deadline errors.
+    let deadline_run = || {
+        let cfg = config();
+        let particles = gen::uniform_cube(400, 11, 1.0, 1.0);
+        let (maintainer, seed_trees) = TreeMaintainer::<CountData>::seed(&cfg, particles, false);
+        let universe = maintainer.universe();
+        let mut service: QueryService<CountData> = QueryService::new(ServeConfig {
+            workers: 1,
+            admission: AdmissionPolicy::Defer,
+            ..ServeConfig::default()
+        });
+        service.publish(seed_trees, universe);
+        let load = LoadConfig {
+            clients: 60,
+            queries_per_client: 10,
+            threads: 3,
+            batch: 8,
+            k: 4,
+            seed: 31,
+            deadline: Some(Duration::ZERO),
+            ..LoadConfig::default()
+        };
+        let r = run_load(&service, universe, &load);
+        service.shutdown();
+        (r.submitted, r.completed, r.deadline_exceeded, r.checksum)
+    };
+    let b = deadline_run();
+    assert_eq!(b, (600, 0, 600, 0), "every query expired in queue");
+    assert_eq!(b, deadline_run(), "same seed, same deadline counts");
+}
+
+/// Builds the deterministic request stream the chaos test replays:
+/// `batches` batches of `per_batch` seeded queries, client = batch
+/// index, seq = position.
+fn chaos_batches(universe: &paratreet_geometry::BoundingBox) -> Vec<Vec<Request>> {
+    (0..40u32)
+        .map(|b| {
+            (0..8u32)
+                .map(|s| {
+                    let mut rng = StdRng::seed_from_u64(977 ^ ((b as u64) << 8 | s as u64));
+                    let query =
+                        paratreet_serve::load::random_query(&mut rng, universe, 5, &[1, 1, 1, 1]);
+                    Request::new(b, s, query)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the chaos request stream against a fresh same-seed service,
+/// optionally with an injected worker panic, and returns every
+/// response keyed by `(client, seq)`.
+fn chaos_run(fail: FailPoints) -> (BTreeMap<(u32, u32), Response>, QueryService<CountData>) {
+    let cfg = config();
+    let particles = gen::clustered(2000, 3, 21, 1.0, 1.0);
+    let (maintainer, seed_trees) = TreeMaintainer::<CountData>::seed(&cfg, particles, false);
+    let universe = maintainer.universe();
+    let service: QueryService<CountData> = QueryService::new(ServeConfig {
+        workers: 1, // single worker: batch pop order == submit order
+        queue_capacity: 256,
+        admission: AdmissionPolicy::Defer,
+        fail,
+        ..ServeConfig::default()
+    });
+    service.publish(seed_trees, universe);
+
+    let (tx, rx) = crossbeam::channel::unbounded::<Vec<Response>>();
+    let batches = chaos_batches(&universe);
+    let n_batches = batches.len();
+    for batch in batches {
+        service.submit(batch, Some(tx.clone())).unwrap();
+    }
+    let mut responses = BTreeMap::new();
+    for _ in 0..n_batches {
+        for resp in rx.recv().expect("batch answered") {
+            responses.insert((resp.client, resp.seq), resp);
+        }
+    }
+    (responses, service)
+}
+
+/// Chaos criterion: a worker panic mid-load. The run completes without
+/// aborting, the poisoned batch is answered with structured errors,
+/// every other answer is bit-identical to a clean same-seed run, and
+/// the supervisor respawned the worker.
+#[test]
+fn worker_panic_mid_load_answers_everything_and_respawns() {
+    let (clean, mut clean_service) = chaos_run(FailPoints::default());
+    let (chaos, mut chaos_service) =
+        chaos_run(FailPoints { worker_panic_at_batch: Some(5), ..FailPoints::default() });
+    assert_eq!(clean.len(), 320);
+    assert_eq!(chaos.len(), 320, "every request answered despite the panic");
+
+    for ((client, seq), resp) in &chaos {
+        if *client == 4 {
+            // The 5th popped batch (client index 4) hit the fail point.
+            assert_eq!(resp.result, Err(ServeError::WorkerPanicked), "({client},{seq})");
+        } else {
+            let clean_resp = &clean[&(*client, *seq)];
+            let (a, b) = (resp.result.as_ref().unwrap(), clean_resp.result.as_ref().unwrap());
+            assert_eq!(a.checksum(), b.checksum(), "({client},{seq}) diverged from clean run");
+            assert!(resp.is_full_fidelity());
+        }
+    }
+
+    let health = chaos_service.health();
+    assert_eq!(health.worker_panics, 1);
+    assert_eq!(health.worker_respawns, 1, "supervisor replaced the panicked worker");
+    assert!(!health.quarantined);
+    let report = chaos_service.shutdown();
+    assert_eq!(report.workers.spawned, 2, "initial worker + one respawn");
+    assert_eq!(report.workers.panicked, 1);
+    assert!(clean_service.shutdown().is_clean());
+}
+
+/// Chaos criterion: the writer dies mid-run. Readers keep serving the
+/// last published snapshot, health reports stale-serving with a
+/// staleness bound, and shutdown surfaces the panic as data.
+#[test]
+fn writer_kill_enters_stale_serving_and_readers_keep_answering() {
+    let cfg = config();
+    let particles = gen::clustered(1500, 3, 29, 1.0, 1.0);
+    let (maintainer, seed_trees) = TreeMaintainer::<CountData>::seed(&cfg, particles, false);
+    let universe = maintainer.universe();
+    let mut service: QueryService<CountData> = QueryService::new(ServeConfig {
+        workers: 1,
+        admission: AdmissionPolicy::Defer,
+        fail: FailPoints { writer_panic_at_epoch: Some(2), ..FailPoints::default() },
+        ..ServeConfig::default()
+    });
+    service.spawn_writer(
+        maintainer,
+        seed_trees,
+        Box::new(drift),
+        WriterConfig { iterations: u64::MAX, pace: None },
+    );
+
+    // Wait (bounded) for the injected writer death.
+    let t0 = std::time::Instant::now();
+    while service.health().writer != WriterState::Panicked {
+        assert!(t0.elapsed() < Duration::from_secs(20), "writer never hit the fail point");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let health = service.health();
+    assert!(health.stale_serving);
+    assert_eq!(service.current_epoch(), Some(1), "epoch 2 was never published");
+
+    // Readers still answer from the last snapshot.
+    let (tx, rx) = crossbeam::channel::unbounded::<Vec<Response>>();
+    let batch = vec![Request::new(0, 0, Query::Knn { pos: universe.center(), k: 4 })];
+    service.submit(batch, Some(tx)).unwrap();
+    let responses = rx.recv().expect("stale-serving still answers");
+    assert!(responses[0].result.is_ok());
+    assert_eq!(responses[0].epoch, 1);
+
+    // Staleness grows as wall time passes without publishes.
+    std::thread::sleep(Duration::from_millis(5));
+    let health = service.health();
+    assert!(health.last_publish_age.is_some());
+
+    let report = service.shutdown();
+    assert_eq!(report.writer, paratreet_serve::JoinOutcome::Panicked);
+    assert_eq!(report.last_epoch, Some(1));
+    assert_eq!(report.workers.panicked, 0, "workers were untouched");
+    let m = service.metrics();
+    assert_eq!(m.get_u64("serve.writer.state"), WriterState::Panicked.code());
+    assert_eq!(m.get_u64("serve.stale_serving"), 1);
+}

@@ -42,6 +42,7 @@ fn live_service_answers_everything_under_defer() {
         queue_capacity: 64,
         ring_capacity: 8,
         admission: AdmissionPolicy::Defer,
+        ..ServeConfig::default()
     });
     service.spawn_writer(
         maintainer,
@@ -71,7 +72,9 @@ fn live_service_answers_everything_under_defer() {
         report.per_class
     );
 
-    let last = service.shutdown().expect("writer ran");
+    let shutdown = service.shutdown();
+    assert!(shutdown.is_clean(), "clean run joins cleanly: {shutdown:?}");
+    let last = shutdown.last_epoch.expect("writer ran");
     assert!(last >= 1, "writer advanced at least once");
     let m = service.metrics();
     assert_eq!(m.get_u64("serve.queries.completed"), expected);
@@ -104,6 +107,7 @@ fn shed_policy_rejects_deterministically_when_nothing_drains() {
         queue_capacity: 4,
         ring_capacity: 4,
         admission: AdmissionPolicy::Shed,
+        ..ServeConfig::default()
     });
     service.publish(seed_trees, universe);
 
@@ -171,7 +175,10 @@ fn pinned_epoch_replay_is_bit_identical_across_runs() {
             })
             .collect();
         let responses = execute_batch(&pin, &requests, &mut QueryScratch::default());
-        responses.iter().map(|r| (r.client, r.result.checksum())).collect::<Vec<_>>()
+        responses
+            .iter()
+            .map(|r| (r.client, r.result.as_ref().expect("pure execution").checksum()))
+            .collect::<Vec<_>>()
     };
     let a = run();
     let b = run();
@@ -242,6 +249,33 @@ fn metrics_schema_is_stable_with_zero_traffic() {
             );
         }
         assert_eq!(m.get_u64(&format!("serve.latency.{class}.count")), 0);
+        // ISSUE 9 per-class overload counters and cost estimates.
+        assert!(m.contains(&format!("serve.latency.{class}.deadline_exceeded")));
+        assert!(m.contains(&format!("serve.latency.{class}.degraded")));
+        assert!(m.contains(&format!("serve.cost.{class}.est_ns")));
+    }
+    // ISSUE 9 global overload / supervision keys are always exported,
+    // zero or not, so dashboards and `--check` comparisons never miss.
+    for key in [
+        "serve.queries.completed_in_deadline",
+        "serve.shed.depth",
+        "serve.shed.predicted",
+        "serve.deadline_exceeded",
+        "serve.degraded",
+        "serve.partial",
+        "serve.degrade.level",
+        "serve.degrade.transitions",
+        "serve.worker.alive",
+        "serve.worker.panics",
+        "serve.worker.respawns",
+        "serve.worker.quarantined",
+        "serve.writer.state",
+        "serve.stale_serving",
+        "serve.staleness_epochs",
+        "serve.queue.cost_ns",
+        "serve.cost.observations",
+    ] {
+        assert!(m.contains(key), "missing {key}");
     }
 }
 

@@ -398,7 +398,7 @@ mod tests {
         for idx in SUB as usize..N_BUCKETS {
             let (lo, hi) = bucket_bounds(idx);
             // Width ≤ lo/8: ≤ 12.5 % relative error from bucketing.
-            assert!(hi - lo + 1 <= (lo / SUB).max(1), "bucket {idx}: [{lo}, {hi}]");
+            assert!(hi - lo < (lo / SUB).max(1), "bucket {idx}: [{lo}, {hi}]");
         }
     }
 

@@ -57,6 +57,12 @@ impl MetricsRegistry {
         self.values.insert(name.into(), MetricValue::F64(value));
     }
 
+    /// Sets a boolean flag as a 0/1 counter (there is no dedicated
+    /// bool value type — dumps stay flat numeric).
+    pub fn set_bool(&mut self, name: impl Into<String>, value: bool) {
+        self.set_u64(name, value as u64);
+    }
+
     /// Adds to a counter, creating it at zero.
     pub fn add_u64(&mut self, name: &str, delta: u64) {
         match self.values.get_mut(name) {

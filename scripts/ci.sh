@@ -82,9 +82,26 @@ grep -q '"serve.latency.knn.p99":[1-9]' "$serve_metrics" ||
 grep -q '"serve.snapshots.published":[1-9]' "$serve_metrics" ||
     { echo "serve smoke: writer published no snapshots in $serve_metrics"; exit 1; }
 
+echo "== overload smoke (tiny capacity, tight deadlines, injected worker panic) =="
+overload_metrics=$(mktemp /tmp/paratreet-overload-XXXXXX.json)
+trap 'rm -f "$chaos_metrics" "$inc_metrics" "$disk_metrics" "$serve_metrics" "$overload_metrics"' EXIT
+# One worker (deterministic batch numbering for the fail point), a tiny
+# queue, 1ms deadlines, and a panic injected at the 3rd batch: the run
+# must still exit 0 — overload and faults are answered, never fatal.
+cargo run --release -q -- serve-bench --particles 3000 --clients 40 \
+    --queries 25 --serve-workers 1 --threads 2 --queue 8 --batch 32 \
+    --admission shed --deadline-ms 1 --inject-worker-panic 3 \
+    --metrics-out "$overload_metrics" > /dev/null
+grep -q '"serve.deadline_exceeded":[1-9]' "$overload_metrics" ||
+    { echo "overload smoke: no deadline expiries recorded in $overload_metrics"; exit 1; }
+grep -q '"serve.worker.panics":[1-9]' "$overload_metrics" ||
+    { echo "overload smoke: injected panic not counted in $overload_metrics"; exit 1; }
+grep -q '"serve.worker.respawns":[1-9]' "$overload_metrics" ||
+    { echo "overload smoke: supervisor respawned no worker in $overload_metrics"; exit 1; }
+
 echo "== analyze smoke (traced serve run -> paratreet-analyze --check) =="
 obs_dir=$(mktemp -d /tmp/paratreet-obs-XXXXXX)
-trap 'rm -f "$chaos_metrics" "$inc_metrics" "$disk_metrics" "$serve_metrics"; rm -rf "$obs_dir"' EXIT
+trap 'rm -f "$chaos_metrics" "$inc_metrics" "$disk_metrics" "$serve_metrics" "$overload_metrics"; rm -rf "$obs_dir"' EXIT
 cargo run --release -q -- serve-bench --particles 3000 --clients 40 \
     --queries 25 --serve-workers 2 --threads 2 \
     --trace-out "$obs_dir/trace.json" --metrics-out "$obs_dir/metrics.json" \

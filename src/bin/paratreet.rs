@@ -88,10 +88,30 @@ QUERY SERVING (serve-bench only):
   --batch N            queries per submitted batch         [32]
   --queue N            work queue capacity, batches        [256]
   --ring N             snapshot ring capacity              [8]
-  --admission KIND     defer (backpressure) | shed         [defer]
+  --admission KIND     defer (backpressure) | shed (depth) |
+                       cost (EWMA predicted-cost shedding) [defer]
   --writer-pace-ms T   sleep between writer advances, ms   [0]
                        (--iterations 0 = advance until the load
                        finishes; N = stop after N advances)
+  --deadline-ms T      per-request completion deadline, ms
+                       (0 = none; expired requests answered
+                       DeadlineExceeded, not executed)      [0]
+  --max-backlog-ms T   cost-admission backlog bound for
+                       deadline-free requests, ms (0 = none) [0]
+  --retries N          load-generator retry attempts after a
+                       retryable submit failure (seeded
+                       jittered exponential backoff)        [3]
+  --pace-us T          inter-batch gap per driver thread, us
+                       (0 = submit as fast as possible)     [0]
+  --degrade B          1 = enable the degradation ladder
+                       (clamped k, shrunk radii, truncated
+                       range answers with resume cursors)   [0]
+  --respawn-limit N    worker respawns before quarantine    [8]
+  --inject-worker-panic N  chaos: panic the worker popping
+                       batch N (0 = off)                    [0]
+  --inject-writer-panic N  chaos: panic the writer before
+                       publishing epoch N (0 = off); the
+                       service enters stale-serving mode    [0]
 
 FAULT INJECTION (machine engine only; seeded, deterministic):
   --fault-drop P       drop probability per message        [0]
@@ -722,7 +742,8 @@ fn run_disk(opts: &HashMap<String, String>) {
 
 fn run_serve_bench(opts: &HashMap<String, String>) {
     use paratreet_serve::{
-        run_load, AdmissionPolicy, LoadConfig, QueryClass, QueryService, ServeConfig, WriterConfig,
+        run_load, AdmissionPolicy, DegradeConfig, FailPoints, LoadConfig, QueryClass, QueryService,
+        ServeConfig, WriterConfig,
     };
     use paratreet_tree::CountData;
 
@@ -732,13 +753,27 @@ fn run_serve_bench(opts: &HashMap<String, String>) {
     let admission = match get(opts, "admission", "defer".to_string()).as_str() {
         "defer" => AdmissionPolicy::Defer,
         "shed" => AdmissionPolicy::Shed,
+        "cost" => AdmissionPolicy::CostAware,
         other => {
-            eprintln!("unknown admission policy {other} (defer | shed)");
+            eprintln!("unknown admission policy {other} (defer | shed | cost)");
             exit(2);
         }
     };
     let iterations = get(opts, "iterations", 0u64);
     let pace_ms = get(opts, "writer-pace-ms", 0u64);
+    let deadline_ms = get(opts, "deadline-ms", 0u64);
+    let max_backlog_ms = get(opts, "max-backlog-ms", 0u64);
+    let degrade_on = get(opts, "degrade", 0u64) != 0;
+    let fail = FailPoints {
+        worker_panic_at_batch: match get(opts, "inject-worker-panic", 0u64) {
+            0 => None,
+            n => Some(n),
+        },
+        writer_panic_at_epoch: match get(opts, "inject-writer-panic", 0u64) {
+            0 => None,
+            n => Some(n),
+        },
+    };
 
     let (maintainer, seed_trees) =
         paratreet::core_api::TreeMaintainer::<CountData>::seed(&config, particles, true);
@@ -757,6 +792,12 @@ fn run_serve_bench(opts: &HashMap<String, String>) {
             queue_capacity: get(opts, "queue", 256usize),
             ring_capacity: get(opts, "ring", 8usize),
             admission,
+            max_backlog: (max_backlog_ms > 0)
+                .then(|| std::time::Duration::from_millis(max_backlog_ms)),
+            degrade: if degrade_on { DegradeConfig::default() } else { DegradeConfig::disabled() },
+            respawn_limit: get(opts, "respawn-limit", 8u32),
+            fail,
+            ..ServeConfig::default()
         },
         telemetry.clone(),
     );
@@ -788,10 +829,18 @@ fn run_serve_bench(opts: &HashMap<String, String>) {
         batch: get(opts, "batch", 32usize),
         k: get(opts, "k", 8usize),
         seed: get(opts, "seed", 1u64),
+        deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        max_retries: get(opts, "retries", 3u32),
+        pace: match get(opts, "pace-us", 0u64) {
+            0 => None,
+            us => Some(std::time::Duration::from_micros(us)),
+        },
         ..LoadConfig::default()
     };
     let report = run_load(&service, universe, &load);
-    let last_epoch = service.shutdown().unwrap_or(0);
+    let health = service.health();
+    let shutdown = service.shutdown();
+    let last_epoch = shutdown.last_epoch.unwrap_or(0);
     let metrics = service.metrics();
 
     println!(
@@ -805,6 +854,33 @@ fn run_serve_bench(opts: &HashMap<String, String>) {
         report.min_epoch,
         report.max_epoch,
         metrics.get_u64("serve.snapshots.published"),
+    );
+    println!(
+        "  overload: {} deadline-exceeded, {} retries, {} abandoned, {} degraded, {} partial",
+        report.deadline_exceeded, report.retries, report.abandoned, report.degraded, report.partial,
+    );
+    let issued: u64 = report.per_class.iter().sum();
+    if load.deadline.is_some() && issued > 0 {
+        println!(
+            "  in-deadline completion: {}/{} = {:.1}%",
+            metrics.get_u64("serve.queries.completed_in_deadline"),
+            issued,
+            100.0 * metrics.get_u64("serve.queries.completed_in_deadline") as f64 / issued as f64,
+        );
+    }
+    println!(
+        "  health: {} writer, {}/{} workers alive, {} panics, {} respawns{}{}",
+        health.writer.label(),
+        health.workers_alive,
+        health.workers_configured,
+        health.worker_panics,
+        health.worker_respawns,
+        if health.stale_serving {
+            format!(", STALE-SERVING ({} epochs behind)", health.staleness_epochs)
+        } else {
+            String::new()
+        },
+        if shutdown.is_clean() { String::new() } else { " [unclean shutdown]".to_string() },
     );
     for class in QueryClass::ALL {
         let key = |stat: &str| format!("serve.latency.{}.{stat}", class.label());
