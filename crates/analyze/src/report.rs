@@ -588,4 +588,39 @@ mod tests {
         let empty = analyze(None, None, None, 4).unwrap();
         assert!(empty.check().is_err(), "check requires a trace");
     }
+
+    #[test]
+    fn check_tolerates_forest_and_ghost_metric_keys() {
+        // Forest runs export `forest.*` / `ghost.*` / `fof.*` families that
+        // predate-this-crate dumps never carried; `--check` must treat them
+        // as inert extras, not schema violations.
+        let trace_json = paratreet_telemetry::chrome_trace_json(&{
+            use paratreet_telemetry::{Span, SpanLink, Trace, Track};
+            let mut t = Trace::default();
+            t.spans.push(Span {
+                name: "ghost exchange",
+                start_us: 0.0,
+                dur_us: 5.0,
+                track: Track { rank: 0, worker: 0 },
+                key: None,
+                link: SpanLink::NONE,
+            });
+            t
+        });
+        let metrics = parse(
+            r#"{"forest.boxes":4,"forest.routes":104,"forest.owned":8000,
+                "forest.seam_splits":0,"ghost.zones":22,"ghost.particles":51,
+                "ghost.bytes":7752,"ghost.des.comm.bytes":3040,
+                "ghost.des.makespan_s":2.1e-6,"fof.halos":26,"fof.grouped":3237,
+                "fof.links":3211,"fof.largest":810}"#,
+        )
+        .unwrap();
+        let a = analyze(Some(crate::parse_trace(&trace_json).unwrap()), Some(&metrics), None, 4)
+            .unwrap();
+        assert!(a.check().is_ok(), "{:?}", a.check());
+        // The unknown keys carry no serve latency, so no rows materialize
+        // and no exemplar is demanded.
+        assert!(a.latency.is_empty());
+        assert!(a.exemplars.is_empty());
+    }
 }

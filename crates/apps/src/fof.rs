@@ -1,0 +1,544 @@
+//! Friends-of-friends (FoF) halo finding — the first multi-box workload.
+//!
+//! FoF is the standard halo definition in cosmology: two particles are
+//! *friends* when they sit within a linking length `b` of each other,
+//! and a halo is a connected component of the friendship graph with at
+//! least `min_members` members. It is the natural first consumer of the
+//! forest decomposition because the graph does not respect box
+//! boundaries: a halo can straddle a seam (or wrap through a periodic
+//! face), so the finder must see its neighbors' boundary particles.
+//!
+//! The pipeline here is exactly the forest story:
+//!
+//! 1. decompose over a [`DomainSpec`] (`paratreet_core::decompose_forest`),
+//! 2. build per-box trees, enforce 2:1 seam balance,
+//! 3. exchange ghost layers with radius = linking length — this is what
+//!    guarantees every cross-seam friendship is locally visible: if
+//!    `q`'s (image) distance to `p`'s box is ≤ `b`, `q`'s shifted copy
+//!    is materialized in `p`'s ghost layer,
+//! 4. a **dual-tree linking pass** per box (local×local over subtree
+//!    pairs, plus local×ghost against a tree built over the box's ghost
+//!    layer), pruning node pairs farther apart than `b`,
+//! 5. a global **union-find merge**: every link lands in one
+//!    order-independent structure whose representative is the minimum
+//!    member id, so the catalog is bit-identical across thread counts
+//!    and across how the boxes happened to find the links.
+//!
+//! Distances in the linking pass are plain Euclidean: periodic images
+//! are handled *geometrically* (ghost copies arrive pre-shifted into
+//! the receiving box's frame), which is why the same pass serves open,
+//! tiled, and periodic domains. The brute-force reference
+//! ([`brute_force_fof`]) instead uses minimum-image distances directly
+//! and is what the property tests compare against.
+
+use std::collections::HashMap;
+
+use paratreet_core::{Forest, GhostLayer};
+use paratreet_geometry::{BoundingBox, PeriodicBox, Vec3, ROOT_KEY};
+use paratreet_particles::Particle;
+use paratreet_telemetry::{MetricSource, MetricsRegistry};
+use paratreet_tree::{BuiltTree, CountData, Data, NodeIdx, NodeShape, TreeBuilder, TreeType};
+
+/// Friends-of-friends parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FofParams {
+    /// Linking length `b`: two particles closer than this are friends.
+    pub link: f64,
+    /// Minimum component size that counts as a halo.
+    pub min_members: usize,
+}
+
+/// One halo: a connected component of the friendship graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Halo {
+    /// Halo id = the minimum member particle id (stable across runs).
+    pub id: u64,
+    /// Member particle ids, ascending.
+    pub members: Vec<u64>,
+    /// Mass-weighted center (periodic-aware: accumulated by minimum
+    /// image around the first member, then wrapped).
+    pub center: Vec3,
+    /// Total halo mass.
+    pub mass: f64,
+}
+
+/// The halo catalog plus the counters exported as `fof.*` metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FofCatalog {
+    /// Halos sorted by (size descending, id ascending).
+    pub halos: Vec<Halo>,
+    /// Particles examined.
+    pub n_particles: u64,
+    /// Particles belonging to some halo.
+    pub n_grouped: u64,
+    /// Spanning links applied (`n_particles − components`); identical
+    /// for every edge-discovery order.
+    pub n_links: u64,
+}
+
+impl MetricSource for FofCatalog {
+    fn register_metrics(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_u64(format!("{prefix}.halos"), self.halos.len() as u64);
+        registry.set_u64(format!("{prefix}.grouped"), self.n_grouped);
+        registry.set_u64(format!("{prefix}.links"), self.n_links);
+        registry.set_u64(
+            format!("{prefix}.largest"),
+            self.halos.first().map(|h| h.members.len() as u64).unwrap_or(0),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Union-find keyed by particle id.
+// ---------------------------------------------------------------------
+
+/// Union-find over a fixed id universe. Roots are always the minimum id
+/// of their component (unions attach the larger root under the
+/// smaller), so the final forest — and everything derived from it — is
+/// independent of the order links were discovered in.
+struct UnionFind {
+    /// Sorted ascending, so dense index order is id order.
+    ids: Vec<u64>,
+    index: HashMap<u64, u32>,
+    parent: Vec<u32>,
+    n_links: u64,
+}
+
+impl UnionFind {
+    fn new(mut ids: Vec<u64>) -> UnionFind {
+        ids.sort_unstable();
+        ids.dedup();
+        let index = ids.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+        let parent = (0..ids.len() as u32).collect();
+        UnionFind { ids, index, parent, n_links: 0 }
+    }
+
+    fn find(&mut self, mut i: u32) -> u32 {
+        while self.parent[i as usize] != i {
+            let gp = self.parent[self.parent[i as usize] as usize];
+            self.parent[i as usize] = gp;
+            i = gp;
+        }
+        i
+    }
+
+    /// Links two particle ids (ids not in the universe are ignored —
+    /// defensive, ghosts always identify owned originals).
+    fn union_ids(&mut self, a: u64, b: u64) {
+        let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+            return;
+        };
+        let (ra, rb) = (self.find(ia), self.find(ib));
+        if ra == rb {
+            return;
+        }
+        // Smaller index = smaller id stays the root.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi as usize] = lo;
+        self.n_links += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dual-tree linking.
+// ---------------------------------------------------------------------
+
+/// Recursive dual-tree pass: applies every friendship between tree `a`
+/// and tree `b` to the union-find, pruning node pairs separated by more
+/// than the linking length. With `same_tree`, node pairs below the
+/// diagonal are skipped and leaf self-pairs iterate `i < j`.
+#[allow(clippy::too_many_arguments)]
+fn dual_link<D: Data>(
+    a: &BuiltTree<D>,
+    ai: NodeIdx,
+    b: &BuiltTree<D>,
+    bi: NodeIdx,
+    same_tree: bool,
+    r2: f64,
+    uf: &mut UnionFind,
+) {
+    let na = &a.nodes[ai as usize];
+    let nb = &b.nodes[bi as usize];
+    if na.n_particles == 0 || nb.n_particles == 0 {
+        return;
+    }
+    if na.bbox.dist_sq_to_box(&nb.bbox) > r2 {
+        return;
+    }
+    if same_tree && ai == bi {
+        if let NodeShape::Leaf { start, end } = na.shape {
+            let bucket = &a.particles[start as usize..end as usize];
+            for (i, p) in bucket.iter().enumerate() {
+                for q in &bucket[i + 1..] {
+                    if p.pos.dist_sq(q.pos) <= r2 {
+                        uf.union_ids(p.id, q.id);
+                    }
+                }
+            }
+            return;
+        }
+        // Expand both sides together, keeping child pairs ordered so
+        // each off-diagonal pair is visited exactly once.
+        let kids: Vec<NodeIdx> = na.child_indices().collect();
+        for (i, &ca) in kids.iter().enumerate() {
+            for &cb in &kids[i..] {
+                dual_link(a, ca, b, cb, same_tree, r2, uf);
+            }
+        }
+        return;
+    }
+    match (na.shape, nb.shape) {
+        (NodeShape::Leaf { start: sa, end: ea }, NodeShape::Leaf { start: sb, end: eb }) => {
+            for p in &a.particles[sa as usize..ea as usize] {
+                for q in &b.particles[sb as usize..eb as usize] {
+                    if p.id != q.id && p.pos.dist_sq(q.pos) <= r2 {
+                        uf.union_ids(p.id, q.id);
+                    }
+                }
+            }
+        }
+        (NodeShape::Internal, NodeShape::Leaf { .. }) => {
+            for ca in na.child_indices() {
+                dual_link(a, ca, b, bi, same_tree, r2, uf);
+            }
+        }
+        (NodeShape::Leaf { .. }, NodeShape::Internal) => {
+            for cb in nb.child_indices() {
+                dual_link(a, ai, b, cb, same_tree, r2, uf);
+            }
+        }
+        (NodeShape::Internal, NodeShape::Internal) => {
+            // Open the fatter node: fewer pair visits for skewed depths.
+            if na.bbox.size().max_component() >= nb.bbox.size().max_component() {
+                for ca in na.child_indices() {
+                    dual_link(a, ca, b, bi, same_tree, r2, uf);
+                }
+            } else {
+                for cb in nb.child_indices() {
+                    dual_link(a, ai, b, cb, same_tree, r2, uf);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Builds a throwaway tree over a box's ghost particles so the
+/// local×ghost pass can prune spatially. Ghosts sit in the receiving
+/// box's frame (possibly in the radius ring outside it), so the root
+/// box is derived from the ghosts themselves.
+fn ghost_tree<D: Data>(
+    ghosts: Vec<Particle>,
+    tree_type: TreeType,
+    bucket_size: usize,
+) -> BuiltTree<D> {
+    let tight = BoundingBox::around(ghosts.iter().map(|p| p.pos)).padded(1e-9);
+    let root = match tree_type {
+        TreeType::Octree | TreeType::BinaryOct => tight.bounding_cube(),
+        _ => tight,
+    };
+    let builder =
+        TreeBuilder { tree_type, bucket_size, parallel: false, root_key: ROOT_KEY, root_depth: 0 };
+    builder.build::<D>(ghosts, root)
+}
+
+/// The dual-tree linking pass over a whole forest: per box, every
+/// subtree pair (local×local) plus every subtree against the box's
+/// ghost tree (local×ghost). Sequential and box-ordered, so the set of
+/// links — and through the order-independent union-find, the catalog —
+/// is a pure function of the particle state.
+pub fn link_forest<D: Data>(
+    forest: &Forest,
+    trees: &[Vec<BuiltTree<D>>],
+    layer: &GhostLayer,
+    params: &FofParams,
+    tree_type: TreeType,
+    bucket_size: usize,
+) -> FofCatalog {
+    let r2 = params.link * params.link;
+    let owned: Vec<Particle> =
+        trees.iter().flat_map(|ts| ts.iter().flat_map(|t| t.particles.iter().copied())).collect();
+    let mut uf = UnionFind::new(owned.iter().map(|p| p.id).collect());
+    for (bi, box_trees) in trees.iter().enumerate() {
+        for (ti, ta) in box_trees.iter().enumerate() {
+            // Within and across the box's own subtrees.
+            dual_link(ta, 0, ta, 0, true, r2, &mut uf);
+            for tb in &box_trees[ti + 1..] {
+                dual_link(ta, 0, tb, 0, false, r2, &mut uf);
+            }
+        }
+        // Against the ghost layer (cross-box / cross-image friendships).
+        let ghosts = layer.ghosts_for(bi);
+        if !ghosts.is_empty() {
+            let gt = ghost_tree::<CountData>(ghosts, tree_type, bucket_size);
+            for ta in box_trees {
+                dual_link_mixed(ta, 0, &gt, 0, r2, &mut uf);
+            }
+        }
+    }
+    let _ = forest;
+    catalog_from(&owned, uf, params, &forest.period)
+}
+
+/// `dual_link` across two differently-typed trees (local `D` vs the
+/// `CountData` ghost tree).
+fn dual_link_mixed<D: Data>(
+    a: &BuiltTree<D>,
+    ai: NodeIdx,
+    b: &BuiltTree<CountData>,
+    bi: NodeIdx,
+    r2: f64,
+    uf: &mut UnionFind,
+) {
+    let na = &a.nodes[ai as usize];
+    let nb = &b.nodes[bi as usize];
+    if na.n_particles == 0 || nb.n_particles == 0 {
+        return;
+    }
+    if na.bbox.dist_sq_to_box(&nb.bbox) > r2 {
+        return;
+    }
+    match (na.shape, nb.shape) {
+        (NodeShape::Leaf { start: sa, end: ea }, NodeShape::Leaf { start: sb, end: eb }) => {
+            for p in &a.particles[sa as usize..ea as usize] {
+                for q in &b.particles[sb as usize..eb as usize] {
+                    // A ghost can be an image of the particle itself
+                    // (periodic self-route); that is not a friendship.
+                    if p.id != q.id && p.pos.dist_sq(q.pos) <= r2 {
+                        uf.union_ids(p.id, q.id);
+                    }
+                }
+            }
+        }
+        (NodeShape::Internal, NodeShape::Leaf { .. }) => {
+            for ca in na.child_indices() {
+                dual_link_mixed(a, ca, b, bi, r2, uf);
+            }
+        }
+        (NodeShape::Leaf { .. }, NodeShape::Internal) => {
+            for cb in nb.child_indices() {
+                dual_link_mixed(a, ai, b, cb, r2, uf);
+            }
+        }
+        (NodeShape::Internal, NodeShape::Internal) => {
+            if na.bbox.size().max_component() >= nb.bbox.size().max_component() {
+                for ca in na.child_indices() {
+                    dual_link_mixed(a, ca, b, bi, r2, uf);
+                }
+            } else {
+                for cb in nb.child_indices() {
+                    dual_link_mixed(a, ai, b, cb, r2, uf);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Catalog assembly and the brute-force reference.
+// ---------------------------------------------------------------------
+
+/// Materializes the catalog from a finished union-find: components of
+/// size ≥ `min_members` become halos, members ascending, halos sorted
+/// by (size descending, id ascending). Centers accumulate by minimum
+/// image around the first (minimum-id) member, then wrap — correct for
+/// halos hugging a periodic seam.
+fn catalog_from(
+    particles: &[Particle],
+    mut uf: UnionFind,
+    params: &FofParams,
+    period: &PeriodicBox,
+) -> FofCatalog {
+    let mut by_id: HashMap<u64, &Particle> = HashMap::with_capacity(particles.len());
+    for p in particles {
+        by_id.insert(p.id, p);
+    }
+    // Component members, grouped by root id (BTreeMap for stable order).
+    let mut groups: std::collections::BTreeMap<u64, Vec<u64>> = std::collections::BTreeMap::new();
+    let n = uf.ids.len();
+    for i in 0..n as u32 {
+        let root = uf.find(i);
+        let root_id = uf.ids[root as usize];
+        groups.entry(root_id).or_default().push(uf.ids[i as usize]);
+    }
+    let mut n_grouped = 0u64;
+    let mut halos = Vec::new();
+    for (root_id, mut members) in groups {
+        if members.len() < params.min_members.max(1) || members.len() < 2 {
+            continue;
+        }
+        members.sort_unstable();
+        n_grouped += members.len() as u64;
+        let anchor = by_id[&members[0]].pos;
+        let mut mass = 0.0;
+        let mut weighted = Vec3::ZERO;
+        for id in &members {
+            let p = by_id[id];
+            weighted += period.min_image(anchor, p.pos) * p.mass;
+            mass += p.mass;
+        }
+        let center =
+            if mass > 0.0 { period.wrap(anchor + weighted / mass, Vec3::ZERO) } else { anchor };
+        halos.push(Halo { id: root_id, members, center, mass });
+    }
+    halos.sort_by(|a, b| b.members.len().cmp(&a.members.len()).then(a.id.cmp(&b.id)));
+    FofCatalog { halos, n_particles: n as u64, n_grouped, n_links: uf.n_links }
+}
+
+/// The O(n²) reference: every pair, minimum-image distances, same
+/// union-find and catalog assembly. Small-N ground truth for tests.
+pub fn brute_force_fof(
+    particles: &[Particle],
+    period: &PeriodicBox,
+    params: &FofParams,
+) -> FofCatalog {
+    let r2 = params.link * params.link;
+    let mut uf = UnionFind::new(particles.iter().map(|p| p.id).collect());
+    for (i, p) in particles.iter().enumerate() {
+        for q in &particles[i + 1..] {
+            if period.dist_sq(p.pos, q.pos) <= r2 {
+                uf.union_ids(p.id, q.id);
+            }
+        }
+    }
+    catalog_from(particles, uf, params, period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paratreet_core::{
+        decompose_forest, enforce_seam_balance, exchange_ghosts, Configuration, DomainSpec,
+    };
+    use paratreet_particles::gen;
+    use paratreet_telemetry::Telemetry;
+
+    fn config() -> Configuration {
+        Configuration {
+            tree_type: TreeType::Octree,
+            bucket_size: 8,
+            n_subtrees: 8,
+            n_partitions: 8,
+            ..Configuration::default()
+        }
+    }
+
+    /// Full forest-FoF pipeline over the given particles and spec.
+    fn run_fof(particles: Vec<Particle>, spec: &DomainSpec, params: &FofParams) -> FofCatalog {
+        let cfg = config();
+        let forest = decompose_forest(particles, &cfg, spec);
+        let mut trees = forest.build_trees::<CountData>(&cfg, false);
+        enforce_seam_balance(
+            &mut trees,
+            &forest.boxes,
+            &forest.routes,
+            cfg.tree_type,
+            cfg.bucket_size,
+        );
+        let layer = exchange_ghosts(&forest, &trees, params.link, &Telemetry::disabled());
+        link_forest(&forest, &trees, &layer, params, cfg.tree_type, cfg.bucket_size)
+    }
+
+    /// A tight blob of `n` particles around `c` (radius ≪ link length).
+    fn blob(ids: std::ops::Range<u64>, c: Vec3, spread: f64) -> Vec<Particle> {
+        ids.map(|id| {
+            // Deterministic low-discrepancy offsets.
+            let t = id as f64 * 0.754877666;
+            let u = id as f64 * 0.569840296;
+            let off = Vec3::new(
+                (t.fract() - 0.5) * spread,
+                (u.fract() - 0.5) * spread,
+                ((t + u).fract() - 0.5) * spread,
+            );
+            Particle { id, mass: 1.0, pos: c + off, ..Particle::default() }
+        })
+        .collect()
+    }
+
+    #[test]
+    fn halo_spanning_an_open_seam_merges() {
+        // Two half-blobs on either side of the x = 1 seam of a 2×1×1
+        // grid: one halo, found only through the ghost layer.
+        let mut ps = blob(0..20, Vec3::new(0.98, 0.5, 0.5), 0.01);
+        ps.extend(blob(20..40, Vec3::new(1.02, 0.5, 0.5), 0.01));
+        ps.extend(blob(40..60, Vec3::new(0.3, 0.3, 0.3), 0.01)); // separate halo
+        let params = FofParams { link: 0.05, min_members: 5 };
+        let cat = run_fof(ps, &DomainSpec::tiled([2, 1, 1], 1.0, false), &params);
+        assert_eq!(cat.halos.len(), 2);
+        assert_eq!(cat.halos[0].members.len(), 40, "seam halo must merge across boxes");
+        assert_eq!(cat.halos[0].id, 0);
+        assert_eq!(cat.halos[1].members.len(), 20);
+    }
+
+    #[test]
+    fn halo_spanning_a_periodic_seam_merges() {
+        // Half-blobs hugging opposite outer faces of a periodic 2×1×1
+        // grid: friends only through the wrap-around image.
+        let mut ps = blob(0..15, Vec3::new(0.01, 0.5, 0.5), 0.008);
+        ps.extend(blob(15..30, Vec3::new(1.99, 0.5, 0.5), 0.008));
+        let params = FofParams { link: 0.05, min_members: 5 };
+        let open = run_fof(ps.clone(), &DomainSpec::tiled([2, 1, 1], 1.0, false), &params);
+        assert_eq!(open.halos.len(), 2, "open domain keeps the blobs apart");
+        let per = run_fof(ps, &DomainSpec::tiled([2, 1, 1], 1.0, true), &params);
+        assert_eq!(per.halos.len(), 1, "periodic wrap links them");
+        assert_eq!(per.halos[0].members.len(), 30);
+    }
+
+    #[test]
+    fn matches_brute_force_on_clustered_particles() {
+        let ps = gen::tiled_plummer(400, [2, 2, 1], 23, 1.0, 1.0);
+        let params = FofParams { link: 0.06, min_members: 3 };
+        let spec = DomainSpec::tiled([2, 2, 1], 1.0, true);
+        let cat = run_fof(ps.clone(), &spec, &params);
+        // Reference: wrap positions the same way the forest does.
+        let period = spec.period();
+        let wrapped: Vec<Particle> =
+            ps.iter().map(|p| Particle { pos: period.wrap(p.pos, Vec3::ZERO), ..*p }).collect();
+        let truth = brute_force_fof(&wrapped, &period, &params);
+        assert_eq!(cat.n_links, truth.n_links);
+        assert_eq!(cat.halos.len(), truth.halos.len());
+        for (a, b) in cat.halos.iter().zip(&truth.halos) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.members, b.members);
+            assert!((a.mass - b.mass).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn catalog_is_deterministic_and_thread_independent() {
+        let ps = gen::tiled_plummer(500, [2, 1, 1], 41, 1.0, 1.0);
+        let params = FofParams { link: 0.05, min_members: 2 };
+        let spec = DomainSpec::tiled([2, 1, 1], 1.0, true);
+        let a = run_fof(ps.clone(), &spec, &params);
+        let b = run_fof(ps.clone(), &spec, &params);
+        assert_eq!(a, b, "same seed, same catalog");
+        // Parallel tree build must not change the catalog either.
+        let cfg = config();
+        let forest = decompose_forest(ps, &cfg, &spec);
+        let mut trees = forest.build_trees::<CountData>(&cfg, true);
+        enforce_seam_balance(
+            &mut trees,
+            &forest.boxes,
+            &forest.routes,
+            cfg.tree_type,
+            cfg.bucket_size,
+        );
+        let layer = exchange_ghosts(&forest, &trees, params.link, &Telemetry::disabled());
+        let c = link_forest(&forest, &trees, &layer, &params, cfg.tree_type, cfg.bucket_size);
+        assert_eq!(a, c, "parallel build, same catalog");
+    }
+
+    #[test]
+    fn min_members_filters_small_components() {
+        let mut ps = blob(0..10, Vec3::new(0.5, 0.5, 0.5), 0.01);
+        ps.extend(blob(10..12, Vec3::new(0.2, 0.2, 0.2), 0.001)); // pair
+        let params = FofParams { link: 0.05, min_members: 5 };
+        let cat = run_fof(ps.clone(), &DomainSpec::tiled([1, 1, 1], 1.0, false), &params);
+        assert_eq!(cat.halos.len(), 1);
+        assert_eq!(cat.n_grouped, 10);
+        let loose = FofParams { link: 0.05, min_members: 2 };
+        let cat2 = run_fof(ps, &DomainSpec::tiled([1, 1, 1], 1.0, false), &loose);
+        assert_eq!(cat2.halos.len(), 2);
+    }
+}

@@ -12,10 +12,13 @@
 //! * [`collision`] — planetesimal collision detection and the
 //!   protoplanetary-disk case study (§IV),
 //! * [`correlation`] — two-point correlation functions by dual-tree
-//!   pair counting (the "n-point correlation" workload of §III).
+//!   pair counting (the "n-point correlation" workload of §III),
+//! * [`fof`] — friends-of-friends halo finding over a forest of boxes
+//!   with ghost-layer exchange (the first multi-box workload).
 
 pub mod collision;
 pub mod correlation;
+pub mod fof;
 pub mod gravity;
 pub mod knn;
 pub mod sph;

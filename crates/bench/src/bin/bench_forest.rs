@@ -1,0 +1,197 @@
+//! Forest decomposition: ghost-exchange cost and FoF end-to-end time
+//! as the domain splits into more boxes.
+//!
+//! Sweeps tilings of the same tiled-Plummer workload (one sphere per
+//! tile, fixed total particle count), timing each pipeline stage —
+//! decompose, per-box tree builds, 2:1 seam balance, ghost exchange,
+//! dual-tree FoF linking — on the shared-memory path, plus the DES
+//! machine-model price of the exchange (NIC bytes, virtual makespan).
+//! The halo catalog is checked for invariance across tilings: cutting
+//! the same periodic domain into more boxes must not change the
+//! physics. Writes `BENCH_forest.json`.
+//!
+//! ```text
+//! cargo run --release -p paratreet-bench --bin bench_forest -- \
+//!     --particles 40000 --ranks 4
+//! ```
+
+use paratreet_apps::fof::{link_forest, FofParams};
+use paratreet_bench::{fmt_bytes, fmt_seconds, print_header, print_row, Args};
+use paratreet_core::{
+    decompose_forest, des_ghost_exchange, enforce_seam_balance, exchange_ghosts, Configuration,
+    DomainSpec,
+};
+use paratreet_particles::gen;
+use paratreet_runtime::MachineSpec;
+use paratreet_telemetry::{Json, Telemetry};
+use paratreet_tree::CountData;
+
+/// Measured cost of one tiling of the sweep.
+struct TileCost {
+    boxes: usize,
+    routes: usize,
+    seam_splits: u64,
+    decompose_s: f64,
+    build_s: f64,
+    exchange_s: f64,
+    link_s: f64,
+    ghost_particles: u64,
+    ghost_bytes: u64,
+    des_comm_bytes: u64,
+    des_makespan_s: f64,
+    halos: usize,
+    largest: usize,
+    n_links: u64,
+}
+
+fn run_tiling(
+    dims: [usize; 3],
+    tile: f64,
+    n: usize,
+    seed: u64,
+    link: f64,
+    ranks: usize,
+) -> TileCost {
+    let config =
+        Configuration { bucket_size: 16, n_subtrees: 16, n_partitions: 32, ..Default::default() };
+    let n_tiles = dims[0] * dims[1] * dims[2];
+    // The workload is fixed in space (one Plummer sphere per unit cell of
+    // the finest tiling), so coarser tilings see the same particle field.
+    let particles = gen::tiled_plummer(n, [2, 2, 2], seed, 1.0, 1.0);
+    let spec = DomainSpec::tiled(dims, tile, true);
+
+    let t0 = std::time::Instant::now();
+    let forest = decompose_forest(particles, &config, &spec);
+    let decompose_s = t0.elapsed().as_secs_f64();
+
+    let t0 = std::time::Instant::now();
+    let mut trees = forest.build_trees::<CountData>(&config, true);
+    let build_s = t0.elapsed().as_secs_f64();
+
+    let seam_splits = enforce_seam_balance(
+        &mut trees,
+        &forest.boxes,
+        &forest.routes,
+        config.tree_type,
+        config.bucket_size,
+    );
+
+    let t0 = std::time::Instant::now();
+    let layer = exchange_ghosts(&forest, &trees, link, &Telemetry::disabled());
+    let exchange_s = t0.elapsed().as_secs_f64();
+
+    let des = des_ghost_exchange(&layer, MachineSpec::test(ranks, 2), Telemetry::virtual_time(1));
+
+    let params = FofParams { link, min_members: 8 };
+    let t0 = std::time::Instant::now();
+    let cat = link_forest(&forest, &trees, &layer, &params, config.tree_type, config.bucket_size);
+    let link_s = t0.elapsed().as_secs_f64();
+
+    TileCost {
+        boxes: n_tiles,
+        routes: forest.routes.len(),
+        seam_splits,
+        decompose_s,
+        build_s,
+        exchange_s,
+        link_s,
+        ghost_particles: layer.stats.particles,
+        ghost_bytes: layer.stats.bytes,
+        des_comm_bytes: des.comm.bytes,
+        des_makespan_s: des.makespan,
+        halos: cat.halos.len(),
+        largest: cat.halos.first().map(|h| h.members.len()).unwrap_or(0),
+        n_links: cat.n_links,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("particles", 40_000);
+    let seed = args.get_u64("seed", 17);
+    let ranks = args.get_usize("ranks", 4);
+    let out = args.get_str("out", "BENCH_forest.json");
+    // Mean interparticle separation sets the linking length, as in the
+    // CLI's fof app: b = 0.2 (V/N)^(1/3) over the 2×2×2 periodic domain.
+    let link = args.get_f64("link", 0.2 * (8.0 / n as f64).cbrt());
+
+    // Every tiling covers the same [0,2]³ periodic domain (cubic tiles of
+    // edge 2/k), so the sweep varies box count without moving a seam out
+    // from under the particle field.
+    let tilings: [[usize; 3]; 4] = [[1, 1, 1], [2, 2, 2], [3, 3, 3], [4, 4, 4]];
+
+    let mut doc = Json::obj();
+    doc.push("bench", Json::Str("forest".to_string()));
+    doc.push("particles", Json::U64(n as u64));
+    doc.push("seed", Json::U64(seed));
+    doc.push("ranks", Json::U64(ranks as u64));
+    doc.push("link", Json::F64(link));
+    let mut rows = Vec::new();
+
+    println!("forest ghost exchange + FoF, {n} particles, link {link:.4}, {ranks} DES ranks\n");
+    print_header(
+        &[
+            "tiling",
+            "boxes",
+            "routes",
+            "ghosts",
+            "gh.bytes",
+            "des.bytes",
+            "des.mksp",
+            "exchange",
+            "link",
+            "halos",
+        ],
+        10,
+    );
+
+    let mut reference: Option<(usize, u64)> = None;
+    for dims in tilings {
+        let tile = 2.0 / dims[0] as f64;
+        let c = run_tiling(dims, tile, n, seed, link, ranks);
+        print_row(
+            &[
+                format!("{}x{}x{}", dims[0], dims[1], dims[2]),
+                c.boxes.to_string(),
+                c.routes.to_string(),
+                c.ghost_particles.to_string(),
+                fmt_bytes(c.ghost_bytes),
+                fmt_bytes(c.des_comm_bytes),
+                fmt_seconds(c.des_makespan_s),
+                fmt_seconds(c.exchange_s),
+                fmt_seconds(c.link_s),
+                c.halos.to_string(),
+            ],
+            10,
+        );
+        // Physics invariance: every tiling of the same periodic field
+        // must produce the same catalog.
+        match reference {
+            None => reference = Some((c.halos, c.n_links)),
+            Some((halos, links)) => {
+                assert_eq!((c.halos, c.n_links), (halos, links), "catalog changed with tiling");
+            }
+        }
+        let mut row = Json::obj();
+        row.push("tiling", Json::Str(format!("{}x{}x{}", dims[0], dims[1], dims[2])));
+        row.push("boxes", Json::U64(c.boxes as u64));
+        row.push("routes", Json::U64(c.routes as u64));
+        row.push("seam_splits", Json::U64(c.seam_splits));
+        row.push("decompose_s", Json::F64(c.decompose_s));
+        row.push("build_s", Json::F64(c.build_s));
+        row.push("exchange_s", Json::F64(c.exchange_s));
+        row.push("link_s", Json::F64(c.link_s));
+        row.push("ghost_particles", Json::U64(c.ghost_particles));
+        row.push("ghost_bytes", Json::U64(c.ghost_bytes));
+        row.push("des_comm_bytes", Json::U64(c.des_comm_bytes));
+        row.push("des_makespan_s", Json::F64(c.des_makespan_s));
+        row.push("halos", Json::U64(c.halos as u64));
+        row.push("largest", Json::U64(c.largest as u64));
+        row.push("n_links", Json::U64(c.n_links));
+        rows.push(row);
+    }
+
+    doc.push("tilings", Json::Arr(rows));
+    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH json");
+    println!("\nwrote {out}");
+}

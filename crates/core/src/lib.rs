@@ -30,6 +30,7 @@
 pub mod config;
 pub mod decomp;
 pub mod des_engine;
+pub mod forest;
 pub mod framework;
 pub mod maintain;
 pub mod threaded;
@@ -42,6 +43,11 @@ pub use decomp::{
 };
 pub use des_engine::{
     sfc_balanced_assignment, DistributedEngine, IterationReport, RecoveryStats, DES_FLIGHT_SERIES,
+};
+pub use forest::{
+    decompose_forest, des_ghost_exchange, enforce_seam_balance, exchange_ghosts, DomainSpec,
+    Forest, ForestMaintainer, ForestRound, ForestStats, GhostDesReport, GhostLayer, GhostRoute,
+    GhostStats, GhostZone,
 };
 pub use framework::{Framework, SnapshotHook, StepReport};
 pub use maintain::{MaintainRound, TreeMaintainer, UpdateTotals};

@@ -11,7 +11,9 @@
 //! * [`hilbert`] — 3-D Hilbert-curve keys (Skilling's algorithm), the
 //!   locality-preserving alternative production codes prefer,
 //! * [`key`] — prefix keys identifying nodes of a hierarchical tree, the
-//!   same keying scheme classic hashed oct-tree codes use.
+//!   same keying scheme classic hashed oct-tree codes use,
+//! * [`periodic`] — periodic (wrapped) domains with minimum-image
+//!   distances, for tiled cosmology boxes.
 //!
 //! Everything here is `Copy`, allocation-free, and deterministic so the
 //! higher layers can use it inside tight traversal loops and reproducible
@@ -21,6 +23,7 @@ pub mod bbox;
 pub mod hilbert;
 pub mod key;
 pub mod morton;
+pub mod periodic;
 pub mod sphere;
 pub mod vec3;
 
@@ -28,6 +31,7 @@ pub use bbox::BoundingBox;
 pub use hilbert::{hilbert_key, HILBERT_BITS_PER_DIM};
 pub use key::{NodeKey, ROOT_KEY};
 pub use morton::{morton_key, MortonKey, MORTON_BITS_PER_DIM};
+pub use periodic::PeriodicBox;
 pub use sphere::Sphere;
 pub use vec3::Vec3;
 

@@ -1,0 +1,180 @@
+//! Periodic (wrapped) domains and minimum-image distances.
+//!
+//! Tiled cosmology boxes identify opposite faces of the simulation
+//! volume: a particle leaving through `x = L` re-enters at `x = 0`, and
+//! the distance between two particles is measured to the nearest
+//! periodic *image*. [`PeriodicBox`] carries the per-axis period lengths
+//! (zero on an axis disables wrapping there, so slab and open domains
+//! use the same type) and implements the minimum-image convention the
+//! forest decomposition and the friends-of-friends linker rely on.
+
+use crate::vec3::Vec3;
+
+/// A (possibly partially) periodic domain: per-axis period lengths.
+/// An axis with period `0.0` is open (no wrapping on that axis).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeriodicBox {
+    /// Period length per axis; `0.0` disables wrapping on an axis.
+    pub period: Vec3,
+}
+
+impl PeriodicBox {
+    /// A fully open (non-periodic) domain.
+    pub const OPEN: PeriodicBox = PeriodicBox { period: Vec3::ZERO };
+
+    /// A cubic periodic domain of side `l`.
+    pub fn cubic(l: f64) -> PeriodicBox {
+        PeriodicBox { period: Vec3::splat(l) }
+    }
+
+    /// True when at least one axis wraps.
+    #[inline]
+    pub fn is_periodic(&self) -> bool {
+        self.period.x > 0.0 || self.period.y > 0.0 || self.period.z > 0.0
+    }
+
+    /// Wraps one component into `[0, period)`; identity when the axis is
+    /// open. `rem_euclid` keeps the result non-negative for any input.
+    #[inline]
+    fn wrap_component(v: f64, period: f64) -> f64 {
+        if period > 0.0 {
+            v.rem_euclid(period)
+        } else {
+            v
+        }
+    }
+
+    /// Wraps `pos - origin` into the primary cell `[0, period)` per
+    /// periodic axis, then restores the origin offset.
+    pub fn wrap(&self, pos: Vec3, origin: Vec3) -> Vec3 {
+        Vec3::new(
+            origin.x + Self::wrap_component(pos.x - origin.x, self.period.x),
+            origin.y + Self::wrap_component(pos.y - origin.y, self.period.y),
+            origin.z + Self::wrap_component(pos.z - origin.z, self.period.z),
+        )
+    }
+
+    /// Wraps one separation component into `[-period/2, period/2]`.
+    #[inline]
+    fn min_image_component(d: f64, period: f64) -> f64 {
+        if period > 0.0 {
+            d - period * (d / period).round()
+        } else {
+            d
+        }
+    }
+
+    /// The minimum-image separation `b - a`: each component is shifted
+    /// by a whole number of periods so it lies in `[-L/2, L/2]`.
+    pub fn min_image(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let d = b - a;
+        Vec3::new(
+            Self::min_image_component(d.x, self.period.x),
+            Self::min_image_component(d.y, self.period.y),
+            Self::min_image_component(d.z, self.period.z),
+        )
+    }
+
+    /// Squared minimum-image distance between `a` and `b`.
+    #[inline]
+    pub fn dist_sq(&self, a: Vec3, b: Vec3) -> f64 {
+        self.min_image(a, b).norm_sq()
+    }
+
+    /// Minimum-image distance between `a` and `b`.
+    #[inline]
+    pub fn dist(&self, a: Vec3, b: Vec3) -> f64 {
+        self.dist_sq(a, b).sqrt()
+    }
+
+    /// All whole-period shift vectors a domain neighbour can differ by:
+    /// `{-L, 0, +L}` per periodic axis, `{0}` per open axis, excluding
+    /// the zero shift when `include_zero` is false. Ascending
+    /// lexicographic order, so callers iterating images are
+    /// deterministic.
+    pub fn image_shifts(&self, include_zero: bool) -> Vec<Vec3> {
+        let axis = |l: f64| if l > 0.0 { vec![-l, 0.0, l] } else { vec![0.0] };
+        let mut out = Vec::new();
+        for &sx in &axis(self.period.x) {
+            for &sy in &axis(self.period.y) {
+                for &sz in &axis(self.period.z) {
+                    let s = Vec3::new(sx, sy, sz);
+                    if include_zero || s != Vec3::ZERO {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_box_is_plain_euclidean() {
+        let b = PeriodicBox::OPEN;
+        assert!(!b.is_periodic());
+        let a = Vec3::new(0.1, 0.2, 0.3);
+        let c = Vec3::new(9.0, -4.0, 2.0);
+        assert_eq!(b.dist_sq(a, c), a.dist_sq(c));
+        assert_eq!(b.wrap(c, Vec3::ZERO), c);
+        assert_eq!(b.image_shifts(true), vec![Vec3::ZERO]);
+        assert!(b.image_shifts(false).is_empty());
+    }
+
+    #[test]
+    fn min_image_wraps_across_the_seam() {
+        let b = PeriodicBox::cubic(1.0);
+        // Points hugging opposite faces are close through the seam.
+        let a = Vec3::new(0.02, 0.5, 0.5);
+        let c = Vec3::new(0.98, 0.5, 0.5);
+        assert!((b.dist(a, c) - 0.04).abs() < 1e-12);
+        // The image separation points the "short way" (negative x).
+        assert!((b.min_image(a, c).x + 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_is_symmetric_and_bounded() {
+        let b = PeriodicBox { period: Vec3::new(1.0, 2.0, 0.0) };
+        let a = Vec3::new(0.9, 1.9, 5.0);
+        let c = Vec3::new(0.1, 0.1, -3.0);
+        assert!((b.dist(a, c) - b.dist(c, a)).abs() < 1e-12);
+        let d = b.min_image(a, c);
+        assert!(d.x.abs() <= 0.5 + 1e-12);
+        assert!(d.y.abs() <= 1.0 + 1e-12);
+        // Open z axis keeps the full separation.
+        assert_eq!(d.z, -8.0);
+    }
+
+    #[test]
+    fn wrap_restores_the_primary_cell() {
+        let b = PeriodicBox::cubic(2.0);
+        let origin = Vec3::new(-1.0, -1.0, -1.0);
+        let p = Vec3::new(1.5, -3.7, 0.2); // x and y outside [-1, 1)
+        let w = b.wrap(p, origin);
+        for i in 0..3 {
+            assert!(w.component(i) >= -1.0 - 1e-12 && w.component(i) < 1.0 + 1e-12);
+        }
+        // Wrapping is idempotent and preserves already-interior points.
+        assert_eq!(b.wrap(w, origin), w);
+        assert_eq!(b.wrap(Vec3::new(0.25, 0.5, -0.75), origin), Vec3::new(0.25, 0.5, -0.75));
+    }
+
+    #[test]
+    fn image_shifts_enumerate_neighbours() {
+        let cube = PeriodicBox::cubic(1.0);
+        assert_eq!(cube.image_shifts(true).len(), 27);
+        assert_eq!(cube.image_shifts(false).len(), 26);
+        let slab = PeriodicBox { period: Vec3::new(1.0, 0.0, 0.0) };
+        assert_eq!(slab.image_shifts(true).len(), 3);
+        // Shifts are whole periods: wrapping a shifted point is identity.
+        for s in cube.image_shifts(false) {
+            let p = Vec3::new(0.25, 0.5, 0.75);
+            let w = cube.wrap(p + s, Vec3::ZERO);
+            assert!(w.dist_sq(p) < 1e-24, "shift {s:?} must be a lattice vector");
+        }
+    }
+}

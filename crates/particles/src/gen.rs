@@ -127,6 +127,56 @@ pub fn clustered(
     out
 }
 
+/// A tiled multi-Plummer volume: a `tiles[0] × tiles[1] × tiles[2]`
+/// grid of cubic tiles of side `tile`, the grid's low corner at the
+/// origin, with one Plummer sphere centred in every tile. Positions are
+/// wrapped into the grid volume with the periodic minimum-image
+/// convention, so Plummer tails spill across tile seams (and through
+/// the outer faces, re-entering on the opposite side) — exactly the
+/// halos-straddling-box-boundaries workload the forest decomposition's
+/// ghost exchange exists for.
+///
+/// Ids are unique and sequential across the whole volume; masses sum to
+/// `total_mass`. Deterministic for a fixed `(n, tiles, seed)`.
+pub fn tiled_plummer(
+    n: usize,
+    tiles: [usize; 3],
+    seed: u64,
+    tile: f64,
+    total_mass: f64,
+) -> Vec<Particle> {
+    let dims = [tiles[0].max(1), tiles[1].max(1), tiles[2].max(1)];
+    let n_tiles = dims[0] * dims[1] * dims[2];
+    let period = Vec3::new(dims[0] as f64 * tile, dims[1] as f64 * tile, dims[2] as f64 * tile);
+    let wrap = paratreet_geometry::PeriodicBox { period };
+    // Scale radius well under the tile so each clump reads as one halo,
+    // with tails long enough to cross seams.
+    let a = tile / 12.0;
+    let mut out = Vec::with_capacity(n);
+    let mut t = 0usize;
+    for ix in 0..dims[0] {
+        for iy in 0..dims[1] {
+            for iz in 0..dims[2] {
+                let n_t = n / n_tiles + usize::from(t < n % n_tiles);
+                let sub_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(t as u64);
+                let center = Vec3::new(
+                    (ix as f64 + 0.5) * tile,
+                    (iy as f64 + 0.5) * tile,
+                    (iz as f64 + 0.5) * tile,
+                );
+                let mut clump = plummer(n_t, sub_seed, a, total_mass / n_tiles as f64);
+                for p in &mut clump {
+                    p.pos = wrap.wrap(p.pos + center, Vec3::ZERO);
+                    p.id = out.len() as u64;
+                    out.push(*p);
+                }
+                t += 1;
+            }
+        }
+    }
+    out
+}
+
 /// Parameters for [`keplerian_disk`].
 #[derive(Clone, Copy, Debug)]
 pub struct DiskParams {
@@ -332,6 +382,36 @@ mod tests {
             d[d.len() / 2]
         };
         assert!(median_min(&c) < median_min(&u));
+    }
+
+    #[test]
+    fn tiled_plummer_fills_the_grid() {
+        let ps = tiled_plummer(999, [2, 2, 1], 7, 1.0, 4.0);
+        assert_eq!(ps.len(), 999);
+        assert!((ps.total_mass() - 4.0).abs() < 1e-9);
+        for (i, p) in ps.iter().enumerate() {
+            assert_eq!(p.id, i as u64);
+            // Wrapped into the grid volume [0, dims*tile).
+            assert!((0.0..2.0).contains(&p.pos.x), "x {}", p.pos.x);
+            assert!((0.0..2.0).contains(&p.pos.y), "y {}", p.pos.y);
+            assert!((0.0..1.0).contains(&p.pos.z), "z {}", p.pos.z);
+        }
+        // Every tile hosts a clump: each tile holds at least its core.
+        for (ix, iy) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let lo = Vec3::new(ix as f64, iy as f64, 0.0);
+            let in_tile = ps
+                .iter()
+                .filter(|p| {
+                    p.pos.x >= lo.x
+                        && p.pos.x < lo.x + 1.0
+                        && p.pos.y >= lo.y
+                        && p.pos.y < lo.y + 1.0
+                })
+                .count();
+            assert!(in_tile > 100, "tile ({ix},{iy}) holds {in_tile} particles");
+        }
+        assert_eq!(ps, tiled_plummer(999, [2, 2, 1], 7, 1.0, 4.0));
+        assert_ne!(ps, tiled_plummer(999, [2, 2, 1], 8, 1.0, 4.0));
     }
 
     #[test]

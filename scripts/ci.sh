@@ -99,9 +99,27 @@ grep -q '"serve.worker.panics":[1-9]' "$overload_metrics" ||
 grep -q '"serve.worker.respawns":[1-9]' "$overload_metrics" ||
     { echo "overload smoke: supervisor respawned no worker in $overload_metrics"; exit 1; }
 
+echo "== forest smoke (tiled FoF over DES ghost exchange) =="
+forest_metrics=$(mktemp /tmp/paratreet-forest-XXXXXX.json)
+trap 'rm -f "$chaos_metrics" "$inc_metrics" "$disk_metrics" "$serve_metrics" "$overload_metrics" "$forest_metrics"' EXIT
+# Four periodic boxes on two DES ranks: the halo catalog must be
+# non-empty and the ghost layer must actually cross the seams — both
+# as materialized particles and as priced bytes on the DES NIC.
+cargo run --release -q -- fof --particles 6000 --tiles 2x2x1 \
+    --engine machine --ranks 2 \
+    --metrics-out "$forest_metrics" > /dev/null
+grep -q '"fof.halos":[1-9]' "$forest_metrics" ||
+    { echo "forest smoke: no halos found in $forest_metrics"; exit 1; }
+grep -q '"ghost.particles":[1-9]' "$forest_metrics" ||
+    { echo "forest smoke: ghost layer exchanged no particles"; exit 1; }
+grep -q '"ghost.bytes":[1-9]' "$forest_metrics" ||
+    { echo "forest smoke: ghost layer carried zero bytes"; exit 1; }
+grep -q '"ghost.des.comm.bytes":[1-9]' "$forest_metrics" ||
+    { echo "forest smoke: DES exchange priced zero comm bytes"; exit 1; }
+
 echo "== analyze smoke (traced serve run -> paratreet-analyze --check) =="
 obs_dir=$(mktemp -d /tmp/paratreet-obs-XXXXXX)
-trap 'rm -f "$chaos_metrics" "$inc_metrics" "$disk_metrics" "$serve_metrics" "$overload_metrics"; rm -rf "$obs_dir"' EXIT
+trap 'rm -f "$chaos_metrics" "$inc_metrics" "$disk_metrics" "$serve_metrics" "$overload_metrics" "$forest_metrics"; rm -rf "$obs_dir"' EXIT
 cargo run --release -q -- serve-bench --particles 3000 --clients 40 \
     --queries 25 --serve-workers 2 --threads 2 \
     --trace-out "$obs_dir/trace.json" --metrics-out "$obs_dir/metrics.json" \

@@ -41,12 +41,24 @@ APPS:
               a writer thread advances the forest while a reader pool
               answers a mixed kNN/ball/range/raycast stream from
               simulated clients against pinned snapshots
+  fof         friends-of-friends halo finding over a forest of boxes:
+              per-box trees, 2:1 seam balance, ghost-layer exchange,
+              dual-tree linking, cross-box union-find merge
 
 WORKLOAD (default: generator):
   --particles N        particle count                      [10000]
   --dist KIND          uniform | plummer | clustered | disk | lattice
+                       | tiled (one Plummer blob per grid tile)
   --seed S             generator seed                      [1]
   --input FILE         read a .ptrt snapshot instead of generating
+
+FOREST / FOF (fof only):
+  --tiles AxBxC        domain grid, tiles per axis         [2x2x1]
+  --tile L             side length of one cubical tile     [1.0]
+  --periodic B         identify opposite outer faces       [true]
+  --link B             FoF linking length (0 = 0.2 × mean
+                       interparticle separation)           [0]
+  --min-members N      smallest component kept as a halo   [8]
 
 CONFIGURATION:
   --tree KIND          oct | kd | longest-dim              [oct]
@@ -221,6 +233,17 @@ fn traversal_kind(s: &str) -> TraversalKind {
     }
 }
 
+/// Parses `--tiles AxBxC` (e.g. `2x2x1`).
+fn parse_tiles(opts: &HashMap<String, String>) -> [usize; 3] {
+    let s = get(opts, "tiles", "2x2x1".to_string());
+    let parts: Vec<usize> = s.split('x').filter_map(|t| t.parse().ok()).collect();
+    if parts.len() != 3 || parts.contains(&0) {
+        eprintln!("bad value for --tiles: {s} (expected AxBxC, e.g. 2x2x1)");
+        exit(2);
+    }
+    [parts[0], parts[1], parts[2]]
+}
+
 fn load_particles(app: &str, opts: &HashMap<String, String>) -> Vec<Particle> {
     if let Some(path) = opts.get("input") {
         match io::read_snapshot(path) {
@@ -239,6 +262,7 @@ fn load_particles(app: &str, opts: &HashMap<String, String>) -> Vec<Particle> {
     let default_dist = match app {
         "sph" => "lattice",
         "disk" => "disk",
+        "fof" => "tiled",
         _ => "plummer",
     };
     let binding = default_dist.to_string();
@@ -248,6 +272,7 @@ fn load_particles(app: &str, opts: &HashMap<String, String>) -> Vec<Particle> {
         "plummer" => gen::plummer(n, seed, 1.0, 1.0),
         "clustered" => gen::clustered(n, 4, seed, 1.0, 1.0),
         "lattice" => gen::perturbed_lattice(n, seed, 0.5, 0.02),
+        "tiled" => gen::tiled_plummer(n, parse_tiles(opts), seed, get(opts, "tile", 1.0), 1.0),
         "disk" => {
             let mut params = DiskParams::default();
             params.body_radius *= get(opts, "radius-scale", 3e4);
@@ -898,6 +923,108 @@ fn run_serve_bench(opts: &HashMap<String, String>) {
     write_flight(opts, &flight);
 }
 
+/// Friends-of-friends halo finding over a tiled forest: decompose per
+/// box, balance the seams, exchange ghost layers at the linking length,
+/// link with the dual-tree pass, and merge halos across boxes. The
+/// machine engine additionally prices the exchange through the DES comm
+/// model (`ghost.des.*` metrics, virtual-time spans).
+fn run_fof(opts: &HashMap<String, String>) {
+    use paratreet::core_api::{
+        decompose_forest, des_ghost_exchange, enforce_seam_balance, exchange_ghosts, DomainSpec,
+    };
+    use paratreet_apps::fof::{link_forest, FofParams};
+    use paratreet_tree::CountData;
+
+    let config = configuration(opts);
+    let particles = load_particles("fof", opts);
+    let tiles = parse_tiles(opts);
+    let tile = get(opts, "tile", 1.0f64);
+    let periodic = get(opts, "periodic", true);
+    let spec = DomainSpec::tiled(tiles, tile, periodic);
+    let n = particles.len();
+    let volume = (tiles[0] * tiles[1] * tiles[2]) as f64 * tile * tile * tile;
+    let mut link = get(opts, "link", 0.0f64);
+    if link <= 0.0 {
+        link = 0.2 * (volume / n.max(1) as f64).cbrt();
+    }
+    let params = FofParams { link, min_members: get(opts, "min-members", 8usize) };
+    let engine = get(opts, "engine", "shared".to_string());
+    let machine_engine = match engine.as_str() {
+        "machine" => true,
+        "shared" => false,
+        other => {
+            eprintln!("unknown engine {other} for fof (shared | machine)");
+            exit(2);
+        }
+    };
+    let telemetry = telemetry_for(opts, machine_engine, wall_shards(0));
+
+    let t0 = std::time::Instant::now();
+    let forest = decompose_forest(particles, &config, &spec);
+    let mut trees = forest.build_trees::<CountData>(&config, !machine_engine);
+    let seam_splits = enforce_seam_balance(
+        &mut trees,
+        &forest.boxes,
+        &forest.routes,
+        config.tree_type,
+        config.bucket_size,
+    );
+    let layer = exchange_ghosts(&forest, &trees, link, &telemetry);
+    let catalog =
+        link_forest(&forest, &trees, &layer, &params, config.tree_type, config.bucket_size);
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut metrics = MetricsRegistry::new();
+    let mut fstats = forest.stats();
+    fstats.seam_splits = seam_splits;
+    metrics.absorb("forest", &fstats);
+    metrics.absorb("ghost", &layer.stats);
+    metrics.absorb("fof", &catalog);
+    metrics.set_f64("fof.link", link);
+    metrics.set_f64("fof.elapsed_s", elapsed);
+    if machine_engine {
+        let ranks = get(opts, "ranks", 2usize);
+        let workers = get(opts, "workers", 2usize);
+        let report =
+            des_ghost_exchange(&layer, MachineSpec::test(ranks, workers), telemetry.clone());
+        metrics.absorb("ghost.des", &report);
+        println!(
+            "ghost DES: {} messages, {} bytes, makespan {:.3} ms, utilization {:.0}%",
+            report.comm.messages,
+            report.comm.bytes,
+            report.makespan * 1e3,
+            report.utilization * 100.0
+        );
+    }
+    println!(
+        "fof: {} boxes, {} routes, {} seam splits; {} ghosts ({} bytes); \
+         {} halos (largest {}, grouped {}/{}) with link {:.4} in {:.3} s",
+        forest.boxes.len(),
+        forest.routes.len(),
+        seam_splits,
+        layer.stats.particles,
+        layer.stats.bytes,
+        catalog.halos.len(),
+        catalog.halos.first().map(|h| h.members.len()).unwrap_or(0),
+        catalog.n_grouped,
+        catalog.n_particles,
+        link,
+        elapsed,
+    );
+    for h in catalog.halos.iter().take(5) {
+        println!(
+            "  halo {:>6}: {:>6} members, mass {:.4}, center ({:.3}, {:.3}, {:.3})",
+            h.id,
+            h.members.len(),
+            h.mass,
+            h.center.x,
+            h.center.y,
+            h.center.z
+        );
+    }
+    write_telemetry(opts, &telemetry, Some(&metrics));
+}
+
 fn main() {
     let (app, opts) = parse_args();
     match app.as_str() {
@@ -905,6 +1032,7 @@ fn main() {
         "sph" => run_sph(&opts),
         "disk" => run_disk(&opts),
         "serve-bench" => run_serve_bench(&opts),
+        "fof" => run_fof(&opts),
         "help" | "-h" | "--help" => println!("{USAGE}"),
         other => {
             eprintln!("unknown app {other}\n{USAGE}");
