@@ -1,0 +1,39 @@
+//! Scratch reproduction for review — delete after use.
+
+use paratreet_apps::fof::{brute_force_fof, link_forest, FofParams};
+use paratreet_core::{
+    decompose_forest, enforce_seam_balance, exchange_ghosts, Configuration, DomainSpec,
+};
+use paratreet_geometry::Vec3;
+use paratreet_particles::Particle;
+use paratreet_telemetry::Telemetry;
+use paratreet_tree::{CountData, TreeType};
+
+#[test]
+fn straggler_pair_across_seam_matches_brute_force() {
+    // Open 2x1x1 grid of unit tiles covering [0,2]x[0,1]x[0,1].
+    // Two particles straddle x=1 but sit at y=1.8, far OUTSIDE the grid;
+    // assignment clamps them into boxes 0 and 1 respectively.
+    let ps = vec![
+        Particle::point_mass(0, 1.0, Vec3::new(0.98, 1.8, 0.5)),
+        Particle::point_mass(1, 1.0, Vec3::new(1.02, 1.8, 0.5)),
+        Particle::point_mass(2, 1.0, Vec3::new(0.5, 0.5, 0.5)),
+    ];
+    let spec = DomainSpec::tiled([2, 1, 1], 1.0, false);
+    let params = FofParams { link: 0.1, min_members: 2 };
+    let config = Configuration {
+        tree_type: TreeType::Octree,
+        bucket_size: 8,
+        n_subtrees: 8,
+        n_partitions: 8,
+        ..Default::default()
+    };
+    let forest = decompose_forest(ps.clone(), &config, &spec);
+    let mut trees = forest.build_trees::<CountData>(&config, false);
+    enforce_seam_balance(&mut trees, &forest.boxes, &forest.routes, config.tree_type, config.bucket_size);
+    let layer = exchange_ghosts(&forest, &trees, params.link, &Telemetry::disabled());
+    let cat = link_forest(&forest, &trees, &layer, &params, config.tree_type, config.bucket_size);
+    let truth = brute_force_fof(&ps, &spec.period(), &params);
+    assert_eq!(cat.n_links, truth.n_links, "forest missed links brute force found");
+    assert_eq!(cat.halos.len(), truth.halos.len());
+}
